@@ -1,0 +1,46 @@
+//! Criterion performance benchmarks of the pipeline's computational
+//! kernels: parsing, metagraph compilation, BFS slicing, Girvan-Newman,
+//! eigenvector centrality and Brandes betweenness.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rca_core::{induce_slice, RcaPipeline};
+use rca_graph::{
+    edge_betweenness, eigenvector_centrality, girvan_newman, nonbacktracking_centrality,
+    preferential_attachment, shortest_path_slice, Direction, NodeId, PowerIterOptions,
+};
+use rca_model::{generate, ModelConfig};
+
+fn bench_graph_kernels(c: &mut Criterion) {
+    let g = preferential_attachment(5_000, 3, 42);
+    let targets: Vec<NodeId> = (0..10).map(NodeId).collect();
+    c.bench_function("bfs_slice_5k_nodes", |b| {
+        b.iter(|| shortest_path_slice(&g, &targets))
+    });
+    c.bench_function("eigenvector_in_centrality_5k", |b| {
+        b.iter(|| eigenvector_centrality(&g, Direction::In, PowerIterOptions::default()))
+    });
+    c.bench_function("nonbacktracking_centrality_5k", |b| {
+        b.iter(|| nonbacktracking_centrality(&g, Direction::In, PowerIterOptions::default()))
+    });
+    let small = preferential_attachment(400, 3, 7);
+    c.bench_function("edge_betweenness_400", |b| b.iter(|| edge_betweenness(&small)));
+    c.bench_function("girvan_newman_400", |b| b.iter(|| girvan_newman(&small, 1)));
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let model = generate(&ModelConfig::test());
+    c.bench_function("parse_model", |b| b.iter(|| model.parse()));
+    c.bench_function("pipeline_build", |b| b.iter(|| RcaPipeline::build(&model).unwrap()));
+    let pipeline = RcaPipeline::build(&model).unwrap();
+    let names = vec!["flwds".to_string(), "qrl".to_string()];
+    c.bench_function("induce_slice", |b| {
+        b.iter(|| induce_slice(&pipeline.metagraph, &names, |_| true))
+    });
+}
+
+criterion_group!(
+    name = kernels;
+    config = Criterion::default().sample_size(10);
+    targets = bench_graph_kernels, bench_pipeline
+);
+criterion_main!(kernels);

@@ -1,0 +1,92 @@
+//! # rca-bench — harnesses regenerating every table and figure
+//!
+//! Each `harness = false` bench target prints the rows/series of one paper
+//! table or figure next to the paper's own numbers (absolute values differ
+//! — the substrate is a synthetic model — but the *shape* must hold).
+//! Criterion benches (`perf_*`) measure the pipeline's computational
+//! kernels.
+
+use rca_core::{RcaPipeline, RefineOptions};
+use rca_model::{generate, ModelConfig, ModelSource};
+
+/// Scale used by the figure/table harnesses. Override with
+/// `RCA_BENCH_SCALE=test|medium|paper`.
+pub fn bench_config() -> ModelConfig {
+    match std::env::var("RCA_BENCH_SCALE").as_deref() {
+        Ok("test") => ModelConfig::test(),
+        Ok("paper") => ModelConfig::paper(),
+        _ => ModelConfig::medium(),
+    }
+}
+
+/// Builds the model + pipeline pair every harness starts from.
+pub fn bench_pipeline() -> (ModelSource, RcaPipeline) {
+    let model = generate(&bench_config());
+    let pipeline = RcaPipeline::build(&model).expect("pipeline build");
+    (model, pipeline)
+}
+
+/// Refinement options used by the figure harnesses.
+pub fn bench_refine_options() -> RefineOptions {
+    RefineOptions::default()
+}
+
+/// Prints a standard harness header.
+pub fn header(id: &str, paper_claim: &str) {
+    println!("=== {id} ===");
+    println!("paper: {paper_claim}");
+    println!();
+}
+
+use rca_core::{
+    affected_outputs, induce_slice, refine, refinement_trace, run_statistics, ExperimentSetup,
+    ReachabilityOracle,
+};
+use rca_model::Experiment;
+
+/// Runs one paper experiment end-to-end (statistics → slice → Algorithm
+/// 5.4 with the reachability oracle) and prints the figure's trace.
+pub fn experiment_figure(model: &ModelSource, pipeline: &RcaPipeline, experiment: Experiment, restrict_cam: bool) {
+    let setup = ExperimentSetup::default();
+    let data = run_statistics(model, experiment, &setup).expect("statistics");
+    println!(
+        "UF-ECT: {} (failure rate {:.0}%)",
+        data.verdict,
+        data.failure_rate * 100.0
+    );
+    let n = experiment.table2_outputs().len().clamp(5, 10);
+    let outputs = affected_outputs(&data, n);
+    println!("selected outputs: {outputs:?}");
+    let internal = pipeline.outputs_to_internal(&outputs);
+    println!("internal criteria: {internal:?}");
+
+    let slice = induce_slice(&pipeline.metagraph, &internal, |m| {
+        !restrict_cam || pipeline.is_cam(m)
+    });
+    println!(
+        "induced subgraph: {} nodes, {} edges",
+        slice.graph.node_count(),
+        slice.graph.edge_count()
+    );
+
+    let oracle = ReachabilityOracle::from_sites(&pipeline.metagraph, &experiment.bug_sites());
+    let bugs = oracle.bug_nodes.clone();
+    for &b in &bugs {
+        println!("bug node: {}", pipeline.metagraph.display(b));
+    }
+    let mut o = oracle;
+    let report = refine(
+        &pipeline.metagraph,
+        &slice,
+        &mut o,
+        &bugs,
+        &bench_refine_options(),
+    );
+    println!();
+    print!("{}", refinement_trace(&pipeline.metagraph, &report));
+    println!(
+        "bug instrumented: {} | bug in final subgraph: {}",
+        report.instrumented(&bugs),
+        report.localized(&bugs)
+    );
+}

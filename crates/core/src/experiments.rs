@@ -1,0 +1,286 @@
+//! High-level experiment harness: ensembles, ECT verdicts, variable
+//! selection — the statistical front end of every paper experiment.
+
+use rca_model::{Experiment, ModelConfig, ModelSource};
+use rca_sim::{outputs_matrix, perturbations, run_ensemble, Avx2Policy, PrngKind, RunConfig, RuntimeError};
+use rca_stats::{
+    fit_lasso_path, median_distance_selection, Ect, EctConfig, Matrix, Verdict,
+};
+
+/// Sizing and statistical parameters for an experiment campaign.
+#[derive(Debug, Clone)]
+pub struct ExperimentSetup {
+    /// Simulation steps (UF-CAM-ECT: nine).
+    pub steps: u32,
+    /// Ensemble size.
+    pub n_ensemble: usize,
+    /// Experimental-set size.
+    pub n_experiment: usize,
+    /// Initial-condition perturbation magnitude (CESM: O(10⁻¹⁴)).
+    pub ic_magnitude: f64,
+    /// FMA delta amplification for AVX2 runs (site-count bridging).
+    pub fma_scale: f64,
+    /// ECT configuration.
+    pub ect: EctConfig,
+    /// Lasso sparsity target (paper: "about five variables").
+    pub lasso_target: usize,
+    /// Ensemble/experiment perturbation seeds.
+    pub seed: u64,
+}
+
+impl Default for ExperimentSetup {
+    fn default() -> Self {
+        ExperimentSetup {
+            steps: 9,
+            n_ensemble: 36,
+            n_experiment: 12,
+            ic_magnitude: 1e-14,
+            fma_scale: 1.0,
+            ect: EctConfig::default(),
+            lasso_target: 5,
+            seed: 0xC1,
+        }
+    }
+}
+
+impl ExperimentSetup {
+    /// A faster configuration for unit/integration tests.
+    pub fn quick() -> Self {
+        ExperimentSetup {
+            steps: 5,
+            n_ensemble: 24,
+            n_experiment: 9,
+            ect: EctConfig {
+                n_pcs: 10,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+}
+
+/// Run configurations for one experiment (control vs experimental).
+pub fn experiment_configs(
+    experiment: Experiment,
+    setup: &ExperimentSetup,
+) -> (RunConfig, RunConfig) {
+    let control = RunConfig {
+        steps: setup.steps,
+        ..Default::default()
+    };
+    let mut exp = control.clone();
+    if experiment.uses_mersenne_twister() {
+        exp.prng = PrngKind::MersenneTwister;
+    }
+    if experiment.enables_avx2() {
+        exp.avx2 = Avx2Policy::AllModules;
+        exp.fma_scale = setup.fma_scale;
+    }
+    (control, exp)
+}
+
+/// Statistical results for one experiment campaign.
+#[derive(Debug, Clone)]
+pub struct ExperimentData {
+    /// The experiment.
+    pub experiment: Experiment,
+    /// ECT verdict over the first 3 experimental runs (pyCECT style).
+    pub verdict: Verdict,
+    /// Failure rate over all experimental run-sets of size 3.
+    pub failure_rate: f64,
+    /// Output names (sorted, shared by all matrices).
+    pub output_names: Vec<String>,
+    /// Outputs selected by the lasso, in |weight| order.
+    pub lasso_selected: Vec<String>,
+    /// Median-distance ranking `(output, standardized distance)`, best
+    /// first (unfiltered, for ratio reporting).
+    pub median_ranking: Vec<(String, f64)>,
+    /// Ensemble output matrix at the evaluation step.
+    pub ensemble: Matrix,
+    /// Experimental output matrix at the evaluation step.
+    pub experimental: Matrix,
+}
+
+/// Runs the full statistical front end for one experiment: generate
+/// ensemble + experimental runs, fit the ECT, and select affected output
+/// variables with both §3 methods.
+pub fn run_statistics(
+    base_model: &ModelSource,
+    experiment: Experiment,
+    setup: &ExperimentSetup,
+) -> Result<ExperimentData, RuntimeError> {
+    let exp_model = base_model.apply(experiment);
+    let (control_cfg, exp_cfg) = experiment_configs(experiment, setup);
+
+    let ens_perts = perturbations(setup.n_ensemble, setup.ic_magnitude, setup.seed);
+    let exp_perts = perturbations(setup.n_experiment, setup.ic_magnitude, setup.seed ^ 0xDEAD);
+
+    let ens_runs = run_ensemble(base_model, &control_cfg, &ens_perts)?;
+    let exp_runs = run_ensemble(&exp_model, &exp_cfg, &exp_perts)?;
+
+    let eval_step = setup.steps - 1;
+    let (names_a, ens_rows) = outputs_matrix(&ens_runs, eval_step);
+    let (names_b, exp_rows) = outputs_matrix(&exp_runs, eval_step);
+    // Intersect output sets defensively (they should be identical).
+    let names: Vec<String> = names_a
+        .iter()
+        .filter(|n| names_b.contains(n))
+        .cloned()
+        .collect();
+    let select = |rows: &[Vec<f64>], from_names: &[String]| -> Matrix {
+        let idx: Vec<usize> = names
+            .iter()
+            .map(|n| from_names.iter().position(|m| m == n).expect("intersected"))
+            .collect();
+        let data: Vec<Vec<f64>> = rows
+            .iter()
+            .map(|r| idx.iter().map(|&i| r[i]).collect())
+            .collect();
+        Matrix::from_row_slices(&data)
+    };
+    let ensemble = select(&ens_rows, &names_a);
+    let experimental = select(&exp_rows, &names_b);
+
+    // ECT: verdict on the first 3 experimental runs, failure rate over all
+    // 3-run sets.
+    let ect = Ect::fit(&ensemble, setup.ect);
+    let head: Vec<Vec<f64>> = (0..3.min(experimental.rows()))
+        .map(|i| experimental.row(i).to_vec())
+        .collect();
+    let verdict = ect.evaluate(&Matrix::from_row_slices(&head));
+    let failure_rate = ect.failure_rate(&experimental, 3);
+
+    // Variable selection (§3).
+    let median_sel = median_distance_selection(&ensemble, &experimental, false);
+    let median_ranking: Vec<(String, f64)> = median_sel
+        .iter()
+        .map(|s| (names[s.index].clone(), s.median_distance))
+        .collect();
+
+    let mut all_rows: Vec<Vec<f64>> = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..ensemble.rows() {
+        all_rows.push(ensemble.row(i).to_vec());
+        labels.push(0.0);
+    }
+    for i in 0..experimental.rows() {
+        all_rows.push(experimental.row(i).to_vec());
+        labels.push(1.0);
+    }
+    let lasso = fit_lasso_path(
+        &Matrix::from_row_slices(&all_rows),
+        &labels,
+        setup.lasso_target,
+        30,
+        500,
+    );
+    let lasso_selected: Vec<String> =
+        lasso.selected().into_iter().map(|i| names[i].clone()).collect();
+
+    Ok(ExperimentData {
+        experiment,
+        verdict,
+        failure_rate,
+        output_names: names,
+        lasso_selected,
+        median_ranking,
+        ensemble,
+        experimental,
+    })
+}
+
+/// Picks the affected-output list for slicing: lasso selections first,
+/// topped up from the median-distance ranking. The paper notes the two
+/// methods "mostly coincide"; with perfectly separable classes the lasso
+/// saturates on very few variables, so the median ranking fills the rest.
+pub fn affected_outputs(data: &ExperimentData, max_vars: usize) -> Vec<String> {
+    let mut out: Vec<String> = data
+        .lasso_selected
+        .iter()
+        .take(max_vars)
+        .cloned()
+        .collect();
+    for (name, _) in &data.median_ranking {
+        if out.len() >= max_vars {
+            break;
+        }
+        if !out.contains(name) {
+            out.push(name.clone());
+        }
+    }
+    out
+}
+
+/// Per-model-config campaign used by tests/benches to share setup.
+pub fn default_model() -> ModelSource {
+    rca_model::generate(&ModelConfig::test())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_passes_ect() {
+        let model = default_model();
+        let data = run_statistics(&model, Experiment::Control, &ExperimentSetup::quick()).unwrap();
+        assert_eq!(data.verdict, Verdict::Pass, "control must be consistent");
+        assert!(data.failure_rate < 0.5, "rate {}", data.failure_rate);
+    }
+
+    #[test]
+    fn wsubbug_fails_ect_and_median_dominates() {
+        let model = default_model();
+        let data = run_statistics(&model, Experiment::WsubBug, &ExperimentSetup::quick()).unwrap();
+        assert_eq!(data.verdict, Verdict::Fail);
+        // §6.1: "the distance between the experimental and ensemble
+        // medians for this variable is more than 1,000 times greater than
+        // for the variable ranked second."
+        assert_eq!(data.median_ranking[0].0, "wsub");
+        let ratio = data.median_ranking[0].1 / data.median_ranking[1].1.max(1e-300);
+        assert!(ratio > 1000.0, "dominance ratio {ratio}");
+    }
+
+    #[test]
+    fn goffgratch_fails_and_selects_cloud_outputs() {
+        let model = default_model();
+        let data =
+            run_statistics(&model, Experiment::GoffGratch, &ExperimentSetup::quick()).unwrap();
+        assert_eq!(data.verdict, Verdict::Fail);
+        let affected = affected_outputs(&data, 10);
+        assert!(!affected.is_empty());
+        // The selected set should overlap the paper's Table-2 outputs
+        // (cloud/microphysics variables).
+        let table2 = Experiment::GoffGratch.table2_outputs();
+        let overlap = affected.iter().filter(|o| table2.contains(&o.as_str())).count();
+        assert!(overlap >= 1, "affected {affected:?} vs table2 {table2:?}");
+    }
+
+    #[test]
+    fn randmt_fails_ect() {
+        let model = default_model();
+        let data = run_statistics(&model, Experiment::RandMt, &ExperimentSetup::quick()).unwrap();
+        assert_eq!(data.verdict, Verdict::Fail);
+        let affected = affected_outputs(&data, 5);
+        // Longwave outputs must appear (flds/flns/qrl are directly
+        // PRNG-driven).
+        assert!(
+            affected.iter().any(|o| ["flds", "flns", "qrl", "fsds", "qrs"].contains(&o.as_str())),
+            "{affected:?}"
+        );
+    }
+
+    #[test]
+    fn dyn3bug_selects_dynamics_outputs() {
+        let model = default_model();
+        let data = run_statistics(&model, Experiment::Dyn3Bug, &ExperimentSetup::quick()).unwrap();
+        assert_eq!(data.verdict, Verdict::Fail);
+        let affected = affected_outputs(&data, 6);
+        let dyn_outputs = ["vv", "omega", "z3", "uu", "omegat", "ps"];
+        let overlap = affected
+            .iter()
+            .filter(|o| dyn_outputs.contains(&o.as_str()))
+            .count();
+        assert!(overlap >= 1, "{affected:?}");
+    }
+}

@@ -1,0 +1,38 @@
+//! # rca-core — the paper's root-cause-analysis contribution
+//!
+//! Ties every substrate together into the pipeline of Milroy et al.
+//! (HPDC 2019), Fig. 1:
+//!
+//! 1. [`experiments`]: run ensemble + experimental simulations, apply the
+//!    UF-ECT (Pass/Fail), and select the most-affected output variables by
+//!    standardized median distance and lasso (§3).
+//! 2. [`pipeline`]: coverage-filter the source (hybrid slicing's dynamic
+//!    information) and compile it into the variable digraph (§4).
+//! 3. [`slice`]: BFS shortest-path backward slice on canonical names; the
+//!    union of path nodes induces the suspect subgraph (§5.1).
+//! 4. [`refine`]: **Algorithm 5.4** — Girvan–Newman communities,
+//!    per-community eigenvector in-centrality, runtime sampling, and k-ary
+//!    shrinkage until the bug is instrumented or the graph is small enough
+//!    to read (§5.2–5.4).
+//! 5. [`oracle`]: the sampling step, both as the paper's reachability
+//!    simulation and as real interpreter instrumentation.
+//! 6. [`module_rank`]: module-quotient centrality and the selective AVX2
+//!    disablement policies of Table 1 (§6.5).
+
+pub mod experiments;
+pub mod module_rank;
+pub mod oracle;
+pub mod pipeline;
+pub mod refine;
+pub mod report;
+pub mod slice;
+
+pub use experiments::{
+    affected_outputs, experiment_configs, run_statistics, ExperimentData, ExperimentSetup,
+};
+pub use module_rank::{avx2_policy, DisablementPolicy, ModuleRanking};
+pub use oracle::{ReachabilityOracle, RuntimeSampler, SamplingOracle};
+pub use pipeline::{PipelineOptions, RcaPipeline};
+pub use refine::{refine, IterationReport, RefineOptions, RefinementReport, StopReason};
+pub use report::{centrality_listing, refinement_trace, table};
+pub use slice::{induce_slice, reinduce, Slice};

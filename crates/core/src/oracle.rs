@@ -1,0 +1,279 @@
+//! Sampling oracles: does an instrumented variable differ between the
+//! ensemble and the experiment?
+//!
+//! The paper performs its sampling "currently in simulation" (§2.1): with
+//! known bug locations, "we can deduce whether a difference can be
+//! detected" from directed-path reachability (§5.2). That simulation is
+//! [`ReachabilityOracle`]. [`RuntimeSampler`] is the real thing the paper
+//! leaves as future work: it instruments the chosen variables in the
+//! running interpreter and compares values between a control run and an
+//! experimental run.
+
+use rca_graph::{reaches_any, NodeId};
+use rca_metagraph::{MetaGraph, NodeKind};
+use rca_model::ModelSource;
+use rca_sim::{run_model, RunConfig, RuntimeError, SampleSpec};
+
+/// Decides which sampled nodes take different values between ensemble and
+/// experimental runs (Algorithm 5.4 step 7).
+pub trait SamplingOracle {
+    /// For each metagraph node, whether instrumentation would observe a
+    /// difference.
+    fn differs(&mut self, mg: &MetaGraph, nodes: &[NodeId]) -> Vec<bool>;
+}
+
+/// The paper's simulated sampling: a difference is detectable at node `n`
+/// iff a directed path exists from some bug source to `n`.
+pub struct ReachabilityOracle {
+    /// Metagraph ids of the ground-truth bug locations.
+    pub bug_nodes: Vec<NodeId>,
+}
+
+impl ReachabilityOracle {
+    /// Builds the oracle from ground-truth bug sites.
+    pub fn from_sites(mg: &MetaGraph, sites: &[rca_model::BugSite]) -> ReachabilityOracle {
+        let mut bug_nodes = Vec::new();
+        for site in sites {
+            if let Some(n) = mg.node_by_key(&site.module, Some(&site.subprogram), &site.canonical)
+            {
+                bug_nodes.push(n);
+            }
+            // Module-level variables are also legal bug hosts.
+            if let Some(n) = mg.node_by_key(&site.module, None, &site.canonical) {
+                bug_nodes.push(n);
+            }
+        }
+        bug_nodes.sort();
+        bug_nodes.dedup();
+        ReachabilityOracle { bug_nodes }
+    }
+}
+
+impl SamplingOracle for ReachabilityOracle {
+    fn differs(&mut self, mg: &MetaGraph, nodes: &[NodeId]) -> Vec<bool> {
+        nodes
+            .iter()
+            .map(|&n| {
+                self.bug_nodes
+                    .iter()
+                    .any(|&b| reaches_any(&mg.graph, b, &[n]))
+            })
+            .collect()
+    }
+}
+
+/// Real runtime sampling: run control and experimental models with the
+/// node set instrumented and compare values.
+pub struct RuntimeSampler {
+    /// Unmodified model (one ensemble member).
+    pub control_model: ModelSource,
+    /// Experimental model (source patches applied).
+    pub experiment_model: ModelSource,
+    /// Control run configuration.
+    pub control_config: RunConfig,
+    /// Experimental run configuration (PRNG/AVX2 changes live here).
+    pub experiment_config: RunConfig,
+    /// Time step at which values are captured (the paper samples as early
+    /// as possible; default: the final step).
+    pub sample_step: u32,
+    /// Relative tolerance above which values are "different".
+    pub tolerance: f64,
+    /// Runtime failures encountered (sampling proceeds best-effort).
+    pub errors: Vec<RuntimeError>,
+}
+
+impl RuntimeSampler {
+    /// Creates a sampler with the given models/configs, sampling at the
+    /// last step with 1e-12 relative tolerance.
+    pub fn new(
+        control_model: ModelSource,
+        experiment_model: ModelSource,
+        control_config: RunConfig,
+        experiment_config: RunConfig,
+    ) -> RuntimeSampler {
+        let sample_step = control_config.steps.saturating_sub(1);
+        RuntimeSampler {
+            control_model,
+            experiment_model,
+            control_config,
+            experiment_config,
+            sample_step,
+            tolerance: 1e-12,
+            errors: Vec::new(),
+        }
+    }
+
+    fn spec_for(mg: &MetaGraph, node: NodeId) -> Option<SampleSpec> {
+        let meta = mg.meta_of(node);
+        if meta.kind != NodeKind::Variable {
+            return None; // localized intrinsic call sites are not variables
+        }
+        Some(SampleSpec {
+            module: meta.module.clone(),
+            subprogram: meta.subprogram.clone(),
+            name: meta.canonical.clone(),
+        })
+    }
+}
+
+impl SamplingOracle for RuntimeSampler {
+    fn differs(&mut self, mg: &MetaGraph, nodes: &[NodeId]) -> Vec<bool> {
+        let specs: Vec<Option<SampleSpec>> =
+            nodes.iter().map(|&n| Self::spec_for(mg, n)).collect();
+        let live: Vec<SampleSpec> = specs.iter().flatten().cloned().collect();
+
+        let mut ctl = self.control_config.clone();
+        ctl.sample_step = Some(self.sample_step);
+        ctl.samples = live.clone();
+        let mut exp = self.experiment_config.clone();
+        exp.sample_step = Some(self.sample_step);
+        exp.samples = live;
+
+        let control = match run_model(&self.control_model, &ctl, 0.0) {
+            Ok(r) => r,
+            Err(e) => {
+                self.errors.push(e);
+                return vec![false; nodes.len()];
+            }
+        };
+        let experiment = match run_model(&self.experiment_model, &exp, 0.0) {
+            Ok(r) => r,
+            Err(e) => {
+                self.errors.push(e);
+                return vec![false; nodes.len()];
+            }
+        };
+
+        specs
+            .iter()
+            .map(|spec| {
+                let Some(spec) = spec else { return false };
+                let key = spec.key();
+                let (Some(a), Some(b)) =
+                    (control.samples.get(&key), experiment.samples.get(&key))
+                else {
+                    return false;
+                };
+                if a.len() != b.len() {
+                    return true;
+                }
+                a.iter().zip(b).any(|(&x, &y)| {
+                    let scale = x.abs().max(y.abs()).max(1e-300);
+                    ((x - y).abs() / scale) > self.tolerance
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rca_model::{generate, Experiment, ModelConfig};
+    use rca_sim::Avx2Policy;
+
+    fn pipeline() -> (ModelSource, MetaGraph) {
+        let model = generate(&ModelConfig::test());
+        let p = crate::pipeline::RcaPipeline::build(&model).unwrap();
+        (model, p.metagraph)
+    }
+
+    #[test]
+    fn reachability_oracle_respects_direction() {
+        let (_, mg) = pipeline();
+        let sites = Experiment::GoffGratch.bug_sites();
+        let mut oracle = ReachabilityOracle::from_sites(&mg, &sites);
+        assert!(!oracle.bug_nodes.is_empty());
+        // cld (downstream of qsat) must be detectable; the bug's own
+        // upstream (tboil) must not.
+        let cld = mg.nodes_with_canonical("cld")[0];
+        let tboil = mg.nodes_with_canonical("tboil")[0];
+        let r = oracle.differs(&mg, &[cld, tboil]);
+        assert_eq!(r, vec![true, false]);
+    }
+
+    #[test]
+    fn runtime_sampler_detects_goffgratch_downstream() {
+        let (model, mg) = pipeline();
+        let bugged = model.apply(Experiment::GoffGratch);
+        let cfg = RunConfig {
+            steps: 3,
+            ..Default::default()
+        };
+        let mut sampler =
+            RuntimeSampler::new(model.clone(), bugged, cfg.clone(), cfg.clone());
+        let cld = mg.nodes_with_canonical("cld")[0];
+        let wsub = mg.nodes_with_canonical("wsub")[0];
+        let r = sampler.differs(&mg, &[cld, wsub]);
+        assert!(sampler.errors.is_empty(), "{:?}", sampler.errors);
+        assert_eq!(
+            r,
+            vec![true, false],
+            "cld is downstream of qsat; wsub is isolated"
+        );
+    }
+
+    #[test]
+    fn runtime_sampler_agrees_with_reachability_on_wsubbug() {
+        let (model, mg) = pipeline();
+        let bugged = model.apply(Experiment::WsubBug);
+        let cfg = RunConfig {
+            steps: 3,
+            ..Default::default()
+        };
+        let mut runtime =
+            RuntimeSampler::new(model.clone(), bugged, cfg.clone(), cfg.clone());
+        let mut reach =
+            ReachabilityOracle::from_sites(&mg, &Experiment::WsubBug.bug_sites());
+        let wsub = mg.nodes_with_canonical("wsub")[0];
+        let flwds = mg.nodes_with_canonical("flwds")[0];
+        let nodes = [wsub, flwds];
+        assert_eq!(
+            runtime.differs(&mg, &nodes),
+            reach.differs(&mg, &nodes),
+            "the two oracles must agree on the isolated wsub bug"
+        );
+    }
+
+    #[test]
+    fn runtime_sampler_detects_avx2_in_kernel() {
+        let (model, mg) = pipeline();
+        let ctl = RunConfig {
+            steps: 3,
+            ..Default::default()
+        };
+        let exp = RunConfig {
+            steps: 3,
+            avx2: Avx2Policy::AllModules,
+            ..Default::default()
+        };
+        let mut sampler = RuntimeSampler::new(model.clone(), model.clone(), ctl, exp);
+        sampler.tolerance = 1e-16;
+        let tlat = mg.node_by_key("micro_mg", None, "tlat").unwrap();
+        let r = sampler.differs(&mg, &[tlat]);
+        assert_eq!(r, vec![true], "FMA must perturb MG tendencies");
+    }
+
+    #[test]
+    fn intrinsic_nodes_are_never_sampled() {
+        let (model, mg) = pipeline();
+        let cfg = RunConfig {
+            steps: 2,
+            ..Default::default()
+        };
+        let mut sampler = RuntimeSampler::new(
+            model.clone(),
+            model.apply(Experiment::GoffGratch),
+            cfg.clone(),
+            cfg,
+        );
+        let intrinsic = mg
+            .meta
+            .iter()
+            .position(|m| m.kind == NodeKind::Intrinsic)
+            .map(|i| NodeId(i as u32))
+            .expect("model has intrinsic nodes");
+        let r = sampler.differs(&mg, &[intrinsic]);
+        assert_eq!(r, vec![false]);
+    }
+}

@@ -1,0 +1,496 @@
+//! Abstract syntax tree for the Fortran-90 subset.
+//!
+//! Mirrors the structures the paper extracts (§4): modules with `use`
+//! associations (renames and only-lists), derived types, interfaces,
+//! subprograms, and assignment/call statements. The AST deliberately keeps
+//! `name(args)` as [`Expr::CallOrIndex`]: "Fortran syntax does not always
+//! distinguish function calls from arrays, so correct associations must be
+//! made after creating a hash table of function names" — that resolution is
+//! the metagraph builder's job, after *all* files are read.
+
+use serde::{Deserialize, Serialize};
+
+/// A parsed source file (one or more modules).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SourceFile {
+    /// File path or synthetic name (e.g. `micro_mg.F90`).
+    pub path: String,
+    /// Modules defined in the file.
+    pub modules: Vec<Module>,
+}
+
+/// A Fortran module.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Module {
+    /// Module name (lowercase).
+    pub name: String,
+    /// `use` statements at module scope.
+    pub uses: Vec<UseStmt>,
+    /// Derived-type definitions.
+    pub types: Vec<DerivedType>,
+    /// Module-level variable/parameter declarations.
+    pub decls: Vec<Declaration>,
+    /// Named interfaces mapping to module procedures.
+    pub interfaces: Vec<Interface>,
+    /// Contained subprograms.
+    pub subprograms: Vec<Subprogram>,
+    /// Line of the `module` statement.
+    pub line: u32,
+}
+
+/// `use mod_name` / `use mod_name, only: a, b => c`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UseStmt {
+    /// Source module name.
+    pub module: String,
+    /// `only` list as `(local_name, remote_name)`; `None` means the whole
+    /// module's public names are imported. A plain `only: a` has
+    /// `local == remote`; a rename `only: a => b` maps local `a` to remote
+    /// `b` ("we map the target of use statements to their local names to
+    /// establish correct local symbols ... resolving Fortran renames").
+    pub only: Option<Vec<(String, String)>>,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A derived-type definition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DerivedType {
+    /// Type name.
+    pub name: String,
+    /// Field declarations.
+    pub fields: Vec<Declaration>,
+    /// Source line of `type ::`.
+    pub line: u32,
+}
+
+/// A named interface block (static dispatch is unresolvable, so the
+/// metagraph maps "all possible connections").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Interface {
+    /// Generic name.
+    pub name: String,
+    /// Specific module procedures it may dispatch to.
+    pub procedures: Vec<String>,
+    /// Source line.
+    pub line: u32,
+}
+
+/// Base type of a declaration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BaseType {
+    /// `real` (any kind).
+    Real,
+    /// `integer`.
+    Integer,
+    /// `logical`.
+    Logical,
+    /// `character` (any length spec).
+    Character,
+    /// `type(name)`.
+    Derived(String),
+}
+
+/// Declaration attributes we track.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Attr {
+    /// `parameter` — compile-time constant.
+    Parameter,
+    /// `intent(in)`.
+    IntentIn,
+    /// `intent(out)`.
+    IntentOut,
+    /// `intent(inout)`.
+    IntentInOut,
+    /// `dimension(...)` present (arrays are atomic in the digraph).
+    Dimension,
+    /// `pointer` (treated as a normal variable, §4.2).
+    Pointer,
+    /// `public` visibility.
+    Public,
+    /// `private` visibility.
+    Private,
+    /// `allocatable`.
+    Allocatable,
+    /// `save`.
+    Save,
+}
+
+/// One declared entity within a declaration statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeclEntity {
+    /// Entity name.
+    pub name: String,
+    /// Per-entity shape, e.g. `arr(pcols)`; `None` when scalar or shaped by
+    /// a `dimension(...)` attribute.
+    pub shape: Option<Vec<Expr>>,
+    /// Initializer, if any.
+    pub init: Option<Expr>,
+}
+
+/// One declaration statement, possibly declaring several names.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Declaration {
+    /// Base type.
+    pub base: BaseType,
+    /// Attributes.
+    pub attrs: Vec<Attr>,
+    /// Shape from a `dimension(...)` attribute, applying to every entity
+    /// without its own shape.
+    pub dims: Option<Vec<Expr>>,
+    /// Declared entities.
+    pub entities: Vec<DeclEntity>,
+    /// Source line.
+    pub line: u32,
+}
+
+impl Declaration {
+    /// Whether the declaration carries `parameter`.
+    pub fn is_parameter(&self) -> bool {
+        self.attrs.contains(&Attr::Parameter)
+    }
+
+    /// The effective shape of `entity`, if it is an array.
+    pub fn shape_of<'a>(&'a self, entity: &'a DeclEntity) -> Option<&'a [Expr]> {
+        entity
+            .shape
+            .as_deref()
+            .or(self.dims.as_deref())
+    }
+}
+
+/// Subprogram flavor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SubprogramKind {
+    /// `subroutine`.
+    Subroutine,
+    /// `function`, with the result variable name (defaults to the function
+    /// name when no `result(...)` clause is given).
+    Function {
+        /// Name of the result variable.
+        result: String,
+    },
+}
+
+/// A subroutine or function.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Subprogram {
+    /// Flavor (and result name for functions).
+    pub kind: SubprogramKind,
+    /// Subprogram name.
+    pub name: String,
+    /// `elemental` prefix (the Goff–Gratch function is elemental, §6.3).
+    pub elemental: bool,
+    /// `pure` prefix.
+    pub pure: bool,
+    /// Dummy-argument names in order.
+    pub args: Vec<String>,
+    /// Local `use` statements.
+    pub uses: Vec<UseStmt>,
+    /// Local declarations (covers dummies too).
+    pub decls: Vec<Declaration>,
+    /// Executable body.
+    pub body: Vec<Stmt>,
+    /// Source line of the header.
+    pub line: u32,
+}
+
+impl Subprogram {
+    /// The name holding the return value (functions only).
+    pub fn result_name(&self) -> Option<&str> {
+        match &self.kind {
+            SubprogramKind::Function { result } => Some(result),
+            SubprogramKind::Subroutine => None,
+        }
+    }
+}
+
+/// Executable statements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Stmt {
+    /// `target = value`. The target may be a plain variable, an array
+    /// element (`a(i)`), or a derived-type reference (`state%omega`).
+    Assign {
+        /// Left-hand side.
+        target: Expr,
+        /// Right-hand side.
+        value: Expr,
+        /// Source line.
+        line: u32,
+    },
+    /// `call name(args)`.
+    Call {
+        /// Callee name (possibly a generic interface).
+        name: String,
+        /// Actual arguments.
+        args: Vec<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// `if/else if/else` chain: `(condition, block)` arms; a `None`
+    /// condition is the `else` arm.
+    If {
+        /// Arms in order.
+        arms: Vec<(Option<Expr>, Vec<Stmt>)>,
+        /// Source line of `if`.
+        line: u32,
+    },
+    /// Counted `do` loop.
+    Do {
+        /// Loop variable.
+        var: String,
+        /// Start expression.
+        start: Expr,
+        /// End expression.
+        end: Expr,
+        /// Optional stride.
+        step: Option<Expr>,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// Source line of `do`.
+        line: u32,
+    },
+    /// `do while (cond)`.
+    DoWhile {
+        /// Continuation condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// Source line.
+        line: u32,
+    },
+    /// `return`.
+    Return {
+        /// Source line.
+        line: u32,
+    },
+    /// `exit` (break the innermost loop).
+    Exit {
+        /// Source line.
+        line: u32,
+    },
+    /// `cycle` (continue the innermost loop).
+    Cycle {
+        /// Source line.
+        line: u32,
+    },
+}
+
+impl Stmt {
+    /// The statement's source line.
+    pub fn line(&self) -> u32 {
+        match self {
+            Stmt::Assign { line, .. }
+            | Stmt::Call { line, .. }
+            | Stmt::If { line, .. }
+            | Stmt::Do { line, .. }
+            | Stmt::DoWhile { line, .. }
+            | Stmt::Return { line }
+            | Stmt::Exit { line }
+            | Stmt::Cycle { line } => *line,
+        }
+    }
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// Real literal.
+    Real(f64),
+    /// Integer literal.
+    Int(i64),
+    /// Character literal.
+    Str(String),
+    /// Logical literal.
+    Logical(bool),
+    /// Variable reference.
+    Var(String),
+    /// `name(args)` — function call *or* array element; disambiguated by
+    /// the metagraph's function hash table (paper §4.2).
+    CallOrIndex {
+        /// Called/indexed name.
+        name: String,
+        /// Arguments or subscripts.
+        args: Vec<Expr>,
+    },
+    /// `base%field` or `base%field(subs)`.
+    DerivedRef {
+        /// The base reference (`elem(ie)%derived` nests here).
+        base: Box<Expr>,
+        /// Accessed field.
+        field: String,
+        /// Subscripts applied to the field (`state%q(i,k)`); empty if none.
+        subs: Vec<Expr>,
+    },
+    /// Unary operation (`-x`, `.not. x`, `+x`).
+    Unary {
+        /// Operator.
+        op: crate::token::Op,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: crate::token::Op,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Array-section bound `lo:hi` (either side optional), only valid
+    /// inside subscript lists.
+    Range {
+        /// Lower bound.
+        lo: Option<Box<Expr>>,
+        /// Upper bound.
+        hi: Option<Box<Expr>>,
+    },
+}
+
+impl Expr {
+    /// The **canonical name** of a reference expression (paper §4.2): for a
+    /// derived-type chain the *last* `%` component
+    /// (`elem(ie)%derived%omega_p` → `omega_p`); for arrays the base name
+    /// (indices ignored — arrays are atomic); for plain variables the name
+    /// itself. Returns `None` for non-reference expressions.
+    pub fn canonical_name(&self) -> Option<&str> {
+        match self {
+            Expr::Var(n) => Some(n),
+            Expr::CallOrIndex { name, .. } => Some(name),
+            Expr::DerivedRef { field, .. } => Some(field),
+            _ => None,
+        }
+    }
+
+    /// Collects every variable-like name referenced in this expression
+    /// (canonical names of leaves), left-to-right, including derived-type
+    /// bases' subscript variables.
+    pub fn referenced_names<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Expr::Var(n) => out.push(n),
+            Expr::CallOrIndex { name, args } => {
+                out.push(name);
+                for a in args {
+                    a.referenced_names(out);
+                }
+            }
+            Expr::DerivedRef { base, field, subs } => {
+                out.push(field);
+                // Base contributes its subscripts but its own name is
+                // subsumed by the canonical field name.
+                if let Expr::CallOrIndex { args, .. } = base.as_ref() {
+                    for a in args {
+                        a.referenced_names(out);
+                    }
+                }
+                if let Expr::DerivedRef { .. } = base.as_ref() {
+                    base.referenced_names(out);
+                }
+                for s in subs {
+                    s.referenced_names(out);
+                }
+            }
+            Expr::Unary { expr, .. } => expr.referenced_names(out),
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.referenced_names(out);
+                rhs.referenced_names(out);
+            }
+            Expr::Range { lo, hi } => {
+                if let Some(l) = lo {
+                    l.referenced_names(out);
+                }
+                if let Some(h) = hi {
+                    h.referenced_names(out);
+                }
+            }
+            // Literals reference nothing.
+            Expr::Real(_) | Expr::Int(_) | Expr::Str(_) | Expr::Logical(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_name_of_derived_chain() {
+        // elem(ie)%derived%omega_p  →  "omega_p" (paper's own example)
+        let e = Expr::DerivedRef {
+            base: Box::new(Expr::DerivedRef {
+                base: Box::new(Expr::CallOrIndex {
+                    name: "elem".into(),
+                    args: vec![Expr::Var("ie".into())],
+                }),
+                field: "derived".into(),
+                subs: vec![],
+            }),
+            field: "omega_p".into(),
+            subs: vec![],
+        };
+        assert_eq!(e.canonical_name(), Some("omega_p"));
+    }
+
+    #[test]
+    fn canonical_name_array_atomic() {
+        let e = Expr::CallOrIndex {
+            name: "qctend".into(),
+            args: vec![Expr::Var("i".into()), Expr::Var("k".into())],
+        };
+        assert_eq!(e.canonical_name(), Some("qctend"));
+    }
+
+    #[test]
+    fn referenced_names_walks_everything() {
+        // dum = ratio * qniic(i) + state%omega
+        let e = Expr::Binary {
+            op: crate::token::Op::Add,
+            lhs: Box::new(Expr::Binary {
+                op: crate::token::Op::Mul,
+                lhs: Box::new(Expr::Var("ratio".into())),
+                rhs: Box::new(Expr::CallOrIndex {
+                    name: "qniic".into(),
+                    args: vec![Expr::Var("i".into())],
+                }),
+            }),
+            rhs: Box::new(Expr::DerivedRef {
+                base: Box::new(Expr::Var("state".into())),
+                field: "omega".into(),
+                subs: vec![],
+            }),
+        };
+        let mut names = Vec::new();
+        e.referenced_names(&mut names);
+        assert_eq!(names, vec!["ratio", "qniic", "i", "omega"]);
+    }
+
+    #[test]
+    fn non_reference_has_no_canonical_name() {
+        assert_eq!(Expr::Real(1.0).canonical_name(), None);
+        let b = Expr::Binary {
+            op: crate::token::Op::Add,
+            lhs: Box::new(Expr::Var("a".into())),
+            rhs: Box::new(Expr::Var("b".into())),
+        };
+        assert_eq!(b.canonical_name(), None);
+    }
+
+    #[test]
+    fn function_result_name() {
+        let f = Subprogram {
+            kind: SubprogramKind::Function {
+                result: "es".into(),
+            },
+            name: "goffgratch".into(),
+            elemental: true,
+            pure: false,
+            args: vec!["t".into()],
+            uses: vec![],
+            decls: vec![],
+            body: vec![],
+            line: 1,
+        };
+        assert_eq!(f.result_name(), Some("es"));
+    }
+}

@@ -1,0 +1,469 @@
+//! Free-form Fortran lexer.
+//!
+//! Handles the lexical quirks that made the paper resort to three parsers
+//! (§4.2): `&` continuation lines (CESM contains statements exceeding 3500
+//! characters), `!` comments (not inside strings), doubled-quote escapes,
+//! `d`/`e` exponents, kind suffixes (`1.0_r8`), dot-operators (`.and.`,
+//! `.lt.`) versus real literals with leading/trailing dots, and `;`
+//! statement separators.
+
+use crate::error::ParseError;
+use crate::token::{LogicalLine, Op, Tok};
+
+/// Lexes a whole source file into logical lines.
+///
+/// Errors are collected per line; offending statements are skipped (the
+/// paper's pipeline "is able to handle all but 10 assignment statements" —
+/// robustness over strictness).
+pub fn lex(source: &str) -> (Vec<LogicalLine>, Vec<ParseError>) {
+    let mut lines = Vec::new();
+    let mut errors = Vec::new();
+    for (joined, start_line) in join_continuations(source) {
+        match lex_statement(&joined, start_line) {
+            Ok(tokens_groups) => {
+                for tokens in tokens_groups {
+                    if !tokens.is_empty() {
+                        lines.push(LogicalLine {
+                            tokens,
+                            line: start_line,
+                        });
+                    }
+                }
+            }
+            Err(e) => errors.push(e),
+        }
+    }
+    (lines, errors)
+}
+
+/// Joins physical lines across `&` continuations and strips comments.
+/// Returns `(logical_text, first_physical_line)` pairs.
+fn join_continuations(source: &str) -> Vec<(String, u32)> {
+    let mut out: Vec<(String, u32)> = Vec::new();
+    let mut pending: Option<(String, u32)> = None;
+    for (idx, raw) in source.lines().enumerate() {
+        let lineno = idx as u32 + 1;
+        let stripped = strip_comment(raw);
+        let trimmed = stripped.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let mut text = trimmed.to_string();
+        // Leading '&' continues the previous line's token stream.
+        if let Some((prev, start)) = pending.take() {
+            let cont = text.strip_prefix('&').map(str::trim_start).unwrap_or(&text);
+            text = format!("{prev} {cont}");
+            pending = Some((text, start));
+        } else {
+            pending = Some((text, lineno));
+        }
+        let (cur, start) = pending.take().expect("just set");
+        if let Some(head) = cur.trim_end().strip_suffix('&') {
+            pending = Some((head.trim_end().to_string(), start));
+        } else {
+            out.push((cur, start));
+        }
+    }
+    if let Some(p) = pending {
+        out.push(p); // trailing continuation: emit what we have
+    }
+    out
+}
+
+/// Removes a `!` comment, respecting string literals.
+fn strip_comment(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut quote: Option<char> = None;
+    for c in line.chars() {
+        match quote {
+            Some(q) => {
+                out.push(c);
+                if c == q {
+                    quote = None; // doubled quotes re-enter immediately; fine
+                }
+            }
+            None => {
+                if c == '!' {
+                    break;
+                }
+                if c == '\'' || c == '"' {
+                    quote = Some(c);
+                }
+                out.push(c);
+            }
+        }
+    }
+    out
+}
+
+/// Lexes one logical line; `;` splits it into multiple statements.
+fn lex_statement(text: &str, line: u32) -> Result<Vec<Vec<Tok>>, ParseError> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0usize;
+    let mut groups: Vec<Vec<Tok>> = vec![Vec::new()];
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == ';' {
+            groups.push(Vec::new());
+            i += 1;
+            continue;
+        }
+        let toks = groups.last_mut().expect("non-empty");
+        // String literals with doubled-quote escaping.
+        if c == '\'' || c == '"' {
+            let quote = c;
+            let mut s = String::new();
+            i += 1;
+            loop {
+                if i >= chars.len() {
+                    return Err(ParseError::new(line, "unterminated string literal"));
+                }
+                if chars[i] == quote {
+                    if i + 1 < chars.len() && chars[i + 1] == quote {
+                        s.push(quote);
+                        i += 2;
+                        continue;
+                    }
+                    i += 1;
+                    break;
+                }
+                s.push(chars[i]);
+                i += 1;
+            }
+            toks.push(Tok::Str(s));
+            continue;
+        }
+        // Numbers: digits, or '.' followed by a digit.
+        if c.is_ascii_digit() || (c == '.' && i + 1 < chars.len() && chars[i + 1].is_ascii_digit())
+        {
+            let (tok, next) = lex_number(&chars, i, line)?;
+            toks.push(tok);
+            i = next;
+            continue;
+        }
+        // Dot operators: .and. .or. .not. .true. .false. .eq. etc.
+        if c == '.' {
+            if let Some((tok, next)) = lex_dot_word(&chars, i) {
+                toks.push(tok);
+                i = next;
+                continue;
+            }
+            return Err(ParseError::new(line, format!("stray '.' at column {i}")));
+        }
+        // Identifiers.
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            let word: String = chars[start..i].iter().collect::<String>().to_lowercase();
+            toks.push(Tok::Ident(word));
+            continue;
+        }
+        // Operators and punctuation.
+        let two: String = chars[i..(i + 2).min(chars.len())].iter().collect();
+        let tok2 = match two.as_str() {
+            "**" => Some(Tok::Op(Op::Pow)),
+            "//" => Some(Tok::Op(Op::Concat)),
+            "==" => Some(Tok::Op(Op::Eq)),
+            "/=" => Some(Tok::Op(Op::Ne)),
+            "<=" => Some(Tok::Op(Op::Le)),
+            ">=" => Some(Tok::Op(Op::Ge)),
+            "=>" => Some(Tok::Arrow),
+            "::" => Some(Tok::DoubleColon),
+            _ => None,
+        };
+        if let Some(t) = tok2 {
+            toks.push(t);
+            i += 2;
+            continue;
+        }
+        let tok1 = match c {
+            '+' => Tok::Op(Op::Add),
+            '-' => Tok::Op(Op::Sub),
+            '*' => Tok::Op(Op::Mul),
+            '/' => Tok::Op(Op::Div),
+            '<' => Tok::Op(Op::Lt),
+            '>' => Tok::Op(Op::Gt),
+            '=' => Tok::Assign,
+            '(' => Tok::LParen,
+            ')' => Tok::RParen,
+            ',' => Tok::Comma,
+            ':' => Tok::Colon,
+            '%' => Tok::Percent,
+            other => {
+                return Err(ParseError::new(
+                    line,
+                    format!("unexpected character '{other}'"),
+                ))
+            }
+        };
+        toks.push(tok1);
+        i += 1;
+    }
+    Ok(groups)
+}
+
+/// Lexes a numeric literal starting at `i`. Handles `123`, `1.5`, `1.`,
+/// `.5` (caller guarantees a digit follows the dot), `1e-3`, `8.1328d-3`,
+/// and kind suffixes `_r8`/`_8` (parsed and discarded).
+fn lex_number(chars: &[char], mut i: usize, line: u32) -> Result<(Tok, usize), ParseError> {
+    let start = i;
+    let mut is_real = false;
+    while i < chars.len() && chars[i].is_ascii_digit() {
+        i += 1;
+    }
+    if i < chars.len() && chars[i] == '.' {
+        // Don't swallow dot-operators: `1.eq.2` — dot followed by a letter
+        // that forms a known dot-word is left alone. A digit or exponent
+        // continues the number.
+        let next = chars.get(i + 1);
+        let looks_like_dotop = matches!(next, Some(c) if c.is_ascii_alphabetic())
+            && lex_dot_word(chars, i).is_some();
+        if !looks_like_dotop {
+            is_real = true;
+            i += 1;
+            while i < chars.len() && chars[i].is_ascii_digit() {
+                i += 1;
+            }
+        }
+    }
+    // Exponent: e/d (case-insensitive) with optional sign.
+    if i < chars.len() && matches!(chars[i], 'e' | 'E' | 'd' | 'D') {
+        let mut j = i + 1;
+        if j < chars.len() && (chars[j] == '+' || chars[j] == '-') {
+            j += 1;
+        }
+        if j < chars.len() && chars[j].is_ascii_digit() {
+            is_real = true;
+            i = j;
+            while i < chars.len() && chars[i].is_ascii_digit() {
+                i += 1;
+            }
+        }
+    }
+    let mut text: String = chars[start..i].iter().collect();
+    // Kind suffix `_r8` / `_4`: consume and ignore.
+    if i < chars.len() && chars[i] == '_' {
+        let mut j = i + 1;
+        while j < chars.len() && (chars[j].is_ascii_alphanumeric() || chars[j] == '_') {
+            j += 1;
+        }
+        if j > i + 1 {
+            i = j;
+        }
+    }
+    if is_real {
+        // Fortran 'd' exponent == 'e' for f64 parsing.
+        text = text.replace(['d', 'D'], "e");
+        let v: f64 = text
+            .parse()
+            .map_err(|_| ParseError::new(line, format!("bad real literal '{text}'")))?;
+        Ok((Tok::Real(v), i))
+    } else {
+        let v: i64 = text
+            .parse()
+            .map_err(|_| ParseError::new(line, format!("bad integer literal '{text}'")))?;
+        Ok((Tok::Int(v), i))
+    }
+}
+
+/// Recognizes `.word.` operators/literals at `i` (which points at `.`).
+fn lex_dot_word(chars: &[char], i: usize) -> Option<(Tok, usize)> {
+    let mut j = i + 1;
+    while j < chars.len() && chars[j].is_ascii_alphabetic() {
+        j += 1;
+    }
+    if j >= chars.len() || chars[j] != '.' || j == i + 1 {
+        return None;
+    }
+    let word: String = chars[i + 1..j].iter().collect::<String>().to_lowercase();
+    let tok = match word.as_str() {
+        "and" => Tok::Op(Op::And),
+        "or" => Tok::Op(Op::Or),
+        "not" => Tok::Op(Op::Not),
+        "true" => Tok::True,
+        "false" => Tok::False,
+        "eq" => Tok::Op(Op::Eq),
+        "ne" => Tok::Op(Op::Ne),
+        "lt" => Tok::Op(Op::Lt),
+        "le" => Tok::Op(Op::Le),
+        "gt" => Tok::Op(Op::Gt),
+        "ge" => Tok::Op(Op::Ge),
+        _ => return None,
+    };
+    Some((tok, j + 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        let (lines, errs) = lex(src);
+        assert!(errs.is_empty(), "lex errors: {errs:?}");
+        assert_eq!(lines.len(), 1, "expected one logical line: {lines:?}");
+        lines.into_iter().next().unwrap().tokens
+    }
+
+    #[test]
+    fn identifiers_lowercased() {
+        assert_eq!(
+            toks("Wsub = DUM"),
+            vec![
+                Tok::Ident("wsub".into()),
+                Tok::Assign,
+                Tok::Ident("dum".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn numeric_literals() {
+        assert_eq!(toks("x = 42")[2], Tok::Int(42));
+        assert_eq!(toks("x = 0.20")[2], Tok::Real(0.20));
+        assert_eq!(toks("x = 8.1328e-3")[2], Tok::Real(8.1328e-3));
+        assert_eq!(toks("x = 1.5d0")[2], Tok::Real(1.5));
+        assert_eq!(toks("x = 2.0_r8")[2], Tok::Real(2.0));
+        assert_eq!(toks("x = 1.")[2], Tok::Real(1.0));
+        assert_eq!(toks("x = .5")[2], Tok::Real(0.5));
+    }
+
+    #[test]
+    fn goffgratch_coefficient_survives() {
+        // The exact literal from the GOFFGRATCH bug (§6.3).
+        assert_eq!(toks("c = 8.1328e-3")[2], Tok::Real(8.1328e-3));
+        assert_eq!(toks("c = 8.1828e-3")[2], Tok::Real(8.1828e-3));
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        assert_eq!(toks("s = 'FLWDS'")[2], Tok::Str("FLWDS".into()));
+        assert_eq!(toks("s = 'don''t'")[2], Tok::Str("don't".into()));
+        assert_eq!(toks("s = \"x\"")[2], Tok::Str("x".into()));
+    }
+
+    #[test]
+    fn comments_stripped_but_not_in_strings() {
+        assert_eq!(toks("x = 1 ! set x").len(), 3);
+        assert_eq!(toks("s = 'a!b'")[2], Tok::Str("a!b".into()));
+    }
+
+    #[test]
+    fn continuation_lines_joined() {
+        let (lines, errs) = lex("x = a + &\n    b");
+        assert!(errs.is_empty());
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0].tokens.len(), 5);
+        assert_eq!(lines[0].line, 1);
+    }
+
+    #[test]
+    fn continuation_with_leading_ampersand() {
+        let (lines, _) = lex("call foo(a, &\n  & b)");
+        assert_eq!(lines.len(), 1);
+        assert_eq!(
+            lines[0].tokens,
+            vec![
+                Tok::Ident("call".into()),
+                Tok::Ident("foo".into()),
+                Tok::LParen,
+                Tok::Ident("a".into()),
+                Tok::Comma,
+                Tok::Ident("b".into()),
+                Tok::RParen
+            ]
+        );
+    }
+
+    #[test]
+    fn very_long_statement() {
+        // CESM contains a 3500-character statement (§4.2); build a long sum
+        // across many continuations and check it survives.
+        let mut src = String::from("total = x0");
+        for i in 1..200 {
+            src.push_str(&format!(" + &\n x{i}"));
+        }
+        let (lines, errs) = lex(&src);
+        assert!(errs.is_empty());
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0].tokens.len(), 2 + 200 + 199);
+    }
+
+    #[test]
+    fn dot_operators() {
+        let t = toks("ok = a .and. b .or. .not. c");
+        assert!(t.contains(&Tok::Op(Op::And)));
+        assert!(t.contains(&Tok::Op(Op::Or)));
+        assert!(t.contains(&Tok::Op(Op::Not)));
+        let t = toks("ok = a .lt. b");
+        assert!(t.contains(&Tok::Op(Op::Lt)));
+        assert_eq!(toks("ok = .true.")[2], Tok::True);
+    }
+
+    #[test]
+    fn two_char_operators() {
+        let t = toks("y = a**2 + s // t");
+        assert!(t.contains(&Tok::Op(Op::Pow)));
+        assert!(t.contains(&Tok::Op(Op::Concat)));
+        let t = toks("ok = a /= b");
+        assert!(t.contains(&Tok::Op(Op::Ne)));
+        let t = toks("use m, only: a => b");
+        assert!(t.contains(&Tok::Arrow));
+    }
+
+    #[test]
+    fn declarations_tokens() {
+        let t = toks("real(r8), dimension(pcols) :: wsub");
+        assert!(t.contains(&Tok::DoubleColon));
+        assert!(t.contains(&Tok::Ident("dimension".into())));
+    }
+
+    #[test]
+    fn percent_for_derived_types() {
+        let t = toks("w = state%omega");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Ident("w".into()),
+                Tok::Assign,
+                Tok::Ident("state".into()),
+                Tok::Percent,
+                Tok::Ident("omega".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn semicolons_split_statements() {
+        let (lines, _) = lex("a = 1; b = 2");
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].line, 1);
+        assert_eq!(lines[1].line, 1);
+    }
+
+    #[test]
+    fn blank_and_comment_only_lines_skipped() {
+        let (lines, _) = lex("\n! header comment\n\n  x = 1\n");
+        assert_eq!(lines.len(), 1);
+        assert_eq!(lines[0].line, 4);
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        let (_, errs) = lex("s = 'oops");
+        assert_eq!(errs.len(), 1);
+        assert!(errs[0].message.contains("unterminated"));
+    }
+
+    #[test]
+    fn number_then_dot_operator() {
+        let t = toks("ok = 1.eq.n");
+        assert_eq!(t[2], Tok::Int(1));
+        assert_eq!(t[3], Tok::Op(Op::Eq));
+    }
+}

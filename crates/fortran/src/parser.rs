@@ -1,0 +1,1364 @@
+//! Recursive-descent parser for the Fortran-90 subset.
+//!
+//! The grammar is line-oriented (Fortran statements are logical lines), so
+//! the parser walks the lexer's [`LogicalLine`]s with a block-structure
+//! stack for `module`/`contains`/`if`/`do`. Error recovery is per
+//! statement: a malformed line is recorded and skipped, matching the
+//! paper's tolerance ("all but 10 assignment statements" parse, §4.2).
+
+use crate::ast::*;
+use crate::error::ParseError;
+use crate::lexer::lex;
+use crate::token::{LogicalLine, Op, Tok};
+
+/// Parses a source file. Always returns the best-effort AST plus all
+/// diagnostics encountered.
+pub fn parse_source(path: &str, text: &str) -> (SourceFile, Vec<ParseError>) {
+    let (lines, mut errors) = lex(text);
+    let mut parser = Parser {
+        lines,
+        pos: 0,
+        errors: Vec::new(),
+    };
+    let modules = parser.parse_modules();
+    errors.append(&mut parser.errors);
+    (
+        SourceFile {
+            path: path.to_string(),
+            modules,
+        },
+        errors,
+    )
+}
+
+struct Parser {
+    lines: Vec<LogicalLine>,
+    pos: usize,
+    errors: Vec<ParseError>,
+}
+
+/// Cursor over one statement's tokens.
+struct Cur<'a> {
+    toks: &'a [Tok],
+    i: usize,
+    line: u32,
+}
+
+impl<'a> Cur<'a> {
+    fn new(l: &'a LogicalLine) -> Self {
+        Cur {
+            toks: &l.tokens,
+            i: 0,
+            line: l.line,
+        }
+    }
+
+    fn peek(&self) -> Option<&'a Tok> {
+        self.toks.get(self.i)
+    }
+
+    fn next(&mut self) -> Option<&'a Tok> {
+        let t = self.toks.get(self.i);
+        self.i += 1;
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.i >= self.toks.len()
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if matches!(self.peek(), Some(t) if t.is_ident(word)) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if self.peek() == Some(tok) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: &Tok, what: &str) -> Result<(), ParseError> {
+        if self.eat(tok) {
+            Ok(())
+        } else {
+            Err(ParseError::new(
+                self.line,
+                format!("expected {what}, found {:?}", self.peek()),
+            ))
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s.clone()),
+            other => Err(ParseError::new(
+                self.line,
+                format!("expected {what}, found {other:?}"),
+            )),
+        }
+    }
+}
+
+/// Identifier spellings of declaration type keywords.
+fn is_type_keyword(word: &str) -> bool {
+    matches!(word, "real" | "integer" | "logical" | "character" | "type")
+}
+
+impl Parser {
+    fn peek_line(&self) -> Option<&LogicalLine> {
+        self.lines.get(self.pos)
+    }
+
+    fn advance(&mut self) {
+        self.pos += 1;
+    }
+
+    fn record(&mut self, e: ParseError) {
+        self.errors.push(e);
+    }
+
+    /// First-token spelling of the current line, lowercased.
+    fn head(&self) -> Option<&str> {
+        match self.peek_line()?.tokens.first()? {
+            Tok::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether the current line is `end <word>` / `end<word>` / bare `end`.
+    fn is_end_of(&self, word: &str) -> bool {
+        let Some(line) = self.peek_line() else {
+            return false;
+        };
+        match line.tokens.first() {
+            Some(Tok::Ident(h)) if h == "end" => match line.tokens.get(1) {
+                None => true,
+                Some(Tok::Ident(w)) => w == word,
+                _ => false,
+            },
+            Some(Tok::Ident(h)) => h == &format!("end{word}"),
+            _ => false,
+        }
+    }
+
+    fn parse_modules(&mut self) -> Vec<Module> {
+        let mut modules = Vec::new();
+        while let Some(line) = self.peek_line() {
+            let lineno = line.line;
+            if self.head() == Some("module")
+                && !matches!(line.tokens.get(1), Some(Tok::Ident(w)) if w == "procedure")
+            {
+                match self.parse_module() {
+                    Ok(m) => modules.push(m),
+                    Err(e) => {
+                        self.record(e);
+                        self.advance();
+                    }
+                }
+            } else {
+                self.record(ParseError::new(
+                    lineno,
+                    format!("expected 'module', found {:?}", line.tokens.first()),
+                ));
+                self.advance();
+            }
+        }
+        modules
+    }
+
+    fn parse_module(&mut self) -> Result<Module, ParseError> {
+        let line = self.peek_line().expect("caller checked").clone();
+        let mut cur = Cur::new(&line);
+        cur.eat_ident("module");
+        let name = cur.expect_ident("module name")?;
+        self.advance();
+
+        let mut module = Module {
+            name,
+            uses: Vec::new(),
+            types: Vec::new(),
+            decls: Vec::new(),
+            interfaces: Vec::new(),
+            subprograms: Vec::new(),
+            line: line.line,
+        };
+
+        // Specification part.
+        loop {
+            let Some(l) = self.peek_line() else {
+                return Err(ParseError::new(line.line, "unterminated module"));
+            };
+            let lineno = l.line;
+            if self.is_end_of("module") {
+                self.advance();
+                return Ok(module);
+            }
+            match self.head() {
+                Some("contains") => {
+                    self.advance();
+                    break;
+                }
+                Some("use") => {
+                    let l = self.peek_line().unwrap().clone();
+                    match parse_use(&l) {
+                        Ok(u) => module.uses.push(u),
+                        Err(e) => self.record(e),
+                    }
+                    self.advance();
+                }
+                Some("implicit") | Some("save") | Some("public") | Some("private") => {
+                    // Visibility statements noted but not modeled per-name;
+                    // the metagraph exports all module variables.
+                    self.advance();
+                }
+                Some("interface") => match self.parse_interface() {
+                    Ok(i) => module.interfaces.push(i),
+                    Err(e) => {
+                        self.record(e);
+                        self.advance();
+                    }
+                },
+                Some("type")
+                    if !matches!(
+                        self.peek_line().unwrap().tokens.get(1),
+                        Some(Tok::LParen)
+                    ) =>
+                {
+                    match self.parse_derived_type() {
+                        Ok(t) => module.types.push(t),
+                        Err(e) => {
+                            self.record(e);
+                            self.advance();
+                        }
+                    }
+                }
+                Some(w) if is_type_keyword(w) => {
+                    let l = self.peek_line().unwrap().clone();
+                    match parse_declaration(&l) {
+                        Ok(d) => module.decls.push(d),
+                        Err(e) => self.record(e),
+                    }
+                    self.advance();
+                }
+                _ => {
+                    self.record(ParseError::new(
+                        lineno,
+                        "unrecognized statement in module specification part",
+                    ));
+                    self.advance();
+                }
+            }
+        }
+
+        // Subprogram part.
+        loop {
+            let Some(_) = self.peek_line() else {
+                return Err(ParseError::new(line.line, "unterminated module"));
+            };
+            if self.is_end_of("module") {
+                self.advance();
+                return Ok(module);
+            }
+            match self.parse_subprogram() {
+                Ok(s) => module.subprograms.push(s),
+                Err(e) => {
+                    self.record(e);
+                    self.advance();
+                }
+            }
+        }
+    }
+
+    fn parse_interface(&mut self) -> Result<Interface, ParseError> {
+        let line = self.peek_line().unwrap().clone();
+        let mut cur = Cur::new(&line);
+        cur.eat_ident("interface");
+        let name = cur.expect_ident("interface name")?;
+        self.advance();
+        let mut procedures = Vec::new();
+        loop {
+            let Some(l) = self.peek_line() else {
+                return Err(ParseError::new(line.line, "unterminated interface"));
+            };
+            if self.is_end_of("interface") {
+                // `end interface [name]`
+                self.advance();
+                return Ok(Interface {
+                    name,
+                    procedures,
+                    line: line.line,
+                });
+            }
+            let l = l.clone();
+            let mut cur = Cur::new(&l);
+            if cur.eat_ident("module") && cur.eat_ident("procedure") {
+                loop {
+                    let p = cur.expect_ident("procedure name")?;
+                    procedures.push(p);
+                    if !cur.eat(&Tok::Comma) {
+                        break;
+                    }
+                }
+            } else {
+                self.record(ParseError::new(
+                    l.line,
+                    "only 'module procedure' lists are supported in interfaces",
+                ));
+            }
+            self.advance();
+        }
+    }
+
+    fn parse_derived_type(&mut self) -> Result<DerivedType, ParseError> {
+        let line = self.peek_line().unwrap().clone();
+        let mut cur = Cur::new(&line);
+        cur.eat_ident("type");
+        cur.eat(&Tok::DoubleColon);
+        let name = cur.expect_ident("type name")?;
+        self.advance();
+        let mut fields = Vec::new();
+        loop {
+            let Some(l) = self.peek_line() else {
+                return Err(ParseError::new(line.line, "unterminated type definition"));
+            };
+            if self.is_end_of("type") {
+                self.advance();
+                return Ok(DerivedType {
+                    name,
+                    fields,
+                    line: line.line,
+                });
+            }
+            let l = l.clone();
+            match parse_declaration(&l) {
+                Ok(d) => fields.push(d),
+                Err(e) => self.record(e),
+            }
+            self.advance();
+        }
+    }
+
+    fn parse_subprogram(&mut self) -> Result<Subprogram, ParseError> {
+        let header = self.peek_line().unwrap().clone();
+        let mut cur = Cur::new(&header);
+        let mut elemental = false;
+        let mut pure = false;
+        let mut kind_word: Option<String> = None;
+        // Prefix: elemental/pure/recursive/type-spec, then
+        // subroutine|function.
+        while let Some(tok) = cur.peek() {
+            match tok {
+                Tok::Ident(w) if w == "elemental" => {
+                    elemental = true;
+                    cur.next();
+                }
+                Tok::Ident(w) if w == "pure" => {
+                    pure = true;
+                    cur.next();
+                }
+                Tok::Ident(w) if w == "recursive" => {
+                    cur.next();
+                }
+                Tok::Ident(w) if is_type_keyword(w) => {
+                    cur.next();
+                    skip_paren_group(&mut cur);
+                }
+                Tok::Ident(w) if w == "subroutine" || w == "function" => {
+                    kind_word = Some(w.clone());
+                    cur.next();
+                    break;
+                }
+                other => {
+                    return Err(ParseError::new(
+                        header.line,
+                        format!("expected subprogram header, found {other:?}"),
+                    ))
+                }
+            }
+        }
+        let Some(kind_word) = kind_word else {
+            return Err(ParseError::new(header.line, "missing subroutine/function"));
+        };
+        let name = cur.expect_ident("subprogram name")?;
+        let mut args = Vec::new();
+        if cur.eat(&Tok::LParen) {
+            while !cur.eat(&Tok::RParen) {
+                let a = cur.expect_ident("dummy argument")?;
+                args.push(a);
+                cur.eat(&Tok::Comma);
+            }
+        }
+        let mut result = name.clone();
+        if cur.eat_ident("result") {
+            cur.expect(&Tok::LParen, "'('")?;
+            result = cur.expect_ident("result name")?;
+            cur.expect(&Tok::RParen, "')'")?;
+        }
+        let kind = if kind_word == "subroutine" {
+            SubprogramKind::Subroutine
+        } else {
+            SubprogramKind::Function { result }
+        };
+        self.advance();
+
+        let mut sub = Subprogram {
+            kind,
+            name,
+            elemental,
+            pure,
+            args,
+            uses: Vec::new(),
+            decls: Vec::new(),
+            body: Vec::new(),
+            line: header.line,
+        };
+        let end_word = kind_word.as_str();
+
+        // Specification + execution part (declarations must precede
+        // executables; we accept interleaving for robustness).
+        loop {
+            let Some(l) = self.peek_line() else {
+                return Err(ParseError::new(header.line, "unterminated subprogram"));
+            };
+            if self.is_end_of(end_word) {
+                self.advance();
+                return Ok(sub);
+            }
+            match self.head() {
+                Some("use") => {
+                    let l = l.clone();
+                    match parse_use(&l) {
+                        Ok(u) => sub.uses.push(u),
+                        Err(e) => self.record(e),
+                    }
+                    self.advance();
+                }
+                Some("implicit") | Some("save") => {
+                    self.advance();
+                }
+                Some(w)
+                    if is_type_keyword(w)
+                        && line_is_declaration(l) =>
+                {
+                    let l = l.clone();
+                    match parse_declaration(&l) {
+                        Ok(d) => sub.decls.push(d),
+                        Err(e) => self.record(e),
+                    }
+                    self.advance();
+                }
+                _ => match self.parse_stmt() {
+                    Ok(Some(s)) => sub.body.push(s),
+                    Ok(None) => {}
+                    Err(e) => {
+                        self.record(e);
+                        self.advance();
+                    }
+                },
+            }
+        }
+    }
+
+    /// Parses one executable statement (possibly a whole if/do block).
+    /// Returns `Ok(None)` for ignorable lines.
+    fn parse_stmt(&mut self) -> Result<Option<Stmt>, ParseError> {
+        let line = self.peek_line().expect("caller checked").clone();
+        let lineno = line.line;
+        let mut cur = Cur::new(&line);
+        match cur.peek() {
+            Some(Tok::Ident(w)) if w == "if" => {
+                // Distinguish one-line `if (c) stmt` from `if (c) then`.
+                let is_block = line
+                    .tokens
+                    .last()
+                    .map(|t| t.is_ident("then"))
+                    .unwrap_or(false);
+                if is_block {
+                    return self.parse_if_block().map(Some);
+                }
+                cur.next();
+                cur.expect(&Tok::LParen, "'(' after if")?;
+                let cond = parse_expr_until_rparen(&mut cur)?;
+                // Rest of line is the consequent statement.
+                let inner = parse_simple_stmt(&mut cur)?;
+                self.advance();
+                return Ok(Some(Stmt::If {
+                    arms: vec![(Some(cond), vec![inner])],
+                    line: lineno,
+                }));
+            }
+            Some(Tok::Ident(w)) if w == "do" => {
+                return self.parse_do().map(Some);
+            }
+            Some(Tok::Ident(w)) if w == "return" => {
+                self.advance();
+                return Ok(Some(Stmt::Return { line: lineno }));
+            }
+            Some(Tok::Ident(w)) if w == "exit" => {
+                self.advance();
+                return Ok(Some(Stmt::Exit { line: lineno }));
+            }
+            Some(Tok::Ident(w)) if w == "cycle" => {
+                self.advance();
+                return Ok(Some(Stmt::Cycle { line: lineno }));
+            }
+            Some(Tok::Ident(w)) if w == "continue" => {
+                self.advance();
+                return Ok(None);
+            }
+            _ => {}
+        }
+        let stmt = parse_simple_stmt(&mut cur)?;
+        if !cur.at_end() {
+            return Err(ParseError::new(
+                lineno,
+                format!("trailing tokens after statement: {:?}", cur.peek()),
+            ));
+        }
+        self.advance();
+        Ok(Some(stmt))
+    }
+
+    fn parse_if_block(&mut self) -> Result<Stmt, ParseError> {
+        let header = self.peek_line().unwrap().clone();
+        let mut cur = Cur::new(&header);
+        cur.eat_ident("if");
+        cur.expect(&Tok::LParen, "'(' after if")?;
+        let cond = parse_expr_until_rparen(&mut cur)?;
+        if !cur.eat_ident("then") {
+            return Err(ParseError::new(header.line, "expected 'then'"));
+        }
+        self.advance();
+
+        let mut arms: Vec<(Option<Expr>, Vec<Stmt>)> = vec![(Some(cond), Vec::new())];
+        loop {
+            let Some(l) = self.peek_line() else {
+                return Err(ParseError::new(header.line, "unterminated if block"));
+            };
+            if self.is_end_of("if") {
+                self.advance();
+                return Ok(Stmt::If {
+                    arms,
+                    line: header.line,
+                });
+            }
+            let head = self.head().map(str::to_string);
+            let second_is_if = matches!(l.tokens.get(1), Some(Tok::Ident(w)) if w == "if");
+            match head.as_deref() {
+                Some("elseif") | Some("else") if head.as_deref() == Some("elseif") || second_is_if => {
+                    let l = l.clone();
+                    let mut cur = Cur::new(&l);
+                    cur.next(); // else / elseif
+                    if head.as_deref() == Some("else") {
+                        cur.next(); // if
+                    }
+                    cur.expect(&Tok::LParen, "'(' after else if")?;
+                    let c = parse_expr_until_rparen(&mut cur)?;
+                    if !cur.eat_ident("then") {
+                        return Err(ParseError::new(l.line, "expected 'then'"));
+                    }
+                    arms.push((Some(c), Vec::new()));
+                    self.advance();
+                }
+                Some("else") => {
+                    arms.push((None, Vec::new()));
+                    self.advance();
+                }
+                _ => match self.parse_stmt()? {
+                    Some(s) => arms.last_mut().expect("arm exists").1.push(s),
+                    None => {}
+                },
+            }
+        }
+    }
+
+    fn parse_do(&mut self) -> Result<Stmt, ParseError> {
+        let header = self.peek_line().unwrap().clone();
+        let mut cur = Cur::new(&header);
+        cur.eat_ident("do");
+        if cur.eat_ident("while") {
+            cur.expect(&Tok::LParen, "'(' after do while")?;
+            let cond = parse_expr_until_rparen(&mut cur)?;
+            self.advance();
+            let body = self.parse_do_body(header.line)?;
+            return Ok(Stmt::DoWhile {
+                cond,
+                body,
+                line: header.line,
+            });
+        }
+        let var = cur.expect_ident("loop variable")?;
+        cur.expect(&Tok::Assign, "'='")?;
+        let start = parse_expr_prec(&mut cur, 0)?;
+        cur.expect(&Tok::Comma, "','")?;
+        let end = parse_expr_prec(&mut cur, 0)?;
+        let step = if cur.eat(&Tok::Comma) {
+            Some(parse_expr_prec(&mut cur, 0)?)
+        } else {
+            None
+        };
+        self.advance();
+        let body = self.parse_do_body(header.line)?;
+        Ok(Stmt::Do {
+            var,
+            start,
+            end,
+            step,
+            body,
+            line: header.line,
+        })
+    }
+
+    fn parse_do_body(&mut self, start_line: u32) -> Result<Vec<Stmt>, ParseError> {
+        let mut body = Vec::new();
+        loop {
+            let Some(_) = self.peek_line() else {
+                return Err(ParseError::new(start_line, "unterminated do loop"));
+            };
+            if self.is_end_of("do") {
+                self.advance();
+                return Ok(body);
+            }
+            if let Some(s) = self.parse_stmt()? {
+                body.push(s);
+            }
+        }
+    }
+}
+
+/// Whether the line looks like a declaration (`type-keyword ... ::` or the
+/// classic `type-keyword name` without `::` is not emitted by our model).
+fn line_is_declaration(l: &LogicalLine) -> bool {
+    l.tokens.contains(&Tok::DoubleColon)
+}
+
+/// `use module [, only: a [=> b], ...]`.
+fn parse_use(l: &LogicalLine) -> Result<UseStmt, ParseError> {
+    let mut cur = Cur::new(l);
+    cur.eat_ident("use");
+    let module = cur.expect_ident("module name")?;
+    let mut only = None;
+    if cur.eat(&Tok::Comma) {
+        if !cur.eat_ident("only") {
+            return Err(ParseError::new(l.line, "expected 'only' after ','"));
+        }
+        cur.expect(&Tok::Colon, "':'")?;
+        let mut list = Vec::new();
+        while let Some(Tok::Ident(_)) = cur.peek() {
+            let local = cur.expect_ident("imported name")?;
+            let remote = if cur.eat(&Tok::Arrow) {
+                cur.expect_ident("renamed target")?
+            } else {
+                local.clone()
+            };
+            list.push((local, remote));
+            if !cur.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        only = Some(list);
+    }
+    Ok(UseStmt {
+        module,
+        only,
+        line: l.line,
+    })
+}
+
+/// Skips a balanced `( ... )` group if one starts at the cursor.
+fn skip_paren_group(cur: &mut Cur) {
+    if !cur.eat(&Tok::LParen) {
+        return;
+    }
+    let mut depth = 1usize;
+    while depth > 0 {
+        match cur.next() {
+            Some(Tok::LParen) => depth += 1,
+            Some(Tok::RParen) => depth -= 1,
+            Some(_) => {}
+            None => return,
+        }
+    }
+}
+
+/// Collects the tokens of a balanced paren group (cursor after `(`) into an
+/// expression list; used for `dimension(...)` shapes.
+fn parse_paren_expr_list(cur: &mut Cur) -> Result<Vec<Expr>, ParseError> {
+    let mut exprs = Vec::new();
+    loop {
+        if cur.eat(&Tok::RParen) {
+            return Ok(exprs);
+        }
+        exprs.push(parse_arg(cur)?);
+        if !cur.eat(&Tok::Comma) {
+            cur.expect(&Tok::RParen, "')' after list")?;
+            return Ok(exprs);
+        }
+    }
+}
+
+/// Parses a declaration statement.
+pub(crate) fn parse_declaration(l: &LogicalLine) -> Result<Declaration, ParseError> {
+    let mut cur = Cur::new(l);
+    let type_word = cur.expect_ident("type keyword")?;
+    let base = match type_word.as_str() {
+        "real" => {
+            skip_paren_group(&mut cur);
+            BaseType::Real
+        }
+        "integer" => {
+            skip_paren_group(&mut cur);
+            BaseType::Integer
+        }
+        "logical" => {
+            skip_paren_group(&mut cur);
+            BaseType::Logical
+        }
+        "character" => {
+            skip_paren_group(&mut cur);
+            BaseType::Character
+        }
+        "type" => {
+            cur.expect(&Tok::LParen, "'(' after type")?;
+            let name = cur.expect_ident("derived type name")?;
+            cur.expect(&Tok::RParen, "')'")?;
+            BaseType::Derived(name)
+        }
+        other => {
+            return Err(ParseError::new(
+                l.line,
+                format!("unknown type keyword '{other}'"),
+            ))
+        }
+    };
+
+    let mut attrs = Vec::new();
+    let mut dims = None;
+    while cur.eat(&Tok::Comma) {
+        let attr = cur.expect_ident("attribute")?;
+        match attr.as_str() {
+            "parameter" => attrs.push(Attr::Parameter),
+            "pointer" => attrs.push(Attr::Pointer),
+            "public" => attrs.push(Attr::Public),
+            "private" => attrs.push(Attr::Private),
+            "allocatable" => attrs.push(Attr::Allocatable),
+            "save" => attrs.push(Attr::Save),
+            "target" | "optional" => {}
+            "intent" => {
+                cur.expect(&Tok::LParen, "'(' after intent")?;
+                let which = cur.expect_ident("intent kind")?;
+                // `intent(in out)` spelled as two idents also appears.
+                let mut kind = which;
+                if let Some(Tok::Ident(w)) = cur.peek() {
+                    if w == "out" {
+                        kind = "inout".to_string();
+                        cur.next();
+                    }
+                }
+                cur.expect(&Tok::RParen, "')'")?;
+                attrs.push(match kind.as_str() {
+                    "in" => Attr::IntentIn,
+                    "out" => Attr::IntentOut,
+                    "inout" => Attr::IntentInOut,
+                    other => {
+                        return Err(ParseError::new(
+                            l.line,
+                            format!("bad intent '{other}'"),
+                        ))
+                    }
+                });
+            }
+            "dimension" => {
+                cur.expect(&Tok::LParen, "'(' after dimension")?;
+                dims = Some(parse_paren_expr_list(&mut cur)?);
+                attrs.push(Attr::Dimension);
+            }
+            other => {
+                return Err(ParseError::new(
+                    l.line,
+                    format!("unknown attribute '{other}'"),
+                ))
+            }
+        }
+    }
+    cur.expect(&Tok::DoubleColon, "'::'")?;
+
+    let mut entities = Vec::new();
+    loop {
+        let name = cur.expect_ident("entity name")?;
+        let shape = if cur.eat(&Tok::LParen) {
+            Some(parse_paren_expr_list(&mut cur)?)
+        } else {
+            None
+        };
+        let init = if cur.eat(&Tok::Assign) {
+            Some(parse_expr_prec(&mut cur, 0)?)
+        } else {
+            None
+        };
+        entities.push(DeclEntity { name, shape, init });
+        if !cur.eat(&Tok::Comma) {
+            break;
+        }
+    }
+    if !cur.at_end() {
+        return Err(ParseError::new(
+            l.line,
+            format!("trailing tokens in declaration: {:?}", cur.peek()),
+        ));
+    }
+    Ok(Declaration {
+        base,
+        attrs,
+        dims,
+        entities,
+        line: l.line,
+    })
+}
+
+/// Parses an assignment or call statement from the cursor position.
+fn parse_simple_stmt(cur: &mut Cur) -> Result<Stmt, ParseError> {
+    let lineno = cur.line;
+    match cur.peek() {
+        Some(Tok::Ident(w)) if w == "call" => {
+            cur.next();
+            let name = cur.expect_ident("subroutine name")?;
+            let mut args = Vec::new();
+            if cur.eat(&Tok::LParen) {
+                args = parse_paren_expr_list(cur)?;
+            }
+            Ok(Stmt::Call {
+                name,
+                args,
+                line: lineno,
+            })
+        }
+        Some(Tok::Ident(w)) if w == "return" => {
+            cur.next();
+            Ok(Stmt::Return { line: lineno })
+        }
+        Some(Tok::Ident(w)) if w == "exit" => {
+            cur.next();
+            Ok(Stmt::Exit { line: lineno })
+        }
+        Some(Tok::Ident(w)) if w == "cycle" => {
+            cur.next();
+            Ok(Stmt::Cycle { line: lineno })
+        }
+        Some(Tok::Ident(_)) => {
+            let target = parse_designator(cur)?;
+            // Pointer assignment `p => x` is treated as a normal assignment
+            // ("pointers are treated as normal variables", §4.2).
+            if !(cur.eat(&Tok::Assign) || cur.eat(&Tok::Arrow)) {
+                return Err(ParseError::new(
+                    lineno,
+                    "expected '=' in assignment statement",
+                ));
+            }
+            let value = parse_expr_prec(cur, 0)?;
+            Ok(Stmt::Assign {
+                target,
+                value,
+                line: lineno,
+            })
+        }
+        other => Err(ParseError::new(
+            lineno,
+            format!("cannot parse statement starting with {other:?}"),
+        )),
+    }
+}
+
+/// Parses a designator: `name [ (subs) ] [ % field [ (subs) ] ]*`.
+fn parse_designator(cur: &mut Cur) -> Result<Expr, ParseError> {
+    let name = cur.expect_ident("variable name")?;
+    let mut expr = if cur.eat(&Tok::LParen) {
+        let args = parse_paren_expr_list(cur)?;
+        Expr::CallOrIndex { name, args }
+    } else {
+        Expr::Var(name)
+    };
+    while cur.eat(&Tok::Percent) {
+        let field = cur.expect_ident("component name")?;
+        let subs = if cur.eat(&Tok::LParen) {
+            parse_paren_expr_list(cur)?
+        } else {
+            Vec::new()
+        };
+        expr = Expr::DerivedRef {
+            base: Box::new(expr),
+            field,
+            subs,
+        };
+    }
+    Ok(expr)
+}
+
+/// Argument inside a paren list: plain expression or array section
+/// `lo:hi`/`:`/`lo:`/`:hi`.
+fn parse_arg(cur: &mut Cur) -> Result<Expr, ParseError> {
+    // Leading ':' — section with no lower bound.
+    if cur.eat(&Tok::Colon) {
+        let hi = if matches!(cur.peek(), Some(Tok::Comma) | Some(Tok::RParen)) {
+            None
+        } else {
+            Some(Box::new(parse_expr_prec(cur, 0)?))
+        };
+        return Ok(Expr::Range { lo: None, hi });
+    }
+    let e = parse_expr_prec(cur, 0)?;
+    if cur.eat(&Tok::Colon) {
+        let hi = if matches!(cur.peek(), Some(Tok::Comma) | Some(Tok::RParen)) {
+            None
+        } else {
+            Some(Box::new(parse_expr_prec(cur, 0)?))
+        };
+        return Ok(Expr::Range {
+            lo: Some(Box::new(e)),
+            hi,
+        });
+    }
+    Ok(e)
+}
+
+/// Parses an expression and consumes the terminating `)` (used where a
+/// condition is wrapped in parens — `if (...)`, `do while (...)`).
+fn parse_expr_until_rparen(cur: &mut Cur) -> Result<Expr, ParseError> {
+    let e = parse_expr_prec(cur, 0)?;
+    cur.expect(&Tok::RParen, "')'")?;
+    Ok(e)
+}
+
+/// Binding powers (higher binds tighter). Fortran precedence:
+/// `**` > `*``/` > unary `±` > binary `±` > `//` > comparisons > `.not.`
+/// > `.and.` > `.or.`.
+fn bin_power(op: Op) -> Option<(u8, u8)> {
+    Some(match op {
+        Op::Or => (1, 2),
+        Op::And => (3, 4),
+        Op::Eq | Op::Ne | Op::Lt | Op::Le | Op::Gt | Op::Ge => (6, 7),
+        Op::Concat => (8, 9),
+        Op::Add | Op::Sub => (10, 11),
+        Op::Mul | Op::Div => (12, 13),
+        Op::Pow => (15, 14), // right-associative
+        Op::Not => return None,
+    })
+}
+
+/// Pratt expression parser.
+fn parse_expr_prec(cur: &mut Cur, min_bp: u8) -> Result<Expr, ParseError> {
+    let mut lhs = match cur.peek() {
+        Some(Tok::Op(Op::Sub)) => {
+            cur.next();
+            // Unary minus binds tighter than binary +- but looser than **:
+            // -a**2 == -(a**2).
+            let e = parse_expr_prec(cur, 12)?;
+            Expr::Unary {
+                op: Op::Sub,
+                expr: Box::new(e),
+            }
+        }
+        Some(Tok::Op(Op::Add)) => {
+            cur.next();
+            parse_expr_prec(cur, 12)?
+        }
+        Some(Tok::Op(Op::Not)) => {
+            cur.next();
+            let e = parse_expr_prec(cur, 5)?;
+            Expr::Unary {
+                op: Op::Not,
+                expr: Box::new(e),
+            }
+        }
+        Some(Tok::LParen) => {
+            cur.next();
+            parse_expr_until_rparen(cur)?
+        }
+        Some(Tok::Int(v)) => {
+            let v = *v;
+            cur.next();
+            Expr::Int(v)
+        }
+        Some(Tok::Real(v)) => {
+            let v = *v;
+            cur.next();
+            Expr::Real(v)
+        }
+        Some(Tok::Str(s)) => {
+            let s = s.clone();
+            cur.next();
+            Expr::Str(s)
+        }
+        Some(Tok::True) => {
+            cur.next();
+            Expr::Logical(true)
+        }
+        Some(Tok::False) => {
+            cur.next();
+            Expr::Logical(false)
+        }
+        Some(Tok::Ident(_)) => parse_designator(cur)?,
+        other => {
+            return Err(ParseError::new(
+                cur.line,
+                format!("expected expression, found {other:?}"),
+            ))
+        }
+    };
+
+    while let Some(Tok::Op(op)) = cur.peek() {
+        let op = *op;
+        let Some((lbp, rbp)) = bin_power(op) else {
+            break;
+        };
+        if lbp < min_bp {
+            break;
+        }
+        cur.next();
+        let rhs = parse_expr_prec(cur, rbp)?;
+        lhs = Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        };
+    }
+    Ok(lhs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(src: &str) -> SourceFile {
+        let (file, errs) = parse_source("test.F90", src);
+        assert!(errs.is_empty(), "parse errors: {errs:?}");
+        file
+    }
+
+    const MICRO: &str = r#"
+module microp_aero
+  use shr_kind_mod, only: r8 => shr_kind_r8
+  implicit none
+  private
+  real(r8), parameter :: wsubmin = 0.20_r8
+  public :: microp_aero_run
+contains
+  subroutine microp_aero_run(ncol, tke, wsub)
+    integer, intent(in) :: ncol
+    real(r8), intent(in) :: tke(ncol)
+    real(r8), intent(out) :: wsub(ncol)
+    integer :: i
+    do i = 1, ncol
+      wsub(i) = max(0.20_r8 * sqrt(tke(i)), wsubmin)
+    end do
+    call outfld('WSUB', wsub, ncol)
+  end subroutine microp_aero_run
+end module microp_aero
+"#;
+
+    #[test]
+    fn parses_cesm_style_module() {
+        let file = parse_ok(MICRO);
+        assert_eq!(file.modules.len(), 1);
+        let m = &file.modules[0];
+        assert_eq!(m.name, "microp_aero");
+        assert_eq!(m.uses.len(), 1);
+        assert_eq!(
+            m.uses[0].only,
+            Some(vec![("r8".to_string(), "shr_kind_r8".to_string())])
+        );
+        assert_eq!(m.decls.len(), 1);
+        assert!(m.decls[0].is_parameter());
+        assert_eq!(m.subprograms.len(), 1);
+        let s = &m.subprograms[0];
+        assert_eq!(s.args, vec!["ncol", "tke", "wsub"]);
+        assert_eq!(s.body.len(), 2); // do-loop + call
+    }
+
+    #[test]
+    fn do_loop_structure() {
+        let file = parse_ok(MICRO);
+        let body = &file.modules[0].subprograms[0].body;
+        let Stmt::Do { var, body: inner, .. } = &body[0] else {
+            panic!("expected do loop, got {:?}", body[0]);
+        };
+        assert_eq!(var, "i");
+        assert_eq!(inner.len(), 1);
+        let Stmt::Assign { target, value, .. } = &inner[0] else {
+            panic!("expected assignment");
+        };
+        assert_eq!(target.canonical_name(), Some("wsub"));
+        let mut names = Vec::new();
+        value.referenced_names(&mut names);
+        assert!(names.contains(&"max"));
+        assert!(names.contains(&"sqrt"));
+        assert!(names.contains(&"tke"));
+        assert!(names.contains(&"wsubmin"));
+    }
+
+    #[test]
+    fn outfld_call_with_string() {
+        let file = parse_ok(MICRO);
+        let body = &file.modules[0].subprograms[0].body;
+        let Stmt::Call { name, args, .. } = &body[1] else {
+            panic!("expected call");
+        };
+        assert_eq!(name, "outfld");
+        assert_eq!(args[0], Expr::Str("WSUB".into()));
+        assert_eq!(args[1].canonical_name(), Some("wsub"));
+    }
+
+    #[test]
+    fn derived_types_and_percent_refs() {
+        let src = r#"
+module dyn
+  implicit none
+  type physics_state
+    real(r8) :: omega(pcols,pver)
+    real(r8) :: t(pcols,pver)
+  end type physics_state
+contains
+  subroutine compute(state, ie)
+    type(physics_state), intent(inout) :: state
+    integer, intent(in) :: ie
+    state%omega(ie,1) = state%t(ie,1) * 2.0
+  end subroutine compute
+end module dyn
+"#;
+        let file = parse_ok(src);
+        let m = &file.modules[0];
+        assert_eq!(m.types.len(), 1);
+        assert_eq!(m.types[0].fields.len(), 2);
+        let Stmt::Assign { target, value, .. } = &m.subprograms[0].body[0] else {
+            panic!()
+        };
+        assert_eq!(target.canonical_name(), Some("omega"));
+        assert_eq!(value.canonical_name(), None, "binary expr");
+        let mut names = Vec::new();
+        value.referenced_names(&mut names);
+        assert!(names.contains(&"t"));
+    }
+
+    #[test]
+    fn if_elseif_else_blocks() {
+        let src = r#"
+module m
+contains
+  subroutine s(x, y)
+    real(r8) :: x, y
+    if (x > 1.0) then
+      y = 1.0
+    else if (x > 0.0) then
+      y = 2.0
+    else
+      y = 3.0
+    end if
+  end subroutine s
+end module m
+"#;
+        let file = parse_ok(src);
+        let Stmt::If { arms, .. } = &file.modules[0].subprograms[0].body[0] else {
+            panic!()
+        };
+        assert_eq!(arms.len(), 3);
+        assert!(arms[0].0.is_some());
+        assert!(arms[1].0.is_some());
+        assert!(arms[2].0.is_none());
+        assert_eq!(arms[2].1.len(), 1);
+    }
+
+    #[test]
+    fn one_line_if() {
+        let src = "module m\ncontains\nsubroutine s(a, b)\nreal :: a, b\nif (a > 0.0) b = a\nend subroutine s\nend module m\n";
+        let file = parse_ok(src);
+        let Stmt::If { arms, .. } = &file.modules[0].subprograms[0].body[0] else {
+            panic!()
+        };
+        assert_eq!(arms.len(), 1);
+        assert_eq!(arms[0].1.len(), 1);
+    }
+
+    #[test]
+    fn nested_loops_and_while() {
+        let src = r#"
+module m
+contains
+  subroutine s(n)
+    integer :: n, i, k
+    real :: acc
+    acc = 0.0
+    do k = 1, n
+      do i = 1, n, 2
+        acc = acc + 1.0
+        if (acc > 10.0) exit
+      end do
+    end do
+    do while (acc > 0.0)
+      acc = acc - 1.0
+    end do
+  end subroutine s
+end module m
+"#;
+        let file = parse_ok(src);
+        let body = &file.modules[0].subprograms[0].body;
+        assert_eq!(body.len(), 3);
+        let Stmt::Do { step, body: outer, .. } = &body[1] else {
+            panic!()
+        };
+        assert!(step.is_none());
+        let Stmt::Do { step: inner_step, .. } = &outer[0] else {
+            panic!()
+        };
+        assert_eq!(inner_step.as_ref(), Some(&Expr::Int(2)));
+        assert!(matches!(body[2], Stmt::DoWhile { .. }));
+    }
+
+    #[test]
+    fn function_with_result_and_elemental() {
+        let src = r#"
+module wv_saturation
+contains
+  elemental real(r8) function goffgratch(t) result(es)
+    real(r8), intent(in) :: t
+    es = 8.1328e-3 * t
+  end function goffgratch
+end module wv_saturation
+"#;
+        let file = parse_ok(src);
+        let s = &file.modules[0].subprograms[0];
+        assert!(s.elemental);
+        assert_eq!(s.result_name(), Some("es"));
+        let Stmt::Assign { target, value, .. } = &s.body[0] else {
+            panic!()
+        };
+        assert_eq!(target.canonical_name(), Some("es"));
+        let Expr::Binary { lhs, .. } = value else { panic!() };
+        assert_eq!(**lhs, Expr::Real(8.1328e-3));
+    }
+
+    #[test]
+    fn interface_blocks() {
+        let src = r#"
+module m
+  interface qsat
+    module procedure qsat_water
+    module procedure qsat_ice
+  end interface
+contains
+  subroutine qsat_water(t)
+    real :: t
+    t = 1.0
+  end subroutine qsat_water
+  subroutine qsat_ice(t)
+    real :: t
+    t = 2.0
+  end subroutine qsat_ice
+end module m
+"#;
+        let file = parse_ok(src);
+        let m = &file.modules[0];
+        assert_eq!(m.interfaces.len(), 1);
+        assert_eq!(m.interfaces[0].name, "qsat");
+        assert_eq!(m.interfaces[0].procedures, vec!["qsat_water", "qsat_ice"]);
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let src = "module m\ncontains\nsubroutine s(a,b,c,d)\nreal :: a,b,c,d\nd = a + b * c ** 2\nend subroutine s\nend module m\n";
+        let file = parse_ok(src);
+        let Stmt::Assign { value, .. } = &file.modules[0].subprograms[0].body[0] else {
+            panic!()
+        };
+        // a + (b * (c ** 2))
+        let Expr::Binary { op: Op::Add, rhs, .. } = value else {
+            panic!("expected +, got {value:?}")
+        };
+        let Expr::Binary { op: Op::Mul, rhs: pow, .. } = rhs.as_ref() else {
+            panic!("expected *, got {rhs:?}")
+        };
+        assert!(matches!(pow.as_ref(), Expr::Binary { op: Op::Pow, .. }));
+    }
+
+    #[test]
+    fn power_right_associative() {
+        let src = "module m\ncontains\nsubroutine s(a,d)\nreal :: a,d\nd = a ** 2 ** 3\nend subroutine s\nend module m\n";
+        let file = parse_ok(src);
+        let Stmt::Assign { value, .. } = &file.modules[0].subprograms[0].body[0] else {
+            panic!()
+        };
+        // a ** (2 ** 3)
+        let Expr::Binary { op: Op::Pow, lhs, rhs } = value else { panic!() };
+        assert_eq!(**lhs, Expr::Var("a".into()));
+        assert!(matches!(rhs.as_ref(), Expr::Binary { op: Op::Pow, .. }));
+    }
+
+    #[test]
+    fn array_sections_in_calls() {
+        let src = "module m\ncontains\nsubroutine s(q, n)\nreal :: q(10)\ninteger :: n\ncall outfld('Q', q(1:n), n)\nend subroutine s\nend module m\n";
+        let file = parse_ok(src);
+        let Stmt::Call { args, .. } = &file.modules[0].subprograms[0].body[0] else {
+            panic!()
+        };
+        let Expr::CallOrIndex { name, args: subs } = &args[1] else {
+            panic!("expected q(1:n): {:?}", args[1])
+        };
+        assert_eq!(name, "q");
+        assert!(matches!(subs[0], Expr::Range { .. }));
+    }
+
+    #[test]
+    fn error_recovery_continues_parsing() {
+        let src = r#"
+module m
+  real :: ok_var
+  real :: @broken@
+contains
+  subroutine s(x)
+    real :: x
+    x = 1.0
+  end subroutine s
+end module m
+"#;
+        let (file, errs) = parse_source("bad.F90", src);
+        assert!(!errs.is_empty(), "expected diagnostics");
+        assert_eq!(file.modules.len(), 1, "module still parsed");
+        assert_eq!(file.modules[0].subprograms.len(), 1);
+    }
+
+    #[test]
+    fn logical_ops_and_comparisons() {
+        let src = "module m\ncontains\nsubroutine s(a,b,ok)\nreal :: a,b\nlogical :: ok\nok = a > 0.0 .and. .not. (b <= 1.0) .or. a == b\nend subroutine s\nend module m\n";
+        let file = parse_ok(src);
+        let Stmt::Assign { value, .. } = &file.modules[0].subprograms[0].body[0] else {
+            panic!()
+        };
+        // Top-level is .or.
+        assert!(matches!(value, Expr::Binary { op: Op::Or, .. }));
+    }
+
+    #[test]
+    fn multiple_modules_per_file() {
+        let src = "module a\nend module a\nmodule b\nend module b\n";
+        let file = parse_ok(src);
+        assert_eq!(file.modules.len(), 2);
+        assert_eq!(file.modules[1].name, "b");
+    }
+
+    #[test]
+    fn statement_lines_recorded() {
+        let file = parse_ok(MICRO);
+        let m = &file.modules[0];
+        assert_eq!(m.line, 2);
+        assert!(m.subprograms[0].line > m.line);
+        let do_line = m.subprograms[0].body[0].line();
+        assert!(do_line > m.subprograms[0].line);
+    }
+}

@@ -1,0 +1,119 @@
+//! Token definitions for the Fortran-90 subset.
+//!
+//! Fortran has **no reserved words** — `if`, `do`, even `end` are legal
+//! identifiers — so keywords are not distinguished at the token level; the
+//! parser matches identifier spellings in context. Identifiers are
+//! case-normalized to lowercase (Fortran is case-insensitive).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Binary and unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Op {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `**`
+    Pow,
+    /// `//` string concatenation
+    Concat,
+    /// `==` / `.eq.`
+    Eq,
+    /// `/=` / `.ne.`
+    Ne,
+    /// `<` / `.lt.`
+    Lt,
+    /// `<=` / `.le.`
+    Le,
+    /// `>` / `.gt.`
+    Gt,
+    /// `>=` / `.ge.`
+    Ge,
+    /// `.and.`
+    And,
+    /// `.or.`
+    Or,
+    /// `.not.`
+    Not,
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Op::Add => "+",
+            Op::Sub => "-",
+            Op::Mul => "*",
+            Op::Div => "/",
+            Op::Pow => "**",
+            Op::Concat => "//",
+            Op::Eq => "==",
+            Op::Ne => "/=",
+            Op::Lt => "<",
+            Op::Le => "<=",
+            Op::Gt => ">",
+            Op::Ge => ">=",
+            Op::And => ".and.",
+            Op::Or => ".or.",
+            Op::Not => ".not.",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Tok {
+    /// Identifier (lowercased). Keywords are identifiers.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Real literal (kind suffixes like `_r8` and `d` exponents folded in).
+    Real(f64),
+    /// Character literal content (quotes stripped, doubled quotes unescaped).
+    Str(String),
+    /// `.true.`
+    True,
+    /// `.false.`
+    False,
+    /// Operator.
+    Op(Op),
+    /// `=` (assignment, *not* comparison)
+    Assign,
+    /// `=>` (rename in use-statements, pointer assignment)
+    Arrow,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `::`
+    DoubleColon,
+    /// `:`
+    Colon,
+    /// `%`
+    Percent,
+}
+
+impl Tok {
+    /// Whether this token is the identifier `word` (already lowercase).
+    pub fn is_ident(&self, word: &str) -> bool {
+        matches!(self, Tok::Ident(s) if s == word)
+    }
+}
+
+/// One *logical* line: physical lines joined across `&` continuations, with
+/// comments stripped, `;`-separated statements split apart.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogicalLine {
+    /// Tokens of the statement.
+    pub tokens: Vec<Tok>,
+    /// 1-based physical line number where the statement starts.
+    pub line: u32,
+}

@@ -1,0 +1,317 @@
+//! Brandes' betweenness centrality (node and edge variants).
+//!
+//! Girvan–Newman (§5.2) "ranks edges by the number of shortest paths
+//! (computed via BFS) that traverse them". Brandes' dependency-accumulation
+//! algorithm computes exact betweenness in O(V·E) for unweighted graphs; the
+//! per-source accumulations are independent, so we parallelize over sources
+//! with rayon (the paper's pipeline targets graphs with ~10⁵ nodes).
+
+use crate::digraph::{DiGraph, NodeId};
+use rayon::prelude::*;
+use std::collections::HashMap;
+
+/// Per-source Brandes accumulation state, reused across sources.
+struct BrandesState {
+    dist: Vec<i32>,
+    sigma: Vec<f64>,
+    delta: Vec<f64>,
+    preds: Vec<Vec<u32>>,
+    order: Vec<u32>,
+    queue: std::collections::VecDeque<u32>,
+}
+
+impl BrandesState {
+    fn new(n: usize) -> Self {
+        BrandesState {
+            dist: vec![-1; n],
+            sigma: vec![0.0; n],
+            delta: vec![0.0; n],
+            preds: vec![Vec::new(); n],
+            order: Vec::with_capacity(n),
+            queue: std::collections::VecDeque::new(),
+        }
+    }
+
+    fn reset(&mut self) {
+        for d in &mut self.dist {
+            *d = -1;
+        }
+        for s in &mut self.sigma {
+            *s = 0.0;
+        }
+        for d in &mut self.delta {
+            *d = 0.0;
+        }
+        for p in &mut self.preds {
+            p.clear();
+        }
+        self.order.clear();
+        self.queue.clear();
+    }
+
+    /// BFS phase from `s`: shortest-path counts and predecessor DAG.
+    fn sssp(&mut self, graph: &DiGraph, s: u32) {
+        self.reset();
+        self.dist[s as usize] = 0;
+        self.sigma[s as usize] = 1.0;
+        self.queue.push_back(s);
+        while let Some(u) = self.queue.pop_front() {
+            self.order.push(u);
+            let du = self.dist[u as usize];
+            for &v in graph.successors(NodeId(u)) {
+                if v == u {
+                    continue; // self-loops carry no shortest paths
+                }
+                if self.dist[v as usize] < 0 {
+                    self.dist[v as usize] = du + 1;
+                    self.queue.push_back(v);
+                }
+                if self.dist[v as usize] == du + 1 {
+                    self.sigma[v as usize] += self.sigma[u as usize];
+                    self.preds[v as usize].push(u);
+                }
+            }
+        }
+    }
+}
+
+/// Exact node betweenness centrality for an unweighted digraph.
+///
+/// `normalized` divides by `(n-1)(n-2)` (directed convention). Endpoints are
+/// excluded, matching NetworkX defaults.
+pub fn node_betweenness(graph: &DiGraph, normalized: bool) -> Vec<f64> {
+    let n = graph.node_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    let partials: Vec<Vec<f64>> = (0..n as u32)
+        .into_par_iter()
+        .fold(
+            || (BrandesState::new(n), vec![0.0; n]),
+            |(mut st, mut acc), s| {
+                st.sssp(graph, s);
+                for &w in st.order.iter().rev() {
+                    let coeff = (1.0 + st.delta[w as usize]) / st.sigma[w as usize];
+                    // Clone-free predecessor walk: preds[w] is only read here.
+                    for i in 0..st.preds[w as usize].len() {
+                        let v = st.preds[w as usize][i];
+                        st.delta[v as usize] += st.sigma[v as usize] * coeff;
+                    }
+                    if w != s {
+                        acc[w as usize] += st.delta[w as usize];
+                    }
+                }
+                (st, acc)
+            },
+        )
+        .map(|(_, acc)| acc)
+        .collect();
+    let mut bc = vec![0.0; n];
+    for p in partials {
+        for (b, v) in bc.iter_mut().zip(p) {
+            *b += v;
+        }
+    }
+    if normalized && n > 2 {
+        let scale = 1.0 / ((n - 1) as f64 * (n - 2) as f64);
+        for b in &mut bc {
+            *b *= scale;
+        }
+    }
+    bc
+}
+
+/// Exact edge betweenness centrality.
+///
+/// Returns a map keyed by `(from, to)` node-id pairs in the graph's stored
+/// edge orientation. For undirected views (symmetric digraphs) both
+/// orientations receive the same value, so callers can canonicalize with
+/// `min/max`.
+pub fn edge_betweenness(graph: &DiGraph) -> HashMap<(u32, u32), f64> {
+    let n = graph.node_count();
+    if n == 0 {
+        return HashMap::new();
+    }
+    let partials: Vec<HashMap<(u32, u32), f64>> = (0..n as u32)
+        .into_par_iter()
+        .fold(
+            || (BrandesState::new(n), HashMap::<(u32, u32), f64>::new()),
+            |(mut st, mut acc), s| {
+                st.sssp(graph, s);
+                for &w in st.order.iter().rev() {
+                    let coeff = (1.0 + st.delta[w as usize]) / st.sigma[w as usize];
+                    for i in 0..st.preds[w as usize].len() {
+                        let v = st.preds[w as usize][i];
+                        let c = st.sigma[v as usize] * coeff;
+                        st.delta[v as usize] += c;
+                        *acc.entry((v, w)).or_insert(0.0) += c;
+                    }
+                }
+                (st, acc)
+            },
+        )
+        .map(|(_, acc)| acc)
+        .collect();
+    let mut out: HashMap<(u32, u32), f64> = HashMap::new();
+    for p in partials {
+        for (k, v) in p {
+            *out.entry(k).or_insert(0.0) += v;
+        }
+    }
+    out
+}
+
+/// Edge betweenness restricted to sources inside one weakly connected
+/// component; used by Girvan–Newman, which "recalculates betweenness for all
+/// edges affected by the removal" — i.e. only within the split component.
+pub(crate) fn edge_betweenness_within(
+    graph: &DiGraph,
+    members: &[u32],
+) -> HashMap<(u32, u32), f64> {
+    let n = graph.node_count();
+    let partials: Vec<HashMap<(u32, u32), f64>> = members
+        .par_iter()
+        .fold(
+            || (BrandesState::new(n), HashMap::<(u32, u32), f64>::new()),
+            |(mut st, mut acc), &s| {
+                st.sssp(graph, s);
+                for &w in st.order.iter().rev() {
+                    let coeff = (1.0 + st.delta[w as usize]) / st.sigma[w as usize];
+                    for i in 0..st.preds[w as usize].len() {
+                        let v = st.preds[w as usize][i];
+                        let c = st.sigma[v as usize] * coeff;
+                        st.delta[v as usize] += c;
+                        *acc.entry((v, w)).or_insert(0.0) += c;
+                    }
+                }
+                (st, acc)
+            },
+        )
+        .map(|(_, acc)| acc)
+        .collect();
+    let mut out: HashMap<(u32, u32), f64> = HashMap::new();
+    for p in partials {
+        for (k, v) in p {
+            *out.entry(k).or_insert(0.0) += v;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Undirected path a - b - c as a symmetric digraph.
+    fn path3() -> DiGraph {
+        let mut g = DiGraph::new();
+        g.add_nodes(3);
+        for (u, v) in [(0, 1), (1, 2)] {
+            g.add_edge(NodeId(u), NodeId(v));
+            g.add_edge(NodeId(v), NodeId(u));
+        }
+        g
+    }
+
+    #[test]
+    fn path_center_has_all_betweenness() {
+        let bc = node_betweenness(&path3(), false);
+        // Directed counting over the symmetric graph: pairs (0,2) and (2,0)
+        // both route through node 1.
+        assert_eq!(bc[1], 2.0);
+        assert_eq!(bc[0], 0.0);
+        assert_eq!(bc[2], 0.0);
+    }
+
+    #[test]
+    fn normalization_divides_by_pairs() {
+        let bc = node_betweenness(&path3(), true);
+        assert!((bc[1] - 1.0).abs() < 1e-12); // 2 / ((3-1)(3-2)) = 1
+    }
+
+    #[test]
+    fn star_center_betweenness() {
+        // Star: center 0, leaves 1..=4, symmetric edges.
+        let mut g = DiGraph::new();
+        g.add_nodes(5);
+        for v in 1..5u32 {
+            g.add_edge(NodeId(0), NodeId(v));
+            g.add_edge(NodeId(v), NodeId(0));
+        }
+        let bc = node_betweenness(&g, false);
+        // 4 leaves -> 4*3 = 12 ordered pairs route through center.
+        assert_eq!(bc[0], 12.0);
+        for v in 1..5 {
+            assert_eq!(bc[v], 0.0);
+        }
+    }
+
+    #[test]
+    fn directed_path_counts_one_direction() {
+        let mut g = DiGraph::new();
+        g.add_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(1), NodeId(2));
+        let bc = node_betweenness(&g, false);
+        assert_eq!(bc[1], 1.0); // only pair (0,2)
+    }
+
+    #[test]
+    fn edge_betweenness_bridge_dominates() {
+        // Two triangles joined by a bridge (2-3), all symmetric.
+        let mut g = DiGraph::new();
+        g.add_nodes(6);
+        let und = |g: &mut DiGraph, u: u32, v: u32| {
+            g.add_edge(NodeId(u), NodeId(v));
+            g.add_edge(NodeId(v), NodeId(u));
+        };
+        for (u, v) in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+            und(&mut g, u, v);
+        }
+        und(&mut g, 2, 3);
+        let eb = edge_betweenness(&g);
+        let bridge = eb[&(2, 3)];
+        for (&(u, v), &val) in &eb {
+            if (u, v) != (2, 3) && (u, v) != (3, 2) {
+                assert!(
+                    bridge > val,
+                    "bridge ({bridge}) must exceed edge ({u},{v})={val}"
+                );
+            }
+        }
+        // Symmetric orientations agree.
+        assert!((eb[&(2, 3)] - eb[&(3, 2)]).abs() < 1e-9);
+        // All 9 cross pairs (each direction) traverse the bridge.
+        assert!((bridge - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equal_split_on_diamond() {
+        // 0->1->3, 0->2->3: two shortest paths, each edge carries 0.5 of pair
+        // (0,3) plus 1.0 of its adjacent pair.
+        let mut g = DiGraph::new();
+        g.add_nodes(4);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(0), NodeId(2));
+        g.add_edge(NodeId(1), NodeId(3));
+        g.add_edge(NodeId(2), NodeId(3));
+        let bc = node_betweenness(&g, false);
+        assert!((bc[1] - 0.5).abs() < 1e-12);
+        assert!((bc[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_loop_ignored() {
+        let mut g = path3();
+        g.add_edge(NodeId(1), NodeId(1));
+        let bc = node_betweenness(&g, false);
+        assert_eq!(bc[1], 2.0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = DiGraph::new();
+        assert!(node_betweenness(&g, true).is_empty());
+        assert!(edge_betweenness(&g).is_empty());
+    }
+}

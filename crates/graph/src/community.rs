@@ -1,0 +1,273 @@
+//! Girvan–Newman community detection and modularity.
+//!
+//! The paper (§5.2) partitions each induced subgraph with Girvan–Newman on
+//! the undirected view: betweenness is computed for every edge, the edge with
+//! the highest betweenness is removed, betweenness is recomputed "for all
+//! edges affected by the removal", and removal repeats "until the number of
+//! communities increases" — that whole loop constitutes **one G-N iteration**
+//! in the paper's Algorithm 5.4 (step 5).
+
+use crate::betweenness::{edge_betweenness, edge_betweenness_within};
+use crate::components::{weakly_connected_components, Partition};
+use crate::digraph::{DiGraph, NodeId};
+use std::collections::HashMap;
+
+/// Outcome of one or more Girvan–Newman splits.
+#[derive(Debug, Clone)]
+pub struct GnResult {
+    /// Community partition after the requested splits.
+    pub partition: Partition,
+    /// Undirected edges removed, in removal order (canonical `u < v` form).
+    pub removed_edges: Vec<(u32, u32)>,
+}
+
+/// Runs `levels` Girvan–Newman iterations on the **undirected view** of
+/// `graph` and returns the resulting community partition.
+///
+/// Each iteration removes highest-betweenness edges until the number of
+/// weakly connected components increases by at least one. The input digraph
+/// itself is not modified; an undirected working copy is used internally.
+///
+/// The paper performs "only one iteration of G-N in algorithm 5.4 step 5"
+/// unless noted — call with `levels = 1` for that behaviour. Excessive
+/// levels "would not prevent algorithm 5.4 from locating bug sources, but it
+/// can slow the process".
+pub fn girvan_newman(graph: &DiGraph, levels: usize) -> GnResult {
+    let mut work = graph.to_undirected();
+    let mut removed = Vec::new();
+    let mut partition = weakly_connected_components(&work);
+    // Cached betweenness; recomputed only inside the component that lost an
+    // edge ("recalculate betweenness for all edges affected by the removal").
+    let mut eb: Option<HashMap<(u32, u32), f64>> = None;
+
+    for _ in 0..levels {
+        let target = partition.count + 1;
+        loop {
+            if work.edge_count() == 0 {
+                return GnResult {
+                    partition,
+                    removed_edges: removed,
+                };
+            }
+            let scores = match &eb {
+                Some(cached) => cached,
+                None => {
+                    eb = Some(edge_betweenness(&work));
+                    eb.as_ref().unwrap()
+                }
+            };
+            // Deterministic max: highest score, ties by canonical edge key.
+            let (&(u, v), _) = scores
+                .iter()
+                .filter(|(_, &s)| s.is_finite())
+                .max_by(|a, b| {
+                    a.1.partial_cmp(b.1)
+                        .unwrap()
+                        .then_with(|| b.0.cmp(a.0))
+                })
+                .expect("non-empty edge set");
+            work.remove_edge(NodeId(u), NodeId(v));
+            work.remove_edge(NodeId(v), NodeId(u));
+            removed.push((u.min(v), u.max(v)));
+
+            let next = weakly_connected_components(&work);
+            let split = next.count >= target;
+            // Refresh the cache within the affected component(s) only.
+            if let Some(cache) = &mut eb {
+                let lu = next.label(NodeId(u));
+                let lv = next.label(NodeId(v));
+                cache.retain(|&(a, b), _| {
+                    let la = next.label(NodeId(a));
+                    let lb = next.label(NodeId(b));
+                    !(la == lu || la == lv || lb == lu || lb == lv)
+                });
+                let mut members: Vec<u32> = Vec::new();
+                for n in work.nodes() {
+                    let l = next.label(n);
+                    if l == lu || l == lv {
+                        members.push(n.0);
+                    }
+                }
+                let fresh = edge_betweenness_within(&work, &members);
+                for (k, val) in fresh {
+                    cache.insert(k, val);
+                }
+                cache.retain(|&(a, b), _| work.has_edge(NodeId(a), NodeId(b)));
+            }
+            if split {
+                partition = next;
+                break;
+            }
+        }
+    }
+    GnResult {
+        partition,
+        removed_edges: removed,
+    }
+}
+
+/// Communities from one G-N iteration, with communities smaller than
+/// `min_size` dropped (the paper omits "communities smaller than 3 nodes" in
+/// Algorithm 5.4 step 5 and removes clusters of fewer than four nodes from
+/// its plots).
+///
+/// Returns communities as node-id groups sorted by decreasing size.
+pub fn communities(graph: &DiGraph, levels: usize, min_size: usize) -> Vec<Vec<NodeId>> {
+    let result = girvan_newman(graph, levels);
+    let mut groups: Vec<Vec<NodeId>> = result
+        .partition
+        .groups()
+        .into_iter()
+        .filter(|g| g.len() >= min_size)
+        .collect();
+    groups.sort_by(|a, b| b.len().cmp(&a.len()).then_with(|| a.cmp(b)));
+    groups
+}
+
+/// Newman–Girvan modularity `Q` of a partition over the undirected view of
+/// `graph`.
+///
+/// `Q = Σ_c (e_c / m − (d_c / 2m)²)` with `e_c` intra-community undirected
+/// edges, `d_c` total degree of community `c`, and `m` undirected edges.
+pub fn modularity(graph: &DiGraph, partition: &Partition) -> f64 {
+    let und = graph.to_undirected();
+    let m2 = und.edge_count() as f64; // = 2m (each undirected edge stored twice)
+    if m2 == 0.0 {
+        return 0.0;
+    }
+    let mut intra = vec![0.0f64; partition.count]; // directed intra-edge count
+    let mut deg = vec![0.0f64; partition.count];
+    for (u, v) in und.edges() {
+        let lu = partition.label(u);
+        if lu == partition.label(v) {
+            intra[lu as usize] += 1.0;
+        }
+    }
+    for n in und.nodes() {
+        deg[partition.label(n) as usize] += und.out_degree(n) as f64;
+    }
+    intra
+        .iter()
+        .zip(&deg)
+        .map(|(&e, &d)| e / m2 - (d / m2) * (d / m2))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two 4-cliques joined by a single bridge — the canonical community
+    /// detection test case.
+    fn two_cliques() -> DiGraph {
+        let mut g = DiGraph::new();
+        g.add_nodes(8);
+        for base in [0u32, 4u32] {
+            for i in base..base + 4 {
+                for j in i + 1..base + 4 {
+                    g.add_edge(NodeId(i), NodeId(j));
+                }
+            }
+        }
+        g.add_edge(NodeId(3), NodeId(4));
+        g
+    }
+
+    #[test]
+    fn gn_splits_cliques_at_bridge() {
+        let g = two_cliques();
+        let r = girvan_newman(&g, 1);
+        assert_eq!(r.partition.count, 2);
+        assert_eq!(r.removed_edges, vec![(3, 4)], "bridge removed first");
+        for i in 0..4u32 {
+            assert!(r.partition.same(NodeId(0), NodeId(i)));
+        }
+        for i in 4..8u32 {
+            assert!(r.partition.same(NodeId(4), NodeId(i)));
+        }
+        assert!(!r.partition.same(NodeId(0), NodeId(4)));
+    }
+
+    #[test]
+    fn gn_second_level_splits_again() {
+        let g = two_cliques();
+        let r = girvan_newman(&g, 2);
+        assert!(r.partition.count >= 3);
+    }
+
+    #[test]
+    fn gn_on_edgeless_graph() {
+        let mut g = DiGraph::new();
+        g.add_nodes(3);
+        let r = girvan_newman(&g, 1);
+        assert_eq!(r.partition.count, 3);
+        assert!(r.removed_edges.is_empty());
+    }
+
+    #[test]
+    fn gn_direction_irrelevant() {
+        // Reversing every edge must give identical communities because G-N
+        // works on the undirected view.
+        let g = two_cliques();
+        let rev = g.reversed();
+        let a = girvan_newman(&g, 1);
+        let b = girvan_newman(&rev, 1);
+        assert_eq!(a.partition.labels, b.partition.labels);
+    }
+
+    #[test]
+    fn communities_filter_small() {
+        // Two cliques plus an isolated pendant pair (community of size 2).
+        let mut g = two_cliques();
+        let p = g.add_node();
+        let q = g.add_node();
+        g.add_edge(p, q);
+        let cs = communities(&g, 1, 3);
+        assert_eq!(cs.len(), 2, "pendant pair filtered out");
+        assert!(cs.iter().all(|c| c.len() == 4));
+    }
+
+    #[test]
+    fn communities_sorted_by_size() {
+        // 5-clique and 4-clique joined by a bridge.
+        let mut g = DiGraph::new();
+        g.add_nodes(9);
+        for i in 0..5u32 {
+            for j in i + 1..5 {
+                g.add_edge(NodeId(i), NodeId(j));
+            }
+        }
+        for i in 5..9u32 {
+            for j in i + 1..9 {
+                g.add_edge(NodeId(i), NodeId(j));
+            }
+        }
+        g.add_edge(NodeId(4), NodeId(5));
+        let cs = communities(&g, 1, 2);
+        assert_eq!(cs[0].len(), 5);
+        assert_eq!(cs[1].len(), 4);
+    }
+
+    #[test]
+    fn modularity_good_split_positive() {
+        let g = two_cliques();
+        let r = girvan_newman(&g, 1);
+        let q = modularity(&g, &r.partition);
+        assert!(q > 0.3, "clique split should have high modularity, got {q}");
+    }
+
+    #[test]
+    fn modularity_trivial_partition_zero() {
+        let g = two_cliques();
+        let p = Partition::new(vec![0; 8], 1);
+        let q = modularity(&g, &p);
+        assert!(q.abs() < 1e-12);
+    }
+
+    #[test]
+    fn modularity_singletons_negative() {
+        let g = two_cliques();
+        let p = Partition::new((0..8).collect(), 8);
+        assert!(modularity(&g, &p) < 0.0);
+    }
+}

@@ -1,0 +1,276 @@
+//! Degree distributions and power-law diagnostics.
+//!
+//! Paper Figs. 4, 9 and 10 plot the degree distribution of the CESM digraph
+//! and its induced subgraphs, observing that they "approximately follow a
+//! power law" — which motivates the Hashimoto-centrality comparison (§8.1).
+//! This module produces the histogram/CCDF series for those figures and a
+//! discrete maximum-likelihood estimate of the power-law exponent α
+//! (Clauset–Shalizi–Newman style, with the ½-shift correction).
+
+use crate::digraph::{DiGraph, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Which degree to histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegreeKind {
+    /// In-degree.
+    In,
+    /// Out-degree.
+    Out,
+    /// Total (in + out) degree.
+    Total,
+}
+
+/// One point of a degree distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DegreePoint {
+    /// Degree value `k`.
+    pub degree: usize,
+    /// Number of nodes with that degree.
+    pub count: usize,
+    /// Empirical probability `P(deg = k)`.
+    pub pdf: f64,
+    /// Complementary CDF `P(deg ≥ k)` (the straight line on log-log axes
+    /// for power laws).
+    pub ccdf: f64,
+}
+
+/// Degree sequence of `graph` for the requested kind.
+pub fn degree_sequence(graph: &DiGraph, kind: DegreeKind) -> Vec<usize> {
+    graph
+        .nodes()
+        .map(|n| match kind {
+            DegreeKind::In => graph.in_degree(n),
+            DegreeKind::Out => graph.out_degree(n),
+            DegreeKind::Total => graph.degree(n),
+        })
+        .collect()
+}
+
+/// Degree histogram with PDF and CCDF columns, sorted by degree, zero-count
+/// degrees omitted. This is the series plotted in paper Figs. 4/9/10.
+pub fn degree_distribution(graph: &DiGraph, kind: DegreeKind) -> Vec<DegreePoint> {
+    let seq = degree_sequence(graph, kind);
+    let n = seq.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let max = seq.iter().copied().max().unwrap_or(0);
+    let mut counts = vec![0usize; max + 1];
+    for d in seq {
+        counts[d] += 1;
+    }
+    let mut points = Vec::new();
+    let mut tail = n; // nodes with degree >= current k
+    for (k, &c) in counts.iter().enumerate() {
+        if c > 0 {
+            points.push(DegreePoint {
+                degree: k,
+                count: c,
+                pdf: c as f64 / n as f64,
+                ccdf: tail as f64 / n as f64,
+            });
+        }
+        tail -= c;
+    }
+    points
+}
+
+/// Result of a discrete power-law MLE fit `P(k) ∝ k^(−α)` for `k ≥ k_min`.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PowerLawFit {
+    /// Estimated exponent α̂.
+    pub alpha: f64,
+    /// Standard error of α̂.
+    pub sigma: f64,
+    /// Lower cutoff used for the fit.
+    pub k_min: usize,
+    /// Number of tail samples (`k ≥ k_min`).
+    pub n_tail: usize,
+}
+
+/// Discrete power-law exponent via the Clauset–Shalizi–Newman approximate
+/// MLE: `α̂ = 1 + n · [Σ ln(k_i / (k_min − ½))]⁻¹`.
+///
+/// Returns `None` if fewer than two tail samples exist. Degrees of zero are
+/// always excluded (log undefined).
+pub fn power_law_mle(degrees: &[usize], k_min: usize) -> Option<PowerLawFit> {
+    let k_min = k_min.max(1);
+    let tail: Vec<f64> = degrees
+        .iter()
+        .filter(|&&d| d >= k_min)
+        .map(|&d| d as f64)
+        .collect();
+    let n = tail.len();
+    if n < 2 {
+        return None;
+    }
+    let denom: f64 = tail.iter().map(|&k| (k / (k_min as f64 - 0.5)).ln()).sum();
+    if denom <= 0.0 {
+        return None;
+    }
+    let alpha = 1.0 + n as f64 / denom;
+    let sigma = (alpha - 1.0) / (n as f64).sqrt();
+    Some(PowerLawFit {
+        alpha,
+        sigma,
+        k_min,
+        n_tail: n,
+    })
+}
+
+/// Convenience: fit the total-degree distribution of a graph.
+pub fn fit_power_law(graph: &DiGraph, kind: DegreeKind, k_min: usize) -> Option<PowerLawFit> {
+    power_law_mle(&degree_sequence(graph, kind), k_min)
+}
+
+/// Log-rank series for centrality curves (paper Fig. 11): returns
+/// `(rank, |centrality|)` pairs sorted descending by absolute centrality,
+/// zero entries dropped (the "sharp drop at the end of the curve").
+pub fn log_rank_series(centrality: &[f64]) -> Vec<(usize, f64)> {
+    let mut vals: Vec<f64> = centrality.iter().map(|v| v.abs()).filter(|&v| v > 0.0).collect();
+    vals.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    vals.into_iter().enumerate().map(|(i, v)| (i + 1, v)).collect()
+}
+
+/// Generates a scale-free digraph by preferential attachment, used in tests
+/// and benches to mimic the CESM graph's heavy-tailed degree structure.
+///
+/// Each new node draws `m_edges` targets with probability proportional to
+/// `in_degree + 1`, using the supplied deterministic seed (xorshift — no
+/// external PRNG dependency at this layer).
+pub fn preferential_attachment(n: usize, m_edges: usize, seed: u64) -> DiGraph {
+    let mut g = DiGraph::with_capacity(n);
+    if n == 0 {
+        return g;
+    }
+    g.add_nodes(n);
+    let mut state = seed | 1;
+    let mut rand = move || {
+        // xorshift64*
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545F4914F6CDD1D)
+    };
+    // Repeated-target list implements preferential attachment in O(1).
+    let mut targets: Vec<u32> = vec![0];
+    for u in 1..n as u32 {
+        for _ in 0..m_edges {
+            let pick = targets[(rand() % targets.len() as u64) as usize];
+            if g.add_edge(NodeId(u), NodeId(pick)) {
+                targets.push(pick);
+            }
+        }
+        targets.push(u);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distribution_sums_to_one() {
+        let g = preferential_attachment(500, 3, 42);
+        let dist = degree_distribution(&g, DegreeKind::Total);
+        let total_pdf: f64 = dist.iter().map(|p| p.pdf).sum();
+        assert!((total_pdf - 1.0).abs() < 1e-9);
+        let total_count: usize = dist.iter().map(|p| p.count).sum();
+        assert_eq!(total_count, 500);
+    }
+
+    #[test]
+    fn ccdf_monotone_nonincreasing() {
+        let g = preferential_attachment(300, 2, 7);
+        let dist = degree_distribution(&g, DegreeKind::In);
+        for w in dist.windows(2) {
+            assert!(w[0].ccdf >= w[1].ccdf);
+        }
+        assert!((dist[0].ccdf - 1.0).abs() < 1e-12, "CCDF starts at 1");
+    }
+
+    #[test]
+    fn exact_distribution_small() {
+        // Star: center in-degree 3, leaves in-degree 0.
+        let mut g = DiGraph::new();
+        g.add_nodes(4);
+        for v in 1..4u32 {
+            g.add_edge(NodeId(v), NodeId(0));
+        }
+        let dist = degree_distribution(&g, DegreeKind::In);
+        assert_eq!(dist.len(), 2);
+        assert_eq!(dist[0].degree, 0);
+        assert_eq!(dist[0].count, 3);
+        assert_eq!(dist[1].degree, 3);
+        assert_eq!(dist[1].count, 1);
+    }
+
+    #[test]
+    fn mle_recovers_exponent() {
+        // Sample from a discrete power law with alpha = 2.5 via inverse
+        // transform on the continuous approximation.
+        let alpha = 2.5f64;
+        let mut state = 12345u64;
+        let mut degrees = Vec::new();
+        for _ in 0..20_000 {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            let u = (state.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64;
+            let k = (1.0 - u).powf(-1.0 / (alpha - 1.0));
+            degrees.push(k.floor() as usize);
+        }
+        // The discrete MLE's half-shift correction is accurate only for
+        // k_min of a few; fit the tail.
+        let fit = power_law_mle(&degrees, 5).unwrap();
+        assert!(
+            (fit.alpha - alpha).abs() < 0.2,
+            "alpha estimate {} too far from {}",
+            fit.alpha,
+            alpha
+        );
+    }
+
+    #[test]
+    fn mle_insufficient_data() {
+        assert!(power_law_mle(&[5], 1).is_none());
+        assert!(power_law_mle(&[], 1).is_none());
+        assert!(power_law_mle(&[0, 0, 0], 1).is_none(), "zeros excluded");
+    }
+
+    #[test]
+    fn preferential_attachment_is_heavy_tailed() {
+        let g = preferential_attachment(2000, 3, 99);
+        let seq = degree_sequence(&g, DegreeKind::In);
+        let max = *seq.iter().max().unwrap();
+        let mean = seq.iter().sum::<usize>() as f64 / seq.len() as f64;
+        assert!(
+            max as f64 > 8.0 * mean,
+            "hub expected: max={max}, mean={mean}"
+        );
+        let fit = fit_power_law(&g, DegreeKind::In, 2).unwrap();
+        assert!(fit.alpha > 1.5 && fit.alpha < 4.0, "alpha={}", fit.alpha);
+    }
+
+    #[test]
+    fn log_rank_sorted_and_positive() {
+        let series = log_rank_series(&[0.3, 0.0, -0.5, 0.1]);
+        assert_eq!(series.len(), 3, "zero dropped");
+        assert_eq!(series[0].0, 1);
+        assert!((series[0].1 - 0.5).abs() < 1e-12, "abs value used");
+        for w in series.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = preferential_attachment(100, 2, 5);
+        let b = preferential_attachment(100, 2, 5);
+        let ea: Vec<_> = a.edges().collect();
+        let eb: Vec<_> = b.edges().collect();
+        assert_eq!(ea, eb);
+    }
+}

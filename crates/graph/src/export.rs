@@ -1,0 +1,140 @@
+//! Graph export: Graphviz DOT and JSON adjacency.
+//!
+//! The paper's figures are node-link diagrams of induced subgraphs with
+//! communities colored and central/bug nodes enlarged. `DotStyle` carries
+//! exactly that styling so benches can emit render-ready DOT next to the
+//! numeric series.
+
+use crate::digraph::{DiGraph, NodeId};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Per-node styling for DOT output (paper-figure conventions: community
+/// colors, larger bug/central nodes).
+#[derive(Debug, Clone, Default)]
+pub struct DotStyle {
+    /// Node labels; nodes without a label use their id.
+    pub labels: HashMap<u32, String>,
+    /// Fill colors by node (e.g. community colors).
+    pub colors: HashMap<u32, String>,
+    /// Nodes drawn enlarged (bug sources / sampled central nodes).
+    pub emphasized: Vec<NodeId>,
+}
+
+/// Renders `graph` as a Graphviz `digraph`.
+pub fn to_dot(graph: &DiGraph, name: &str, style: &DotStyle) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{name}\" {{");
+    let _ = writeln!(out, "  node [shape=circle, style=filled, fillcolor=white];");
+    let emphasized: std::collections::HashSet<u32> =
+        style.emphasized.iter().map(|n| n.0).collect();
+    for n in graph.nodes() {
+        let mut attrs = Vec::new();
+        if let Some(l) = style.labels.get(&n.0) {
+            attrs.push(format!("label=\"{}\"", l.replace('"', "\\\"")));
+        }
+        if let Some(c) = style.colors.get(&n.0) {
+            attrs.push(format!("fillcolor=\"{c}\""));
+        }
+        if emphasized.contains(&n.0) {
+            attrs.push("width=1.2, penwidth=3".to_string());
+        }
+        if attrs.is_empty() {
+            let _ = writeln!(out, "  {};", n.0);
+        } else {
+            let _ = writeln!(out, "  {} [{}];", n.0, attrs.join(", "));
+        }
+    }
+    for (u, v) in graph.edges() {
+        let _ = writeln!(out, "  {} -> {};", u.0, v.0);
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Serializes the adjacency structure as JSON (`{"nodes": n, "edges":
+/// [[u,v], ...]}`), stable across platforms for golden-file tests.
+pub fn to_json(graph: &DiGraph) -> String {
+    let mut edges: Vec<(u32, u32)> = graph.edges().map(|(u, v)| (u.0, v.0)).collect();
+    edges.sort_unstable();
+    let mut out = String::from("{\"nodes\":");
+    let _ = write!(out, "{}", graph.node_count());
+    out.push_str(",\"edges\":[");
+    for (i, (u, v)) in edges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "[{u},{v}]");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Parses the JSON produced by [`to_json`] back into a graph.
+pub fn from_json(text: &str) -> Result<DiGraph, String> {
+    let v: serde_json::Value =
+        serde_json::from_str(text).map_err(|e| format!("invalid graph JSON: {e}"))?;
+    let n = v["nodes"].as_u64().ok_or("missing 'nodes'")? as usize;
+    let mut g = DiGraph::with_capacity(n);
+    g.add_nodes(n);
+    for pair in v["edges"].as_array().ok_or("missing 'edges'")? {
+        let arr = pair.as_array().ok_or("edge must be a pair")?;
+        let u = arr[0].as_u64().ok_or("bad edge source")? as u32;
+        let w = arr[1].as_u64().ok_or("bad edge target")? as u32;
+        g.add_edge(NodeId(u), NodeId(w));
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DiGraph {
+        let mut g = DiGraph::new();
+        g.add_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(1), NodeId(2));
+        g
+    }
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let g = sample();
+        let mut style = DotStyle::default();
+        style.labels.insert(0, "wsub".into());
+        style.colors.insert(1, "lightblue".into());
+        style.emphasized.push(NodeId(2));
+        let dot = to_dot(&g, "slice", &style);
+        assert!(dot.contains("digraph \"slice\""));
+        assert!(dot.contains("label=\"wsub\""));
+        assert!(dot.contains("fillcolor=\"lightblue\""));
+        assert!(dot.contains("0 -> 1;"));
+        assert!(dot.contains("penwidth=3"));
+    }
+
+    #[test]
+    fn dot_escapes_quotes() {
+        let g = sample();
+        let mut style = DotStyle::default();
+        style.labels.insert(0, "a\"b".into());
+        assert!(to_dot(&g, "x", &style).contains("a\\\"b"));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let g = sample();
+        let j = to_json(&g);
+        let back = from_json(&j).unwrap();
+        assert_eq!(back.node_count(), g.node_count());
+        assert_eq!(back.edge_count(), g.edge_count());
+        assert!(back.has_edge(NodeId(0), NodeId(1)));
+        assert!(back.has_edge(NodeId(1), NodeId(2)));
+    }
+
+    #[test]
+    fn json_rejects_garbage() {
+        assert!(from_json("not json").is_err());
+        assert!(from_json("{}").is_err());
+    }
+}

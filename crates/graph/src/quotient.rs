@@ -1,0 +1,109 @@
+//! Quotient graphs (graph minors by equivalence classes).
+//!
+//! Paper §6.5 collapses the variable digraph into a **module digraph**: "we
+//! use the equivalence relation v₁ ∼ v₂ ⟺ v₁ and v₂ are in the same CESM
+//! module". Edges between equivalent nodes are deleted; edges between the
+//! remaining super-nodes are preserved (deduplicated). Eigenvector
+//! centrality on this quotient ranks modules "by their potential to
+//! propagate FMA-caused differences" — the basis of Table 1's selective AVX2
+//! disablement.
+
+use crate::digraph::{DiGraph, NodeId};
+
+/// The quotient of `graph` under a node-class assignment.
+#[derive(Debug, Clone)]
+pub struct Quotient {
+    /// The collapsed digraph; node `i` is equivalence class `i`.
+    pub graph: DiGraph,
+    /// For each class, the member node ids of the parent graph.
+    pub members: Vec<Vec<NodeId>>,
+}
+
+/// Collapses `graph` by the equivalence classes in `class_of`
+/// (`class_of[node.index()]` = dense class index in `0..num_classes`).
+///
+/// Intra-class edges (including self-loops) are dropped; parallel
+/// inter-class edges collapse to one.
+pub fn quotient_graph(graph: &DiGraph, class_of: &[u32], num_classes: usize) -> Quotient {
+    assert_eq!(
+        class_of.len(),
+        graph.node_count(),
+        "class assignment must cover every node"
+    );
+    let mut q = DiGraph::with_capacity(num_classes);
+    q.add_nodes(num_classes);
+    let mut members = vec![Vec::new(); num_classes];
+    for n in graph.nodes() {
+        members[class_of[n.index()] as usize].push(n);
+    }
+    for (u, v) in graph.edges() {
+        let cu = class_of[u.index()];
+        let cv = class_of[v.index()];
+        if cu != cv {
+            q.add_edge(NodeId(cu), NodeId(cv));
+        }
+    }
+    Quotient { graph: q, members }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collapses_modules() {
+        // Nodes 0,1 in class 0; nodes 2,3 in class 1; intra edges dropped.
+        let mut g = DiGraph::new();
+        g.add_nodes(4);
+        g.add_edge(NodeId(0), NodeId(1)); // intra class 0
+        g.add_edge(NodeId(1), NodeId(2)); // inter
+        g.add_edge(NodeId(0), NodeId(3)); // inter (parallel to above)
+        g.add_edge(NodeId(2), NodeId(3)); // intra class 1
+        let q = quotient_graph(&g, &[0, 0, 1, 1], 2);
+        assert_eq!(q.graph.node_count(), 2);
+        assert_eq!(q.graph.edge_count(), 1, "parallel inter-class edges dedup");
+        assert!(q.graph.has_edge(NodeId(0), NodeId(1)));
+        assert_eq!(q.members[0], vec![NodeId(0), NodeId(1)]);
+        assert_eq!(q.members[1], vec![NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn direction_preserved() {
+        let mut g = DiGraph::new();
+        g.add_nodes(2);
+        g.add_edge(NodeId(1), NodeId(0));
+        let q = quotient_graph(&g, &[0, 1], 2);
+        assert!(q.graph.has_edge(NodeId(1), NodeId(0)));
+        assert!(!q.graph.has_edge(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn both_directions_kept_if_present() {
+        let mut g = DiGraph::new();
+        g.add_nodes(4);
+        g.add_edge(NodeId(0), NodeId(2));
+        g.add_edge(NodeId(3), NodeId(1));
+        let q = quotient_graph(&g, &[0, 0, 1, 1], 2);
+        assert_eq!(q.graph.edge_count(), 2);
+        assert!(q.graph.has_edge(NodeId(0), NodeId(1)));
+        assert!(q.graph.has_edge(NodeId(1), NodeId(0)));
+    }
+
+    #[test]
+    fn empty_classes_allowed() {
+        let mut g = DiGraph::new();
+        g.add_nodes(1);
+        let q = quotient_graph(&g, &[2], 3);
+        assert_eq!(q.graph.node_count(), 3);
+        assert!(q.members[0].is_empty());
+        assert_eq!(q.members[2], vec![NodeId(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every node")]
+    fn wrong_length_panics() {
+        let mut g = DiGraph::new();
+        g.add_nodes(2);
+        quotient_graph(&g, &[0], 1);
+    }
+}

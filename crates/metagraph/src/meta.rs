@@ -1,0 +1,208 @@
+//! The metagraph: a variable digraph plus node metadata and indexes.
+//!
+//! "Processing the ASTs results in a metagraph Python class that contains a
+//! digraph of internal variables, subprograms, and methods to analyze these
+//! structures. CESM internal variables are nodes with metadata, such as
+//! location (module, subprogram and line) and 'canonical name'" (§4.2).
+
+use rca_graph::{DiGraph, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// What a node represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// An ordinary program variable (locals, dummies, module variables,
+    /// derived-type elements, parameters).
+    Variable,
+    /// A localized intrinsic call site (`min_l42__mod`), created so
+    /// intrinsics don't become "spurious, highly connected variables".
+    Intrinsic,
+}
+
+/// Metadata attached to each digraph node.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NodeMeta {
+    /// Canonical name (paper §4.2): last `%` component for derived types,
+    /// base name for arrays, the variable name otherwise.
+    pub canonical: String,
+    /// Defining module.
+    pub module: String,
+    /// Enclosing subprogram; `None` for module-level variables.
+    pub subprogram: Option<String>,
+    /// First source line where the node was seen.
+    pub line: u32,
+    /// Node kind.
+    pub kind: NodeKind,
+}
+
+impl NodeMeta {
+    /// Display name in the paper's style: `dum__micro_mg_tend` (variable +
+    /// subprogram suffix "to guarantee unique names in the directed graph").
+    pub fn display(&self) -> String {
+        match &self.subprogram {
+            Some(s) => format!("{}__{}", self.canonical, s),
+            None => format!("{}__{}", self.canonical, self.module),
+        }
+    }
+}
+
+/// One recognized history-output call (`call outfld('FLWDS', flwds, ...)`).
+///
+/// The paper instruments CESM's ~1200 I/O calls to map file-output names to
+/// internal variable names (§5.1, Table 2); our model's calls are parsed
+/// statically into this registry.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IoCall {
+    /// Name written to file (`FLWDS`, lowercased on ingest → `flwds`).
+    pub output_name: String,
+    /// Canonical name of the internal variable argument (`flwds`).
+    pub internal_name: String,
+    /// Module containing the call.
+    pub module: String,
+    /// Subprogram containing the call.
+    pub subprogram: String,
+    /// Call line.
+    pub line: u32,
+}
+
+/// The compiled metagraph.
+#[derive(Debug, Clone, Default)]
+pub struct MetaGraph {
+    /// The variable dependency digraph.
+    pub graph: DiGraph,
+    /// Per-node metadata, indexed by `NodeId::index`.
+    pub meta: Vec<NodeMeta>,
+    /// All module names, in first-seen order (dense class ids for
+    /// quotient-graph construction).
+    pub modules: Vec<String>,
+    /// I/O registry: output-file names to internal variables.
+    pub io_calls: Vec<IoCall>,
+    /// Assignment statements that could not be processed (paper: 10 of
+    /// 660k lines).
+    pub skipped_statements: Vec<(String, u32, String)>,
+    pub(crate) unique_index: HashMap<String, NodeId>,
+    pub(crate) canonical_index: HashMap<String, Vec<NodeId>>,
+    pub(crate) module_index: HashMap<String, u32>,
+}
+
+impl MetaGraph {
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// Metadata for `node`.
+    pub fn meta_of(&self, node: NodeId) -> &NodeMeta {
+        &self.meta[node.index()]
+    }
+
+    /// Display name (`var__subprogram`) for `node`.
+    pub fn display(&self, node: NodeId) -> String {
+        self.meta_of(node).display()
+    }
+
+    /// All nodes whose canonical name equals `name` — the paper's slicing
+    /// criterion ("we search for paths that terminate on nodes with the
+    /// canonical name of omega", §5.1).
+    pub fn nodes_with_canonical(&self, name: &str) -> &[NodeId] {
+        self.canonical_index
+            .get(name)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Node by fully-scoped unique key `module::subprogram::canonical`
+    /// (subprogram empty for module-level variables).
+    pub fn node_by_key(&self, module: &str, subprogram: Option<&str>, canonical: &str) -> Option<NodeId> {
+        self.unique_index
+            .get(&unique_key(module, subprogram, canonical))
+            .copied()
+    }
+
+    /// Dense module-class index of `node` (for quotient graphs).
+    pub fn module_class(&self, node: NodeId) -> u32 {
+        self.module_index[&self.meta_of(node).module]
+    }
+
+    /// Module class labels for every node plus class count — feed directly
+    /// to [`rca_graph::quotient_graph`] to get the paper's §6.5 module
+    /// digraph.
+    pub fn module_classes(&self) -> (Vec<u32>, usize) {
+        let labels = self
+            .meta
+            .iter()
+            .map(|m| self.module_index[&m.module])
+            .collect();
+        (labels, self.modules.len())
+    }
+
+    /// Nodes belonging to modules whose name satisfies `pred` (e.g.
+    /// restricting to CAM modules, §6: "we restrict our subgraphs to nodes
+    /// in CAM modules").
+    pub fn nodes_in_modules(&self, pred: impl Fn(&str) -> bool) -> Vec<NodeId> {
+        self.meta
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| pred(&m.module))
+            .map(|(i, _)| NodeId(i as u32))
+            .collect()
+    }
+
+    /// Maps a set of output-file names to internal canonical names via the
+    /// I/O registry, preserving order and dropping unknowns.
+    pub fn outputs_to_internal(&self, output_names: &[String]) -> Vec<String> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for name in output_names {
+            let lname = name.to_lowercase();
+            for call in &self.io_calls {
+                if call.output_name == lname && seen.insert(call.internal_name.clone()) {
+                    out.push(call.internal_name.clone());
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Builds the canonical unique key for a node.
+pub(crate) fn unique_key(module: &str, subprogram: Option<&str>, canonical: &str) -> String {
+    format!("{}::{}::{}", module, subprogram.unwrap_or(""), canonical)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_style() {
+        let m = NodeMeta {
+            canonical: "dum".into(),
+            module: "micro_mg".into(),
+            subprogram: Some("micro_mg_tend".into()),
+            line: 10,
+            kind: NodeKind::Variable,
+        };
+        assert_eq!(m.display(), "dum__micro_mg_tend");
+        let mv = NodeMeta {
+            canonical: "gravit".into(),
+            module: "physconst".into(),
+            subprogram: None,
+            line: 3,
+            kind: NodeKind::Variable,
+        };
+        assert_eq!(mv.display(), "gravit__physconst");
+    }
+
+    #[test]
+    fn unique_key_format() {
+        assert_eq!(unique_key("m", Some("s"), "v"), "m::s::v");
+        assert_eq!(unique_key("m", None, "v"), "m::::v");
+    }
+}

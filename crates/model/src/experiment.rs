@@ -1,0 +1,226 @@
+//! The paper's six experiments as injectable model variants.
+//!
+//! Four experiments are **source-level bugs** (applied as string patches to
+//! the generated Fortran, exactly as the paper edits CESM source); two are
+//! **run-configuration changes** (PRNG substitution, AVX2/FMA enablement)
+//! that leave the source untouched.
+
+use serde::{Deserialize, Serialize};
+
+/// Ground-truth location of an injected discrepancy source.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BugSite {
+    /// Module containing the bug.
+    pub module: String,
+    /// Subprogram containing the bug.
+    pub subprogram: String,
+    /// Canonical variable name assigned at the bug location.
+    pub canonical: String,
+}
+
+impl BugSite {
+    fn new(module: &str, subprogram: &str, canonical: &str) -> Self {
+        BugSite {
+            module: module.to_string(),
+            subprogram: subprogram.to_string(),
+            canonical: canonical.to_string(),
+        }
+    }
+}
+
+/// The experiments of paper §6 and §8.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Experiment {
+    /// No modification (ensemble / control runs).
+    Control,
+    /// §6.1: `wsub` typo, 0.20 → 2.00 in `microp_aero`.
+    WsubBug,
+    /// §6.2: default PRNG replaced by the Mersenne Twister.
+    RandMt,
+    /// §6.3: Goff–Gratch boiling-temperature coefficient
+    /// 8.1328e-3 → 8.1828e-3.
+    GoffGratch,
+    /// §6.4: AVX2/FMA instructions enabled (per-module policy set in the
+    /// run configuration).
+    Avx2,
+    /// §8.2.1: array-index error in the assignment writing `state%omega`.
+    RandomBug,
+    /// §8.2.2: hydrostatic-pressure coefficient bug in the dynamics core.
+    Dyn3Bug,
+}
+
+impl Experiment {
+    /// All experiments in paper order.
+    pub const ALL: [Experiment; 7] = [
+        Experiment::Control,
+        Experiment::WsubBug,
+        Experiment::RandMt,
+        Experiment::GoffGratch,
+        Experiment::Avx2,
+        Experiment::RandomBug,
+        Experiment::Dyn3Bug,
+    ];
+
+    /// Paper-style experiment name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Experiment::Control => "CONTROL",
+            Experiment::WsubBug => "WSUBBUG",
+            Experiment::RandMt => "RAND-MT",
+            Experiment::GoffGratch => "GOFFGRATCH",
+            Experiment::Avx2 => "AVX2",
+            Experiment::RandomBug => "RANDOMBUG",
+            Experiment::Dyn3Bug => "DYN3BUG",
+        }
+    }
+
+    /// Source patches `(file, from, to)` realizing the experiment.
+    /// Run-configuration experiments return an empty list.
+    pub fn source_patches(&self) -> Vec<(&'static str, &'static str, &'static str)> {
+        match self {
+            Experiment::WsubBug => vec![(
+                "microp_aero.F90",
+                "wsub(i) = max(0.20_r8 * sqrt(tke_loc(i)), wsubmin)",
+                "wsub(i) = max(2.00_r8 * sqrt(tke_loc(i)), wsubmin)",
+            )],
+            Experiment::GoffGratch => vec![(
+                "wv_saturation.F90",
+                "e3 = 8.1328e-3_r8",
+                "e3 = 8.1828e-3_r8",
+            )],
+            Experiment::RandomBug => vec![(
+                "dyn_update.F90",
+                "state%omega(i) = omg_tmp(i)",
+                "state%omega(i) = omg_tmp(1)",
+            )],
+            Experiment::Dyn3Bug => vec![(
+                "dycore.F90",
+                "state%pmid(i) = 0.5_r8 * (pint(i) + state%ps(i))",
+                "state%pmid(i) = 0.55_r8 * (pint(i) + state%ps(i))",
+            )],
+            Experiment::Control | Experiment::RandMt | Experiment::Avx2 => Vec::new(),
+        }
+    }
+
+    /// Whether the experiment swaps the PRNG for the Mersenne Twister.
+    pub fn uses_mersenne_twister(&self) -> bool {
+        matches!(self, Experiment::RandMt)
+    }
+
+    /// Whether the experiment enables AVX2/FMA instructions.
+    pub fn enables_avx2(&self) -> bool {
+        matches!(self, Experiment::Avx2)
+    }
+
+    /// Ground-truth bug sites ("for all but one experiment, we introduce a
+    /// bug into the source code so that the correct location is known").
+    /// For RAND-MT these are "the variables immediately influenced or
+    /// defined by the numbers returned from the PRNG"; for AVX2 the sites
+    /// are determined at runtime by the KGen-style kernel comparison, so
+    /// this returns the kernel's host module variables the paper names.
+    pub fn bug_sites(&self) -> Vec<BugSite> {
+        match self {
+            Experiment::Control => Vec::new(),
+            Experiment::WsubBug => {
+                vec![BugSite::new("microp_aero", "microp_aero_run", "wsub")]
+            }
+            Experiment::RandMt => vec![
+                BugSite::new("cloud_cover_lw", "cldfrc_lw", "cldovrlp"),
+                BugSite::new("cloud_cover_sw", "cldfrc_sw", "swovrlp"),
+            ],
+            Experiment::GoffGratch => {
+                vec![BugSite::new("wv_saturation", "goffgratch_svp", "e3")]
+            }
+            Experiment::Avx2 => vec![
+                BugSite::new("micro_mg", "micro_mg_tend", "nctend"),
+                BugSite::new("micro_mg", "micro_mg_tend", "qvlat"),
+                BugSite::new("micro_mg", "micro_mg_tend", "tlat"),
+                BugSite::new("micro_mg", "micro_mg_tend", "nitend"),
+                BugSite::new("micro_mg", "micro_mg_tend", "qsout2"),
+            ],
+            Experiment::RandomBug => {
+                vec![BugSite::new("dyn_update", "dyn_update_state", "omega")]
+            }
+            Experiment::Dyn3Bug => vec![BugSite::new("dycore", "dyn_run", "pmid")],
+        }
+    }
+
+    /// The output variables the paper's Table 2 lists as selected for this
+    /// experiment (file-output names, lowercase).
+    pub fn table2_outputs(&self) -> Vec<&'static str> {
+        match self {
+            Experiment::Control => vec![],
+            Experiment::WsubBug => vec!["wsub"],
+            Experiment::RandomBug => vec!["omega"],
+            Experiment::GoffGratch => vec![
+                "aqsnow", "freqs", "cldhgh", "precsl", "ansnow", "cldmed", "cloud", "cldlow",
+                "ccn3", "cldtot",
+            ],
+            Experiment::Dyn3Bug => vec!["vv", "omega", "z3", "uu", "omegat"],
+            Experiment::RandMt => vec!["flds", "taux", "snowhlnd", "flns", "qrl"],
+            Experiment::Avx2 => vec!["taux", "trefht", "snowhlnd", "ps", "u10", "shflx"],
+        }
+    }
+
+    /// The corresponding internal variable names (Table 2, right column).
+    pub fn table2_internal(&self) -> Vec<&'static str> {
+        match self {
+            Experiment::Control => vec![],
+            Experiment::WsubBug => vec!["wsub"],
+            Experiment::RandomBug => vec!["omega"],
+            Experiment::GoffGratch => vec![
+                "qsout2", "freqs", "clhgh", "snowl", "nsout2", "clmed", "cld", "cllow", "ccn",
+                "cltot",
+            ],
+            Experiment::Dyn3Bug => vec!["v", "omega", "z3", "u", "t"],
+            Experiment::RandMt => vec!["flwds", "wsx", "snowhland", "flns", "qrl"],
+            Experiment::Avx2 => vec!["wsx", "tref", "snowhland", "ps", "u10", "shf"],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(Experiment::WsubBug.name(), "WSUBBUG");
+        assert_eq!(Experiment::RandMt.name(), "RAND-MT");
+    }
+
+    #[test]
+    fn source_experiments_have_patches() {
+        for e in [
+            Experiment::WsubBug,
+            Experiment::GoffGratch,
+            Experiment::RandomBug,
+            Experiment::Dyn3Bug,
+        ] {
+            assert!(!e.source_patches().is_empty(), "{e:?}");
+            assert!(!e.bug_sites().is_empty());
+        }
+    }
+
+    #[test]
+    fn config_experiments_have_no_patches() {
+        assert!(Experiment::RandMt.source_patches().is_empty());
+        assert!(Experiment::Avx2.source_patches().is_empty());
+        assert!(Experiment::RandMt.uses_mersenne_twister());
+        assert!(Experiment::Avx2.enables_avx2());
+    }
+
+    #[test]
+    fn table2_columns_align() {
+        for e in Experiment::ALL {
+            assert_eq!(e.table2_outputs().len(), e.table2_internal().len(), "{e:?}");
+        }
+    }
+
+    #[test]
+    fn goffgratch_patch_is_the_paper_typo() {
+        let p = Experiment::GoffGratch.source_patches();
+        assert!(p[0].1.contains("8.1328e-3"));
+        assert!(p[0].2.contains("8.1828e-3"));
+    }
+}

@@ -1,0 +1,172 @@
+//! KGen-style kernel comparison.
+//!
+//! §6.4: "we employ KGen to identify a small number of variables affected
+//! by AVX2 and FMA ... We extract the Morrison-Gettelman microphysics
+//! kernel ... and compare the normalized Root Mean Squared (RMS) values
+//! computed by the kernel with AVX2 disabled to the normalized RMS values
+//! with AVX2 enabled. KGen flags 42 variables as exhibiting normalized RMS
+//! value differences exceeding 10⁻¹²."
+//!
+//! Instead of literal source extraction, the kernel module's complete
+//! variable set (module arrays + subprogram locals) is instrumented and
+//! the whole model is executed under both configurations with identical
+//! initial conditions — equivalent observations, obtained without
+//! generating standalone kernel drivers.
+
+use crate::interp::{Interpreter, RunConfig, RuntimeError, SampleSpec};
+
+use rca_model::ModelSource;
+
+/// Result of a kernel comparison between two configurations.
+#[derive(Debug, Clone)]
+pub struct KernelComparison {
+    /// All compared variables with their normalized RMS difference,
+    /// descending.
+    pub all: Vec<(String, f64)>,
+    /// Variables exceeding the threshold (paper: 42 at 10⁻¹²), descending.
+    pub flagged: Vec<(String, f64)>,
+    /// Threshold used.
+    pub threshold: f64,
+}
+
+/// Builds instrumentation specs covering every variable of
+/// `kernel_module`.
+pub fn kernel_sample_specs(
+    model: &ModelSource,
+    kernel_module: &str,
+) -> Result<Vec<SampleSpec>, RuntimeError> {
+    let (asts, _) = model.parse();
+    let interp = Interpreter::load(&asts, RunConfig::default())?;
+    let mut specs = Vec::new();
+    for name in interp.module_var_names(kernel_module) {
+        specs.push(SampleSpec {
+            module: kernel_module.to_string(),
+            subprogram: None,
+            name,
+        });
+    }
+    // Locals of every subprogram in the kernel module.
+    let subs: Vec<(String, String)> = interp
+        .coverage_universe(kernel_module);
+    for (module, sub) in subs {
+        for local in interp.local_names(&module, &sub) {
+            specs.push(SampleSpec {
+                module: module.clone(),
+                subprogram: Some(sub.clone()),
+                name: local,
+            });
+        }
+    }
+    Ok(specs)
+}
+
+/// Runs the model under `base` and `variant` configurations (identical
+/// zero perturbation) and compares every kernel variable by normalized
+/// RMS, flagging those above `threshold`.
+pub fn compare_kernel(
+    model: &ModelSource,
+    base: &RunConfig,
+    variant: &RunConfig,
+    kernel_module: &str,
+    threshold: f64,
+) -> Result<KernelComparison, RuntimeError> {
+    let specs = kernel_sample_specs(model, kernel_module)?;
+    let sample_step = base.steps.saturating_sub(1);
+    let mut base_cfg = base.clone();
+    base_cfg.sample_step = Some(sample_step);
+    base_cfg.samples = specs.clone();
+    let mut var_cfg = variant.clone();
+    var_cfg.sample_step = Some(sample_step);
+    var_cfg.samples = specs;
+
+    let a = crate::runner::run_model(model, &base_cfg, 0.0)?;
+    let b = crate::runner::run_model(model, &var_cfg, 0.0)?;
+
+    let mut all = Vec::new();
+    for (key, av) in &a.samples {
+        let Some(bv) = b.samples.get(key) else {
+            continue;
+        };
+        if av.len() != bv.len() {
+            continue;
+        }
+        let nrms = rca_stats::normalized_rms_diff(av, bv);
+        all.push((key.clone(), nrms));
+    }
+    all.sort_by(|x, y| y.1.partial_cmp(&x.1).unwrap().then_with(|| x.0.cmp(&y.0)));
+    let flagged = all
+        .iter()
+        .filter(|&&(_, v)| v > threshold)
+        .cloned()
+        .collect();
+    Ok(KernelComparison {
+        all,
+        flagged,
+        threshold,
+    })
+}
+
+impl Interpreter {
+    /// All (module, subprogram) pairs defined in `module` — used to build
+    /// kernel instrumentation without executing first.
+    pub fn coverage_universe(&self, module: &str) -> Vec<(String, String)> {
+        self.proc_names_of_module(module)
+            .into_iter()
+            .map(|s| (module.to_string(), s))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Avx2Policy;
+    use rca_model::{generate, ModelConfig};
+
+    #[test]
+    fn kernel_specs_cover_mg_variables() {
+        let model = generate(&ModelConfig::test());
+        let specs = kernel_sample_specs(&model, "micro_mg").unwrap();
+        let names: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
+        for expected in ["tlat", "qvlat", "nctend", "qsout2", "dum", "ratio"] {
+            assert!(names.contains(&expected), "missing {expected}: {names:?}");
+        }
+    }
+
+    #[test]
+    fn fma_comparison_flags_kernel_variables() {
+        let model = generate(&ModelConfig::test());
+        let base = RunConfig {
+            steps: 3,
+            ..Default::default()
+        };
+        let variant = RunConfig {
+            steps: 3,
+            avx2: Avx2Policy::AllModules,
+            fma_scale: 1.0,
+            ..Default::default()
+        };
+        let cmp = compare_kernel(&model, &base, &variant, "micro_mg", 1e-16).unwrap();
+        assert!(!cmp.all.is_empty());
+        assert!(
+            !cmp.flagged.is_empty(),
+            "FMA must flag some MG variables: {:?}",
+            &cmp.all[..cmp.all.len().min(5)]
+        );
+        // Descending order.
+        for w in cmp.all.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn identical_configs_flag_nothing() {
+        let model = generate(&ModelConfig::test());
+        let cfg = RunConfig {
+            steps: 2,
+            ..Default::default()
+        };
+        let cmp = compare_kernel(&model, &cfg, &cfg, "micro_mg", 1e-15).unwrap();
+        assert!(cmp.flagged.is_empty(), "{:?}", cmp.flagged);
+    }
+}

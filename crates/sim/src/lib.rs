@@ -1,0 +1,32 @@
+//! # rca-sim — execution substrate for the synthetic climate model
+//!
+//! The paper's experiments run CESM on NCAR supercomputers; this crate is
+//! the laptop-scale substitute. It executes the `rca-model` Fortran through
+//! a tree-walking interpreter ([`interp`]) with three paper-critical
+//! capabilities:
+//!
+//! - **AVX2/FMA simulation**: per-module fused-multiply-add contraction of
+//!   `a*b ± c` (the actual mechanism by which Broadwell's FMA changes CESM
+//!   results), with a delta-amplification knob bridging the site-count gap
+//!   between this model and 1.5M-line CESM;
+//! - **PRNG substitution** ([`prng`]): Marsaglia KISS (the CESM default) vs
+//!   MT19937 for the RAND-MT experiment;
+//! - **coverage recording and runtime sampling**: the Intel-codecov and
+//!   variable-instrumentation substitutes used by hybrid slicing and
+//!   Algorithm 5.4 step 7.
+//!
+//! [`runner`] drives single runs and rayon-parallel ensembles;
+//! [`kernel`] reproduces the KGen normalized-RMS comparison that flags
+//! FMA-affected Morrison–Gettelman variables (§6.4).
+
+pub mod interp;
+pub mod kernel;
+pub mod prng;
+pub mod runner;
+pub mod value;
+
+pub use interp::{Avx2Policy, History, Interpreter, RunConfig, RuntimeError, SampleSpec};
+pub use kernel::{compare_kernel, kernel_sample_specs, KernelComparison};
+pub use prng::{make_prng, Kiss, Mt19937, Prng, PrngKind};
+pub use runner::{outputs_matrix, perturbations, run_ensemble, run_loaded, run_model, RunOutput};
+pub use value::Value;

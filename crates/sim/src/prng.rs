@@ -1,0 +1,207 @@
+//! Pseudorandom number generators for the RAND-MT experiment.
+//!
+//! §6.2: "RAND-MT involves replacing the CESM default pseudorandom number
+//! generator (PRNG) with the Mersenne Twister ... it is not a bug (in the
+//! usual sense of being incorrect) and not localized to a single line."
+//! CESM's default generator is the `kissvec` KISS generator; both are
+//! implemented here and selected by [`PrngKind`] in the run configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Which generator backs `random_number` calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PrngKind {
+    /// The model default: Marsaglia KISS (as in CESM's `kissvec`).
+    Kiss,
+    /// Mersenne Twister MT19937 (the RAND-MT substitution).
+    MersenneTwister,
+}
+
+/// A uniform-[0,1) generator.
+pub trait Prng: Send {
+    /// Next uniform deviate in `[0, 1)`.
+    fn next_f64(&mut self) -> f64;
+
+    /// Fills a slice with uniform deviates.
+    fn fill(&mut self, out: &mut [f64]) {
+        for v in out {
+            *v = self.next_f64();
+        }
+    }
+}
+
+/// Instantiates the configured generator with a seed.
+pub fn make_prng(kind: PrngKind, seed: u32) -> Box<dyn Prng> {
+    match kind {
+        PrngKind::Kiss => Box::new(Kiss::new(seed)),
+        PrngKind::MersenneTwister => Box::new(Mt19937::new(seed)),
+    }
+}
+
+/// Marsaglia's KISS generator (combination of LCG, xorshift, and MWC),
+/// mirroring CESM's `shr_RandNum` kissvec implementation.
+pub struct Kiss {
+    x: u32,
+    y: u32,
+    z: u32,
+    w: u32,
+}
+
+impl Kiss {
+    /// Seeds the four sub-generators from one seed (zero-safe).
+    pub fn new(seed: u32) -> Self {
+        let s = seed.wrapping_mul(69069).wrapping_add(1234567) | 1;
+        Kiss {
+            x: s,
+            y: s.wrapping_mul(362437) | 1,
+            z: s.wrapping_mul(521288629) % 698769068 + 1,
+            w: s.wrapping_mul(916191069) % 698769068 + 1,
+        }
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        // LCG
+        self.x = self.x.wrapping_mul(69069).wrapping_add(1327217885);
+        // xorshift
+        self.y ^= self.y << 13;
+        self.y ^= self.y >> 17;
+        self.y ^= self.y << 5;
+        // two MWC
+        self.z = 18000u32
+            .wrapping_mul(self.z & 0xFFFF)
+            .wrapping_add(self.z >> 16);
+        self.w = 30903u32
+            .wrapping_mul(self.w & 0xFFFF)
+            .wrapping_add(self.w >> 16);
+        self.x
+            .wrapping_add(self.y)
+            .wrapping_add(self.z << 16)
+            .wrapping_add(self.w & 0xFFFF)
+    }
+}
+
+impl Prng for Kiss {
+    fn next_f64(&mut self) -> f64 {
+        self.next_u32() as f64 / 4294967296.0
+    }
+}
+
+/// MT19937 (32-bit Mersenne Twister), the classic Matsumoto–Nishimura
+/// generator.
+pub struct Mt19937 {
+    mt: [u32; 624],
+    index: usize,
+}
+
+impl Mt19937 {
+    /// Standard seeding (Knuth multiplier 1812433253).
+    pub fn new(seed: u32) -> Self {
+        let mut mt = [0u32; 624];
+        mt[0] = seed;
+        for i in 1..624 {
+            mt[i] = 1812433253u32
+                .wrapping_mul(mt[i - 1] ^ (mt[i - 1] >> 30))
+                .wrapping_add(i as u32);
+        }
+        Mt19937 { mt, index: 624 }
+    }
+
+    fn generate(&mut self) {
+        for i in 0..624 {
+            let y = (self.mt[i] & 0x8000_0000) | (self.mt[(i + 1) % 624] & 0x7FFF_FFFF);
+            let mut next = y >> 1;
+            if y & 1 != 0 {
+                next ^= 0x9908_B0DF;
+            }
+            self.mt[i] = self.mt[(i + 397) % 624] ^ next;
+        }
+        self.index = 0;
+    }
+
+    /// Next raw 32-bit output (tempered).
+    pub fn next_u32(&mut self) -> u32 {
+        if self.index >= 624 {
+            self.generate();
+        }
+        let mut y = self.mt[self.index];
+        self.index += 1;
+        y ^= y >> 11;
+        y ^= (y << 7) & 0x9D2C_5680;
+        y ^= (y << 15) & 0xEFC6_0000;
+        y ^= y >> 18;
+        y
+    }
+}
+
+impl Prng for Mt19937 {
+    fn next_f64(&mut self) -> f64 {
+        self.next_u32() as f64 / 4294967296.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mt19937_reference_vector() {
+        // First outputs for the canonical seed 5489.
+        let mut mt = Mt19937::new(5489);
+        assert_eq!(mt.next_u32(), 3499211612);
+        assert_eq!(mt.next_u32(), 581869302);
+        assert_eq!(mt.next_u32(), 3890346734);
+        assert_eq!(mt.next_u32(), 3586334585);
+        assert_eq!(mt.next_u32(), 545404204);
+    }
+
+    #[test]
+    fn generators_produce_unit_interval() {
+        for kind in [PrngKind::Kiss, PrngKind::MersenneTwister] {
+            let mut g = make_prng(kind, 42);
+            for _ in 0..10_000 {
+                let v = g.next_f64();
+                assert!((0.0..1.0).contains(&v), "{kind:?} out of range: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        for kind in [PrngKind::Kiss, PrngKind::MersenneTwister] {
+            let mut a = make_prng(kind, 7);
+            let mut b = make_prng(kind, 7);
+            for _ in 0..100 {
+                assert_eq!(a.next_f64(), b.next_f64());
+            }
+        }
+    }
+
+    #[test]
+    fn different_kinds_differ() {
+        let mut k = make_prng(PrngKind::Kiss, 7);
+        let mut m = make_prng(PrngKind::MersenneTwister, 7);
+        let same = (0..32).filter(|_| k.next_f64() == m.next_f64()).count();
+        assert!(same < 2, "KISS and MT19937 should disagree");
+    }
+
+    #[test]
+    fn roughly_uniform_mean() {
+        for kind in [PrngKind::Kiss, PrngKind::MersenneTwister] {
+            let mut g = make_prng(kind, 99);
+            let n = 50_000;
+            let mean: f64 = (0..n).map(|_| g.next_f64()).sum::<f64>() / n as f64;
+            assert!((mean - 0.5).abs() < 0.01, "{kind:?} mean {mean}");
+        }
+    }
+
+    #[test]
+    fn fill_matches_sequence() {
+        let mut a = make_prng(PrngKind::Kiss, 3);
+        let mut b = make_prng(PrngKind::Kiss, 3);
+        let mut buf = [0.0; 8];
+        a.fill(&mut buf);
+        for v in buf {
+            assert_eq!(v, b.next_f64());
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! Model execution driver: single runs, ensembles, and output matrices.
+//!
+//! Mirrors the paper's experimental setup: an *ensemble* of runs differing
+//! only in O(10⁻¹⁴) initial-condition perturbations (the CESM-ECT
+//! methodology of refs [2, 24]), plus *experimental* runs with a bug
+//! injected or the run configuration changed. Ensembles execute in
+//! parallel with rayon — each member is an independent interpreter
+//! instance.
+
+use crate::interp::{Interpreter, RunConfig, RuntimeError};
+use rayon::prelude::*;
+use rca_model::ModelSource;
+use std::collections::{BTreeMap, HashMap};
+
+/// Results of one model run.
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    /// Output-variable global means per step (`name → series`).
+    pub history: BTreeMap<String, Vec<f64>>,
+    /// Captured instrumented values keyed `module::sub::name`.
+    pub samples: HashMap<String, Vec<f64>>,
+    /// Executed (module, subprogram) pairs.
+    pub coverage: Vec<(String, String)>,
+}
+
+impl RunOutput {
+    /// Output values at `step` in sorted-name order.
+    pub fn outputs_at(&self, step: u32) -> Vec<(String, f64)> {
+        self.history
+            .iter()
+            .filter_map(|(k, v)| v.get(step as usize).map(|&x| (k.clone(), x)))
+            .collect()
+    }
+}
+
+/// Runs the model once: `cam_init(pert)` then `steps` × `cam_run_step`.
+pub fn run_model(
+    model: &ModelSource,
+    config: &RunConfig,
+    pert: f64,
+) -> Result<RunOutput, RuntimeError> {
+    let (asts, parse_errs) = model.parse();
+    if let Some(e) = parse_errs.first() {
+        return Err(RuntimeError {
+            message: format!("model does not parse: {e}"),
+            context: "loader".to_string(),
+            line: e.line,
+        });
+    }
+    let mut interp = Interpreter::load(&asts, config.clone())?;
+    run_loaded(&mut interp, config, pert)
+}
+
+/// Drives an already-loaded interpreter through a full simulation.
+pub fn run_loaded(
+    interp: &mut Interpreter,
+    config: &RunConfig,
+    pert: f64,
+) -> Result<RunOutput, RuntimeError> {
+    interp.call("cam_init", &[crate::value::Value::Real(pert)])?;
+    for step in 0..config.steps {
+        interp.set_step(step);
+        interp.call("cam_run_step", &[])?;
+        if config.sample_step == Some(step) {
+            interp.capture_module_samples();
+        }
+    }
+    let mut history = BTreeMap::new();
+    for name in interp.history.names() {
+        if let Some(series) = interp.history.series(&name) {
+            history.insert(name.clone(), series.to_vec());
+        }
+    }
+    Ok(RunOutput {
+        history,
+        samples: interp.samples.clone(),
+        coverage: interp.coverage.iter().cloned().collect(),
+    })
+}
+
+/// Deterministic initial-condition perturbations of the requested
+/// magnitude (the CESM ensemble uses O(10⁻¹⁴) temperature perturbations).
+pub fn perturbations(n: usize, magnitude: f64, seed: u64) -> Vec<f64> {
+    let mut state = seed | 1;
+    (0..n)
+        .map(|_| {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            let u = (state.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64;
+            magnitude * (2.0 * u - 1.0)
+        })
+        .collect()
+}
+
+/// Runs an ensemble in parallel, one interpreter per member.
+pub fn run_ensemble(
+    model: &ModelSource,
+    config: &RunConfig,
+    perts: &[f64],
+) -> Result<Vec<RunOutput>, RuntimeError> {
+    let (asts, parse_errs) = model.parse();
+    if let Some(e) = parse_errs.first() {
+        return Err(RuntimeError {
+            message: format!("model does not parse: {e}"),
+            context: "loader".to_string(),
+            line: e.line,
+        });
+    }
+    perts
+        .par_iter()
+        .map(|&p| {
+            let mut interp = Interpreter::load(&asts, config.clone())?;
+            run_loaded(&mut interp, config, p)
+        })
+        .collect()
+}
+
+/// Assembles the `runs × variables` output matrix at a step, returning the
+/// shared sorted variable-name list and row data. Variables missing from
+/// any run are dropped (all runs must agree on the output set).
+pub fn outputs_matrix(runs: &[RunOutput], step: u32) -> (Vec<String>, Vec<Vec<f64>>) {
+    let Some(first) = runs.first() else {
+        return (Vec::new(), Vec::new());
+    };
+    let names: Vec<String> = first
+        .outputs_at(step)
+        .into_iter()
+        .filter(|(name, v)| {
+            v.is_finite()
+                && runs.iter().all(|r| {
+                    r.history
+                        .get(name)
+                        .and_then(|s| s.get(step as usize))
+                        .is_some_and(|x| x.is_finite())
+                })
+        })
+        .map(|(name, _)| name)
+        .collect();
+    let rows = runs
+        .iter()
+        .map(|r| {
+            names
+                .iter()
+                .map(|n| r.history[n][step as usize])
+                .collect::<Vec<f64>>()
+        })
+        .collect();
+    (names, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rca_model::{generate, Experiment, ModelConfig};
+
+    fn cfg() -> RunConfig {
+        RunConfig {
+            steps: 3,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn full_model_runs() {
+        let model = generate(&ModelConfig::test());
+        let out = run_model(&model, &cfg(), 0.0).expect("model run");
+        assert!(
+            out.history.contains_key("wsub"),
+            "outputs: {:?}",
+            out.history.keys().collect::<Vec<_>>()
+        );
+        assert!(out.history.contains_key("flds"));
+        assert!(out.history.contains_key("omega"));
+        assert!(out.history.contains_key("snowhlnd"));
+        // Every output finite at the last step.
+        for (name, series) in &out.history {
+            let last = series.last().copied().unwrap_or(f64::NAN);
+            assert!(last.is_finite(), "{name} = {last}");
+        }
+        // Coverage includes core physics.
+        assert!(out
+            .coverage
+            .iter()
+            .any(|(m, s)| m == "micro_mg" && s == "micro_mg_tend"));
+    }
+
+    #[test]
+    fn identical_perturbations_are_bitwise_identical() {
+        let model = generate(&ModelConfig::test());
+        let a = run_model(&model, &cfg(), 1e-14).unwrap();
+        let b = run_model(&model, &cfg(), 1e-14).unwrap();
+        for (name, series) in &a.history {
+            assert_eq!(series, &b.history[name], "{name} not reproducible");
+        }
+    }
+
+    #[test]
+    fn perturbations_change_output() {
+        let model = generate(&ModelConfig::test());
+        let a = run_model(&model, &cfg(), 0.0).unwrap();
+        let b = run_model(&model, &cfg(), 1e-10).unwrap();
+        let diff = a
+            .history
+            .iter()
+            .filter(|(name, series)| {
+                series.last() != b.history[name.as_str()].last()
+            })
+            .count();
+        assert!(diff > 0, "perturbation must move at least one output");
+    }
+
+    #[test]
+    fn bugged_models_run_and_differ() {
+        let model = generate(&ModelConfig::test());
+        let base = run_model(&model, &cfg(), 0.0).unwrap();
+        for e in [
+            Experiment::WsubBug,
+            Experiment::GoffGratch,
+            Experiment::Dyn3Bug,
+            Experiment::RandomBug,
+        ] {
+            let bugged = model.apply(e);
+            let out = run_model(&bugged, &cfg(), 0.0).unwrap();
+            let changed = base
+                .history
+                .iter()
+                .any(|(name, series)| series.last() != out.history[name.as_str()].last());
+            assert!(changed, "{e:?} must change some output");
+        }
+    }
+
+    #[test]
+    fn wsubbug_moves_wsub_by_factor() {
+        let model = generate(&ModelConfig::test());
+        let base = run_model(&model, &cfg(), 0.0).unwrap();
+        let bugged = run_model(&model.apply(Experiment::WsubBug), &cfg(), 0.0).unwrap();
+        let w0 = base.history["wsub"].last().unwrap();
+        let w1 = bugged.history["wsub"].last().unwrap();
+        assert!(w1 / w0 > 2.0, "wsub should grow: {w0} -> {w1}");
+        // Bug is isolated: flds untouched (wsub feeds nothing else).
+        assert_eq!(
+            base.history["flds"].last(),
+            bugged.history["flds"].last(),
+            "wsub bug must stay isolated from radiation"
+        );
+    }
+
+    #[test]
+    fn ensemble_parallel_matches_serial() {
+        let model = generate(&ModelConfig::test());
+        let perts = perturbations(4, 1e-14, 42);
+        let ens = run_ensemble(&model, &cfg(), &perts).unwrap();
+        let serial = run_model(&model, &cfg(), perts[2]).unwrap();
+        assert_eq!(ens[2].history["flds"], serial.history["flds"]);
+    }
+
+    #[test]
+    fn outputs_matrix_shape() {
+        let model = generate(&ModelConfig::test());
+        let perts = perturbations(3, 1e-14, 7);
+        let ens = run_ensemble(&model, &cfg(), &perts).unwrap();
+        let (names, rows) = outputs_matrix(&ens, 2);
+        assert_eq!(rows.len(), 3);
+        assert!(names.len() > 20, "expected many outputs, got {}", names.len());
+        assert!(rows.iter().all(|r| r.len() == names.len()));
+    }
+
+    #[test]
+    fn perturbations_deterministic_and_bounded() {
+        let a = perturbations(10, 1e-14, 5);
+        let b = perturbations(10, 1e-14, 5);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|v| v.abs() <= 1e-14));
+        assert!(a.iter().any(|v| *v != 0.0));
+    }
+
+    #[test]
+    fn mt_prng_changes_cloud_outputs_only_slightly_elsewhere() {
+        let model = generate(&ModelConfig::test());
+        let base = run_model(&model, &cfg(), 0.0).unwrap();
+        let mut mt_cfg = cfg();
+        mt_cfg.prng = crate::prng::PrngKind::MersenneTwister;
+        let mt = run_model(&model, &mt_cfg, 0.0).unwrap();
+        // flds depends directly on the PRNG-perturbed overlap.
+        assert_ne!(
+            base.history["flds"].last(),
+            mt.history["flds"].last(),
+            "PRNG swap must move longwave fluxes"
+        );
+        // wsub is isolated from clouds entirely.
+        assert_eq!(base.history["wsub"], mt.history["wsub"]);
+    }
+
+    #[test]
+    fn avx2_enables_detectable_differences() {
+        let model = generate(&ModelConfig::test());
+        let base = run_model(&model, &cfg(), 0.0).unwrap();
+        let mut fma_cfg = cfg();
+        fma_cfg.avx2 = crate::interp::Avx2Policy::AllModules;
+        fma_cfg.fma_scale = 1.0;
+        let fma = run_model(&model, &fma_cfg, 0.0).unwrap();
+        let changed = base
+            .history
+            .iter()
+            .filter(|(name, series)| series.last() != fma.history[name.as_str()].last())
+            .count();
+        assert!(changed > 0, "FMA contraction must alter some outputs");
+    }
+}

@@ -1,0 +1,109 @@
+//! Runtime values of the interpreter.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A Fortran runtime value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `real(r8)` scalar.
+    Real(f64),
+    /// `integer` scalar.
+    Int(i64),
+    /// `logical` scalar.
+    Logical(bool),
+    /// `character` value.
+    Str(String),
+    /// 1-D `real(r8)` array (the model is a single-level column model).
+    RealArray(Vec<f64>),
+    /// Derived-type instance: field name → value.
+    Derived(HashMap<String, Value>),
+}
+
+impl Value {
+    /// Numeric coercion to `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Real(v) => Some(*v),
+            Value::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// Integer view (reals are not silently truncated).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Logical view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Logical(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Flattens to a vector of floats for sampling/comparison: scalars
+    /// become length-1 vectors; derived types are not flattened.
+    pub fn flatten(&self) -> Option<Vec<f64>> {
+        match self {
+            Value::Real(v) => Some(vec![*v]),
+            Value::Int(v) => Some(vec![*v as f64]),
+            Value::RealArray(v) => Some(v.clone()),
+            _ => None,
+        }
+    }
+
+    /// A human-readable type name for diagnostics.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Real(_) => "real",
+            Value::Int(_) => "integer",
+            Value::Logical(_) => "logical",
+            Value::Str(_) => "character",
+            Value::RealArray(_) => "real array",
+            Value::Derived(_) => "derived type",
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Real(v) => write!(f, "{v}"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Logical(b) => write!(f, "{}", if *b { ".true." } else { ".false." }),
+            Value::Str(s) => write!(f, "'{s}'"),
+            Value::RealArray(v) => write!(f, "[{} reals]", v.len()),
+            Value::Derived(m) => write!(f, "derived({} fields)", m.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coercions() {
+        assert_eq!(Value::Real(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Int(3).as_i64(), Some(3));
+        assert_eq!(Value::Real(3.0).as_i64(), None, "no silent truncation");
+        assert_eq!(Value::Logical(true).as_bool(), Some(true));
+        assert_eq!(Value::Str("x".into()).as_f64(), None);
+    }
+
+    #[test]
+    fn flatten_shapes() {
+        assert_eq!(Value::Real(1.0).flatten(), Some(vec![1.0]));
+        assert_eq!(
+            Value::RealArray(vec![1.0, 2.0]).flatten(),
+            Some(vec![1.0, 2.0])
+        );
+        assert_eq!(Value::Derived(HashMap::new()).flatten(), None);
+    }
+}

@@ -1,0 +1,257 @@
+//! Ensemble Consistency Testing — the UF-CAM-ECT substitute.
+//!
+//! The paper's pipeline "begins when CESM-ECT issues a Fail" (§2.1) and uses
+//! the ultra-fast variant evaluated "at time step nine" [24]. Methodology
+//! (Baker et al. 2015; Milroy et al. 2018): PCA of the standardized ensemble
+//! output means; an experimental run fails a PC when its score falls outside
+//! the ensemble's score distribution; the run fails the test when enough PCs
+//! fail; the overall verdict aggregates a small set of experimental runs by
+//! majority.
+
+use crate::matrix::Matrix;
+use crate::pca::Pca;
+use serde::{Deserialize, Serialize};
+
+/// ECT configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct EctConfig {
+    /// Number of leading principal components scored.
+    pub n_pcs: usize,
+    /// A PC fails when the experimental score deviates from the ensemble
+    /// score mean by more than `sigma_factor` ensemble score σ.
+    pub sigma_factor: f64,
+    /// Minimum number of failing PCs for a run-level Fail.
+    pub fail_threshold: usize,
+    /// Run-set verdict: Fail when at least this many of the evaluated runs
+    /// fail (pyCECT uses 2 of 3).
+    pub majority: usize,
+}
+
+impl Default for EctConfig {
+    fn default() -> Self {
+        EctConfig {
+            n_pcs: 20,
+            sigma_factor: 2.0,
+            fail_threshold: 3,
+            majority: 2,
+        }
+    }
+}
+
+/// Verdict for a single experimental run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunVerdict {
+    /// Indices of the PCs whose scores fell outside the ensemble bounds.
+    pub failed_pcs: Vec<usize>,
+    /// Whether the run fails (`failed_pcs.len() >= fail_threshold`).
+    pub fail: bool,
+}
+
+/// The test's user-facing outcome (§1: "a user-friendly Pass or Fail").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// Statistically consistent with the ensemble.
+    Pass,
+    /// Statistically distinguishable from the ensemble.
+    Fail,
+}
+
+impl std::fmt::Display for Verdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Verdict::Pass => write!(f, "Pass"),
+            Verdict::Fail => write!(f, "Fail"),
+        }
+    }
+}
+
+/// A fitted ensemble consistency test.
+#[derive(Debug, Clone)]
+pub struct Ect {
+    pca: Pca,
+    /// Ensemble PC-score means (≈ 0 by construction).
+    score_means: Vec<f64>,
+    /// Ensemble PC-score standard deviations.
+    score_stds: Vec<f64>,
+    config: EctConfig,
+}
+
+impl Ect {
+    /// Fits the test to an ensemble matrix (`runs × variables` of global
+    /// means at the evaluation time step).
+    ///
+    /// `n_pcs` is clamped to `min(vars, runs − 1)` — beyond that the
+    /// ensemble provides no variance estimate.
+    pub fn fit(ensemble: &Matrix, mut config: EctConfig) -> Ect {
+        assert!(ensemble.rows() >= 3, "ensemble too small for ECT");
+        config.n_pcs = config
+            .n_pcs
+            .min(ensemble.cols())
+            .min(ensemble.rows().saturating_sub(1));
+        let pca = Pca::fit(ensemble);
+        let scores = pca.project_all(ensemble, config.n_pcs);
+        let score_means = scores.col_means();
+        let score_stds = scores.col_stds();
+        Ect {
+            pca,
+            score_means,
+            score_stds,
+            config,
+        }
+    }
+
+    /// The configuration in effect (after clamping).
+    pub fn config(&self) -> &EctConfig {
+        &self.config
+    }
+
+    /// Evaluates a single experimental run.
+    pub fn evaluate_run(&self, run: &[f64]) -> RunVerdict {
+        let scores = self.pca.project(run, self.config.n_pcs);
+        let mut failed = Vec::new();
+        for (k, &s) in scores.iter().enumerate() {
+            let sd = self.score_stds[k];
+            // A PC with (numerically) no ensemble variance fails on any
+            // detectable deviation.
+            let bound = if sd > 1e-12 {
+                self.config.sigma_factor * sd
+            } else {
+                1e-9
+            };
+            if (s - self.score_means[k]).abs() > bound {
+                failed.push(k);
+            }
+        }
+        let fail = failed.len() >= self.config.fail_threshold;
+        RunVerdict {
+            failed_pcs: failed,
+            fail,
+        }
+    }
+
+    /// Evaluates a set of experimental runs and aggregates by majority
+    /// (pyCECT evaluates 3 runs and fails on 2).
+    pub fn evaluate(&self, runs: &Matrix) -> Verdict {
+        let failing = (0..runs.rows())
+            .filter(|&i| self.evaluate_run(runs.row(i)).fail)
+            .count();
+        if failing >= self.config.majority.min(runs.rows()) {
+            Verdict::Fail
+        } else {
+            Verdict::Pass
+        }
+    }
+
+    /// Failure rate over many independent run-sets of size `set_size`
+    /// (paper Table 1 reports UF-CAM-ECT failure percentages).
+    pub fn failure_rate(&self, runs: &Matrix, set_size: usize) -> f64 {
+        let sets = runs.rows() / set_size;
+        if sets == 0 {
+            return 0.0;
+        }
+        let mut fails = 0usize;
+        for s in 0..sets {
+            let rows: Vec<Vec<f64>> = (0..set_size)
+                .map(|i| runs.row(s * set_size + i).to_vec())
+                .collect();
+            if self.evaluate(&Matrix::from_row_slices(&rows)) == Verdict::Fail {
+                fails += 1;
+            }
+        }
+        fails as f64 / sets as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic ensemble: `vars`-dimensional Gaussian-ish data via CLT of
+    /// uniforms, deterministic.
+    fn gaussian_matrix(rows: usize, vars: usize, seed: u64, shift: f64) -> Matrix {
+        let mut state = seed | 1;
+        let mut next = move || {
+            let mut s = 0.0;
+            for _ in 0..12 {
+                state ^= state >> 12;
+                state ^= state << 25;
+                state ^= state >> 27;
+                s += (state.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64;
+            }
+            s - 6.0 // ~N(0,1)
+        };
+        let mut out = Vec::new();
+        for _ in 0..rows {
+            out.push((0..vars).map(|_| next() + shift).collect());
+        }
+        Matrix::from_row_slices(&out)
+    }
+
+    #[test]
+    fn consistent_runs_pass() {
+        let ens = gaussian_matrix(120, 10, 11, 0.0);
+        let ect = Ect::fit(&ens, EctConfig::default());
+        let runs = gaussian_matrix(3, 10, 999, 0.0);
+        assert_eq!(ect.evaluate(&runs), Verdict::Pass);
+    }
+
+    #[test]
+    fn shifted_runs_fail() {
+        let ens = gaussian_matrix(120, 10, 11, 0.0);
+        let ect = Ect::fit(&ens, EctConfig::default());
+        // Shift every variable by 5σ — unmistakably inconsistent.
+        let runs = gaussian_matrix(3, 10, 999, 5.0);
+        assert_eq!(ect.evaluate(&runs), Verdict::Fail);
+    }
+
+    #[test]
+    fn single_run_verdict_details() {
+        let ens = gaussian_matrix(120, 10, 11, 0.0);
+        let ect = Ect::fit(&ens, EctConfig::default());
+        let v = ect.evaluate_run(&vec![8.0; 10]);
+        assert!(v.fail);
+        assert!(v.failed_pcs.len() >= 3);
+    }
+
+    #[test]
+    fn failure_rate_extremes() {
+        let ens = gaussian_matrix(120, 8, 17, 0.0);
+        let ect = Ect::fit(&ens, EctConfig::default());
+        let good = gaussian_matrix(30, 8, 555, 0.0);
+        let bad = gaussian_matrix(30, 8, 777, 6.0);
+        assert!(ect.failure_rate(&good, 3) < 0.35, "false-positive rate too high");
+        assert!(ect.failure_rate(&bad, 3) > 0.9, "true failure missed");
+    }
+
+    #[test]
+    fn n_pcs_clamped() {
+        let ens = gaussian_matrix(10, 50, 3, 0.0);
+        let ect = Ect::fit(
+            &ens,
+            EctConfig {
+                n_pcs: 100,
+                ..Default::default()
+            },
+        );
+        assert_eq!(ect.config().n_pcs, 9, "min(vars=50, runs-1=9)");
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_ensemble_rejected() {
+        let ens = gaussian_matrix(2, 5, 3, 0.0);
+        Ect::fit(&ens, EctConfig::default());
+    }
+
+    #[test]
+    fn majority_rule() {
+        let ens = gaussian_matrix(120, 10, 11, 0.0);
+        let ect = Ect::fit(&ens, EctConfig::default());
+        // 1 wild run among 3 sane ones: 1 < majority(2) => Pass.
+        let mut rows: Vec<Vec<f64>> = (0..2)
+            .map(|i| gaussian_matrix(1, 10, 1000 + i, 0.0).row(0).to_vec())
+            .collect();
+        rows.push(vec![9.0; 10]);
+        assert_eq!(ect.evaluate(&Matrix::from_row_slices(&rows)), Verdict::Pass);
+    }
+}

@@ -1,0 +1,200 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//!
+//! The ECT's principal components are eigenvectors of the ensemble
+//! correlation matrix (dimension = number of output variables, ~10²), well
+//! inside Jacobi's comfort zone. Jacobi is chosen for its unconditional
+//! stability and simplicity: each sweep annihilates off-diagonal entries
+//! with Givens rotations until the matrix is numerically diagonal.
+
+use crate::matrix::Matrix;
+
+/// Eigendecomposition of a symmetric matrix.
+#[derive(Debug, Clone)]
+pub struct EigenDecomposition {
+    /// Eigenvalues, sorted descending.
+    pub values: Vec<f64>,
+    /// Eigenvectors as matrix columns, matching `values` order; each column
+    /// has unit Euclidean norm.
+    pub vectors: Matrix,
+}
+
+/// Computes all eigenpairs of symmetric `a` with cyclic Jacobi sweeps.
+///
+/// # Panics
+/// Panics if `a` is not square. Symmetry is assumed (only the upper
+/// triangle drives the rotations); feeding a non-symmetric matrix yields
+/// the decomposition of its symmetric part.
+pub fn jacobi_eigen(a: &Matrix, max_sweeps: usize, tol: f64) -> EigenDecomposition {
+    assert_eq!(a.rows(), a.cols(), "jacobi_eigen requires a square matrix");
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+
+    for _ in 0..max_sweeps {
+        // Off-diagonal Frobenius norm.
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += m[(i, j)] * m[(i, j)];
+            }
+        }
+        if off.sqrt() <= tol {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() <= f64::EPSILON * (m[(p, p)].abs() + m[(q, q)].abs()).max(f64::MIN_POSITIVE)
+                {
+                    continue;
+                }
+                // Rotation angle (Golub & Van Loan 8.4).
+                let theta = (m[(q, q)] - m[(p, p)]) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Apply rotation to rows/cols p, q of m.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                // Accumulate eigenvectors.
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // Extract and sort descending.
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+    order.sort_by(|&a, &b| diag[b].partial_cmp(&diag[a]).expect("NaN eigenvalue"));
+    let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (new_col, &old_col) in order.iter().enumerate() {
+        // Sign convention: largest-magnitude entry positive, so tests and
+        // serialized PCs are deterministic.
+        let col: Vec<f64> = (0..n).map(|r| v[(r, old_col)]).collect();
+        let lead = col
+            .iter()
+            .cloned()
+            .max_by(|a, b| a.abs().partial_cmp(&b.abs()).unwrap())
+            .unwrap_or(1.0);
+        let sign = if lead < 0.0 { -1.0 } else { 1.0 };
+        for r in 0..n {
+            vectors[(r, new_col)] = sign * col[r];
+        }
+    }
+    EigenDecomposition { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn residual(a: &Matrix, d: &EigenDecomposition) -> f64 {
+        // max |A v - λ v|
+        let n = a.rows();
+        let mut worst: f64 = 0.0;
+        for k in 0..n {
+            let v: Vec<f64> = (0..n).map(|r| d.vectors[(r, k)]).collect();
+            let av = a.matvec(&v);
+            for i in 0..n {
+                worst = worst.max((av[i] - d.values[k] * v[i]).abs());
+            }
+        }
+        worst
+    }
+
+    #[test]
+    fn diagonal_matrix() {
+        let mut a = Matrix::zeros(3, 3);
+        a[(0, 0)] = 3.0;
+        a[(1, 1)] = 1.0;
+        a[(2, 2)] = 2.0;
+        let d = jacobi_eigen(&a, 50, 1e-12);
+        assert_eq!(d.values, vec![3.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_rows(2, 2, vec![2., 1., 1., 2.]);
+        let d = jacobi_eigen(&a, 50, 1e-14);
+        assert!((d.values[0] - 3.0).abs() < 1e-12);
+        assert!((d.values[1] - 1.0).abs() < 1e-12);
+        // Eigenvector for λ=3 is (1,1)/√2.
+        let inv_sqrt2 = 1.0 / 2f64.sqrt();
+        assert!((d.vectors[(0, 0)].abs() - inv_sqrt2).abs() < 1e-10);
+        assert!(residual(&a, &d) < 1e-10);
+    }
+
+    #[test]
+    fn random_symmetric_residual_small() {
+        // Deterministic pseudo-random symmetric matrix.
+        let n = 12;
+        let mut a = Matrix::zeros(n, n);
+        let mut state = 9876543210u64;
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        for i in 0..n {
+            for j in i..n {
+                let x = next();
+                a[(i, j)] = x;
+                a[(j, i)] = x;
+            }
+        }
+        let d = jacobi_eigen(&a, 100, 1e-13);
+        assert!(residual(&a, &d) < 1e-9, "residual {}", residual(&a, &d));
+        // Trace preserved.
+        let trace: f64 = (0..n).map(|i| a[(i, i)]).sum();
+        let sum: f64 = d.values.iter().sum();
+        assert!((trace - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eigenvectors_orthonormal() {
+        let a = Matrix::from_rows(3, 3, vec![4., 1., 0., 1., 3., 1., 0., 1., 2.]);
+        let d = jacobi_eigen(&a, 100, 1e-14);
+        for i in 0..3 {
+            for j in 0..3 {
+                let dot: f64 = (0..3).map(|r| d.vectors[(r, i)] * d.vectors[(r, j)]).sum();
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((dot - expect).abs() < 1e-10, "({i},{j}) dot={dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn values_sorted_descending() {
+        let a = Matrix::from_rows(3, 3, vec![1., 2., 0., 2., 1., 0., 0., 0., 5.]);
+        let d = jacobi_eigen(&a, 100, 1e-14);
+        for w in d.values.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        assert!((d.values[0] - 5.0).abs() < 1e-10);
+        assert!((d.values[2] + 1.0).abs() < 1e-10); // eigenvalue -1
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn non_square_panics() {
+        jacobi_eigen(&Matrix::zeros(2, 3), 10, 1e-10);
+    }
+}

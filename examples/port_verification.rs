@@ -1,0 +1,66 @@
+//! Port verification: detect and attribute an FMA-capable "machine".
+//!
+//! Reproduces the investigation that motivated the paper (§1, §6.4): CESM
+//! output from a new machine (FMA-capable CPUs) fails the ensemble
+//! consistency test against the accepted ensemble, and the KGen-style
+//! kernel comparison identifies which Morrison–Gettelman variables are
+//! sensitive to the fused instructions — the analysis that originally
+//! "took several months and many CESM experts".
+//!
+//! Run with: `cargo run --release --example port_verification`
+
+use climate_rca::prelude::*;
+use rca::{run_statistics, ExperimentSetup};
+use model::{generate, Experiment, ModelConfig};
+use sim::{compare_kernel, Avx2Policy, RunConfig};
+
+fn main() {
+    let model = generate(&ModelConfig::test());
+    let setup = ExperimentSetup {
+        steps: 9,
+        ..ExperimentSetup::quick()
+    };
+
+    // "Port" the model to a machine with AVX2/FMA enabled and test its
+    // output against the accepted (FMA-disabled) ensemble.
+    let data = run_statistics(&model, Experiment::Avx2, &setup).expect("statistics");
+    println!(
+        "UF-ECT on the FMA-enabled port: {} (failure rate {:.0}%)",
+        data.verdict,
+        data.failure_rate * 100.0
+    );
+    println!(
+        "most affected outputs (median distance): {:?}",
+        data.median_ranking
+            .iter()
+            .take(6)
+            .map(|(n, _)| n.as_str())
+            .collect::<Vec<_>>()
+    );
+
+    // KGen-style kernel extraction: compare every micro_mg variable
+    // between the two instruction sets at identical initial conditions.
+    let base = RunConfig {
+        steps: 9,
+        ..Default::default()
+    };
+    let fma = RunConfig {
+        steps: 9,
+        avx2: Avx2Policy::AllModules,
+        ..Default::default()
+    };
+    // The paper's 1e-12 threshold reflects ~10^4 kernel operations per
+    // variable in CESM's MG; our damped kernel holds deltas at 1-3 ulp,
+    // so the proportional threshold is 1e-16.
+    let cmp = compare_kernel(&model, &base, &fma, "micro_mg", 1e-16).expect("kernel comparison");
+    println!(
+        "\nKGen comparison of the micro_mg kernel: {} of {} variables exceed 1e-16 normalized RMS",
+        cmp.flagged.len(),
+        cmp.all.len()
+    );
+    for (name, nrms) in cmp.flagged.iter().take(10) {
+        println!("  {name:<40} {nrms:.3e}");
+    }
+    println!("\n(the paper's manual investigation flagged 42 variables, including");
+    println!(" nctend, qvlat, tlat, nitend and qsout — compare the list above)");
+}

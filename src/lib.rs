@@ -1,0 +1,64 @@
+//! # climate-rca — root cause analysis for large simulation code bases
+//!
+//! A Rust reproduction of Milroy, Baker, Hammerling, Kim, Jessup, Hauser,
+//! *"Making root cause analysis feasible for large code bases: a solution
+//! approach for a climate model"* (HPDC 2019).
+//!
+//! When an ensemble consistency test reports that a simulation's output is
+//! statistically distinguishable from an accepted ensemble, this library
+//! locates the *root cause* inside the code base: it compiles the source
+//! into a variable-dependency digraph, slices it backward from the affected
+//! output variables, partitions the slice into communities, ranks nodes by
+//! eigenvector in-centrality, and iteratively refines the suspect set with
+//! runtime sampling (Algorithm 5.4 of the paper).
+//!
+//! The workspace is organized as one crate per subsystem, re-exported here:
+//!
+//! - [`graph`] — digraph algorithms (BFS slicing, Girvan–Newman,
+//!   centralities, quotient graphs).
+//! - [`fortran`] — lexer/parser/AST for the Fortran-90 subset.
+//! - [`metagraph`] — AST → variable digraph with metadata.
+//! - [`stats`] — PCA-based ensemble consistency testing, lasso and
+//!   median-distance variable selection, normalized-RMS comparison.
+//! - [`model`] — the synthetic CESM-like climate model generator with
+//!   ground-truth bug injection.
+//! - [`sim`] — the interpreter: FMA/AVX2 simulation, PRNG substitution,
+//!   coverage, runtime sampling, parallel ensembles.
+//! - [`rca`] — the paper's pipeline: hybrid slicing, community/centrality
+//!   ranking, iterative refinement, module-level AVX2 policies.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use climate_rca::prelude::*;
+//!
+//! // Generate the synthetic climate model and inject the paper's
+//! // GOFFGRATCH typo (8.1328e-3 -> 8.1828e-3).
+//! let model = model::generate(&model::ModelConfig::test());
+//!
+//! // 1. Statistics: ensemble + experiment, ECT verdict, variable selection.
+//! let data = rca::run_statistics(&model, model::Experiment::GoffGratch,
+//!                                 &rca::ExperimentSetup::quick()).unwrap();
+//! assert_eq!(data.verdict, stats::Verdict::Fail);
+//!
+//! // 2. Graph: coverage-filtered source compiled to a variable digraph.
+//! let pipeline = rca::RcaPipeline::build(&model).unwrap();
+//!
+//! // 3. Slice + refine toward the bug.
+//! let internal = pipeline.outputs_to_internal(&rca::affected_outputs(&data, 10));
+//! let slice = rca::induce_slice(&pipeline.metagraph, &internal,
+//!                                |m| pipeline.is_cam(m));
+//! ```
+
+pub use rca_core as rca;
+pub use rca_fortran as fortran;
+pub use rca_graph as graph;
+pub use rca_metagraph as metagraph;
+pub use rca_model as model;
+pub use rca_sim as sim;
+pub use rca_stats as stats;
+
+/// Convenient glob-import of the crates under their short names.
+pub mod prelude {
+    pub use crate::{fortran, graph, metagraph, model, rca, sim, stats};
+}

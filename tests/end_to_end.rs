@@ -1,0 +1,121 @@
+//! Cross-crate integration tests: the complete paper pipeline per
+//! experiment, at test scale, with both sampling oracles.
+
+use climate_rca::prelude::*;
+use rca::{
+    affected_outputs, experiment_configs, induce_slice, refine, run_statistics, ExperimentSetup,
+    RcaPipeline, ReachabilityOracle, RefineOptions, RuntimeSampler, SamplingOracle,
+};
+use model::{generate, Experiment, ModelConfig};
+use stats::Verdict;
+
+fn model_and_pipeline() -> (model::ModelSource, RcaPipeline) {
+    let m = generate(&ModelConfig::test());
+    let p = RcaPipeline::build(&m).expect("pipeline");
+    (m, p)
+}
+
+/// Runs the whole chain: statistics → selection → slice → refinement.
+fn full_chain(experiment: Experiment, runtime_sampling: bool) -> (bool, Verdict) {
+    let (m, p) = model_and_pipeline();
+    let setup = ExperimentSetup::quick();
+    let data = run_statistics(&m, experiment, &setup).expect("statistics");
+    let n = experiment.table2_outputs().len().clamp(4, 10);
+    let outputs = affected_outputs(&data, n);
+    let internal = p.outputs_to_internal(&outputs);
+    let slice = induce_slice(&p.metagraph, &internal, |mod_| p.is_cam(mod_));
+    let bugs = ReachabilityOracle::from_sites(&p.metagraph, &experiment.bug_sites()).bug_nodes;
+
+    let report = if runtime_sampling {
+        let (ctl, exp) = experiment_configs(experiment, &setup);
+        let mut sampler = RuntimeSampler::new(m.clone(), m.apply(experiment), ctl, exp);
+        sampler.sample_step = 2;
+        refine(&p.metagraph, &slice, &mut sampler, &bugs, &RefineOptions::default())
+    } else {
+        let mut oracle = ReachabilityOracle { bug_nodes: bugs.clone() };
+        refine(&p.metagraph, &slice, &mut oracle, &bugs, &RefineOptions::default())
+    };
+    let located = report.instrumented(&bugs) || report.localized(&bugs);
+    (located, data.verdict)
+}
+
+#[test]
+fn wsubbug_end_to_end() {
+    let (located, verdict) = full_chain(Experiment::WsubBug, false);
+    assert_eq!(verdict, Verdict::Fail);
+    assert!(located, "wsub bug must be located");
+}
+
+#[test]
+fn goffgratch_end_to_end_with_runtime_sampling() {
+    let (located, verdict) = full_chain(Experiment::GoffGratch, true);
+    assert_eq!(verdict, Verdict::Fail);
+    assert!(located, "Goff-Gratch typo must be located by real sampling");
+}
+
+#[test]
+fn dyn3bug_end_to_end() {
+    let (located, verdict) = full_chain(Experiment::Dyn3Bug, false);
+    assert_eq!(verdict, Verdict::Fail);
+    assert!(located);
+}
+
+#[test]
+fn randombug_end_to_end() {
+    let (located, verdict) = full_chain(Experiment::RandomBug, false);
+    assert_eq!(verdict, Verdict::Fail);
+    assert!(located);
+}
+
+#[test]
+fn randmt_end_to_end_with_runtime_sampling() {
+    let (located, verdict) = full_chain(Experiment::RandMt, true);
+    assert_eq!(verdict, Verdict::Fail);
+    assert!(located, "PRNG swap sources must be located");
+}
+
+#[test]
+fn oracles_agree_on_reachable_detections() {
+    // For source-level bugs sampled early, reachability simulation and
+    // real runtime sampling must agree on a panel of probe nodes.
+    let (m, p) = model_and_pipeline();
+    let experiment = Experiment::GoffGratch;
+    let bugs = ReachabilityOracle::from_sites(&p.metagraph, &experiment.bug_sites()).bug_nodes;
+    let mut reach = ReachabilityOracle { bug_nodes: bugs };
+    let setup = ExperimentSetup::quick();
+    let (ctl, exp) = experiment_configs(experiment, &setup);
+    let mut runtime = RuntimeSampler::new(m.clone(), m.apply(experiment), ctl, exp);
+    runtime.sample_step = 2;
+
+    let probes: Vec<graph::NodeId> = ["cld", "relhum", "wsub", "flwds", "tlat", "snowhland"]
+        .iter()
+        .filter_map(|n| p.metagraph.nodes_with_canonical(n).first().copied())
+        .collect();
+    let a = reach.differs(&p.metagraph, &probes);
+    let b = runtime.differs(&p.metagraph, &probes);
+    // Runtime detections must be a subset of reachability (static paths
+    // are conservative, §5.4 issue 3) and agree on most probes.
+    for (i, (&ra, &rb)) in a.iter().zip(&b).enumerate() {
+        if rb {
+            assert!(ra, "runtime detected {i} without a static path");
+        }
+    }
+    let agree = a.iter().zip(&b).filter(|(x, y)| x == y).count();
+    assert!(agree >= probes.len() - 1, "oracles disagree: {a:?} vs {b:?}");
+}
+
+#[test]
+fn control_experiment_passes_and_locates_nothing() {
+    let (m, _) = model_and_pipeline();
+    let data = run_statistics(&m, Experiment::Control, &ExperimentSetup::quick()).unwrap();
+    assert_eq!(data.verdict, Verdict::Pass);
+}
+
+#[test]
+fn coverage_reduction_reported() {
+    let (_, p) = model_and_pipeline();
+    assert!(p.filter_stats.subprograms_after > 0);
+    assert!(p.metagraph.node_count() > 0);
+    // Paper's preprocessing bookkeeping is available for reporting.
+    assert!(p.coverage.subprogram_count() >= p.filter_stats.subprograms_after);
+}
