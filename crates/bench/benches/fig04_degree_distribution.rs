@@ -23,7 +23,10 @@ fn main() {
     );
 
     let dist = degree_distribution(g, DegreeKind::Total);
-    println!("\n{:>7} {:>8} {:>12} {:>12}", "degree", "count", "pdf", "ccdf");
+    println!(
+        "\n{:>7} {:>8} {:>12} {:>12}",
+        "degree", "count", "pdf", "ccdf"
+    );
     for p in dist.iter().take(40) {
         println!(
             "{:>7} {:>8} {:>12.3e} {:>12.3e}",

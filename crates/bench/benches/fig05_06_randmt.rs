@@ -6,7 +6,7 @@
 //! (no paths from the PRNG taint to the upstream cluster), step 8a then
 //! dramatically shrinks the graph, and iteration 2 detects the sources.
 
-use rca_bench::{bench_pipeline, experiment_figure, header};
+use rca_bench::{bench_model, bench_session, experiment_figure, header};
 use rca_model::Experiment;
 
 fn main() {
@@ -14,6 +14,7 @@ fn main() {
         "Figure 5/6: RAND-MT iterative refinement",
         "no detection on iteration 1; step 8a reduction; detection afterwards",
     );
-    let (model, pipeline) = bench_pipeline();
-    experiment_figure(&model, &pipeline, Experiment::RandMt, true);
+    let model = bench_model();
+    let session = bench_session(&model, true);
+    experiment_figure(&session, Experiment::RandMt);
 }

@@ -6,7 +6,7 @@
 //! FIRST iteration; the second iteration stalls ("the induced subgraph
 //! equals the community subgraph").
 
-use rca_bench::{bench_pipeline, experiment_figure, header};
+use rca_bench::{bench_model, bench_session, experiment_figure, header};
 use rca_model::Experiment;
 
 fn main() {
@@ -14,6 +14,7 @@ fn main() {
         "Figure 7: GOFFGRATCH refinement",
         "bug community sampled and detected on iteration 1",
     );
-    let (model, pipeline) = bench_pipeline();
-    experiment_figure(&model, &pipeline, Experiment::GoffGratch, true);
+    let model = bench_model();
+    let session = bench_session(&model, true);
+    experiment_figure(&session, Experiment::GoffGratch);
 }

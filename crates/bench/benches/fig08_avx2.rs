@@ -7,8 +7,7 @@
 //! the top 15 by in-centrality. This harness prints the centrality listing
 //! in the paper's REPL format with flags marked.
 
-use rca_bench::{bench_pipeline, header};
-use rca_core::{affected_outputs, induce_slice, run_statistics, ExperimentSetup};
+use rca_bench::{bench_model, bench_session, header};
 use rca_graph::{communities, eigenvector_centrality, Direction, PowerIterOptions};
 use rca_model::Experiment;
 use rca_sim::{compare_kernel, Avx2Policy, RunConfig};
@@ -18,7 +17,9 @@ fn main() {
         "Figure 8: AVX2 — flagged MG variables in the top in-centrality ranks",
         "dum most central; nctend/qvlat/tlat/nitend in top 15; 42 variables flagged by KGen",
     );
-    let (model, pipeline) = bench_pipeline();
+    let model = bench_model();
+    let session = bench_session(&model, true);
+    let metagraph = session.metagraph();
 
     // KGen-style kernel comparison.
     let base = RunConfig {
@@ -45,17 +46,16 @@ fn main() {
         .map(|(k, _)| k.rsplit("::").next().unwrap_or(k).to_string())
         .collect();
 
-    // Statistics + slice for the AVX2 experiment.
-    let data = run_statistics(&model, Experiment::Avx2, &ExperimentSetup::default())
-        .expect("statistics");
+    // Statistics + slice for the AVX2 experiment, via the typed stages.
+    let mut stats = session.statistics(Experiment::Avx2).expect("statistics");
     println!(
         "UF-ECT: {} (failure rate {:.0}%)",
-        data.verdict,
-        data.failure_rate * 100.0
+        stats.data.verdict,
+        stats.data.failure_rate * 100.0
     );
-    let outputs = affected_outputs(&data, 6);
-    let internal = pipeline.outputs_to_internal(&outputs);
-    let slice = induce_slice(&pipeline.metagraph, &internal, |m| pipeline.is_cam(m));
+    stats.affected = stats.data.affected_outputs(6);
+    let sliced = stats.slice().expect("slice");
+    let slice = &sliced.slice;
     println!(
         "induced subgraph: {} nodes, {} edges",
         slice.graph.node_count(),
@@ -68,9 +68,7 @@ fn main() {
         .iter()
         .max_by_key(|c| {
             c.iter()
-                .filter(|&&n| {
-                    pipeline.metagraph.meta_of(slice.to_meta(n)).module == "micro_mg"
-                })
+                .filter(|&&n| metagraph.meta_of(slice.to_meta(n)).module == "micro_mg")
                 .count()
         })
         .expect("communities exist");
@@ -86,11 +84,11 @@ fn main() {
     let mut shown = 0;
     for (local, c) in ranked.iter() {
         let meta = slice.to_meta(cmap[*local]);
-        if pipeline.metagraph.meta_of(meta).module != "micro_mg" {
+        if metagraph.meta_of(meta).module != "micro_mg" {
             continue;
         }
-        let name = pipeline.metagraph.display(meta);
-        let canonical = &pipeline.metagraph.meta_of(meta).canonical;
+        let name = metagraph.display(meta);
+        let canonical = &metagraph.meta_of(meta).canonical;
         let flagged = flagged_names.iter().any(|f| f == canonical);
         if flagged && shown < 15 {
             hits_top15 += 1;

@@ -7,8 +7,7 @@
 //! curve redistributing weight subtly after ~the 300th rank and dropping
 //! sharply at the end (nodes excluded by the line graph) (Fig. 11).
 
-use rca_bench::{bench_pipeline, header};
-use rca_core::{affected_outputs, induce_slice, run_statistics, ExperimentSetup};
+use rca_bench::{bench_model, bench_session, header};
 use rca_graph::{
     degree_distribution, eigenvector_centrality, fit_power_law, log_rank_series,
     nonbacktracking_centrality, DegreeKind, Direction, PowerIterOptions,
@@ -20,12 +19,14 @@ fn main() {
         "Figure 10/11: GOFFGRATCH subgraph degree distribution + centrality comparison",
         "subgraph ~scale-free; Hashimoto ≈ eigenvector until deep ranks, sharp tail drop",
     );
-    let (model, pipeline) = bench_pipeline();
-    let data = run_statistics(&model, Experiment::GoffGratch, &ExperimentSetup::default())
-        .expect("statistics");
-    let outputs = affected_outputs(&data, 10);
-    let internal = pipeline.outputs_to_internal(&outputs);
-    let slice = induce_slice(&pipeline.metagraph, &internal, |m| pipeline.is_cam(m));
+    let model = bench_model();
+    let session = bench_session(&model, true);
+    let sliced = session
+        .statistics(Experiment::GoffGratch)
+        .expect("statistics")
+        .slice()
+        .expect("slice");
+    let slice = &sliced.slice;
     println!(
         "GOFFGRATCH subgraph: {} nodes, {} edges (paper: 4243 / 9150 at CESM scale)",
         slice.graph.node_count(),

@@ -5,7 +5,7 @@
 //! 295 edges at CESM scale) with small communities, one of whose most
 //! central nodes is the bug itself.
 
-use rca_bench::{bench_pipeline, experiment_figure, header};
+use rca_bench::{bench_model, bench_session, experiment_figure, header};
 use rca_model::Experiment;
 
 fn main() {
@@ -13,6 +13,7 @@ fn main() {
         "Figure 12: RANDOMBUG refinement",
         "sparse omega slice; bug is central in a small community",
     );
-    let (model, pipeline) = bench_pipeline();
-    experiment_figure(&model, &pipeline, Experiment::RandomBug, true);
+    let model = bench_model();
+    let session = bench_session(&model, true);
+    experiment_figure(&session, Experiment::RandomBug);
 }

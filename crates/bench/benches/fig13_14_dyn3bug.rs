@@ -5,7 +5,7 @@
 //! community from the physics community and sampling detects the bug on
 //! iteration 1.
 
-use rca_bench::{bench_pipeline, experiment_figure, header};
+use rca_bench::{bench_model, bench_session, experiment_figure, header};
 use rca_model::Experiment;
 
 fn main() {
@@ -13,6 +13,7 @@ fn main() {
         "Figure 13/14: DYN3BUG refinement",
         "dynamics community separated from physics; detected on iteration 1",
     );
-    let (model, pipeline) = bench_pipeline();
-    experiment_figure(&model, &pipeline, Experiment::Dyn3Bug, true);
+    let model = bench_model();
+    let session = bench_session(&model, true);
+    experiment_figure(&session, Experiment::Dyn3Bug);
 }

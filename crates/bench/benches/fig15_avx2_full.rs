@@ -6,7 +6,7 @@
 //! the CAM core" and reaches the same conclusions after one extra
 //! iteration.
 
-use rca_bench::{bench_pipeline, experiment_figure, header};
+use rca_bench::{bench_model, bench_session, experiment_figure, header};
 use rca_model::Experiment;
 
 fn main() {
@@ -14,6 +14,7 @@ fn main() {
         "Figure 15: AVX2 without the CAM restriction",
         "larger slice including land nodes, same conclusions",
     );
-    let (model, pipeline) = bench_pipeline();
-    experiment_figure(&model, &pipeline, Experiment::Avx2, false);
+    let model = bench_model();
+    let session = bench_session(&model, false);
+    experiment_figure(&session, Experiment::Avx2);
 }

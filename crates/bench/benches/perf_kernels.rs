@@ -3,7 +3,7 @@
 //! eigenvector centrality and Brandes betweenness.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rca_core::{induce_slice, RcaPipeline};
+use rca_core::{backward_slice, RcaPipeline};
 use rca_graph::{
     edge_betweenness, eigenvector_centrality, girvan_newman, nonbacktracking_centrality,
     preferential_attachment, shortest_path_slice, Direction, NodeId, PowerIterOptions,
@@ -23,18 +23,22 @@ fn bench_graph_kernels(c: &mut Criterion) {
         b.iter(|| nonbacktracking_centrality(&g, Direction::In, PowerIterOptions::default()))
     });
     let small = preferential_attachment(400, 3, 7);
-    c.bench_function("edge_betweenness_400", |b| b.iter(|| edge_betweenness(&small)));
+    c.bench_function("edge_betweenness_400", |b| {
+        b.iter(|| edge_betweenness(&small))
+    });
     c.bench_function("girvan_newman_400", |b| b.iter(|| girvan_newman(&small, 1)));
 }
 
 fn bench_pipeline(c: &mut Criterion) {
     let model = generate(&ModelConfig::test());
     c.bench_function("parse_model", |b| b.iter(|| model.parse()));
-    c.bench_function("pipeline_build", |b| b.iter(|| RcaPipeline::build(&model).unwrap()));
+    c.bench_function("pipeline_build", |b| {
+        b.iter(|| RcaPipeline::build(&model).unwrap())
+    });
     let pipeline = RcaPipeline::build(&model).unwrap();
     let names = vec!["flwds".to_string(), "qrl".to_string()];
     c.bench_function("induce_slice", |b| {
-        b.iter(|| induce_slice(&pipeline.metagraph, &names, |_| true))
+        b.iter(|| backward_slice(&pipeline.metagraph, &names, |_| true))
     });
 }
 

@@ -42,7 +42,10 @@ fn main() {
     );
 
     let policies: Vec<(String, DisablementPolicy)> = vec![
-        ("AVX2 enabled, all modules".into(), DisablementPolicy::AllEnabled),
+        (
+            "AVX2 enabled, all modules".into(),
+            DisablementPolicy::AllEnabled,
+        ),
         (
             format!("AVX2 disabled, {k} largest modules"),
             DisablementPolicy::DisableLargest(k),
@@ -55,7 +58,10 @@ fn main() {
             format!("AVX2 disabled, {k} central modules"),
             DisablementPolicy::DisableCentral(k),
         ),
-        ("AVX2 disabled, all modules".into(), DisablementPolicy::AllDisabled),
+        (
+            "AVX2 disabled, all modules".into(),
+            DisablementPolicy::AllDisabled,
+        ),
     ];
 
     println!("{:<44} {:>14}", "Experiment", "ECT failure rate");

@@ -6,8 +6,7 @@
 //! vv, omega, z3, uu, omegat; RAND-MT→flds, taux, snowhlnd, flns, qrl;
 //! AVX2→taux, trefht, snowhlnd, ps, u10, shflx.
 
-use rca_bench::{bench_pipeline, header};
-use rca_core::{affected_outputs, run_statistics, ExperimentSetup};
+use rca_bench::{bench_model, bench_session, header};
 use rca_model::Experiment;
 
 fn main() {
@@ -15,8 +14,8 @@ fn main() {
         "Table 2: CAM output variables selected per experiment",
         "selection should overlap the paper's per-experiment output sets",
     );
-    let (model, pipeline) = bench_pipeline();
-    let setup = ExperimentSetup::default();
+    let model = bench_model();
+    let session = bench_session(&model, true);
 
     println!(
         "{:<11} {:<7} {:<34} {:<30}",
@@ -31,10 +30,10 @@ fn main() {
         Experiment::RandMt,
         Experiment::Avx2,
     ] {
-        let data = run_statistics(&model, experiment, &setup).expect("statistics");
+        let stats = session.statistics(experiment).expect("statistics");
         let n = experiment.table2_outputs().len().clamp(1, 10);
-        let selected = affected_outputs(&data, n);
-        let internal = pipeline.outputs_to_internal(&selected);
+        let selected = stats.data.affected_outputs(n);
+        let internal = session.pipeline().outputs_to_internal(&selected);
         let paper = experiment.table2_outputs();
         let overlap = selected
             .iter()
@@ -43,7 +42,7 @@ fn main() {
         println!(
             "{:<11} {:<7} {:<34} {:<30}",
             experiment.name(),
-            data.verdict.to_string(),
+            stats.data.verdict.to_string(),
             selected.join(","),
             internal.join(",")
         );

@@ -6,8 +6,8 @@
 //! Criterion benches (`perf_*`) measure the pipeline's computational
 //! kernels.
 
-use rca_core::{RcaPipeline, RefineOptions};
-use rca_model::{generate, ModelConfig, ModelSource};
+use rca_core::{ExperimentSetup, RcaPipeline, RcaSession, RefineOptions, SliceScope};
+use rca_model::{generate, Experiment, ModelConfig, ModelSource};
 
 /// Scale used by the figure/table harnesses. Override with
 /// `RCA_BENCH_SCALE=test|medium|paper`.
@@ -19,11 +19,32 @@ pub fn bench_config() -> ModelConfig {
     }
 }
 
-/// Builds the model + pipeline pair every harness starts from.
+/// Generates the model every harness starts from.
+pub fn bench_model() -> ModelSource {
+    generate(&bench_config())
+}
+
+/// Builds the model + pipeline pair for harnesses that work on the raw
+/// metagraph (degree distributions, module ranking).
 pub fn bench_pipeline() -> (ModelSource, RcaPipeline) {
-    let model = generate(&bench_config());
+    let model = bench_model();
     let pipeline = RcaPipeline::build(&model).expect("pipeline build");
     (model, pipeline)
+}
+
+/// Builds the standard harness session over `model` (paper-scale setup,
+/// reachability oracle, CAM or unrestricted slice scope).
+pub fn bench_session(model: &ModelSource, restrict_cam: bool) -> RcaSession<'_> {
+    RcaSession::builder(model)
+        .setup(ExperimentSetup::default())
+        .refine_options(bench_refine_options())
+        .scope(if restrict_cam {
+            SliceScope::Cam
+        } else {
+            SliceScope::AllComponents
+        })
+        .build()
+        .expect("session build")
 }
 
 /// Refinement options used by the figure harnesses.
@@ -38,55 +59,41 @@ pub fn header(id: &str, paper_claim: &str) {
     println!();
 }
 
-use rca_core::{
-    affected_outputs, induce_slice, refine, refinement_trace, run_statistics, ExperimentSetup,
-    ReachabilityOracle,
-};
-use rca_model::Experiment;
-
 /// Runs one paper experiment end-to-end (statistics → slice → Algorithm
-/// 5.4 with the reachability oracle) and prints the figure's trace.
-pub fn experiment_figure(model: &ModelSource, pipeline: &RcaPipeline, experiment: Experiment, restrict_cam: bool) {
-    let setup = ExperimentSetup::default();
-    let data = run_statistics(model, experiment, &setup).expect("statistics");
+/// 5.4 with the session's oracle) and prints the figure's trace.
+pub fn experiment_figure(session: &RcaSession<'_>, experiment: Experiment) {
+    let mut stats = session.statistics(experiment).expect("statistics");
     println!(
         "UF-ECT: {} (failure rate {:.0}%)",
-        data.verdict,
-        data.failure_rate * 100.0
+        stats.data.verdict,
+        stats.data.failure_rate * 100.0
     );
     let n = experiment.table2_outputs().len().clamp(5, 10);
-    let outputs = affected_outputs(&data, n);
-    println!("selected outputs: {outputs:?}");
-    let internal = pipeline.outputs_to_internal(&outputs);
-    println!("internal criteria: {internal:?}");
+    stats.affected = stats.data.affected_outputs(n);
+    println!("selected outputs: {:?}", stats.affected);
 
-    let slice = induce_slice(&pipeline.metagraph, &internal, |m| {
-        !restrict_cam || pipeline.is_cam(m)
-    });
+    let sliced = stats.slice().expect("slice");
+    println!("internal criteria: {:?}", sliced.criteria);
     println!(
         "induced subgraph: {} nodes, {} edges",
-        slice.graph.node_count(),
-        slice.graph.edge_count()
+        sliced.slice.graph.node_count(),
+        sliced.slice.graph.edge_count()
     );
 
-    let oracle = ReachabilityOracle::from_sites(&pipeline.metagraph, &experiment.bug_sites());
-    let bugs = oracle.bug_nodes.clone();
-    for &b in &bugs {
-        println!("bug node: {}", pipeline.metagraph.display(b));
+    for &b in &session.bug_nodes(experiment) {
+        println!("bug node: {}", session.metagraph().display(b));
     }
-    let mut o = oracle;
-    let report = refine(
-        &pipeline.metagraph,
-        &slice,
-        &mut o,
-        &bugs,
-        &bench_refine_options(),
-    );
+    let diagnosis = sliced.refine().into_diagnosis();
     println!();
-    print!("{}", refinement_trace(&pipeline.metagraph, &report));
+    if let Some(report) = &diagnosis.refinement {
+        print!(
+            "{}",
+            rca_core::refinement_trace(session.metagraph(), report)
+        );
+    }
     println!(
         "bug instrumented: {} | bug in final subgraph: {}",
-        report.instrumented(&bugs),
-        report.localized(&bugs)
+        diagnosis.instrumented(),
+        diagnosis.localized()
     );
 }

@@ -1,0 +1,162 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides `Criterion::bench_function`, `Bencher::iter`, `black_box` and
+//! the `criterion_group!`/`criterion_main!` macros so the workspace's
+//! `perf_*` bench targets build and run without a registry. Measurement is
+//! deliberately simple — warm up, then time batches until a wall-clock
+//! budget is spent, and report min/mean — not criterion's bootstrapped
+//! statistics. `CRITERION_BUDGET_MS` overrides the per-benchmark budget.
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value laundering, as in the real crate.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark driver handed to `criterion_group!` functions.
+pub struct Criterion {
+    /// Wall-clock measurement budget per benchmark.
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = std::env::var("CRITERION_BUDGET_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(500);
+        Criterion {
+            budget: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; the stub's sampling is time-based,
+    /// so the count is ignored.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            budget: self.budget,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        let (min, mean) = b.summarize();
+        println!("{id:<40} min {:>12} mean {:>12}", fmt_ns(min), fmt_ns(mean));
+        self
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Times closures on behalf of one benchmark.
+pub struct Bencher {
+    budget: Duration,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly inside the measurement budget, recording
+    /// per-iteration wall time in nanoseconds.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up: one untimed call (fills caches, triggers lazy init).
+        black_box(f());
+        let started = Instant::now();
+        while started.elapsed() < self.budget {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed().as_nanos() as f64);
+            if self.samples.len() >= 10_000 {
+                break;
+            }
+        }
+    }
+
+    fn summarize(&self) -> (f64, f64) {
+        if self.samples.is_empty() {
+            return (0.0, 0.0);
+        }
+        let min = self.samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let mean = self.samples.iter().sum::<f64>() / self.samples.len() as f64;
+        (min, mean)
+    }
+}
+
+/// Declares a function that runs each benchmark in sequence. Both the
+/// positional form and the `name/config/targets` form are supported.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench target's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut b = Bencher {
+            budget: Duration::from_millis(5),
+            samples: Vec::new(),
+        };
+        b.iter(|| black_box(3u64).wrapping_mul(7));
+        assert!(!b.samples.is_empty());
+        let (min, mean) = b.summarize();
+        assert!(min <= mean);
+    }
+
+    criterion_group!(demo_group, demo_bench);
+
+    fn demo_bench(c: &mut Criterion) {
+        c.budget = Duration::from_millis(1);
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        demo_group();
+    }
+}

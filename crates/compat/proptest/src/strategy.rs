@@ -1,0 +1,300 @@
+//! The `Strategy` trait and the built-in strategies: ranges, tuples,
+//! mapped strategies, and regex-subset strings.
+
+use crate::test_runner::TestRng;
+
+/// Generates values of `Value` from a deterministic RNG.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// A strategy whose output is passed through a function.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),*) => {
+        $(
+            impl Strategy for std::ops::Range<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.next_u64() % span) as $ty
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo) as u64;
+                    lo + (rng.next_u64() % (span + 1)) as $ty
+                }
+            }
+        )*
+    };
+}
+
+int_range_strategy!(u8, u16, u32, usize);
+
+impl Strategy for std::ops::Range<u64> {
+    type Value = u64;
+
+    fn generate(&self, rng: &mut TestRng) -> u64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.next_u64() % (self.end - self.start)
+    }
+}
+
+impl Strategy for std::ops::Range<i32> {
+    type Value = i32;
+
+    fn generate(&self, rng: &mut TestRng) -> i32 {
+        assert!(self.start < self.end, "empty range strategy");
+        let span = (self.end as i64 - self.start as i64) as u64;
+        (self.start as i64 + (rng.next_u64() % span) as i64) as i32
+    }
+}
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($S:ident $idx:tt),+))*) => {
+        $(
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*
+    };
+}
+
+tuple_strategy! {
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+}
+
+/// String literals act as regex-subset strategies generating matching
+/// strings (literals, `[...]` classes, `{m}`/`{m,n}`/`?`/`*`/`+`).
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let n = atom.quantifier.sample(rng);
+            for _ in 0..n {
+                out.push(atom.chars.pick(rng));
+            }
+        }
+        out
+    }
+}
+
+struct Atom {
+    chars: CharSet,
+    quantifier: Quant,
+}
+
+enum CharSet {
+    Literal(char),
+    /// Inclusive character ranges (singletons are `(c, c)`).
+    Ranges(Vec<(char, char)>),
+}
+
+impl CharSet {
+    fn pick(&self, rng: &mut TestRng) -> char {
+        match self {
+            CharSet::Literal(c) => *c,
+            CharSet::Ranges(ranges) => {
+                let total: u64 = ranges
+                    .iter()
+                    .map(|&(a, b)| (b as u64) - (a as u64) + 1)
+                    .sum();
+                let mut k = rng.next_u64() % total.max(1);
+                for &(a, b) in ranges {
+                    let span = (b as u64) - (a as u64) + 1;
+                    if k < span {
+                        return char::from_u32(a as u32 + k as u32).unwrap_or(a);
+                    }
+                    k -= span;
+                }
+                ranges[0].0
+            }
+        }
+    }
+}
+
+struct Quant {
+    min: u32,
+    max: u32,
+}
+
+impl Quant {
+    fn sample(&self, rng: &mut TestRng) -> u32 {
+        self.min + (rng.next_u64() % (self.max - self.min + 1) as u64) as u32
+    }
+}
+
+/// Parses the supported regex subset into atoms. Unsupported syntax
+/// panics — better a loud test failure than silently wrong coverage.
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let set = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed '[' in pattern {pattern:?}"));
+                let inner: Vec<char> = chars[i + 1..i + close].to_vec();
+                i += close + 1;
+                let mut ranges = Vec::new();
+                let mut j = 0;
+                while j < inner.len() {
+                    if j + 2 < inner.len() && inner[j + 1] == '-' {
+                        ranges.push((inner[j], inner[j + 2]));
+                        j += 3;
+                    } else {
+                        ranges.push((inner[j], inner[j]));
+                        j += 1;
+                    }
+                }
+                assert!(!ranges.is_empty(), "empty class in pattern {pattern:?}");
+                CharSet::Ranges(ranges)
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("dangling escape in {pattern:?}"));
+                i += 1;
+                CharSet::Literal(c)
+            }
+            '(' | ')' | '|' => panic!("unsupported regex syntax {:?} in {pattern:?}", chars[i]),
+            c => {
+                i += 1;
+                CharSet::Literal(c)
+            }
+        };
+        // Optional quantifier.
+        let quantifier = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unclosed '{{' in pattern {pattern:?}"));
+                let body: String = chars[i + 1..i + close].iter().collect();
+                i += close + 1;
+                let (min, max) = match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad quantifier"),
+                        hi.trim().parse().expect("bad quantifier"),
+                    ),
+                    None => {
+                        let n: u32 = body.trim().parse().expect("bad quantifier");
+                        (n, n)
+                    }
+                };
+                Quant { min, max }
+            }
+            Some('?') => {
+                i += 1;
+                Quant { min: 0, max: 1 }
+            }
+            Some('*') => {
+                i += 1;
+                Quant { min: 0, max: 8 }
+            }
+            Some('+') => {
+                i += 1;
+                Quant { min: 1, max: 8 }
+            }
+            _ => Quant { min: 1, max: 1 },
+        };
+        atoms.push(Atom {
+            chars: set,
+            quantifier,
+        });
+    }
+    atoms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn literal_pattern_reproduces_itself() {
+        let mut rng = TestRng::for_case("lit", 0);
+        assert_eq!("abc_1".generate(&mut rng), "abc_1");
+    }
+
+    #[test]
+    fn class_and_quantifier() {
+        let mut rng = TestRng::for_case("cls", 0);
+        for _ in 0..200 {
+            let s = "[a-c][0-9]{2,4}".generate(&mut rng);
+            let cs: Vec<char> = s.chars().collect();
+            assert!(('a'..='c').contains(&cs[0]));
+            assert!((3..=5).contains(&cs.len()));
+            assert!(cs[1..].iter().all(|c| c.is_ascii_digit()), "{s}");
+        }
+    }
+
+    #[test]
+    fn escapes_and_option() {
+        let mut rng = TestRng::for_case("esc", 0);
+        for _ in 0..50 {
+            let s = r"a\[b?".generate(&mut rng);
+            assert!(s == "a[b" || s == "a[", "{s}");
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the API subset the workspace uses — `par_iter`,
+//! `into_par_iter`, `map`, `fold`, `collect` — with genuine parallelism:
+//! items are split into one contiguous chunk per available core and each
+//! chunk runs on a scoped `std::thread`. Semantics match rayon where it
+//! matters to callers:
+//!
+//! - `fold` yields **one accumulator per chunk** (rayon: one per split),
+//!   so downstream reductions that merge partials behave identically.
+//! - `map` preserves input order.
+//! - A panicking worker propagates the panic to the caller.
+//!
+//! `RAYON_NUM_THREADS` caps the worker count, like the real crate.
+
+/// Everything callers normally import.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+/// An eager "parallel iterator": the items to process, plus the chunked
+/// thread pool driver in its combinator methods.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// `into_par_iter()` for owned iterables (ranges, vectors, ...).
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Converts into a [`ParIter`].
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<I> IntoParallelIterator for I
+where
+    I: IntoIterator,
+    I::Item: Send,
+{
+    type Item = I::Item;
+
+    fn into_par_iter(self) -> ParIter<I::Item> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+/// `par_iter()` for borrowed collections (slices, vectors, maps).
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed element type.
+    type Item: Send + 'a;
+    /// Borrows into a [`ParIter`] of references.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, C: ?Sized + 'a> IntoParallelRefIterator<'a> for C
+where
+    &'a C: IntoIterator,
+    <&'a C as IntoIterator>::Item: Send + 'a,
+{
+    type Item = <&'a C as IntoIterator>::Item;
+
+    fn par_iter(&'a self) -> ParIter<Self::Item> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+fn max_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Splits `items` into per-core chunks, runs `f` on each chunk in a scoped
+/// thread, and concatenates the outputs in input order.
+fn run_chunks<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(Vec<T>) -> Vec<R> + Sync,
+{
+    let threads = max_threads().min(items.len());
+    if threads <= 1 {
+        return f(items);
+    }
+    let chunk_size = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut iter = items.into_iter();
+    loop {
+        let chunk: Vec<T> = iter.by_ref().take(chunk_size).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || f(chunk)))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| match h.join() {
+                Ok(out) => out,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    })
+}
+
+impl<T: Send> ParIter<T> {
+    /// Applies `f` to every item in parallel, preserving order.
+    pub fn map<R, F>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParIter {
+            items: run_chunks(self.items, |chunk| chunk.into_iter().map(&f).collect()),
+        }
+    }
+
+    /// Folds each parallel chunk separately, yielding one accumulator per
+    /// chunk (rayon's per-split `fold` semantics).
+    pub fn fold<A, ID, F>(self, identity: ID, fold_op: F) -> ParIter<A>
+    where
+        A: Send,
+        ID: Fn() -> A + Sync,
+        F: Fn(A, T) -> A + Sync,
+    {
+        if self.items.is_empty() {
+            return ParIter { items: Vec::new() };
+        }
+        ParIter {
+            items: run_chunks(self.items, |chunk| {
+                vec![chunk.into_iter().fold(identity(), &fold_op)]
+            }),
+        }
+    }
+
+    /// Collects the processed items.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_preserves_order() {
+        let out: Vec<u32> = (0u32..1000).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out.len(), 1000);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, 2 * i as u32);
+        }
+    }
+
+    #[test]
+    fn par_iter_over_slice_refs() {
+        let data = vec![1.0f64, 2.0, 3.0];
+        let doubled: Vec<f64> = data.par_iter().map(|&x| x * 2.0).collect();
+        assert_eq!(doubled, vec![2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn fold_partials_sum_to_sequential_total() {
+        let partials: Vec<u64> = (1u64..=100)
+            .into_par_iter()
+            .fold(|| 0u64, |acc, x| acc + x)
+            .collect();
+        assert!(!partials.is_empty());
+        assert_eq!(partials.iter().sum::<u64>(), 5050);
+    }
+
+    #[test]
+    fn fold_then_map_chains() {
+        let maps: Vec<HashMap<u32, u32>> = (0u32..64)
+            .into_par_iter()
+            .fold(HashMap::new, |mut acc, x| {
+                *acc.entry(x % 4).or_insert(0) += 1;
+                acc
+            })
+            .map(|m| m)
+            .collect();
+        let mut total = 0;
+        for m in maps {
+            total += m.values().sum::<u32>();
+        }
+        assert_eq!(total, 64);
+    }
+
+    #[test]
+    fn collect_into_result_short_circuits() {
+        let r: Result<Vec<u32>, String> = (0u32..10)
+            .into_par_iter()
+            .map(|x| {
+                if x == 7 {
+                    Err("seven".to_string())
+                } else {
+                    Ok(x)
+                }
+            })
+            .collect();
+        assert_eq!(r, Err("seven".to_string()));
+    }
+
+    #[test]
+    fn work_actually_runs_on_multiple_threads() {
+        // With >= 2 cores, two long-running chunks must overlap.
+        if std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            < 2
+        {
+            return;
+        }
+        static LIVE: AtomicUsize = AtomicUsize::new(0);
+        static PEAK: AtomicUsize = AtomicUsize::new(0);
+        let _: Vec<()> = (0..4)
+            .into_par_iter()
+            .map(|_| {
+                let now = LIVE.fetch_add(1, Ordering::SeqCst) + 1;
+                PEAK.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                LIVE.fetch_sub(1, Ordering::SeqCst);
+            })
+            .collect();
+        assert!(PEAK.load(Ordering::SeqCst) >= 2, "no parallelism observed");
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u32> = Vec::<u32>::new().into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+        let folded: Vec<u32> = Vec::<u32>::new()
+            .into_par_iter()
+            .fold(|| 0, |a, b| a + b)
+            .collect();
+        assert!(folded.is_empty());
+    }
+}

@@ -1,0 +1,8 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports the no-op `Serialize`/`Deserialize` derives from the sibling
+//! `serde_derive` stub so that `use serde::{Deserialize, Serialize}` and
+//! `#[derive(Serialize, Deserialize)]` compile unchanged. See
+//! `crates/compat/serde_derive` for the rationale.
+
+pub use serde_derive::{Deserialize, Serialize};

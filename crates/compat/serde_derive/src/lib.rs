@@ -1,0 +1,22 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! The workspace builds in environments with no registry access, so the
+//! real serde cannot be fetched. Nothing in the workspace serializes at
+//! runtime yet — the `#[derive(Serialize, Deserialize)]` annotations are
+//! forward-looking API surface — so the derives here accept the same
+//! syntax and expand to an empty token stream. Swapping in the real
+//! `serde`/`serde_derive` requires only a manifest change.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and generates no code.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and generates no code.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,133 @@
+//! The workspace-wide error type for root-cause-analysis runs.
+//!
+//! Every stage of the paper's pipeline — parsing, calibration runs,
+//! ensemble statistics, slicing — can fail, and before this type each
+//! failure surfaced as a stringly-typed [`rca_sim::RuntimeError`] that
+//! callers pattern-matched by message. [`RcaError`] gives each failure
+//! mode a variant, implements [`std::error::Error`] so `?` composes with
+//! other error types, and keeps the underlying diagnostics intact.
+
+use rca_fortran::ParseError;
+use rca_sim::RuntimeError;
+use std::fmt;
+
+/// Any failure of an RCA session or its stages.
+#[derive(Debug, Clone)]
+pub enum RcaError {
+    /// The model source failed to parse (the pipeline requires a clean
+    /// AST; the fortran frontend itself is error-tolerant and collects
+    /// these per statement).
+    Parse {
+        /// First parse diagnostic.
+        message: String,
+        /// 1-based source line of the first diagnostic.
+        line: u32,
+    },
+    /// A simulation run failed (calibration, ensemble, or sampling run).
+    Runtime(RuntimeError),
+    /// The statistical front end could not produce a usable result
+    /// (degenerate ensemble, empty output intersection, ...).
+    Stats(String),
+    /// None of the affected output names mapped to internal canonical
+    /// names through the I/O registry — nothing to slice on.
+    UnknownOutputs(Vec<String>),
+    /// The induced suspect subgraph was empty for these internal
+    /// slicing criteria (all criteria outside the restriction scope).
+    EmptySlice(Vec<String>),
+    /// Invalid builder/session configuration.
+    Config(String),
+}
+
+impl fmt::Display for RcaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RcaError::Parse { message, line } => {
+                write!(f, "model does not parse (line {line}): {message}")
+            }
+            RcaError::Runtime(e) => write!(f, "simulation failed: {e}"),
+            RcaError::Stats(msg) => write!(f, "statistics failed: {msg}"),
+            RcaError::UnknownOutputs(names) => write!(
+                f,
+                "no internal variables found for affected outputs {names:?}; \
+                 check the model's I/O registry"
+            ),
+            RcaError::EmptySlice(criteria) => write!(
+                f,
+                "backward slice is empty for criteria {criteria:?}; \
+                 widen the slice scope or the output selection"
+            ),
+            RcaError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RcaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RcaError::Runtime(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RuntimeError> for RcaError {
+    fn from(e: RuntimeError) -> Self {
+        RcaError::Runtime(e)
+    }
+}
+
+impl From<&ParseError> for RcaError {
+    fn from(e: &ParseError) -> Self {
+        RcaError::Parse {
+            message: e.message.clone(),
+            line: e.line,
+        }
+    }
+}
+
+impl From<ParseError> for RcaError {
+    fn from(e: ParseError) -> Self {
+        RcaError::from(&e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runtime_errors_propagate_with_question_mark() {
+        fn failing() -> Result<(), RuntimeError> {
+            Err(RuntimeError {
+                message: "division by zero".into(),
+                context: "micro_mg".into(),
+                line: 42,
+            })
+        }
+        fn wrapped() -> Result<(), RcaError> {
+            failing()?;
+            Ok(())
+        }
+        let err = wrapped().unwrap_err();
+        assert!(matches!(err, RcaError::Runtime(_)));
+        assert!(err.to_string().contains("division by zero"));
+        // source() exposes the original for error-chain walkers.
+        let source = std::error::Error::source(&err).expect("source");
+        assert!(source.to_string().contains("micro_mg"));
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let e = RcaError::from(ParseError::new(7, "unexpected token"));
+        assert!(e.to_string().contains("line 7"));
+        assert!(e.to_string().contains("unexpected token"));
+    }
+
+    #[test]
+    fn display_is_actionable() {
+        let e = RcaError::UnknownOutputs(vec!["made_up".into()]);
+        assert!(e.to_string().contains("made_up"));
+        let e = RcaError::EmptySlice(vec!["flwds".into()]);
+        assert!(e.to_string().contains("flwds"));
+    }
+}

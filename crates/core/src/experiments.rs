@@ -2,10 +2,10 @@
 //! selection — the statistical front end of every paper experiment.
 
 use rca_model::{Experiment, ModelConfig, ModelSource};
-use rca_sim::{outputs_matrix, perturbations, run_ensemble, Avx2Policy, PrngKind, RunConfig, RuntimeError};
-use rca_stats::{
-    fit_lasso_path, median_distance_selection, Ect, EctConfig, Matrix, Verdict,
+use rca_sim::{
+    outputs_matrix, perturbations, run_ensemble, Avx2Policy, PrngKind, RunConfig, RuntimeError,
 };
+use rca_stats::{fit_lasso_path, median_distance_selection, Ect, EctConfig, Matrix, Verdict};
 
 /// Sizing and statistical parameters for an experiment campaign.
 #[derive(Debug, Clone)]
@@ -104,7 +104,11 @@ pub struct ExperimentData {
 /// Runs the full statistical front end for one experiment: generate
 /// ensemble + experimental runs, fit the ECT, and select affected output
 /// variables with both §3 methods.
-pub fn run_statistics(
+///
+/// This is the engine behind [`crate::RcaSession::statistics`]; external
+/// callers should go through the session (the old free-function entry
+/// point [`run_statistics`] is a deprecated shim over this).
+pub(crate) fn collect_statistics(
     base_model: &ModelSource,
     experiment: Experiment,
     setup: &ExperimentSetup,
@@ -174,8 +178,11 @@ pub fn run_statistics(
         30,
         500,
     );
-    let lasso_selected: Vec<String> =
-        lasso.selected().into_iter().map(|i| names[i].clone()).collect();
+    let lasso_selected: Vec<String> = lasso
+        .selected()
+        .into_iter()
+        .map(|i| names[i].clone())
+        .collect();
 
     Ok(ExperimentData {
         experiment,
@@ -189,26 +196,45 @@ pub fn run_statistics(
     })
 }
 
-/// Picks the affected-output list for slicing: lasso selections first,
-/// topped up from the median-distance ranking. The paper notes the two
-/// methods "mostly coincide"; with perfectly separable classes the lasso
-/// saturates on very few variables, so the median ranking fills the rest.
-pub fn affected_outputs(data: &ExperimentData, max_vars: usize) -> Vec<String> {
-    let mut out: Vec<String> = data
-        .lasso_selected
-        .iter()
-        .take(max_vars)
-        .cloned()
-        .collect();
-    for (name, _) in &data.median_ranking {
-        if out.len() >= max_vars {
-            break;
+impl ExperimentData {
+    /// Picks the affected-output list for slicing: lasso selections first,
+    /// topped up from the median-distance ranking. The paper notes the two
+    /// methods "mostly coincide"; with perfectly separable classes the
+    /// lasso saturates on very few variables, so the median ranking fills
+    /// the rest.
+    pub fn affected_outputs(&self, max_vars: usize) -> Vec<String> {
+        let mut out: Vec<String> = self.lasso_selected.iter().take(max_vars).cloned().collect();
+        for (name, _) in &self.median_ranking {
+            if out.len() >= max_vars {
+                break;
+            }
+            if !out.contains(name) {
+                out.push(name.clone());
+            }
         }
-        if !out.contains(name) {
-            out.push(name.clone());
-        }
+        out
     }
-    out
+}
+
+/// Free-function entry point to the statistical front end, kept as a shim
+/// for one release.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `RcaSession::statistics` (or `RcaSession::diagnose` for the full pipeline)"
+)]
+pub fn run_statistics(
+    base_model: &ModelSource,
+    experiment: Experiment,
+    setup: &ExperimentSetup,
+) -> Result<ExperimentData, RuntimeError> {
+    collect_statistics(base_model, experiment, setup)
+}
+
+/// Free-function form of [`ExperimentData::affected_outputs`], kept as a
+/// shim for one release.
+#[deprecated(since = "0.2.0", note = "use `ExperimentData::affected_outputs`")]
+pub fn affected_outputs(data: &ExperimentData, max_vars: usize) -> Vec<String> {
+    data.affected_outputs(max_vars)
 }
 
 /// Per-model-config campaign used by tests/benches to share setup.
@@ -223,7 +249,8 @@ mod tests {
     #[test]
     fn control_passes_ect() {
         let model = default_model();
-        let data = run_statistics(&model, Experiment::Control, &ExperimentSetup::quick()).unwrap();
+        let data =
+            collect_statistics(&model, Experiment::Control, &ExperimentSetup::quick()).unwrap();
         assert_eq!(data.verdict, Verdict::Pass, "control must be consistent");
         assert!(data.failure_rate < 0.5, "rate {}", data.failure_rate);
     }
@@ -231,7 +258,8 @@ mod tests {
     #[test]
     fn wsubbug_fails_ect_and_median_dominates() {
         let model = default_model();
-        let data = run_statistics(&model, Experiment::WsubBug, &ExperimentSetup::quick()).unwrap();
+        let data =
+            collect_statistics(&model, Experiment::WsubBug, &ExperimentSetup::quick()).unwrap();
         assert_eq!(data.verdict, Verdict::Fail);
         // §6.1: "the distance between the experimental and ensemble
         // medians for this variable is more than 1,000 times greater than
@@ -245,27 +273,33 @@ mod tests {
     fn goffgratch_fails_and_selects_cloud_outputs() {
         let model = default_model();
         let data =
-            run_statistics(&model, Experiment::GoffGratch, &ExperimentSetup::quick()).unwrap();
+            collect_statistics(&model, Experiment::GoffGratch, &ExperimentSetup::quick()).unwrap();
         assert_eq!(data.verdict, Verdict::Fail);
-        let affected = affected_outputs(&data, 10);
+        let affected = data.affected_outputs(10);
         assert!(!affected.is_empty());
         // The selected set should overlap the paper's Table-2 outputs
         // (cloud/microphysics variables).
         let table2 = Experiment::GoffGratch.table2_outputs();
-        let overlap = affected.iter().filter(|o| table2.contains(&o.as_str())).count();
+        let overlap = affected
+            .iter()
+            .filter(|o| table2.contains(&o.as_str()))
+            .count();
         assert!(overlap >= 1, "affected {affected:?} vs table2 {table2:?}");
     }
 
     #[test]
     fn randmt_fails_ect() {
         let model = default_model();
-        let data = run_statistics(&model, Experiment::RandMt, &ExperimentSetup::quick()).unwrap();
+        let data =
+            collect_statistics(&model, Experiment::RandMt, &ExperimentSetup::quick()).unwrap();
         assert_eq!(data.verdict, Verdict::Fail);
-        let affected = affected_outputs(&data, 5);
+        let affected = data.affected_outputs(5);
         // Longwave outputs must appear (flds/flns/qrl are directly
         // PRNG-driven).
         assert!(
-            affected.iter().any(|o| ["flds", "flns", "qrl", "fsds", "qrs"].contains(&o.as_str())),
+            affected
+                .iter()
+                .any(|o| ["flds", "flns", "qrl", "fsds", "qrs"].contains(&o.as_str())),
             "{affected:?}"
         );
     }
@@ -273,9 +307,10 @@ mod tests {
     #[test]
     fn dyn3bug_selects_dynamics_outputs() {
         let model = default_model();
-        let data = run_statistics(&model, Experiment::Dyn3Bug, &ExperimentSetup::quick()).unwrap();
+        let data =
+            collect_statistics(&model, Experiment::Dyn3Bug, &ExperimentSetup::quick()).unwrap();
         assert_eq!(data.verdict, Verdict::Fail);
-        let affected = affected_outputs(&data, 6);
+        let affected = data.affected_outputs(6);
         let dyn_outputs = ["vv", "omega", "z3", "uu", "omegat", "ps"];
         let overlap = affected
             .iter()

@@ -1,7 +1,24 @@
 //! # rca-core — the paper's root-cause-analysis contribution
 //!
 //! Ties every substrate together into the pipeline of Milroy et al.
-//! (HPDC 2019), Fig. 1:
+//! (HPDC 2019), Fig. 1, behind the [`RcaSession`] facade:
+//!
+//! ```no_run
+//! use rca_core::{ExperimentSetup, OracleKind, RcaSession};
+//! use rca_model::{generate, Experiment, ModelConfig};
+//!
+//! let model = generate(&ModelConfig::test());
+//! let session = RcaSession::builder(&model)
+//!     .setup(ExperimentSetup::quick())
+//!     .oracle(OracleKind::Reachability)
+//!     .build()?;
+//! let diagnosis = session.diagnose(Experiment::GoffGratch)?;
+//! println!("{}", diagnosis.render());
+//! # Ok::<(), rca_core::RcaError>(())
+//! ```
+//!
+//! The stages behind the facade (each also reachable through the typed
+//! stage handles in [`session`]):
 //!
 //! 1. [`experiments`]: run ensemble + experimental simulations, apply the
 //!    UF-ECT (Pass/Fail), and select the most-affected output variables by
@@ -14,25 +31,41 @@
 //!    per-community eigenvector in-centrality, runtime sampling, and k-ary
 //!    shrinkage until the bug is instrumented or the graph is small enough
 //!    to read (§5.2–5.4).
-//! 5. [`oracle`]: the sampling step, both as the paper's reachability
-//!    simulation and as real interpreter instrumentation.
+//! 5. [`oracle`]: the sampling step behind the object-safe [`Oracle`]
+//!    trait — the paper's reachability simulation and real interpreter
+//!    instrumentation are interchangeable evidence sources.
 //! 6. [`module_rank`]: module-quotient centrality and the selective AVX2
 //!    disablement policies of Table 1 (§6.5).
+//!
+//! Failures carry the workspace-wide [`RcaError`] ([`error`]).
 
+pub mod error;
 pub mod experiments;
 pub mod module_rank;
 pub mod oracle;
 pub mod pipeline;
 pub mod refine;
 pub mod report;
+pub mod session;
 pub mod slice;
 
-pub use experiments::{
-    affected_outputs, experiment_configs, run_statistics, ExperimentData, ExperimentSetup,
-};
+pub use error::RcaError;
+pub use experiments::{experiment_configs, ExperimentData, ExperimentSetup};
 pub use module_rank::{avx2_policy, DisablementPolicy, ModuleRanking};
-pub use oracle::{ReachabilityOracle, RuntimeSampler, SamplingOracle};
+pub use oracle::{Oracle, ReachabilityOracle, RuntimeSampler};
 pub use pipeline::{PipelineOptions, RcaPipeline};
 pub use refine::{refine, IterationReport, RefineOptions, RefinementReport, StopReason};
 pub use report::{centrality_listing, refinement_trace, table};
-pub use slice::{induce_slice, reinduce, Slice};
+pub use session::{
+    Diagnosis, OracleKind, RcaSession, RcaSessionBuilder, Refined, SliceScope, Sliced, Statistics,
+};
+pub use slice::{backward_slice, reinduce, Slice};
+
+// Deprecated pre-0.2 surface, re-exported for one release. See each
+// item's note for the replacement.
+#[allow(deprecated)]
+pub use experiments::{affected_outputs, run_statistics};
+#[allow(deprecated)]
+pub use oracle::SamplingOracle;
+#[allow(deprecated)]
+pub use slice::induce_slice;

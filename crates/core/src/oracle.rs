@@ -8,6 +8,31 @@
 //! leaves as future work: it instruments the chosen variables in the
 //! running interpreter and compares values between a control run and an
 //! experimental run.
+//!
+//! # The `Oracle` contract
+//!
+//! [`Oracle`] is the single object-safe evidence interface of Algorithm
+//! 5.4: [`crate::refine`] (and the [`crate::RcaSession`] facade) accept
+//! `&mut dyn Oracle`, so evidence sources are swappable — simulated
+//! reachability, real instrumented runs, or anything a caller implements
+//! (cached verdicts, a remote sampling service, ...). Implementations
+//! must uphold:
+//!
+//! - `differs` returns exactly one boolean per queried node, in order.
+//! - Queries are **monotone in evidence, not stateful in effect**: the
+//!   refinement loop may query the same node in different iterations and
+//!   expects consistent answers for an unchanged experiment.
+//! - A node the oracle cannot instrument (intrinsics, removed code) must
+//!   answer `false`, not panic — the paper's §5.4 issue 3: the oracle, not
+//!   the graph, is authoritative about detection.
+//! - Failures of the underlying evidence machinery should be recorded and
+//!   surfaced via [`Oracle::take_errors`]; sampling proceeds best-effort.
+//!
+//! **Picking an oracle:** use [`ReachabilityOracle`] when ground-truth bug
+//! sites are known (method evaluation, regression harnesses) — it is
+//! O(paths) fast and deterministic. Use [`RuntimeSampler`] when the bug is
+//! genuinely unknown: it pays two interpreter runs per refinement
+//! iteration but measures the real model.
 
 use rca_graph::{reaches_any, NodeId};
 use rca_metagraph::{MetaGraph, NodeKind};
@@ -15,12 +40,29 @@ use rca_model::ModelSource;
 use rca_sim::{run_model, RunConfig, RuntimeError, SampleSpec};
 
 /// Decides which sampled nodes take different values between ensemble and
-/// experimental runs (Algorithm 5.4 step 7).
-pub trait SamplingOracle {
+/// experimental runs (Algorithm 5.4 step 7). See the module docs for the
+/// full contract.
+pub trait Oracle {
+    /// Short stable identifier for reports ("reachability", "runtime").
+    fn name(&self) -> &'static str {
+        "oracle"
+    }
+
     /// For each metagraph node, whether instrumentation would observe a
     /// difference.
     fn differs(&mut self, mg: &MetaGraph, nodes: &[NodeId]) -> Vec<bool>;
+
+    /// Drains runtime failures encountered while sampling (best-effort
+    /// oracles answer `false` for nodes they failed to instrument and
+    /// report the cause here).
+    fn take_errors(&mut self) -> Vec<RuntimeError> {
+        Vec::new()
+    }
 }
+
+/// Former name of [`Oracle`], kept as an alias for one release.
+#[deprecated(since = "0.2.0", note = "renamed to `Oracle`")]
+pub use self::Oracle as SamplingOracle;
 
 /// The paper's simulated sampling: a difference is detectable at node `n`
 /// iff a directed path exists from some bug source to `n`.
@@ -34,8 +76,7 @@ impl ReachabilityOracle {
     pub fn from_sites(mg: &MetaGraph, sites: &[rca_model::BugSite]) -> ReachabilityOracle {
         let mut bug_nodes = Vec::new();
         for site in sites {
-            if let Some(n) = mg.node_by_key(&site.module, Some(&site.subprogram), &site.canonical)
-            {
+            if let Some(n) = mg.node_by_key(&site.module, Some(&site.subprogram), &site.canonical) {
                 bug_nodes.push(n);
             }
             // Module-level variables are also legal bug hosts.
@@ -49,7 +90,11 @@ impl ReachabilityOracle {
     }
 }
 
-impl SamplingOracle for ReachabilityOracle {
+impl Oracle for ReachabilityOracle {
+    fn name(&self) -> &'static str {
+        "reachability"
+    }
+
     fn differs(&mut self, mg: &MetaGraph, nodes: &[NodeId]) -> Vec<bool> {
         nodes
             .iter()
@@ -116,10 +161,17 @@ impl RuntimeSampler {
     }
 }
 
-impl SamplingOracle for RuntimeSampler {
+impl Oracle for RuntimeSampler {
+    fn name(&self) -> &'static str {
+        "runtime"
+    }
+
+    fn take_errors(&mut self) -> Vec<RuntimeError> {
+        std::mem::take(&mut self.errors)
+    }
+
     fn differs(&mut self, mg: &MetaGraph, nodes: &[NodeId]) -> Vec<bool> {
-        let specs: Vec<Option<SampleSpec>> =
-            nodes.iter().map(|&n| Self::spec_for(mg, n)).collect();
+        let specs: Vec<Option<SampleSpec>> = nodes.iter().map(|&n| Self::spec_for(mg, n)).collect();
         let live: Vec<SampleSpec> = specs.iter().flatten().cloned().collect();
 
         let mut ctl = self.control_config.clone();
@@ -149,8 +201,7 @@ impl SamplingOracle for RuntimeSampler {
             .map(|spec| {
                 let Some(spec) = spec else { return false };
                 let key = spec.key();
-                let (Some(a), Some(b)) =
-                    (control.samples.get(&key), experiment.samples.get(&key))
+                let (Some(a), Some(b)) = (control.samples.get(&key), experiment.samples.get(&key))
                 else {
                     return false;
                 };
@@ -200,8 +251,7 @@ mod tests {
             steps: 3,
             ..Default::default()
         };
-        let mut sampler =
-            RuntimeSampler::new(model.clone(), bugged, cfg.clone(), cfg.clone());
+        let mut sampler = RuntimeSampler::new(model.clone(), bugged, cfg.clone(), cfg.clone());
         let cld = mg.nodes_with_canonical("cld")[0];
         let wsub = mg.nodes_with_canonical("wsub")[0];
         let r = sampler.differs(&mg, &[cld, wsub]);
@@ -221,10 +271,8 @@ mod tests {
             steps: 3,
             ..Default::default()
         };
-        let mut runtime =
-            RuntimeSampler::new(model.clone(), bugged, cfg.clone(), cfg.clone());
-        let mut reach =
-            ReachabilityOracle::from_sites(&mg, &Experiment::WsubBug.bug_sites());
+        let mut runtime = RuntimeSampler::new(model.clone(), bugged, cfg.clone(), cfg.clone());
+        let mut reach = ReachabilityOracle::from_sites(&mg, &Experiment::WsubBug.bug_sites());
         let wsub = mg.nodes_with_canonical("wsub")[0];
         let flwds = mg.nodes_with_canonical("flwds")[0];
         let nodes = [wsub, flwds];

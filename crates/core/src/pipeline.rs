@@ -6,9 +6,10 @@
 //! drop unexecuted modules/subprograms, then compile the surviving source
 //! into the variable digraph.
 
+use crate::error::RcaError;
 use rca_metagraph::{build_metagraph, filter_sources, Coverage, FilterStats, MetaGraph};
 use rca_model::{Component, ModelSource};
-use rca_sim::{run_model, RunConfig, RuntimeError};
+use rca_sim::{run_model, RunConfig};
 use std::collections::HashMap;
 
 /// A built pipeline: metagraph plus bookkeeping for one model variant.
@@ -46,7 +47,7 @@ impl Default for PipelineOptions {
 
 impl RcaPipeline {
     /// Builds the pipeline for `model` with default options.
-    pub fn build(model: &ModelSource) -> Result<RcaPipeline, RuntimeError> {
+    pub fn build(model: &ModelSource) -> Result<RcaPipeline, RcaError> {
         Self::build_with(model, &PipelineOptions::default())
     }
 
@@ -54,22 +55,27 @@ impl RcaPipeline {
     pub fn build_with(
         model: &ModelSource,
         opts: &PipelineOptions,
-    ) -> Result<RcaPipeline, RuntimeError> {
+    ) -> Result<RcaPipeline, RcaError> {
         let (asts, parse_errs) = model.parse();
         if let Some(e) = parse_errs.first() {
-            return Err(RuntimeError {
-                message: format!("model does not parse: {e}"),
-                context: "pipeline".into(),
-                line: e.line,
-            });
+            return Err(RcaError::from(e));
         }
         let mut coverage = Coverage::new();
         let (filtered, filter_stats) = if opts.skip_coverage {
-            let stats = rca_metagraph::coverage::FilterStats {
-                modules_before: asts.iter().map(|f| f.modules.len()).sum(),
-                modules_after: asts.iter().map(|f| f.modules.len()).sum(),
-                subprograms_before: 0,
-                subprograms_after: 0,
+            // Nothing is filtered, so report the real counts on both
+            // sides — callers compare these against coverage-filtered
+            // builds, and fabricated zeros would make the comparison lie.
+            let modules: usize = asts.iter().map(|f| f.modules.len()).sum();
+            let subprograms: usize = asts
+                .iter()
+                .flat_map(|f| &f.modules)
+                .map(|m| m.subprograms.len())
+                .sum();
+            let stats = FilterStats {
+                modules_before: modules,
+                modules_after: modules,
+                subprograms_before: subprograms,
+                subprograms_after: subprograms,
             };
             (asts, stats)
         } else {
@@ -114,7 +120,11 @@ mod tests {
     fn pipeline_builds_graph() {
         let model = generate(&ModelConfig::test());
         let p = RcaPipeline::build(&model).expect("pipeline");
-        assert!(p.metagraph.node_count() > 300, "{}", p.metagraph.node_count());
+        assert!(
+            p.metagraph.node_count() > 300,
+            "{}",
+            p.metagraph.node_count()
+        );
         assert!(p.metagraph.edge_count() > p.metagraph.node_count() / 2);
         // Table-2 style I/O mapping present.
         let internal = p.outputs_to_internal(&["flds".into(), "taux".into()]);
@@ -152,7 +162,10 @@ mod tests {
             p.filter_stats.subprograms_before,
             p.filter_stats.subprograms_after + 1
         );
-        assert!(p.metagraph.nodes_with_canonical("deadvar_unique").is_empty());
+        assert!(p
+            .metagraph
+            .nodes_with_canonical("deadvar_unique")
+            .is_empty());
     }
 
     #[test]
@@ -175,6 +188,39 @@ mod tests {
             },
         )
         .unwrap();
-        assert!(!p.metagraph.nodes_with_canonical("deadvar_unique").is_empty());
+        assert!(!p
+            .metagraph
+            .nodes_with_canonical("deadvar_unique")
+            .is_empty());
+    }
+
+    #[test]
+    fn skip_coverage_reports_real_subprogram_counts() {
+        let model = generate(&ModelConfig::test());
+        let filtered = RcaPipeline::build(&model).unwrap();
+        let skipped = RcaPipeline::build_with(
+            &model,
+            &PipelineOptions {
+                skip_coverage: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // Nothing filtered: before == after, and both are the true count.
+        assert!(skipped.filter_stats.subprograms_before > 0);
+        assert_eq!(
+            skipped.filter_stats.subprograms_before,
+            skipped.filter_stats.subprograms_after
+        );
+        // The unfiltered universe must match what the coverage build saw
+        // before it filtered.
+        assert_eq!(
+            skipped.filter_stats.subprograms_before,
+            filtered.filter_stats.subprograms_before
+        );
+        assert_eq!(
+            skipped.filter_stats.modules_before,
+            filtered.filter_stats.modules_before
+        );
     }
 }

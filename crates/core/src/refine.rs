@@ -16,7 +16,7 @@
 //! and static paths may include non-traversed code (the oracle, not the
 //! graph, is authoritative about detection).
 
-use crate::oracle::SamplingOracle;
+use crate::oracle::Oracle;
 use crate::slice::{reinduce, Slice};
 use rca_graph::{
     bfs_multi, communities, eigenvector_centrality, top_m, Direction, NodeId, PowerIterOptions,
@@ -66,6 +66,19 @@ pub enum StopReason {
     Disconnected,
     /// Iteration cap.
     MaxIterations,
+}
+
+impl std::fmt::Display for StopReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let text = match self {
+            StopReason::BugInstrumented => "bug instrumented",
+            StopReason::SmallEnough => "small enough for manual analysis",
+            StopReason::Stalled => "subgraph stopped shrinking",
+            StopReason::Disconnected => "no communities (subgraph disconnected)",
+            StopReason::MaxIterations => "iteration cap reached",
+        };
+        f.write_str(text)
+    }
 }
 
 /// One refinement iteration's record (the paper's per-iteration
@@ -119,7 +132,7 @@ impl RefinementReport {
 pub fn refine(
     mg: &MetaGraph,
     slice: &Slice,
-    oracle: &mut dyn SamplingOracle,
+    oracle: &mut dyn Oracle,
     bug_nodes: &[NodeId],
     opts: &RefineOptions,
 ) -> RefinementReport {
@@ -227,15 +240,10 @@ pub fn refine(
                 let mut common: Option<Vec<bool>> = None;
                 for &d in &differing_sub {
                     let reach = bfs_multi(&current.graph, &[d], Direction::In);
-                    let mask: Vec<bool> =
-                        current.graph.nodes().map(|n| reach.reached(n)).collect();
+                    let mask: Vec<bool> = current.graph.nodes().map(|n| reach.reached(n)).collect();
                     common = Some(match common {
                         None => mask,
-                        Some(prev) => prev
-                            .iter()
-                            .zip(&mask)
-                            .map(|(&a, &b)| a && b)
-                            .collect(),
+                        Some(prev) => prev.iter().zip(&mask).map(|(&a, &b)| a && b).collect(),
                     });
                 }
                 if let Some(mask) = common {
@@ -271,7 +279,7 @@ mod tests {
     use super::*;
     use crate::oracle::ReachabilityOracle;
     use crate::pipeline::RcaPipeline;
-    use crate::slice::induce_slice;
+    use crate::slice::backward_slice;
     use rca_model::{generate, Experiment, ModelConfig};
 
     fn setup(exp: Experiment) -> (MetaGraph, Slice, Vec<NodeId>) {
@@ -283,7 +291,7 @@ mod tests {
             .map(|s| s.to_string())
             .collect();
         let comp = p.components.clone();
-        let slice = induce_slice(&p.metagraph, &internal, |m| {
+        let slice = backward_slice(&p.metagraph, &internal, |m| {
             matches!(comp.get(m), Some(rca_model::Component::Cam))
         });
         let oracle = ReachabilityOracle::from_sites(&p.metagraph, &exp.bug_sites());
@@ -300,7 +308,9 @@ mod tests {
             "slice too small: {}",
             slice.graph.node_count()
         );
-        let mut oracle = ReachabilityOracle { bug_nodes: bugs.clone() };
+        let mut oracle = ReachabilityOracle {
+            bug_nodes: bugs.clone(),
+        };
         let report = refine(&mg, &slice, &mut oracle, &bugs, &RefineOptions::default());
         // The paper's GOFFGRATCH run itself ends when "the induced
         // subgraph equals the community subgraph" — a stall with the bug
@@ -323,7 +333,9 @@ mod tests {
             "wsub slice must be tiny (paper: 14), got {}",
             slice.graph.node_count()
         );
-        let mut oracle = ReachabilityOracle { bug_nodes: bugs.clone() };
+        let mut oracle = ReachabilityOracle {
+            bug_nodes: bugs.clone(),
+        };
         let report = refine(&mg, &slice, &mut oracle, &bugs, &RefineOptions::default());
         assert_eq!(report.stop, StopReason::SmallEnough);
         assert!(report.localized(&bugs));
@@ -333,9 +345,13 @@ mod tests {
     fn randmt_not_detected_first_iteration() {
         let (mg, slice, bugs) = setup(Experiment::RandMt);
         assert!(!bugs.is_empty(), "PRNG-tainted nodes must exist");
-        let mut oracle = ReachabilityOracle { bug_nodes: bugs.clone() };
-        let mut opts = RefineOptions::default();
-        opts.manual_threshold = 10;
+        let mut oracle = ReachabilityOracle {
+            bug_nodes: bugs.clone(),
+        };
+        let opts = RefineOptions {
+            manual_threshold: 10,
+            ..Default::default()
+        };
         let report = refine(&mg, &slice, &mut oracle, &bugs, &opts);
         // The paper's signature RAND-MT behaviour: sampling the central
         // cluster detects nothing on iteration 1 (no paths from the PRNG
@@ -354,7 +370,9 @@ mod tests {
     #[test]
     fn refinement_shrinks_monotonically() {
         let (mg, slice, bugs) = setup(Experiment::GoffGratch);
-        let mut oracle = ReachabilityOracle { bug_nodes: bugs.clone() };
+        let mut oracle = ReachabilityOracle {
+            bug_nodes: bugs.clone(),
+        };
         let report = refine(&mg, &slice, &mut oracle, &bugs, &RefineOptions::default());
         for w in report.iterations.windows(2) {
             assert!(

@@ -17,7 +17,10 @@ pub fn table(title: &str, headers: (&str, &str), rows: &[(String, String)]) -> S
     let mut out = String::new();
     out.push_str(&format!("{title}\n"));
     out.push_str(&format!("{:<w1$}  {}\n", headers.0, headers.1, w1 = w1));
-    out.push_str(&format!("{}\n", "-".repeat(w1 + 2 + headers.1.len().max(8))));
+    out.push_str(&format!(
+        "{}\n",
+        "-".repeat(w1 + 2 + headers.1.len().max(8))
+    ));
     for (a, b) in rows {
         out.push_str(&format!("{a:<w1$}  {b}\n", w1 = w1));
     }
@@ -50,9 +53,7 @@ pub fn refinement_trace(mg: &MetaGraph, report: &RefinementReport) -> String {
             let marks: Vec<String> = nodes
                 .iter()
                 .zip(det)
-                .map(|(n, d)| {
-                    format!("{}{}", mg.display(*n), if *d { "*" } else { "" })
-                })
+                .map(|(n, d)| format!("{}{}", mg.display(*n), if *d { "*" } else { "" }))
                 .collect();
             out.push_str(&format!("  community {}: {}\n", c + 1, marks.join(", ")));
         }

@@ -1,0 +1,664 @@
+//! The `RcaSession` facade: one entry point for the paper's workflow.
+//!
+//! The pipeline of Milroy et al. (HPDC 2019, Fig. 1) is a fixed staged
+//! sequence — statistics → graph compilation → slicing → Algorithm 5.4
+//! refinement — and this module packages it behind a builder-configured
+//! session:
+//!
+//! ```no_run
+//! use rca_core::{ExperimentSetup, OracleKind, RcaSession};
+//! use rca_model::{generate, Experiment, ModelConfig};
+//!
+//! let model = generate(&ModelConfig::test());
+//! let session = RcaSession::builder(&model)
+//!     .setup(ExperimentSetup::quick())
+//!     .oracle(OracleKind::Runtime)
+//!     .build()?;
+//! let diagnosis = session.diagnose(Experiment::GoffGratch)?;
+//! println!("{}", diagnosis.render());
+//! # Ok::<(), rca_core::RcaError>(())
+//! ```
+//!
+//! Callers that need the granular control of the old free functions use
+//! the **typed stage handles** instead: [`RcaSession::statistics`] returns
+//! a [`Statistics`] stage, whose [`Statistics::slice`] consumes it into a
+//! [`Sliced`] stage, whose [`Sliced::refine`]/[`Sliced::refine_with`]
+//! consume it into [`Refined`]. Because each stage is only constructible
+//! from its predecessor, the pipeline cannot be run out of order at
+//! compile time — there is no way to refine before slicing or slice
+//! before the statistics exist.
+
+use crate::error::RcaError;
+use crate::experiments::{collect_statistics, experiment_configs, ExperimentData, ExperimentSetup};
+use crate::oracle::{Oracle, ReachabilityOracle, RuntimeSampler};
+use crate::pipeline::{PipelineOptions, RcaPipeline};
+use crate::refine::{refine, RefineOptions, RefinementReport, StopReason};
+use crate::report::refinement_trace;
+use crate::slice::{backward_slice, Slice};
+use rca_graph::NodeId;
+use rca_metagraph::MetaGraph;
+use rca_model::{Experiment, ModelSource};
+use rca_sim::RuntimeError;
+use rca_stats::Verdict;
+use std::fmt::Write as _;
+
+/// Which built-in evidence source Algorithm 5.4 consults.
+///
+/// See the [`crate::oracle`] module docs for the trade-off; in short:
+/// `Reachability` for method evaluation with known ground truth,
+/// `Runtime` for real investigations (two interpreter runs per
+/// refinement iteration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OracleKind {
+    /// Simulated sampling via directed-path reachability from the
+    /// experiment's ground-truth bug sites (§5.2).
+    Reachability,
+    /// Real instrumented control + experimental interpreter runs.
+    Runtime,
+}
+
+/// Which modules the backward slice may include.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SliceScope {
+    /// Restrict to CAM modules (the paper's §6 default).
+    Cam,
+    /// No restriction (the paper's Fig. 15 full-model slice).
+    AllComponents,
+}
+
+/// Configures and builds an [`RcaSession`].
+pub struct RcaSessionBuilder<'m> {
+    model: &'m ModelSource,
+    setup: ExperimentSetup,
+    oracle: OracleKind,
+    pipeline_opts: PipelineOptions,
+    refine_opts: RefineOptions,
+    max_outputs: usize,
+    scope: SliceScope,
+}
+
+impl<'m> RcaSessionBuilder<'m> {
+    /// Statistical campaign parameters (default: [`ExperimentSetup::default`]).
+    pub fn setup(mut self, setup: ExperimentSetup) -> Self {
+        self.setup = setup;
+        self
+    }
+
+    /// Evidence source for refinement (default: reachability).
+    pub fn oracle(mut self, oracle: OracleKind) -> Self {
+        self.oracle = oracle;
+        self
+    }
+
+    /// Graph-compilation options (coverage steps, skip-coverage).
+    pub fn pipeline_options(mut self, opts: PipelineOptions) -> Self {
+        self.pipeline_opts = opts;
+        self
+    }
+
+    /// Algorithm 5.4 tuning knobs.
+    pub fn refine_options(mut self, opts: RefineOptions) -> Self {
+        self.refine_opts = opts;
+        self
+    }
+
+    /// Cap on affected outputs carried into slicing (default: 10, the
+    /// paper's lasso+median selection size).
+    pub fn max_outputs(mut self, n: usize) -> Self {
+        self.max_outputs = n;
+        self
+    }
+
+    /// Slice restriction scope (default: CAM modules).
+    pub fn scope(mut self, scope: SliceScope) -> Self {
+        self.scope = scope;
+        self
+    }
+
+    /// Parses the model, runs the coverage calibration, and compiles the
+    /// variable digraph — everything experiment-independent.
+    pub fn build(self) -> Result<RcaSession<'m>, RcaError> {
+        if self.max_outputs == 0 {
+            return Err(RcaError::Config(
+                "max_outputs must be at least 1 (nothing would be sliced)".into(),
+            ));
+        }
+        if self.setup.steps < 2 {
+            return Err(RcaError::Config(
+                "setup.steps must be at least 2 (the ECT needs an evaluation step)".into(),
+            ));
+        }
+        let pipeline = RcaPipeline::build_with(self.model, &self.pipeline_opts)?;
+        Ok(RcaSession {
+            model: self.model,
+            pipeline,
+            setup: self.setup,
+            oracle: self.oracle,
+            refine_opts: self.refine_opts,
+            max_outputs: self.max_outputs,
+            scope: self.scope,
+        })
+    }
+}
+
+/// A configured root-cause-analysis session over one model.
+///
+/// Building the session performs the experiment-independent work (parse,
+/// coverage calibration, metagraph compilation) once; each
+/// [`RcaSession::diagnose`] call then runs the per-experiment pipeline.
+pub struct RcaSession<'m> {
+    model: &'m ModelSource,
+    pipeline: RcaPipeline,
+    setup: ExperimentSetup,
+    oracle: OracleKind,
+    refine_opts: RefineOptions,
+    max_outputs: usize,
+    scope: SliceScope,
+}
+
+impl<'m> RcaSession<'m> {
+    /// Starts configuring a session for `model`.
+    pub fn builder(model: &'m ModelSource) -> RcaSessionBuilder<'m> {
+        RcaSessionBuilder {
+            model,
+            setup: ExperimentSetup::default(),
+            oracle: OracleKind::Reachability,
+            pipeline_opts: PipelineOptions::default(),
+            refine_opts: RefineOptions::default(),
+            max_outputs: 10,
+            scope: SliceScope::Cam,
+        }
+    }
+
+    /// The model under analysis.
+    pub fn model(&self) -> &'m ModelSource {
+        self.model
+    }
+
+    /// The compiled pipeline (metagraph, coverage, filter statistics).
+    pub fn pipeline(&self) -> &RcaPipeline {
+        &self.pipeline
+    }
+
+    /// The compiled variable digraph.
+    pub fn metagraph(&self) -> &MetaGraph {
+        &self.pipeline.metagraph
+    }
+
+    /// The statistical campaign parameters.
+    pub fn setup(&self) -> &ExperimentSetup {
+        &self.setup
+    }
+
+    /// The configured evidence source.
+    pub fn oracle_kind(&self) -> OracleKind {
+        self.oracle
+    }
+
+    /// Metagraph nodes of the experiment's ground-truth bug sites (empty
+    /// for experiments without injected bugs, e.g. `Control`).
+    pub fn bug_nodes(&self, experiment: Experiment) -> Vec<NodeId> {
+        ReachabilityOracle::from_sites(&self.pipeline.metagraph, &experiment.bug_sites()).bug_nodes
+    }
+
+    /// Instantiates the session's configured oracle for one experiment.
+    ///
+    /// Exposed so callers can drive [`crate::refine`] (or
+    /// [`Sliced::refine_with`]) with a built-in oracle while owning its
+    /// lifecycle — e.g. to interleave queries across experiments.
+    pub fn make_oracle(&self, experiment: Experiment) -> Box<dyn Oracle> {
+        match self.oracle {
+            OracleKind::Reachability => Box::new(ReachabilityOracle::from_sites(
+                &self.pipeline.metagraph,
+                &experiment.bug_sites(),
+            )),
+            OracleKind::Runtime => {
+                let (ctl_cfg, exp_cfg) = experiment_configs(experiment, &self.setup);
+                let mut sampler = RuntimeSampler::new(
+                    self.model.clone(),
+                    self.model.apply(experiment),
+                    ctl_cfg,
+                    exp_cfg,
+                );
+                // Sample as early as the discrepancy can be observed (the
+                // paper instruments early steps); stay within the run.
+                sampler.sample_step = self.setup.steps.saturating_sub(1).min(2);
+                Box::new(sampler)
+            }
+        }
+    }
+
+    /// Stage 1 — the statistical front end (§3): ensemble + experimental
+    /// runs, UF-ECT verdict, affected-output selection.
+    pub fn statistics(&self, experiment: Experiment) -> Result<Statistics<'_, 'm>, RcaError> {
+        let data = collect_statistics(self.model, experiment, &self.setup)?;
+        if data.output_names.is_empty() {
+            return Err(RcaError::Stats(
+                "ensemble and experimental runs share no output variables".into(),
+            ));
+        }
+        let affected = data.affected_outputs(self.max_outputs);
+        Ok(Statistics {
+            session: self,
+            experiment,
+            data,
+            affected,
+        })
+    }
+
+    /// Runs the full pipeline for one experiment: statistics → slicing →
+    /// Algorithm 5.4, consolidated into a [`Diagnosis`].
+    ///
+    /// A passing ECT verdict short-circuits: the model is statistically
+    /// consistent with the ensemble, so there is no discrepancy to chase
+    /// and the diagnosis carries no refinement.
+    pub fn diagnose(&self, experiment: Experiment) -> Result<Diagnosis, RcaError> {
+        let stats = self.statistics(experiment)?;
+        if stats.data.verdict == Verdict::Pass {
+            return Ok(Diagnosis {
+                experiment,
+                verdict: Verdict::Pass,
+                failure_rate: stats.data.failure_rate,
+                affected_outputs: stats.affected,
+                slicing_criteria: Vec::new(),
+                slice_nodes: 0,
+                slice_edges: 0,
+                oracle: oracle_label(self.oracle),
+                refinement: None,
+                bug_nodes: self.bug_nodes(experiment),
+                suspects: Vec::new(),
+                sampling_errors: Vec::new(),
+                trace: String::new(),
+            });
+        }
+        Ok(stats.slice()?.refine().into_diagnosis())
+    }
+
+    fn in_scope(&self, module: &str) -> bool {
+        match self.scope {
+            SliceScope::Cam => self.pipeline.is_cam(module),
+            SliceScope::AllComponents => true,
+        }
+    }
+}
+
+fn oracle_label(kind: OracleKind) -> &'static str {
+    match kind {
+        OracleKind::Reachability => "reachability",
+        OracleKind::Runtime => "runtime",
+    }
+}
+
+/// Typed stage handle: statistics have run. Produced by
+/// [`RcaSession::statistics`]; consumed by [`Statistics::slice`].
+pub struct Statistics<'s, 'm> {
+    session: &'s RcaSession<'m>,
+    /// The experiment under diagnosis.
+    pub experiment: Experiment,
+    /// Full statistical results (verdict, rankings, matrices).
+    pub data: ExperimentData,
+    /// Affected outputs selected for slicing (lasso first, topped up by
+    /// median distance). Mutable before [`Statistics::slice`] for callers
+    /// that want to override the selection.
+    pub affected: Vec<String>,
+}
+
+impl<'s, 'm> Statistics<'s, 'm> {
+    /// The UF-ECT verdict.
+    pub fn verdict(&self) -> Verdict {
+        self.data.verdict
+    }
+
+    /// Stage 2 — §5.1 hybrid slicing: map affected outputs to internal
+    /// canonical names and induce the suspect subgraph.
+    pub fn slice(self) -> Result<Sliced<'s, 'm>, RcaError> {
+        let criteria = self.session.pipeline.outputs_to_internal(&self.affected);
+        if criteria.is_empty() {
+            return Err(RcaError::UnknownOutputs(self.affected));
+        }
+        let slice = backward_slice(&self.session.pipeline.metagraph, &criteria, |module| {
+            self.session.in_scope(module)
+        });
+        if slice.graph.node_count() == 0 {
+            return Err(RcaError::EmptySlice(criteria));
+        }
+        Ok(Sliced {
+            session: self.session,
+            experiment: self.experiment,
+            data: self.data,
+            affected: self.affected,
+            criteria,
+            slice,
+        })
+    }
+}
+
+/// Typed stage handle: the suspect subgraph exists. Produced by
+/// [`Statistics::slice`]; consumed by [`Sliced::refine`] or
+/// [`Sliced::refine_with`].
+pub struct Sliced<'s, 'm> {
+    session: &'s RcaSession<'m>,
+    /// The experiment under diagnosis.
+    pub experiment: Experiment,
+    /// Statistical results carried forward.
+    pub data: ExperimentData,
+    /// Affected outputs that produced the criteria.
+    pub affected: Vec<String>,
+    /// Internal canonical slicing criteria (§5.1 / Table 2).
+    pub criteria: Vec<String>,
+    /// The induced suspect subgraph.
+    pub slice: Slice,
+}
+
+impl<'s, 'm> Sliced<'s, 'm> {
+    /// Stage 3 — Algorithm 5.4 with the session's configured oracle.
+    pub fn refine(self) -> Refined<'s, 'm> {
+        let mut oracle = self.session.make_oracle(self.experiment);
+        self.refine_with(oracle.as_mut())
+    }
+
+    /// Stage 3 with a caller-supplied evidence source — any
+    /// [`Oracle`] implementation, including ones outside this crate.
+    pub fn refine_with(self, oracle: &mut dyn Oracle) -> Refined<'s, 'm> {
+        let bug_nodes = self.session.bug_nodes(self.experiment);
+        let report = refine(
+            &self.session.pipeline.metagraph,
+            &self.slice,
+            oracle,
+            &bug_nodes,
+            &self.session.refine_opts,
+        );
+        Refined {
+            session: self.session,
+            experiment: self.experiment,
+            data: self.data,
+            affected: self.affected,
+            criteria: self.criteria,
+            slice_nodes: self.slice.graph.node_count(),
+            slice_edges: self.slice.graph.edge_count(),
+            report,
+            oracle_name: oracle.name(),
+            sampling_errors: oracle.take_errors(),
+            bug_nodes,
+        }
+    }
+}
+
+/// Typed stage handle: refinement has run. Produced by
+/// [`Sliced::refine`]/[`Sliced::refine_with`]; finished by
+/// [`Refined::into_diagnosis`].
+pub struct Refined<'s, 'm> {
+    session: &'s RcaSession<'m>,
+    /// The experiment under diagnosis.
+    pub experiment: Experiment,
+    /// Statistical results carried forward.
+    pub data: ExperimentData,
+    /// Affected outputs carried forward.
+    pub affected: Vec<String>,
+    /// Slicing criteria carried forward.
+    pub criteria: Vec<String>,
+    /// Suspect subgraph size entering refinement.
+    pub slice_nodes: usize,
+    /// Suspect subgraph edges entering refinement.
+    pub slice_edges: usize,
+    /// The Algorithm 5.4 outcome.
+    pub report: RefinementReport,
+    /// Which oracle produced the evidence.
+    pub oracle_name: &'static str,
+    /// Runtime failures the oracle absorbed while sampling.
+    pub sampling_errors: Vec<RuntimeError>,
+    bug_nodes: Vec<NodeId>,
+}
+
+impl Refined<'_, '_> {
+    /// Consolidates everything into the final [`Diagnosis`].
+    pub fn into_diagnosis(self) -> Diagnosis {
+        let mg = &self.session.pipeline.metagraph;
+        let suspects: Vec<String> = self
+            .report
+            .final_nodes
+            .iter()
+            .map(|&n| mg.display(n))
+            .collect();
+        let trace = refinement_trace(mg, &self.report);
+        Diagnosis {
+            experiment: self.experiment,
+            verdict: self.data.verdict,
+            failure_rate: self.data.failure_rate,
+            affected_outputs: self.affected,
+            slicing_criteria: self.criteria,
+            slice_nodes: self.slice_nodes,
+            slice_edges: self.slice_edges,
+            oracle: self.oracle_name,
+            refinement: Some(self.report),
+            bug_nodes: self.bug_nodes,
+            suspects,
+            sampling_errors: self.sampling_errors,
+            trace,
+        }
+    }
+}
+
+/// The consolidated result of one [`RcaSession::diagnose`] run: verdict,
+/// selected outputs, slice statistics, refinement trace, and stop reason.
+#[derive(Debug, Clone)]
+pub struct Diagnosis {
+    /// The experiment that was diagnosed.
+    pub experiment: Experiment,
+    /// UF-ECT verdict (a `Pass` carries no refinement).
+    pub verdict: Verdict,
+    /// ECT failure rate over all experimental run-sets.
+    pub failure_rate: f64,
+    /// Affected outputs selected by the statistics.
+    pub affected_outputs: Vec<String>,
+    /// Internal canonical names sliced on.
+    pub slicing_criteria: Vec<String>,
+    /// Suspect subgraph size entering refinement.
+    pub slice_nodes: usize,
+    /// Suspect subgraph edges entering refinement.
+    pub slice_edges: usize,
+    /// Which oracle produced the evidence.
+    pub oracle: &'static str,
+    /// The Algorithm 5.4 outcome (`None` when the verdict passed).
+    pub refinement: Option<RefinementReport>,
+    /// Ground-truth bug nodes (empty when unknown/not injected).
+    pub bug_nodes: Vec<NodeId>,
+    /// Display names of the final suspect set.
+    pub suspects: Vec<String>,
+    /// Runtime failures the oracle absorbed while sampling.
+    pub sampling_errors: Vec<RuntimeError>,
+    trace: String,
+}
+
+impl Diagnosis {
+    /// Why refinement stopped, if it ran.
+    pub fn stop(&self) -> Option<StopReason> {
+        self.refinement.as_ref().map(|r| r.stop)
+    }
+
+    /// Refinement iterations performed.
+    pub fn iterations(&self) -> usize {
+        self.refinement.as_ref().map_or(0, |r| r.iterations.len())
+    }
+
+    /// Whether a ground-truth bug node was instrumented during sampling.
+    pub fn instrumented(&self) -> bool {
+        self.refinement
+            .as_ref()
+            .is_some_and(|r| r.instrumented(&self.bug_nodes))
+    }
+
+    /// Whether a ground-truth bug node sits in the final suspect set.
+    pub fn localized(&self) -> bool {
+        self.refinement
+            .as_ref()
+            .is_some_and(|r| r.localized(&self.bug_nodes))
+    }
+
+    /// Whether the procedure found the bug (instrumented or localized) —
+    /// meaningful only when ground truth exists.
+    pub fn located(&self) -> bool {
+        self.instrumented() || self.localized()
+    }
+
+    /// Renders the full human-readable report: verdict, selections, the
+    /// per-iteration refinement trace, stop reason, and suspect list.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== RCA diagnosis: {} ==", self.experiment.name());
+        let _ = writeln!(
+            out,
+            "UF-ECT verdict: {} (failure rate {:.0}%, oracle: {})",
+            self.verdict,
+            self.failure_rate * 100.0,
+            self.oracle
+        );
+        if self.verdict == Verdict::Pass {
+            let _ = writeln!(
+                out,
+                "output is statistically consistent with the ensemble; nothing to diagnose"
+            );
+            return out;
+        }
+        let _ = writeln!(out, "affected outputs: {:?}", self.affected_outputs);
+        let _ = writeln!(out, "slicing criteria: {:?}", self.slicing_criteria);
+        let _ = writeln!(
+            out,
+            "induced subgraph: {} nodes, {} edges",
+            self.slice_nodes, self.slice_edges
+        );
+        out.push_str(&self.trace);
+        if let Some(stop) = self.stop() {
+            let _ = writeln!(out, "stop reason: {stop}");
+        }
+        let _ = writeln!(out, "final suspects ({}):", self.suspects.len());
+        const SHOWN: usize = 12;
+        for s in self.suspects.iter().take(SHOWN) {
+            let _ = writeln!(out, "  {s}");
+        }
+        if self.suspects.len() > SHOWN {
+            let _ = writeln!(out, "  ... and {} more", self.suspects.len() - SHOWN);
+        }
+        if !self.sampling_errors.is_empty() {
+            let _ = writeln!(
+                out,
+                "sampling errors absorbed: {} (first: {})",
+                self.sampling_errors.len(),
+                self.sampling_errors[0]
+            );
+        }
+        if !self.bug_nodes.is_empty() {
+            let _ = writeln!(
+                out,
+                "ground-truth bug: {}",
+                if self.instrumented() {
+                    "LOCATED (instrumented during sampling)"
+                } else if self.localized() {
+                    "LOCATED (inside the final suspect set)"
+                } else {
+                    "NOT located"
+                }
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rca_model::{generate, ModelConfig};
+
+    fn model() -> ModelSource {
+        generate(&ModelConfig::test())
+    }
+
+    #[test]
+    fn builder_validates_configuration() {
+        let m = model();
+        let err = RcaSession::builder(&m)
+            .max_outputs(0)
+            .build()
+            .err()
+            .expect("must fail");
+        assert!(matches!(err, RcaError::Config(_)), "{err}");
+        let err = RcaSession::builder(&m)
+            .setup(ExperimentSetup {
+                steps: 1,
+                ..ExperimentSetup::quick()
+            })
+            .build()
+            .err()
+            .expect("must fail");
+        assert!(matches!(err, RcaError::Config(_)), "{err}");
+    }
+
+    #[test]
+    fn builder_defaults_and_accessors() {
+        let m = model();
+        let session = RcaSession::builder(&m)
+            .setup(ExperimentSetup::quick())
+            .build()
+            .expect("session");
+        assert_eq!(session.oracle_kind(), OracleKind::Reachability);
+        assert!(session.metagraph().node_count() > 300);
+        assert!(session.pipeline().filter_stats.subprograms_after > 0);
+        assert_eq!(session.setup().steps, 5);
+    }
+
+    #[test]
+    fn wsub_diagnose_end_to_end_and_renders() {
+        let m = model();
+        let session = RcaSession::builder(&m)
+            .setup(ExperimentSetup::quick())
+            .build()
+            .expect("session");
+        let d = session.diagnose(Experiment::WsubBug).expect("diagnosis");
+        assert_eq!(d.verdict, Verdict::Fail);
+        assert!(d.slice_nodes > 0);
+        assert!(
+            d.located(),
+            "wsub bug must be located (stop {:?})",
+            d.stop()
+        );
+        let report = d.render();
+        assert!(report.contains("WSUBBUG") || report.contains(d.experiment.name()));
+        assert!(report.contains("stop reason:"));
+        assert!(report.contains("final suspects"));
+    }
+
+    #[test]
+    fn typed_stages_expose_granular_control() {
+        let m = model();
+        let session = RcaSession::builder(&m)
+            .setup(ExperimentSetup::quick())
+            .build()
+            .expect("session");
+        let stats = session.statistics(Experiment::WsubBug).expect("stage 1");
+        assert_eq!(stats.verdict(), Verdict::Fail);
+        let sliced = stats.slice().expect("stage 2");
+        assert!(sliced.slice.graph.node_count() > 0);
+        assert!(!sliced.criteria.is_empty());
+        // Caller-supplied oracle through the object-safe interface.
+        let mut oracle = session.make_oracle(Experiment::WsubBug);
+        let refined = sliced.refine_with(oracle.as_mut());
+        assert_eq!(refined.oracle_name, "reachability");
+        let d = refined.into_diagnosis();
+        assert!(d.located());
+    }
+
+    #[test]
+    fn control_short_circuits_on_pass() {
+        let m = model();
+        let session = RcaSession::builder(&m)
+            .setup(ExperimentSetup::quick())
+            .build()
+            .expect("session");
+        let d = session.diagnose(Experiment::Control).expect("diagnosis");
+        assert_eq!(d.verdict, Verdict::Pass);
+        assert!(d.refinement.is_none());
+        assert_eq!(d.iterations(), 0);
+        assert!(!d.located());
+        assert!(d.render().contains("consistent"));
+    }
+}

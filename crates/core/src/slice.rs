@@ -50,7 +50,12 @@ impl Slice {
 /// `restrict` limits the slice to nodes whose module satisfies the
 /// predicate (pass `|m| pipeline.is_cam(m)` for the paper's CAM
 /// restriction, or `|_| true` for Fig. 15's unrestricted slice).
-pub fn induce_slice(
+///
+/// This is the granular building block; most callers want
+/// [`crate::RcaSession::diagnose`] or the typed
+/// [`crate::session::Statistics::slice`] stage, which derive the criteria
+/// from the statistics and apply the session's scope.
+pub fn backward_slice(
     mg: &MetaGraph,
     internal_names: &[String],
     restrict: impl Fn(&str) -> bool,
@@ -76,6 +81,16 @@ pub fn induce_slice(
         mapping,
         targets,
     }
+}
+
+/// Former name of [`backward_slice`], kept as a shim for one release.
+#[deprecated(since = "0.2.0", note = "renamed to `backward_slice`")]
+pub fn induce_slice(
+    mg: &MetaGraph,
+    internal_names: &[String],
+    restrict: impl Fn(&str) -> bool,
+) -> Slice {
+    backward_slice(mg, internal_names, restrict)
 }
 
 /// Re-induces a slice on a subset of its own nodes (Algorithm 5.4 steps
@@ -127,7 +142,7 @@ end module lnd_soil
     #[test]
     fn slice_contains_ancestors_only() {
         let mg = mg();
-        let slice = induce_slice(&mg, &["flwds".to_string()], |_| true);
+        let slice = backward_slice(&mg, &["flwds".to_string()], |_| true);
         let names: Vec<String> = slice
             .meta_nodes()
             .iter()
@@ -147,14 +162,18 @@ end module lnd_soil
         // soil (in lnd_soil) is an ancestor of nothing here; add flwds as
         // criterion but restrict to lnd modules: only nodes in lnd_soil
         // survive — flwds itself is in phys, so the slice is empty.
-        let slice = induce_slice(&mg, &["flwds".to_string()], |m| m.starts_with("lnd_"));
-        assert!(slice.graph.node_count() == 0, "{}", slice.graph.node_count());
+        let slice = backward_slice(&mg, &["flwds".to_string()], |m| m.starts_with("lnd_"));
+        assert!(
+            slice.graph.node_count() == 0,
+            "{}",
+            slice.graph.node_count()
+        );
     }
 
     #[test]
     fn slice_edges_preserved() {
         let mg = mg();
-        let slice = induce_slice(&mg, &["flwds".to_string()], |_| true);
+        let slice = backward_slice(&mg, &["flwds".to_string()], |_| true);
         // a -> b edge survives induction with renumbering.
         let find = |name: &str| {
             slice
@@ -170,7 +189,7 @@ end module lnd_soil
     #[test]
     fn reinduce_narrows() {
         let mg = mg();
-        let slice = induce_slice(&mg, &["flwds".to_string()], |_| true);
+        let slice = backward_slice(&mg, &["flwds".to_string()], |_| true);
         let keep: Vec<NodeId> = slice
             .meta_nodes()
             .iter()
@@ -185,7 +204,7 @@ end module lnd_soil
     #[test]
     fn to_sub_round_trip() {
         let mg = mg();
-        let slice = induce_slice(&mg, &["flwds".to_string()], |_| true);
+        let slice = backward_slice(&mg, &["flwds".to_string()], |_| true);
         for sub in slice.graph.nodes() {
             let meta = slice.to_meta(sub);
             assert_eq!(slice.to_sub(meta), Some(sub));

@@ -152,10 +152,7 @@ impl Declaration {
 
     /// The effective shape of `entity`, if it is an array.
     pub fn shape_of<'a>(&'a self, entity: &'a DeclEntity) -> Option<&'a [Expr]> {
-        entity
-            .shape
-            .as_deref()
-            .or(self.dims.as_deref())
+        entity.shape.as_deref().or(self.dims.as_deref())
     }
 }
 

@@ -222,8 +222,8 @@ fn lex_number(chars: &[char], mut i: usize, line: u32) -> Result<(Tok, usize), P
         // that forms a known dot-word is left alone. A digit or exponent
         // continues the number.
         let next = chars.get(i + 1);
-        let looks_like_dotop = matches!(next, Some(c) if c.is_ascii_alphabetic())
-            && lex_dot_word(chars, i).is_some();
+        let looks_like_dotop =
+            matches!(next, Some(c) if c.is_ascii_alphabetic()) && lex_dot_word(chars, i).is_some();
         if !looks_like_dotop {
             is_real = true;
             i += 1;

@@ -227,10 +227,7 @@ impl Parser {
                     }
                 },
                 Some("type")
-                    if !matches!(
-                        self.peek_line().unwrap().tokens.get(1),
-                        Some(Tok::LParen)
-                    ) =>
+                    if !matches!(self.peek_line().unwrap().tokens.get(1), Some(Tok::LParen)) =>
                 {
                     match self.parse_derived_type() {
                         Ok(t) => module.types.push(t),
@@ -444,10 +441,7 @@ impl Parser {
                 Some("implicit") | Some("save") => {
                     self.advance();
                 }
-                Some(w)
-                    if is_type_keyword(w)
-                        && line_is_declaration(l) =>
-                {
+                Some(w) if is_type_keyword(w) && line_is_declaration(l) => {
                     let l = l.clone();
                     match parse_declaration(&l) {
                         Ok(d) => sub.decls.push(d),
@@ -553,7 +547,9 @@ impl Parser {
             let head = self.head().map(str::to_string);
             let second_is_if = matches!(l.tokens.get(1), Some(Tok::Ident(w)) if w == "if");
             match head.as_deref() {
-                Some("elseif") | Some("else") if head.as_deref() == Some("elseif") || second_is_if => {
+                Some("elseif") | Some("else")
+                    if head.as_deref() == Some("elseif") || second_is_if =>
+                {
                     let l = l.clone();
                     let mut cur = Cur::new(&l);
                     cur.next(); // else / elseif
@@ -572,10 +568,11 @@ impl Parser {
                     arms.push((None, Vec::new()));
                     self.advance();
                 }
-                _ => match self.parse_stmt()? {
-                    Some(s) => arms.last_mut().expect("arm exists").1.push(s),
-                    None => {}
-                },
+                _ => {
+                    if let Some(s) = self.parse_stmt()? {
+                        arms.last_mut().expect("arm exists").1.push(s)
+                    }
+                }
             }
         }
     }
@@ -768,12 +765,7 @@ pub(crate) fn parse_declaration(l: &LogicalLine) -> Result<Declaration, ParseErr
                     "in" => Attr::IntentIn,
                     "out" => Attr::IntentOut,
                     "inout" => Attr::IntentInOut,
-                    other => {
-                        return Err(ParseError::new(
-                            l.line,
-                            format!("bad intent '{other}'"),
-                        ))
-                    }
+                    other => return Err(ParseError::new(l.line, format!("bad intent '{other}'"))),
                 });
             }
             "dimension" => {
@@ -1087,7 +1079,10 @@ end module microp_aero
     fn do_loop_structure() {
         let file = parse_ok(MICRO);
         let body = &file.modules[0].subprograms[0].body;
-        let Stmt::Do { var, body: inner, .. } = &body[0] else {
+        let Stmt::Do {
+            var, body: inner, ..
+        } = &body[0]
+        else {
             panic!("expected do loop, got {:?}", body[0]);
         };
         assert_eq!(var, "i");
@@ -1210,11 +1205,17 @@ end module m
         let file = parse_ok(src);
         let body = &file.modules[0].subprograms[0].body;
         assert_eq!(body.len(), 3);
-        let Stmt::Do { step, body: outer, .. } = &body[1] else {
+        let Stmt::Do {
+            step, body: outer, ..
+        } = &body[1]
+        else {
             panic!()
         };
         assert!(step.is_none());
-        let Stmt::Do { step: inner_step, .. } = &outer[0] else {
+        let Stmt::Do {
+            step: inner_step, ..
+        } = &outer[0]
+        else {
             panic!()
         };
         assert_eq!(inner_step.as_ref(), Some(&Expr::Int(2)));
@@ -1240,7 +1241,9 @@ end module wv_saturation
             panic!()
         };
         assert_eq!(target.canonical_name(), Some("es"));
-        let Expr::Binary { lhs, .. } = value else { panic!() };
+        let Expr::Binary { lhs, .. } = value else {
+            panic!()
+        };
         assert_eq!(**lhs, Expr::Real(8.1328e-3));
     }
 
@@ -1278,10 +1281,18 @@ end module m
             panic!()
         };
         // a + (b * (c ** 2))
-        let Expr::Binary { op: Op::Add, rhs, .. } = value else {
+        let Expr::Binary {
+            op: Op::Add, rhs, ..
+        } = value
+        else {
             panic!("expected +, got {value:?}")
         };
-        let Expr::Binary { op: Op::Mul, rhs: pow, .. } = rhs.as_ref() else {
+        let Expr::Binary {
+            op: Op::Mul,
+            rhs: pow,
+            ..
+        } = rhs.as_ref()
+        else {
             panic!("expected *, got {rhs:?}")
         };
         assert!(matches!(pow.as_ref(), Expr::Binary { op: Op::Pow, .. }));
@@ -1295,7 +1306,14 @@ end module m
             panic!()
         };
         // a ** (2 ** 3)
-        let Expr::Binary { op: Op::Pow, lhs, rhs } = value else { panic!() };
+        let Expr::Binary {
+            op: Op::Pow,
+            lhs,
+            rhs,
+        } = value
+        else {
+            panic!()
+        };
         assert_eq!(**lhs, Expr::Var("a".into()));
         assert!(matches!(rhs.as_ref(), Expr::Binary { op: Op::Pow, .. }));
     }

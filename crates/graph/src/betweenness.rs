@@ -241,8 +241,8 @@ mod tests {
         let bc = node_betweenness(&g, false);
         // 4 leaves -> 4*3 = 12 ordered pairs route through center.
         assert_eq!(bc[0], 12.0);
-        for v in 1..5 {
-            assert_eq!(bc[v], 0.0);
+        for &leaf in &bc[1..5] {
+            assert_eq!(leaf, 0.0);
         }
     }
 

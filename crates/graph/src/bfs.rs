@@ -226,7 +226,11 @@ mod tests {
         g.add_edge(NodeId(1), NodeId(2));
         g.add_edge(NodeId(3), NodeId(2));
         let r = bfs_multi(&g, &[NodeId(0), NodeId(3)], Direction::Out);
-        assert_eq!(r.distance(NodeId(2)), Some(1), "node 3 is the closer source");
+        assert_eq!(
+            r.distance(NodeId(2)),
+            Some(1),
+            "node 3 is the closer source"
+        );
     }
 
     #[test]
@@ -234,7 +238,10 @@ mod tests {
         let g = diamond();
         let mut slice = shortest_path_slice(&g, &[NodeId(3)]);
         slice.sort();
-        assert_eq!(slice, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3), NodeId(4)]);
+        assert_eq!(
+            slice,
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3), NodeId(4)]
+        );
     }
 
     #[test]
@@ -264,7 +271,10 @@ mod tests {
         let g = diamond();
         assert!(reaches_any(&g, NodeId(4), &[NodeId(3)]));
         assert!(!reaches_any(&g, NodeId(3), &[NodeId(4)]));
-        assert!(reaches_any(&g, NodeId(3), &[NodeId(3)]), "trivially reaches itself");
+        assert!(
+            reaches_any(&g, NodeId(3), &[NodeId(3)]),
+            "trivially reaches itself"
+        );
     }
 
     #[test]

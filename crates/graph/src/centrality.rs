@@ -54,11 +54,7 @@ pub fn degree_centrality(graph: &DiGraph, dir: Direction) -> Vec<f64> {
 ///
 /// Returns the centrality vector normalized to unit Euclidean norm (all
 /// entries non-negative). Isolated graphs return the uniform vector.
-pub fn eigenvector_centrality(
-    graph: &DiGraph,
-    dir: Direction,
-    opts: PowerIterOptions,
-) -> Vec<f64> {
+pub fn eigenvector_centrality(graph: &DiGraph, dir: Direction, opts: PowerIterOptions) -> Vec<f64> {
     let n = graph.node_count();
     if n == 0 {
         return Vec::new();
@@ -147,7 +143,10 @@ pub fn pagerank(graph: &DiGraph, dir: Direction, d: f64, opts: PowerIterOptions)
     // Mass flows from j to i along an edge j->i (for Direction::In), split
     // by j's count of such edges.
     let give = dir.reverse();
-    let out_counts: Vec<usize> = graph.nodes().map(|u| graph.neighbors(u, give).len()).collect();
+    let out_counts: Vec<usize> = graph
+        .nodes()
+        .map(|u| graph.neighbors(u, give).len())
+        .collect();
     let mut x = vec![1.0 / nf; n];
     let mut next = vec![0.0; n];
     for _ in 0..opts.max_iter {

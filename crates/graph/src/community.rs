@@ -60,11 +60,7 @@ pub fn girvan_newman(graph: &DiGraph, levels: usize) -> GnResult {
             let (&(u, v), _) = scores
                 .iter()
                 .filter(|(_, &s)| s.is_finite())
-                .max_by(|a, b| {
-                    a.1.partial_cmp(b.1)
-                        .unwrap()
-                        .then_with(|| b.0.cmp(a.0))
-                })
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap().then_with(|| b.0.cmp(a.0)))
                 .expect("non-empty edge set");
             work.remove_edge(NodeId(u), NodeId(v));
             work.remove_edge(NodeId(v), NodeId(u));

@@ -128,9 +128,16 @@ pub fn fit_power_law(graph: &DiGraph, kind: DegreeKind, k_min: usize) -> Option<
 /// `(rank, |centrality|)` pairs sorted descending by absolute centrality,
 /// zero entries dropped (the "sharp drop at the end of the curve").
 pub fn log_rank_series(centrality: &[f64]) -> Vec<(usize, f64)> {
-    let mut vals: Vec<f64> = centrality.iter().map(|v| v.abs()).filter(|&v| v > 0.0).collect();
+    let mut vals: Vec<f64> = centrality
+        .iter()
+        .map(|v| v.abs())
+        .filter(|&v| v > 0.0)
+        .collect();
     vals.sort_by(|a, b| b.partial_cmp(a).unwrap());
-    vals.into_iter().enumerate().map(|(i, v)| (i + 1, v)).collect()
+    vals.into_iter()
+        .enumerate()
+        .map(|(i, v)| (i + 1, v))
+        .collect()
 }
 
 /// Generates a scale-free digraph by preferential attachment, used in tests

@@ -168,9 +168,10 @@ impl DiGraph {
     ///
     /// Order follows successor-list insertion order per node.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        self.succ.iter().enumerate().flat_map(|(u, vs)| {
-            vs.iter().map(move |&v| (NodeId(u as u32), NodeId(v)))
-        })
+        self.succ
+            .iter()
+            .enumerate()
+            .flat_map(|(u, vs)| vs.iter().map(move |&v| (NodeId(u as u32), NodeId(v))))
     }
 
     /// Successors of `node` (targets of out-edges).
@@ -273,7 +274,9 @@ impl DiGraph {
     /// (undirected-view) graph: directed edge count / 2.
     pub fn undirected_edge_count(&self) -> usize {
         debug_assert!(
-            self.edges.iter().all(|&(u, v)| self.edges.contains(&(v, u))),
+            self.edges
+                .iter()
+                .all(|&(u, v)| self.edges.contains(&(v, u))),
             "undirected_edge_count called on a non-symmetric graph"
         );
         self.edge_count() / 2

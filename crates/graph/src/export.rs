@@ -26,8 +26,7 @@ pub fn to_dot(graph: &DiGraph, name: &str, style: &DotStyle) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "digraph \"{name}\" {{");
     let _ = writeln!(out, "  node [shape=circle, style=filled, fillcolor=white];");
-    let emphasized: std::collections::HashSet<u32> =
-        style.emphasized.iter().map(|n| n.0).collect();
+    let emphasized: std::collections::HashSet<u32> = style.emphasized.iter().map(|n| n.0).collect();
     for n in graph.nodes() {
         let mut attrs = Vec::new();
         if let Some(l) = style.labels.get(&n.0) {

@@ -45,9 +45,9 @@ impl Default for BuildOptions {
 
 /// Fortran intrinsic procedures we localize per call site.
 const INTRINSIC_FUNCTIONS: &[&str] = &[
-    "min", "max", "sqrt", "exp", "log", "log10", "abs", "mod", "sum", "product", "sign",
-    "merge", "floor", "nint", "int", "real", "tanh", "sin", "cos", "atan", "asin", "acos",
-    "epsilon", "tiny", "huge", "size", "maxval", "minval",
+    "min", "max", "sqrt", "exp", "log", "log10", "abs", "mod", "sum", "product", "sign", "merge",
+    "floor", "nint", "int", "real", "tanh", "sin", "cos", "atan", "asin", "acos", "epsilon",
+    "tiny", "huge", "size", "maxval", "minval",
 ];
 
 /// Intrinsic subroutines that *write* their arguments.
@@ -150,8 +150,8 @@ impl Builder {
         let mut use_map = HashMap::new();
         let mut full_uses = Vec::new();
         let ingest_uses = |uses: &[rca_fortran::ast::UseStmt],
-                               use_map: &mut HashMap<String, (String, String)>,
-                               full_uses: &mut Vec<String>| {
+                           use_map: &mut HashMap<String, (String, String)>,
+                           full_uses: &mut Vec<String>| {
             for u in uses {
                 match &u.only {
                     Some(list) => {
@@ -288,20 +288,14 @@ impl Builder {
                     for (fmod, fname, dummies, result) in &cands {
                         for (i, srcs) in arg_sources.iter().enumerate() {
                             if let Some(dummy) = dummies.get(i) {
-                                let dnode = self.node(
-                                    fmod,
-                                    Some(fname),
-                                    dummy,
-                                    line,
-                                    NodeKind::Variable,
-                                );
+                                let dnode =
+                                    self.node(fmod, Some(fname), dummy, line, NodeKind::Variable);
                                 for &s in srcs {
                                     self.edge(s, dnode);
                                 }
                             }
                         }
-                        let rnode =
-                            self.node(fmod, Some(fname), result, line, NodeKind::Variable);
+                        let rnode = self.node(fmod, Some(fname), result, line, NodeKind::Variable);
                         out.push(rnode);
                     }
                     if cands.is_empty() {
@@ -568,14 +562,20 @@ impl Builder {
                 };
                 let intent = intents.get(i).copied().unwrap_or(ArgIntent::Unknown);
                 let dnode = self.node(smod, Some(sname), dummy, line, NodeKind::Variable);
-                if matches!(intent, ArgIntent::In | ArgIntent::InOut | ArgIntent::Unknown) {
+                if matches!(
+                    intent,
+                    ArgIntent::In | ArgIntent::InOut | ArgIntent::Unknown
+                ) {
                     let mut srcs = Vec::new();
                     self.expr_sources(scope, arg, line, &mut srcs);
                     for s in srcs {
                         self.edge(s, dnode);
                     }
                 }
-                if matches!(intent, ArgIntent::Out | ArgIntent::InOut | ArgIntent::Unknown) {
+                if matches!(
+                    intent,
+                    ArgIntent::Out | ArgIntent::InOut | ArgIntent::Unknown
+                ) {
                     if let Some(t) = self.target_node(scope, arg, line) {
                         self.edge(dnode, t);
                     }
@@ -719,7 +719,10 @@ end module m
         assert!(!mg.graph.has_edge(a, x), "in: no reverse edge");
         assert!(mg.graph.has_edge(b, y), "out: dummy -> caller");
         assert!(!mg.graph.has_edge(y, b), "out: no forward edge");
-        assert!(mg.graph.has_edge(z, c) && mg.graph.has_edge(c, z), "inout: both");
+        assert!(
+            mg.graph.has_edge(z, c) && mg.graph.has_edge(c, z),
+            "inout: both"
+        );
         // Cross-subprogram flow x -> ... -> y.
         assert!(reaches_any(&mg.graph, x, &[y]));
     }
@@ -782,9 +785,15 @@ end module m
         let state = node(&mg, "m", Some("s"), "state");
         let w = node(&mg, "m", Some("s"), "w");
         assert_eq!(mg.meta_of(omega).canonical, "omega");
-        assert!(mg.graph.has_edge(t, omega), "element read feeds element write");
+        assert!(
+            mg.graph.has_edge(t, omega),
+            "element read feeds element write"
+        );
         assert!(mg.graph.has_edge(state, t), "aggregate feeds element read");
-        assert!(mg.graph.has_edge(omega, state), "element write updates aggregate");
+        assert!(
+            mg.graph.has_edge(omega, state),
+            "element write updates aggregate"
+        );
         assert!(mg.graph.has_edge(omega, w));
         assert_eq!(mg.nodes_with_canonical("omega"), &[omega]);
     }

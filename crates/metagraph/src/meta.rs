@@ -119,7 +119,12 @@ impl MetaGraph {
 
     /// Node by fully-scoped unique key `module::subprogram::canonical`
     /// (subprogram empty for module-level variables).
-    pub fn node_by_key(&self, module: &str, subprogram: Option<&str>, canonical: &str) -> Option<NodeId> {
+    pub fn node_by_key(
+        &self,
+        module: &str,
+        subprogram: Option<&str>,
+        canonical: &str,
+    ) -> Option<NodeId> {
         self.unique_index
             .get(&unique_key(module, subprogram, canonical))
             .copied()

@@ -148,12 +148,10 @@ impl SymbolTable {
     pub fn resolve_interfaces(&mut self) {
         let mut promote = Vec::new();
         for (generic, keys) in &self.interfaces {
-            if keys.iter().any(|k| {
-                self.procs
-                    .get(k)
-                    .map(|p| p.is_function)
-                    .unwrap_or(false)
-            }) {
+            if keys
+                .iter()
+                .any(|k| self.procs.get(k).map(|p| p.is_function).unwrap_or(false))
+            {
                 promote.push(generic.clone());
             }
         }

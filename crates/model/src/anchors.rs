@@ -728,7 +728,10 @@ mod tests {
     #[test]
     fn goffgratch_coefficient_present() {
         let files = anchor_files(&ModelConfig::test());
-        let wv = files.iter().find(|f| f.name == "wv_saturation.F90").unwrap();
+        let wv = files
+            .iter()
+            .find(|f| f.name == "wv_saturation.F90")
+            .unwrap();
         assert!(wv.source.contains("8.1328e-3_r8"));
     }
 

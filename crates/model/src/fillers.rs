@@ -280,7 +280,11 @@ pub fn filler_files(config: &ModelConfig) -> (Vec<ModelFile>, Vec<String>) {
 
 /// Emits the top-level driver module: `cam_init(pert)` and
 /// `cam_run_step()` calling the whole model in CESM order.
-pub fn driver_file(config: &ModelConfig, filler_modules: &[ModelFile], run_calls: &[String]) -> ModelFile {
+pub fn driver_file(
+    config: &ModelConfig,
+    filler_modules: &[ModelFile],
+    run_calls: &[String],
+) -> ModelFile {
     let mut src = String::new();
     src.push_str(crate::anchors::driver_preamble());
     for f in filler_modules {
@@ -419,7 +423,10 @@ mod tests {
     fn land_fillers_are_land_component() {
         let cfg = ModelConfig::test();
         let (files, _) = filler_files(&cfg);
-        let lnd = files.iter().filter(|f| f.component == Component::Land).count();
+        let lnd = files
+            .iter()
+            .filter(|f| f.component == Component::Land)
+            .count();
         assert_eq!(lnd, cfg.n_lnd_fillers);
     }
 }

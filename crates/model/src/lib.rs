@@ -157,7 +157,11 @@ mod tests {
             .find(|f| f.name == "microp_aero.F90")
             .unwrap()
             .source;
-        let diffs: Vec<_> = orig.lines().zip(new.lines()).filter(|(a, b)| a != b).collect();
+        let diffs: Vec<_> = orig
+            .lines()
+            .zip(new.lines())
+            .filter(|(a, b)| a != b)
+            .collect();
         assert_eq!(diffs.len(), 1);
         assert!(diffs[0].1.contains("2.00_r8"));
     }

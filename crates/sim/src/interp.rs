@@ -53,7 +53,11 @@ impl RuntimeError {
 
 impl fmt::Display for RuntimeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} (in {} line {})", self.message, self.context, self.line)
+        write!(
+            f,
+            "{} (in {} line {})",
+            self.message, self.context, self.line
+        )
     }
 }
 
@@ -364,13 +368,9 @@ impl Interpreter {
         };
         match base {
             BaseType::Derived(tyname) => {
-                let (tymod, tydef) = self
-                    .types
-                    .get(&tyname)
-                    .cloned()
-                    .ok_or_else(|| {
-                        RuntimeError::new(format!("unknown type {tyname}"), module, decl.line)
-                    })?;
+                let (tymod, tydef) = self.types.get(&tyname).cloned().ok_or_else(|| {
+                    RuntimeError::new(format!("unknown type {tyname}"), module, decl.line)
+                })?;
                 let mut fields = HashMap::new();
                 for fdecl in &tydef.fields {
                     for fent in &fdecl.entities {
@@ -526,7 +526,9 @@ impl Interpreter {
                 }
             }
         }
-        if let Some(slot) = self.resolve_module_name(&frame.module.clone(), name, &mut in_progress)? {
+        if let Some(slot) =
+            self.resolve_module_name(&frame.module.clone(), name, &mut in_progress)?
+        {
             self.binding_cache.insert(cache_key, slot);
             return Ok(Some(slot));
         }
@@ -790,12 +792,9 @@ impl Interpreter {
             Stmt::If { arms, line } => {
                 for (cond, block) in arms {
                     let taken = match cond {
-                        Some(c) => self
-                            .eval(frame, c, *line)?
-                            .as_bool()
-                            .ok_or_else(|| {
-                                RuntimeError::new("if condition not logical", &frame.module, *line)
-                            })?,
+                        Some(c) => self.eval(frame, c, *line)?.as_bool().ok_or_else(|| {
+                            RuntimeError::new("if condition not logical", &frame.module, *line)
+                        })?,
                         None => true,
                     };
                     if taken {
@@ -895,7 +894,9 @@ impl Interpreter {
             (p.sub.args.clone(), p.writeback.clone())
         };
         for (i, arg) in args.iter().enumerate() {
-            let Some(dummy) = dummies.get(i) else { continue };
+            let Some(dummy) = dummies.get(i) else {
+                continue;
+            };
             if !writeback.get(i).copied().unwrap_or(true) {
                 continue;
             }
@@ -956,7 +957,11 @@ impl Interpreter {
         line: u32,
     ) -> RunResult<()> {
         let Some(target) = args.first() else {
-            return Err(RuntimeError::new("random_number needs an argument", &frame.module, line));
+            return Err(RuntimeError::new(
+                "random_number needs an argument",
+                &frame.module,
+                line,
+            ));
         };
         let current = self.eval(frame, target, line)?;
         let new = match current {
@@ -1078,9 +1083,9 @@ impl Interpreter {
                         line,
                     ));
                 };
-                let fv = fields.get_mut(field).ok_or_else(|| {
-                    RuntimeError::new(format!("no field {field}"), &module, line)
-                })?;
+                let fv = fields
+                    .get_mut(field)
+                    .ok_or_else(|| RuntimeError::new(format!("no field {field}"), &module, line))?;
                 match (idx, fv) {
                     (Some(i), Value::RealArray(v)) => write_elem(v, i, &value, &module, line),
                     (None, slot) => assign_into(slot, value, &module, line),
@@ -1235,7 +1240,11 @@ impl Interpreter {
         match base {
             Value::RealArray(v) => v.get(idx).map(|&x| Value::Real(x)).ok_or_else(|| {
                 RuntimeError::new(
-                    format!("subscript {} out of bounds for {name} (len {})", idx + 1, v.len()),
+                    format!(
+                        "subscript {} out of bounds for {name} (len {})",
+                        idx + 1,
+                        v.len()
+                    ),
                     &frame.module,
                     line,
                 )
@@ -1356,9 +1365,9 @@ impl Interpreter {
                 let b = self.eval(frame, &args[1], line)?;
                 match (a, b) {
                     (Value::Int(x), Value::Int(y)) => Value::Int(x % y.max(1)),
-                    (x, y) => Value::Real(
-                        x.as_f64().unwrap_or(f64::NAN) % y.as_f64().unwrap_or(1.0),
-                    ),
+                    (x, y) => {
+                        Value::Real(x.as_f64().unwrap_or(f64::NAN) % y.as_f64().unwrap_or(1.0))
+                    }
                 }
             }
             "sign" => {
@@ -1574,11 +1583,7 @@ fn binary_op(op: Op, a: Value, b: Value, module: &str, line: u32) -> RunResult<V
     }
     let (Some(x), Some(y)) = (a.as_f64(), b.as_f64()) else {
         return Err(RuntimeError::new(
-            format!(
-                "operator {op} on {} and {}",
-                a.type_name(),
-                b.type_name()
-            ),
+            format!("operator {op} on {} and {}", a.type_name(), b.type_name()),
             module,
             line,
         ));
@@ -1838,8 +1843,10 @@ end module m
             .unwrap();
         assert_eq!(off.global("m", "r"), Some(&Value::Real(plain)));
 
-        let mut cfg = RunConfig::default();
-        cfg.avx2 = Avx2Policy::AllModules;
+        let cfg = RunConfig {
+            avx2: Avx2Policy::AllModules,
+            ..Default::default()
+        };
         let mut on = load_cfg(src, cfg);
         on.call("run", &[Value::Real(a), Value::Real(b), Value::Real(c)])
             .unwrap();
@@ -1867,8 +1874,10 @@ contains
 end module cold
 "#;
         let (a, b, c): (f64, f64, f64) = (1.0 + 1e-8, 1.0 - 1e-8, -1.0);
-        let mut cfg = RunConfig::default();
-        cfg.avx2 = Avx2Policy::Only(["hot".to_string()].into_iter().collect());
+        let cfg = RunConfig {
+            avx2: Avx2Policy::Only(["hot".to_string()].into_iter().collect()),
+            ..Default::default()
+        };
         let mut i = load_cfg(src, cfg);
         let args = [Value::Real(a), Value::Real(b), Value::Real(c)];
         i.call("run1", &args).unwrap();
@@ -1922,7 +1931,10 @@ end module m
         );
         i.call("put", &[]).unwrap();
         i.call("get", &[]).unwrap();
-        assert_eq!(i.global("m", "dst"), Some(&Value::RealArray(vec![5.0, 6.0])));
+        assert_eq!(
+            i.global("m", "dst"),
+            Some(&Value::RealArray(vec![5.0, 6.0]))
+        );
     }
 
     #[test]
@@ -1941,8 +1953,10 @@ end module m
         let Some(Value::RealArray(kv)) = kiss.global("m", "r").cloned() else {
             panic!()
         };
-        let mut cfg = RunConfig::default();
-        cfg.prng = PrngKind::MersenneTwister;
+        let cfg = RunConfig {
+            prng: PrngKind::MersenneTwister,
+            ..Default::default()
+        };
         let mut mt = load_cfg(src, cfg);
         mt.call("run", &[]).unwrap();
         let Some(Value::RealArray(mv)) = mt.global("m", "r").cloned() else {
@@ -1970,7 +1984,9 @@ end module m
         );
         i.call("used", &[]).unwrap();
         assert!(i.coverage.contains(&("m".to_string(), "used".to_string())));
-        assert!(!i.coverage.contains(&("m".to_string(), "unused".to_string())));
+        assert!(!i
+            .coverage
+            .contains(&("m".to_string(), "unused".to_string())));
     }
 
     #[test]
@@ -1987,8 +2003,10 @@ contains
   end subroutine run
 end module m
 "#;
-        let mut cfg = RunConfig::default();
-        cfg.sample_step = Some(0);
+        let mut cfg = RunConfig {
+            sample_step: Some(0),
+            ..Default::default()
+        };
         cfg.samples = vec![
             SampleSpec {
                 module: "m".into(),

@@ -46,8 +46,7 @@ pub fn kernel_sample_specs(
         });
     }
     // Locals of every subprogram in the kernel module.
-    let subs: Vec<(String, String)> = interp
-        .coverage_universe(kernel_module);
+    let subs: Vec<(String, String)> = interp.coverage_universe(kernel_module);
     for (module, sub) in subs {
         for local in interp.local_names(&module, &sub) {
             specs.push(SampleSpec {

@@ -203,9 +203,7 @@ mod tests {
         let diff = a
             .history
             .iter()
-            .filter(|(name, series)| {
-                series.last() != b.history[name.as_str()].last()
-            })
+            .filter(|(name, series)| series.last() != b.history[name.as_str()].last())
             .count();
         assert!(diff > 0, "perturbation must move at least one output");
     }
@@ -262,7 +260,11 @@ mod tests {
         let ens = run_ensemble(&model, &cfg(), &perts).unwrap();
         let (names, rows) = outputs_matrix(&ens, 2);
         assert_eq!(rows.len(), 3);
-        assert!(names.len() > 20, "expected many outputs, got {}", names.len());
+        assert!(
+            names.len() > 20,
+            "expected many outputs, got {}",
+            names.len()
+        );
         assert!(rows.iter().all(|r| r.len() == names.len()));
     }
 

@@ -208,7 +208,7 @@ mod tests {
     fn single_run_verdict_details() {
         let ens = gaussian_matrix(120, 10, 11, 0.0);
         let ect = Ect::fit(&ens, EctConfig::default());
-        let v = ect.evaluate_run(&vec![8.0; 10]);
+        let v = ect.evaluate_run(&[8.0; 10]);
         assert!(v.fail);
         assert!(v.failed_pcs.len() >= 3);
     }
@@ -219,7 +219,10 @@ mod tests {
         let ect = Ect::fit(&ens, EctConfig::default());
         let good = gaussian_matrix(30, 8, 555, 0.0);
         let bad = gaussian_matrix(30, 8, 777, 6.0);
-        assert!(ect.failure_rate(&good, 3) < 0.35, "false-positive rate too high");
+        assert!(
+            ect.failure_rate(&good, 3) < 0.35,
+            "false-positive rate too high"
+        );
         assert!(ect.failure_rate(&bad, 3) > 0.9, "true failure missed");
     }
 

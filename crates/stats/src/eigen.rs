@@ -44,7 +44,8 @@ pub fn jacobi_eigen(a: &Matrix, max_sweeps: usize, tol: f64) -> EigenDecompositi
         for p in 0..n {
             for q in (p + 1)..n {
                 let apq = m[(p, q)];
-                if apq.abs() <= f64::EPSILON * (m[(p, p)].abs() + m[(q, q)].abs()).max(f64::MIN_POSITIVE)
+                if apq.abs()
+                    <= f64::EPSILON * (m[(p, p)].abs() + m[(q, q)].abs()).max(f64::MIN_POSITIVE)
                 {
                     continue;
                 }

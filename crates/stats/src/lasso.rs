@@ -56,9 +56,13 @@ impl LassoModel {
     pub fn predict_proba(&self, run: &[f64]) -> f64 {
         assert_eq!(run.len(), self.weights.len());
         let mut z = self.intercept;
-        for i in 0..run.len() {
-            let s = if self.stds[i] > 1e-300 { self.stds[i] } else { 1.0 };
-            z += self.weights[i] * (run[i] - self.means[i]) / s;
+        for (i, &x) in run.iter().enumerate() {
+            let s = if self.stds[i] > 1e-300 {
+                self.stds[i]
+            } else {
+                1.0
+            };
+            z += self.weights[i] * (x - self.means[i]) / s;
         }
         1.0 / (1.0 + (-z).exp())
     }
@@ -93,8 +97,14 @@ pub fn fit_lasso_logistic(x: &Matrix, y: &[f64], lambda: f64, max_iter: usize) -
 
     // Lipschitz constant of the logistic gradient: σ_max(Z)² / (4n),
     // bounded via the Frobenius norm (cheap, safe overestimate).
-    let fro2: f64 = (0..n).map(|i| z.row(i).iter().map(|v| v * v).sum::<f64>()).sum();
-    let step = if fro2 > 0.0 { 4.0 * n as f64 / fro2 } else { 1.0 };
+    let fro2: f64 = (0..n)
+        .map(|i| z.row(i).iter().map(|v| v * v).sum::<f64>())
+        .sum();
+    let step = if fro2 > 0.0 {
+        4.0 * n as f64 / fro2
+    } else {
+        1.0
+    };
 
     let mut w = vec![0.0; p];
     let mut b = 0.0;
@@ -177,7 +187,9 @@ pub fn fit_lasso_path(
         let model = fit_lasso_logistic(x, y, lambda, max_iter);
         let k = model.selected().len();
         let gap = k.abs_diff(target_selected);
-        if gap < best_gap || (gap == best_gap && k < best.as_ref().map_or(usize::MAX, |m| m.selected().len())) {
+        if gap < best_gap
+            || (gap == best_gap && k < best.as_ref().map_or(usize::MAX, |m| m.selected().len()))
+        {
             best_gap = gap;
             best = Some(model);
         }
@@ -271,9 +283,9 @@ mod tests {
         let n = x.rows();
         let mut p0 = 0.0;
         let mut p1 = 0.0;
-        for i in 0..n {
+        for (i, &label) in y.iter().enumerate().take(n) {
             let p = model.predict_proba(x.row(i));
-            if y[i] == 0.0 {
+            if label == 0.0 {
                 p0 += p;
             } else {
                 p1 += p;
@@ -287,9 +299,9 @@ mod tests {
         let sharp = fit_lasso_logistic(&x, &y, 1e-4, 2000);
         let mut s0 = 0.0;
         let mut s1 = 0.0;
-        for i in 0..n {
+        for (i, &label) in y.iter().enumerate().take(n) {
             let p = sharp.predict_proba(x.row(i));
-            if y[i] == 0.0 {
+            if label == 0.0 {
                 s0 += p;
             } else {
                 s1 += p;

@@ -12,7 +12,7 @@
 //! layer:
 //!
 //! - [`matrix`]: row-major dense matrices, covariance, standardization.
-//! - [`descriptive`]: means/medians/quantiles/IQRs.
+//! - [`descriptive`][]: means/medians/quantiles/IQRs.
 //! - [`eigen`]: cyclic Jacobi symmetric eigendecomposition.
 //! - [`pca`]: correlation PCA (fit/project).
 //! - [`ect`]: the ensemble consistency test with Pass/Fail verdicts and

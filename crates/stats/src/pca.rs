@@ -64,13 +64,19 @@ impl Pca {
             })
             .collect();
         (0..k.min(self.n_vars()))
-            .map(|c| (0..self.n_vars()).map(|v| self.loadings[(v, c)] * z[v]).sum())
+            .map(|c| {
+                (0..self.n_vars())
+                    .map(|v| self.loadings[(v, c)] * z[v])
+                    .sum()
+            })
             .collect()
     }
 
     /// Projects every row of `data` onto the first `k` PCs.
     pub fn project_all(&self, data: &Matrix, k: usize) -> Matrix {
-        let rows: Vec<Vec<f64>> = (0..data.rows()).map(|i| self.project(data.row(i), k)).collect();
+        let rows: Vec<Vec<f64>> = (0..data.rows())
+            .map(|i| self.project(data.row(i), k))
+            .collect();
         Matrix::from_row_slices(&rows)
     }
 
@@ -80,7 +86,12 @@ impl Pca {
         if total == 0.0 {
             return 0.0;
         }
-        self.eigenvalues.iter().take(k).map(|v| v.max(0.0)).sum::<f64>() / total
+        self.eigenvalues
+            .iter()
+            .take(k)
+            .map(|v| v.max(0.0))
+            .sum::<f64>()
+            / total
     }
 }
 
@@ -133,13 +144,11 @@ mod tests {
         let pca = Pca::fit(&data);
         let scores = pca.project_all(&data, 3);
         let vars = scores.col_stds();
-        for k in 0..3 {
+        for (k, &std) in vars.iter().enumerate().take(3) {
             let expect = pca.eigenvalues[k].max(0.0).sqrt();
             assert!(
-                (vars[k] - expect).abs() < 0.05 * expect.max(0.05),
-                "pc{k}: std {} vs sqrt(eig) {}",
-                vars[k],
-                expect
+                (std - expect).abs() < 0.05 * expect.max(0.05),
+                "pc{k}: std {std} vs sqrt(eig) {expect}"
             );
         }
     }

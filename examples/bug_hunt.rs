@@ -1,28 +1,27 @@
 //! Bug hunt: run every paper experiment end-to-end and score the method.
 //!
-//! For each of the six experiments (§6, §8.2) this example injects the
-//! discrepancy, checks the UF-ECT verdict, selects affected outputs, and
-//! runs Algorithm 5.4 with **real runtime sampling** (not the reachability
-//! simulation): the instrumented variables are captured in actual
-//! interpreter runs of the control and experimental models.
+//! For each of the paper's experiments (§6, §8.2) this example asks one
+//! `RcaSession` — configured with **real runtime sampling**, not the
+//! reachability simulation — for a diagnosis: the instrumented variables
+//! are captured in actual interpreter runs of the control and
+//! experimental models.
 //!
 //! Run with: `cargo run --release --example bug_hunt`
 
 use climate_rca::prelude::*;
-use rca::{
-    affected_outputs, experiment_configs, induce_slice, refine, run_statistics, ExperimentSetup,
-    RcaPipeline, ReachabilityOracle, RefineOptions, RuntimeSampler,
-};
 use model::{generate, Experiment, ModelConfig};
 
-fn main() {
+fn main() -> Result<(), RcaError> {
     let model = generate(&ModelConfig::test());
-    let pipeline = RcaPipeline::build(&model).expect("pipeline");
-    let setup = ExperimentSetup::quick();
+    let session = RcaSession::builder(&model)
+        .setup(ExperimentSetup::quick())
+        .oracle(OracleKind::Runtime)
+        .max_outputs(8)
+        .build()?;
 
     println!(
-        "{:<12} {:>8} {:>7} {:>9} {:>7} {:>11}  outcome",
-        "experiment", "verdict", "rate", "slice", "iters", "sampling"
+        "{:<12} {:>8} {:>7} {:>9} {:>7} {:>33}  outcome",
+        "experiment", "verdict", "rate", "slice", "iters", "stopped because"
     );
     for experiment in [
         Experiment::WsubBug,
@@ -31,46 +30,24 @@ fn main() {
         Experiment::RandomBug,
         Experiment::RandMt,
     ] {
-        let data = run_statistics(&model, experiment, &setup).expect("statistics");
-        let outputs = affected_outputs(&data, 8);
-        let internal = pipeline.outputs_to_internal(&outputs);
-        let slice = induce_slice(&pipeline.metagraph, &internal, |m| pipeline.is_cam(m));
-
-        // Real runtime sampling oracle.
-        let (ctl_cfg, exp_cfg) = experiment_configs(experiment, &setup);
-        let mut sampler = RuntimeSampler::new(
-            model.clone(),
-            model.apply(experiment),
-            ctl_cfg,
-            exp_cfg,
-        );
-        sampler.sample_step = 2;
-
-        let bug_nodes =
-            ReachabilityOracle::from_sites(&pipeline.metagraph, &experiment.bug_sites()).bug_nodes;
-        let report = refine(
-            &pipeline.metagraph,
-            &slice,
-            &mut sampler,
-            &bug_nodes,
-            &RefineOptions::default(),
-        );
-        let outcome = if report.instrumented(&bug_nodes) {
+        let d = session.diagnose(experiment)?;
+        let outcome = if d.instrumented() {
             "bug instrumented"
-        } else if report.localized(&bug_nodes) {
+        } else if d.localized() {
             "bug localized in final subgraph"
         } else {
             "missed"
         };
         println!(
-            "{:<12} {:>8} {:>6.0}% {:>9} {:>7} {:>11}  {}",
+            "{:<12} {:>8} {:>6.0}% {:>9} {:>7} {:>33}  {}",
             experiment.name(),
-            data.verdict.to_string(),
-            data.failure_rate * 100.0,
-            format!("{}n", slice.graph.node_count()),
-            report.iterations.len(),
-            format!("{:?}", report.stop),
+            d.verdict.to_string(),
+            d.failure_rate * 100.0,
+            format!("{}n", d.slice_nodes),
+            d.iterations(),
+            d.stop().map_or_else(|| "-".to_string(), |s| s.to_string()),
             outcome
         );
     }
+    Ok(())
 }

@@ -10,13 +10,13 @@
 //! Run with: `cargo run --release --example module_ranking`
 
 use climate_rca::prelude::*;
-use rca::{avx2_policy, DisablementPolicy, ModuleRanking, RcaPipeline};
 use model::{generate, ModelConfig};
+use rca::{avx2_policy, DisablementPolicy, ModuleRanking};
 
-fn main() {
+fn main() -> Result<(), RcaError> {
     let model = generate(&ModelConfig::medium());
-    let pipeline = RcaPipeline::build(&model).expect("pipeline");
-    let ranking = ModuleRanking::build(&pipeline.metagraph);
+    let session = RcaSession::builder(&model).build()?;
+    let ranking = ModuleRanking::build(session.metagraph());
 
     println!(
         "module quotient graph: {} nodes, {} edges (paper: 561 nodes, 4245 edges)",
@@ -31,7 +31,7 @@ fn main() {
 
     let loc = model.loc_per_module();
     let mut by_loc: Vec<&(String, usize)> = loc.iter().collect();
-    by_loc.sort_by(|a, b| b.1.cmp(&a.1));
+    by_loc.sort_by_key(|m| std::cmp::Reverse(m.1));
     println!("\ntop 10 modules by lines of code (the paper's weaker baseline):");
     for (module, lines) in by_loc.into_iter().take(10) {
         println!("  {module:<24} {lines} LoC");
@@ -47,4 +47,5 @@ fn main() {
     let mut names: Vec<&String> = set.iter().collect();
     names.sort();
     println!("  {:?}", names);
+    Ok(())
 }

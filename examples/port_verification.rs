@@ -10,28 +10,32 @@
 //! Run with: `cargo run --release --example port_verification`
 
 use climate_rca::prelude::*;
-use rca::{run_statistics, ExperimentSetup};
 use model::{generate, Experiment, ModelConfig};
 use sim::{compare_kernel, Avx2Policy, RunConfig};
 
-fn main() {
+fn main() -> Result<(), RcaError> {
     let model = generate(&ModelConfig::test());
-    let setup = ExperimentSetup {
-        steps: 9,
-        ..ExperimentSetup::quick()
-    };
+    let session = RcaSession::builder(&model)
+        .setup(ExperimentSetup {
+            steps: 9,
+            ..ExperimentSetup::quick()
+        })
+        .build()?;
 
     // "Port" the model to a machine with AVX2/FMA enabled and test its
-    // output against the accepted (FMA-disabled) ensemble.
-    let data = run_statistics(&model, Experiment::Avx2, &setup).expect("statistics");
+    // output against the accepted (FMA-disabled) ensemble — the typed
+    // statistics stage alone, no slicing needed for this question.
+    let stats = session.statistics(Experiment::Avx2)?;
     println!(
         "UF-ECT on the FMA-enabled port: {} (failure rate {:.0}%)",
-        data.verdict,
-        data.failure_rate * 100.0
+        stats.verdict(),
+        stats.data.failure_rate * 100.0
     );
     println!(
         "most affected outputs (median distance): {:?}",
-        data.median_ranking
+        stats
+            .data
+            .median_ranking
             .iter()
             .take(6)
             .map(|(n, _)| n.as_str())
@@ -63,4 +67,5 @@ fn main() {
     }
     println!("\n(the paper's manual investigation flagged 42 variables, including");
     println!(" nctend, qvlat, tlat, nitend and qsout — compare the list above)");
+    Ok(())
 }

@@ -3,20 +3,18 @@
 //! Reproduces the paper's workflow end-to-end for the GOFFGRATCH
 //! experiment (§6.3): a one-character typo in the Goff–Gratch saturation
 //! vapor pressure coefficient, located by slicing + community detection +
-//! centrality-guided sampling.
+//! centrality-guided sampling — all through one `RcaSession::diagnose`
+//! call.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
 use climate_rca::prelude::*;
-use rca::{
-    affected_outputs, induce_slice, refine, run_statistics, ExperimentSetup, RcaPipeline,
-    ReachabilityOracle, RefineOptions,
-};
 use model::{generate, Experiment, ModelConfig};
 
-fn main() {
+fn main() -> Result<(), RcaError> {
     // ------------------------------------------------------------------
-    // 0. Generate the synthetic climate model and inject the bug.
+    // 0. Generate the synthetic climate model; the experiment injects
+    //    the paper's bug.
     // ------------------------------------------------------------------
     let config = ModelConfig::medium();
     let model = generate(&config);
@@ -33,65 +31,36 @@ fn main() {
     );
 
     // ------------------------------------------------------------------
-    // 1. Statistics: does the ensemble consistency test fail, and which
-    //    outputs moved? (paper §3)
+    // 1. Build the session: parse, coverage-calibrate, compile the
+    //    variable digraph (paper §4) — once per model.
     // ------------------------------------------------------------------
-    let setup = ExperimentSetup::quick();
-    let data = run_statistics(&model, experiment, &setup).expect("statistics");
-    println!(
-        "\nUF-ECT verdict: {} (failure rate {:.0}%)",
-        data.verdict,
-        data.failure_rate * 100.0
-    );
-    let outputs = affected_outputs(&data, 10);
-    println!("affected outputs: {outputs:?}");
-
-    // ------------------------------------------------------------------
-    // 2. Graph: coverage-filter the source, compile the variable digraph.
-    //    (paper §4)
-    // ------------------------------------------------------------------
-    let pipeline = RcaPipeline::build(&model).expect("pipeline");
+    let session = RcaSession::builder(&model)
+        .setup(ExperimentSetup::quick())
+        .oracle(OracleKind::Reachability)
+        .build()?;
     println!(
         "\nmetagraph: {} nodes, {} edges across {} modules",
-        pipeline.metagraph.node_count(),
-        pipeline.metagraph.edge_count(),
-        pipeline.metagraph.modules.len()
+        session.metagraph().node_count(),
+        session.metagraph().edge_count(),
+        session.metagraph().modules.len()
     );
 
     // ------------------------------------------------------------------
-    // 3. Slice: union of shortest backward paths ending on the affected
-    //    internal variables, restricted to CAM. (paper §5.1)
+    // 2. Diagnose: statistics (§3) → slice (§5.1) → Algorithm 5.4.
     // ------------------------------------------------------------------
-    let internal = pipeline.outputs_to_internal(&outputs);
-    println!("internal slicing criteria: {internal:?}");
-    let slice = induce_slice(&pipeline.metagraph, &internal, |m| pipeline.is_cam(m));
-    println!(
-        "induced subgraph: {} nodes, {} edges",
-        slice.graph.node_count(),
-        slice.graph.edge_count()
-    );
+    let diagnosis = session.diagnose(experiment)?;
+    print!("\n{}", diagnosis.render());
 
-    // ------------------------------------------------------------------
-    // 4. Refine: Algorithm 5.4 with the reachability sampling oracle.
-    // ------------------------------------------------------------------
-    let oracle_src = ReachabilityOracle::from_sites(&pipeline.metagraph, &experiment.bug_sites());
-    let bug_nodes = oracle_src.bug_nodes.clone();
-    let mut oracle = oracle_src;
-    let report = refine(
-        &pipeline.metagraph,
-        &slice,
-        &mut oracle,
-        &bug_nodes,
-        &RefineOptions::default(),
-    );
-    print!("\n{}", rca::refinement_trace(&pipeline.metagraph, &report));
-
-    let located = report.instrumented(&bug_nodes) || report.localized(&bug_nodes);
     println!(
         "\nground-truth bug {} by the procedure",
-        if located { "LOCATED" } else { "NOT located" }
+        if diagnosis.located() {
+            "LOCATED"
+        } else {
+            "NOT located"
+        }
     );
-    for &b in &bug_nodes {
-        println!("  bug node: {}", pipeline.metagraph.display(b));
+    for &b in &diagnosis.bug_nodes {
+        println!("  bug node: {}", session.metagraph().display(b));
     }
+    Ok(())
 }

@@ -12,7 +12,88 @@
 //! eigenvector in-centrality, and iteratively refines the suspect set with
 //! runtime sampling (Algorithm 5.4 of the paper).
 //!
-//! The workspace is organized as one crate per subsystem, re-exported here:
+//! ## Quickstart
+//!
+//! The whole workflow lives behind [`rca::RcaSession`]: build a session
+//! once per model (parsing, coverage calibration, and graph compilation
+//! happen here), then [`diagnose`](rca::RcaSession::diagnose) any number
+//! of experiments.
+//!
+//! ```no_run
+//! use climate_rca::prelude::*;
+//!
+//! // Generate the synthetic climate model; experiments inject the
+//! // paper's bugs (e.g. the GOFFGRATCH typo 8.1328e-3 -> 8.1828e-3).
+//! let model = model::generate(&model::ModelConfig::test());
+//!
+//! let session = RcaSession::builder(&model)
+//!     .setup(ExperimentSetup::quick())
+//!     .oracle(OracleKind::Runtime) // sample real instrumented runs
+//!     .build()?;
+//!
+//! let diagnosis = session.diagnose(model::Experiment::GoffGratch)?;
+//! assert_eq!(diagnosis.verdict, stats::Verdict::Fail);
+//! println!("{}", diagnosis.render());
+//! # Ok::<(), RcaError>(())
+//! ```
+//!
+//! When you need stage-level control — overriding the affected-output
+//! selection, supplying your own evidence source — use the typed stage
+//! handles. Each stage is only constructible from its predecessor, so the
+//! pipeline cannot run out of order:
+//!
+//! ```no_run
+//! # use climate_rca::prelude::*;
+//! # let model = model::generate(&model::ModelConfig::test());
+//! # let session = RcaSession::builder(&model).build()?;
+//! let mut stats = session.statistics(model::Experiment::GoffGratch)?;
+//! stats.affected.truncate(5);          // override the selection
+//! let sliced = stats.slice()?;          // Statistics -> Sliced
+//! let mut oracle = session.make_oracle(model::Experiment::GoffGratch);
+//! let refined = sliced.refine_with(oracle.as_mut()); // Sliced -> Refined
+//! let diagnosis = refined.into_diagnosis();
+//! # Ok::<(), RcaError>(())
+//! ```
+//!
+//! ## Choosing an oracle
+//!
+//! Refinement consumes evidence through the object-safe
+//! [`rca::Oracle`] trait (see [`rca::oracle`] for the full contract):
+//!
+//! - [`OracleKind::Reachability`](rca::OracleKind::Reachability) — the
+//!   paper's simulated sampling: a difference is detectable iff a directed
+//!   path exists from a ground-truth bug site. Fast and deterministic; use
+//!   it to evaluate the *method* when bug locations are known.
+//! - [`OracleKind::Runtime`](rca::OracleKind::Runtime) — real sampling:
+//!   each refinement iteration instruments the chosen variables in actual
+//!   control and experimental interpreter runs. Use it when the bug is
+//!   genuinely unknown.
+//!
+//! Anything implementing `Oracle` can be passed to
+//! [`Sliced::refine_with`](rca::session::Sliced::refine_with) or the
+//! low-level [`rca::refine`].
+//!
+//! ## Migrating from the 0.1 free functions
+//!
+//! The loose functions are deprecated shims for one release:
+//!
+//! | 0.1 call | 0.2 replacement |
+//! |---|---|
+//! | `run_statistics(&model, exp, &setup)` | `session.statistics(exp)` (or `diagnose`) |
+//! | `affected_outputs(&data, n)` | `ExperimentData::affected_outputs(&data, n)`, or the `affected` field of the `Statistics` stage |
+//! | `RcaPipeline::build(&model)` | still available; sessions build it internally (`session.pipeline()`) |
+//! | `induce_slice(&mg, &names, f)` | `stats.slice()` stage, or `backward_slice` for raw criteria |
+//! | `refine(&mg, &slice, &mut oracle, ..)` | `sliced.refine()` / `sliced.refine_with(&mut dyn Oracle)`; the free `refine` remains for raw slices |
+//! | `SamplingOracle` (trait) | renamed [`rca::Oracle`] |
+//! | manual report assembly | [`rca::Diagnosis`] fields + [`render`](rca::Diagnosis::render) |
+//!
+//! Errors: every stage returns the workspace-wide [`RcaError`] instead of
+//! stringly-typed `RuntimeError`s; `RuntimeError` converts via `From`, so
+//! `?` composes.
+//!
+//! ## Workspace layout
+//!
+//! One crate per subsystem, re-exported here:
 //!
 //! - [`graph`] — digraph algorithms (BFS slicing, Girvan–Newman,
 //!   centralities, quotient graphs).
@@ -24,31 +105,9 @@
 //!   ground-truth bug injection.
 //! - [`sim`] — the interpreter: FMA/AVX2 simulation, PRNG substitution,
 //!   coverage, runtime sampling, parallel ensembles.
-//! - [`rca`] — the paper's pipeline: hybrid slicing, community/centrality
-//!   ranking, iterative refinement, module-level AVX2 policies.
-//!
-//! ## Quickstart
-//!
-//! ```no_run
-//! use climate_rca::prelude::*;
-//!
-//! // Generate the synthetic climate model and inject the paper's
-//! // GOFFGRATCH typo (8.1328e-3 -> 8.1828e-3).
-//! let model = model::generate(&model::ModelConfig::test());
-//!
-//! // 1. Statistics: ensemble + experiment, ECT verdict, variable selection.
-//! let data = rca::run_statistics(&model, model::Experiment::GoffGratch,
-//!                                 &rca::ExperimentSetup::quick()).unwrap();
-//! assert_eq!(data.verdict, stats::Verdict::Fail);
-//!
-//! // 2. Graph: coverage-filtered source compiled to a variable digraph.
-//! let pipeline = rca::RcaPipeline::build(&model).unwrap();
-//!
-//! // 3. Slice + refine toward the bug.
-//! let internal = pipeline.outputs_to_internal(&rca::affected_outputs(&data, 10));
-//! let slice = rca::induce_slice(&pipeline.metagraph, &internal,
-//!                                |m| pipeline.is_cam(m));
-//! ```
+//! - [`rca`] — the paper's pipeline behind [`rca::RcaSession`]: hybrid
+//!   slicing, community/centrality ranking, iterative refinement,
+//!   module-level AVX2 policies.
 
 pub use rca_core as rca;
 pub use rca_fortran as fortran;
@@ -58,7 +117,9 @@ pub use rca_model as model;
 pub use rca_sim as sim;
 pub use rca_stats as stats;
 
-/// Convenient glob-import of the crates under their short names.
+/// Convenient glob-import: the crates under their short names plus the
+/// session-facade types.
 pub mod prelude {
     pub use crate::{fortran, graph, metagraph, model, rca, sim, stats};
+    pub use rca_core::{Diagnosis, ExperimentSetup, OracleKind, RcaError, RcaSession, SliceScope};
 }

@@ -1,0 +1,109 @@
+//! API edge cases: unknown outputs, degenerate refinement options, and
+//! skip-coverage sessions.
+
+use climate_rca::prelude::*;
+use model::{generate, Experiment, ModelConfig};
+use rca::refine::StopReason;
+use rca::{PipelineOptions, RcaPipeline, RefineOptions};
+
+fn model() -> model::ModelSource {
+    generate(&ModelConfig::test())
+}
+
+#[test]
+fn outputs_to_internal_ignores_unknown_names() {
+    let m = model();
+    let p = RcaPipeline::build(&m).expect("pipeline");
+    // Entirely unknown names map to nothing.
+    let internal = p.outputs_to_internal(&["no_such_output".into(), "also_missing".into()]);
+    assert!(internal.is_empty(), "{internal:?}");
+    // Mixed lists keep the known mappings, in order, without inventing
+    // entries for the unknown ones.
+    let internal = p.outputs_to_internal(&[
+        "no_such_output".into(),
+        "flds".into(),
+        "bogus".into(),
+        "taux".into(),
+    ]);
+    assert_eq!(internal, vec!["flwds".to_string(), "wsx".to_string()]);
+}
+
+#[test]
+fn session_reports_unknown_outputs_as_typed_error() {
+    let m = model();
+    let session = RcaSession::builder(&m)
+        .setup(ExperimentSetup::quick())
+        .build()
+        .expect("session");
+    let mut stats = session.statistics(Experiment::WsubBug).expect("statistics");
+    // Override the selection with outputs the I/O registry cannot map.
+    stats.affected = vec!["definitely_not_an_output".into()];
+    let err = stats.slice().err().expect("slice must fail");
+    match err {
+        RcaError::UnknownOutputs(names) => {
+            assert_eq!(names, vec!["definitely_not_an_output".to_string()])
+        }
+        other => panic!("expected UnknownOutputs, got: {other}"),
+    }
+}
+
+#[test]
+fn zero_manual_threshold_still_terminates() {
+    // manual_threshold: 0 removes the "small enough" exit entirely; the
+    // loop must still stop via stall/disconnection/instrumentation/cap.
+    let m = model();
+    let session = RcaSession::builder(&m)
+        .setup(ExperimentSetup::quick())
+        .refine_options(RefineOptions {
+            manual_threshold: 0,
+            ..RefineOptions::default()
+        })
+        .build()
+        .expect("session");
+    let d = session.diagnose(Experiment::WsubBug).expect("diagnosis");
+    let stop = d.stop().expect("refinement ran");
+    assert_ne!(
+        stop,
+        StopReason::SmallEnough,
+        "threshold 0 can never be reached by a non-empty subgraph"
+    );
+    // The procedure still produces a usable (non-empty) suspect set.
+    assert!(!d.suspects.is_empty());
+}
+
+#[test]
+fn skip_coverage_session_reaches_identical_verdicts() {
+    let m = model();
+    let filtered = RcaSession::builder(&m)
+        .setup(ExperimentSetup::quick())
+        .build()
+        .expect("session");
+    let unfiltered = RcaSession::builder(&m)
+        .setup(ExperimentSetup::quick())
+        .pipeline_options(PipelineOptions {
+            skip_coverage: true,
+            ..PipelineOptions::default()
+        })
+        .build()
+        .expect("skip-coverage session");
+    // Skip-coverage stats must be truthful: nothing was filtered, and the
+    // universe matches what the coverage build started from.
+    let fs = &unfiltered.pipeline().filter_stats;
+    assert!(fs.subprograms_before > 0);
+    assert_eq!(fs.subprograms_before, fs.subprograms_after);
+    assert_eq!(
+        fs.subprograms_before,
+        filtered.pipeline().filter_stats.subprograms_before
+    );
+
+    let a = filtered.diagnose(Experiment::WsubBug).expect("diagnosis");
+    let b = unfiltered.diagnose(Experiment::WsubBug).expect("diagnosis");
+    assert_eq!(
+        a.verdict, b.verdict,
+        "coverage filtering must not change the verdict"
+    );
+    assert!(
+        a.located() && b.located(),
+        "both sessions must locate the wsub bug"
+    );
+}

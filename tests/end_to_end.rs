@@ -1,98 +1,107 @@
 //! Cross-crate integration tests: the complete paper pipeline per
-//! experiment, at test scale, with both sampling oracles.
+//! experiment through the `RcaSession` facade, at test scale, with both
+//! sampling oracles.
 
 use climate_rca::prelude::*;
-use rca::{
-    affected_outputs, experiment_configs, induce_slice, refine, run_statistics, ExperimentSetup,
-    RcaPipeline, ReachabilityOracle, RefineOptions, RuntimeSampler, SamplingOracle,
-};
 use model::{generate, Experiment, ModelConfig};
 use stats::Verdict;
 
-fn model_and_pipeline() -> (model::ModelSource, RcaPipeline) {
-    let m = generate(&ModelConfig::test());
-    let p = RcaPipeline::build(&m).expect("pipeline");
-    (m, p)
+fn session_for(
+    model: &model::ModelSource,
+    oracle: OracleKind,
+    max_outputs: usize,
+) -> RcaSession<'_> {
+    RcaSession::builder(model)
+        .setup(ExperimentSetup::quick())
+        .oracle(oracle)
+        .max_outputs(max_outputs)
+        .build()
+        .expect("session builds")
 }
 
 /// Runs the whole chain: statistics → selection → slice → refinement.
-fn full_chain(experiment: Experiment, runtime_sampling: bool) -> (bool, Verdict) {
-    let (m, p) = model_and_pipeline();
-    let setup = ExperimentSetup::quick();
-    let data = run_statistics(&m, experiment, &setup).expect("statistics");
+/// Both built-in oracles go through the identical session entry point.
+fn full_chain(experiment: Experiment, oracle: OracleKind) -> (bool, Verdict) {
+    let m = generate(&ModelConfig::test());
     let n = experiment.table2_outputs().len().clamp(4, 10);
-    let outputs = affected_outputs(&data, n);
-    let internal = p.outputs_to_internal(&outputs);
-    let slice = induce_slice(&p.metagraph, &internal, |mod_| p.is_cam(mod_));
-    let bugs = ReachabilityOracle::from_sites(&p.metagraph, &experiment.bug_sites()).bug_nodes;
-
-    let report = if runtime_sampling {
-        let (ctl, exp) = experiment_configs(experiment, &setup);
-        let mut sampler = RuntimeSampler::new(m.clone(), m.apply(experiment), ctl, exp);
-        sampler.sample_step = 2;
-        refine(&p.metagraph, &slice, &mut sampler, &bugs, &RefineOptions::default())
-    } else {
-        let mut oracle = ReachabilityOracle { bug_nodes: bugs.clone() };
-        refine(&p.metagraph, &slice, &mut oracle, &bugs, &RefineOptions::default())
-    };
-    let located = report.instrumented(&bugs) || report.localized(&bugs);
-    (located, data.verdict)
+    let session = session_for(&m, oracle, n);
+    let d = session.diagnose(experiment).expect("diagnosis");
+    (d.located(), d.verdict)
 }
 
 #[test]
 fn wsubbug_end_to_end() {
-    let (located, verdict) = full_chain(Experiment::WsubBug, false);
+    let (located, verdict) = full_chain(Experiment::WsubBug, OracleKind::Reachability);
     assert_eq!(verdict, Verdict::Fail);
     assert!(located, "wsub bug must be located");
 }
 
 #[test]
 fn goffgratch_end_to_end_with_runtime_sampling() {
-    let (located, verdict) = full_chain(Experiment::GoffGratch, true);
+    let (located, verdict) = full_chain(Experiment::GoffGratch, OracleKind::Runtime);
     assert_eq!(verdict, Verdict::Fail);
     assert!(located, "Goff-Gratch typo must be located by real sampling");
 }
 
 #[test]
 fn dyn3bug_end_to_end() {
-    let (located, verdict) = full_chain(Experiment::Dyn3Bug, false);
+    let (located, verdict) = full_chain(Experiment::Dyn3Bug, OracleKind::Reachability);
     assert_eq!(verdict, Verdict::Fail);
     assert!(located);
 }
 
 #[test]
 fn randombug_end_to_end() {
-    let (located, verdict) = full_chain(Experiment::RandomBug, false);
+    let (located, verdict) = full_chain(Experiment::RandomBug, OracleKind::Reachability);
     assert_eq!(verdict, Verdict::Fail);
     assert!(located);
 }
 
 #[test]
 fn randmt_end_to_end_with_runtime_sampling() {
-    let (located, verdict) = full_chain(Experiment::RandMt, true);
+    let (located, verdict) = full_chain(Experiment::RandMt, OracleKind::Runtime);
     assert_eq!(verdict, Verdict::Fail);
     assert!(located, "PRNG swap sources must be located");
 }
 
 #[test]
+fn both_oracles_locate_the_same_wsub_bug() {
+    // The acceptance bar for the Oracle abstraction: the same end-to-end
+    // test passes with either built-in oracle plugged into the same
+    // session pipeline, and the verdicts agree.
+    let m = generate(&ModelConfig::test());
+    let mut verdicts = Vec::new();
+    for oracle in [OracleKind::Reachability, OracleKind::Runtime] {
+        let session = session_for(&m, oracle, 4);
+        let d = session.diagnose(Experiment::WsubBug).expect("diagnosis");
+        assert!(d.located(), "oracle {oracle:?} must locate the wsub bug");
+        verdicts.push(d.verdict);
+    }
+    assert_eq!(verdicts[0], verdicts[1]);
+}
+
+#[test]
 fn oracles_agree_on_reachable_detections() {
     // For source-level bugs sampled early, reachability simulation and
-    // real runtime sampling must agree on a panel of probe nodes.
-    let (m, p) = model_and_pipeline();
+    // real runtime sampling must agree on a panel of probe nodes. Both
+    // oracles query the SAME metagraph (node ids are only meaningful
+    // within one compiled graph), built by one session; the runtime
+    // sampler is constructed directly over that session's model.
+    let m = generate(&ModelConfig::test());
     let experiment = Experiment::GoffGratch;
-    let bugs = ReachabilityOracle::from_sites(&p.metagraph, &experiment.bug_sites()).bug_nodes;
-    let mut reach = ReachabilityOracle { bug_nodes: bugs };
-    let setup = ExperimentSetup::quick();
-    let (ctl, exp) = experiment_configs(experiment, &setup);
-    let mut runtime = RuntimeSampler::new(m.clone(), m.apply(experiment), ctl, exp);
+    let session = session_for(&m, OracleKind::Reachability, 10);
+    let mut reach = session.make_oracle(experiment);
+    let (ctl, exp) = rca::experiment_configs(experiment, session.setup());
+    let mut runtime = rca::RuntimeSampler::new(m.clone(), m.apply(experiment), ctl, exp);
     runtime.sample_step = 2;
 
+    let mg = session.metagraph();
     let probes: Vec<graph::NodeId> = ["cld", "relhum", "wsub", "flwds", "tlat", "snowhland"]
         .iter()
-        .filter_map(|n| p.metagraph.nodes_with_canonical(n).first().copied())
+        .filter_map(|n| mg.nodes_with_canonical(n).first().copied())
         .collect();
-    let a = reach.differs(&p.metagraph, &probes);
-    let b = runtime.differs(&p.metagraph, &probes);
+    let a = reach.differs(mg, &probes);
+    let b = rca::Oracle::differs(&mut runtime, mg, &probes);
     // Runtime detections must be a subset of reachability (static paths
     // are conservative, §5.4 issue 3) and agree on most probes.
     for (i, (&ra, &rb)) in a.iter().zip(&b).enumerate() {
@@ -101,21 +110,29 @@ fn oracles_agree_on_reachable_detections() {
         }
     }
     let agree = a.iter().zip(&b).filter(|(x, y)| x == y).count();
-    assert!(agree >= probes.len() - 1, "oracles disagree: {a:?} vs {b:?}");
+    assert!(
+        agree >= probes.len() - 1,
+        "oracles disagree: {a:?} vs {b:?}"
+    );
 }
 
 #[test]
 fn control_experiment_passes_and_locates_nothing() {
-    let (m, _) = model_and_pipeline();
-    let data = run_statistics(&m, Experiment::Control, &ExperimentSetup::quick()).unwrap();
-    assert_eq!(data.verdict, Verdict::Pass);
+    let m = generate(&ModelConfig::test());
+    let session = session_for(&m, OracleKind::Reachability, 10);
+    let d = session.diagnose(Experiment::Control).expect("diagnosis");
+    assert_eq!(d.verdict, Verdict::Pass);
+    assert!(d.refinement.is_none(), "a passing verdict must not refine");
+    assert!(!d.located());
 }
 
 #[test]
 fn coverage_reduction_reported() {
-    let (_, p) = model_and_pipeline();
+    let m = generate(&ModelConfig::test());
+    let session = session_for(&m, OracleKind::Reachability, 10);
+    let p = session.pipeline();
     assert!(p.filter_stats.subprograms_after > 0);
-    assert!(p.metagraph.node_count() > 0);
+    assert!(session.metagraph().node_count() > 0);
     // Paper's preprocessing bookkeeping is available for reporting.
     assert!(p.coverage.subprogram_count() >= p.filter_stats.subprograms_after);
 }

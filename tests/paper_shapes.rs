@@ -4,7 +4,7 @@
 use climate_rca::prelude::*;
 use graph::{fit_power_law, DegreeKind};
 use model::{generate, Experiment, ModelConfig};
-use rca::{induce_slice, ModuleRanking, RcaPipeline};
+use rca::{backward_slice, ModuleRanking, RcaPipeline};
 
 fn pipeline() -> (model::ModelSource, RcaPipeline) {
     let m = generate(&ModelConfig::test());
@@ -13,8 +13,12 @@ fn pipeline() -> (model::ModelSource, RcaPipeline) {
 }
 
 fn slice_for(p: &RcaPipeline, exp: Experiment) -> rca::Slice {
-    let internal: Vec<String> = exp.table2_internal().iter().map(|s| s.to_string()).collect();
-    induce_slice(&p.metagraph, &internal, |m| p.is_cam(m))
+    let internal: Vec<String> = exp
+        .table2_internal()
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    backward_slice(&p.metagraph, &internal, |m| p.is_cam(m))
 }
 
 #[test]
@@ -94,8 +98,8 @@ fn degree_distribution_is_heavy_tailed() {
         .map(|n| p.metagraph.graph.degree(n))
         .max()
         .unwrap();
-    let mean_deg = 2.0 * p.metagraph.graph.edge_count() as f64
-        / p.metagraph.graph.node_count() as f64;
+    let mean_deg =
+        2.0 * p.metagraph.graph.edge_count() as f64 / p.metagraph.graph.node_count() as f64;
     assert!(
         max_deg as f64 > 6.0 * mean_deg,
         "no hub: max {max_deg} vs mean {mean_deg:.1}"
@@ -184,7 +188,10 @@ fn coverage_is_the_hybrid_in_hybrid_slicing() {
         "contains\n  real(r8) function dead_path(x) result(r)\n    real(r8), intent(in) :: x\n    r = x * 3.0_r8\n  end function dead_path\n",
     );
     let hybrid = RcaPipeline::build(&m).unwrap();
-    assert!(hybrid.metagraph.nodes_with_canonical("dead_path").is_empty());
+    assert!(hybrid
+        .metagraph
+        .nodes_with_canonical("dead_path")
+        .is_empty());
     let static_only = RcaPipeline::build_with(
         &m,
         &rca::PipelineOptions {

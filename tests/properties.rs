@@ -10,8 +10,11 @@ use proptest::prelude::*;
 
 /// Arbitrary digraph from an edge list over `n` nodes.
 fn arb_graph() -> impl Strategy<Value = DiGraph> {
-    (2usize..40, proptest::collection::vec((0u32..40, 0u32..40), 0..120)).prop_map(
-        |(n, edges)| {
+    (
+        2usize..40,
+        proptest::collection::vec((0u32..40, 0u32..40), 0..120),
+    )
+        .prop_map(|(n, edges)| {
             let mut g = DiGraph::new();
             g.add_nodes(n);
             for (u, v) in edges {
@@ -19,8 +22,7 @@ fn arb_graph() -> impl Strategy<Value = DiGraph> {
                 g.add_edge(NodeId(u), NodeId(v));
             }
             g
-        },
-    )
+        })
 }
 
 proptest! {
