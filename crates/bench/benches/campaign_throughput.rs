@@ -1,0 +1,99 @@
+//! Campaign throughput: batch-runner diagnoses/sec, sequential vs
+//! parallel, recorded into `BENCH_campaign.json`.
+//!
+//! The batch runner shares one session (metagraph + control ensemble)
+//! across all scenarios and fans them out with the rayon compat layer;
+//! this harness measures the end-to-end rate both ways and reports the
+//! multi-thread speedup. `RCA_BENCH_SCALE=test|medium|paper` sizes the
+//! model; `RCA_CAMPAIGN_N` overrides the scenario count.
+
+use rca_bench::{bench_config, header};
+use rca_campaign::{run_campaign, CampaignOptions, RunnerOptions};
+use rca_core::ExperimentSetup;
+use serde::{Json, Serialize as _};
+
+fn main() {
+    header(
+        "campaign_throughput",
+        "batch fan-out must beat sequential diagnosis on multi-core hosts",
+    );
+    let scale = std::env::var("RCA_BENCH_SCALE").unwrap_or_else(|_| "medium".to_string());
+    let scenarios: usize = std::env::var("RCA_CAMPAIGN_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if scale == "test" { 12 } else { 16 });
+    let model = rca_model::generate(&bench_config());
+    let opts = CampaignOptions {
+        scenarios,
+        seed: 51966,
+        ..Default::default()
+    };
+    let runner = RunnerOptions {
+        setup: ExperimentSetup::quick(),
+        ..Default::default()
+    };
+
+    let saved = std::env::var("RAYON_NUM_THREADS").ok();
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    let sequential = run_campaign(&model, &opts, &runner).expect("sequential campaign");
+    match &saved {
+        Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
+        None => std::env::remove_var("RAYON_NUM_THREADS"),
+    }
+    let parallel = run_campaign(&model, &opts, &runner).expect("parallel campaign");
+
+    // Order determinism: thread count must not change the results.
+    let a = serde_json::to_string(&sequential).unwrap();
+    let b = serde_json::to_string(&parallel).unwrap();
+    assert_eq!(a, b, "scorecard must be identical at any thread count");
+
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let speedup = parallel.throughput() / sequential.throughput().max(1e-9);
+    println!(
+        "scenarios: {scenarios} (scale {scale}), localization {:.0}%",
+        sequential.summary().localization_rate * 100.0
+    );
+    println!(
+        "sequential: {:.2} s ({:.2} diagnoses/sec)",
+        sequential.wall_seconds,
+        sequential.throughput()
+    );
+    println!(
+        "parallel ({threads} cores): {:.2} s ({:.2} diagnoses/sec)",
+        parallel.wall_seconds,
+        parallel.throughput()
+    );
+    println!("speedup: {speedup:.2}x");
+
+    let record = Json::obj([
+        ("bench", "campaign_throughput".to_json()),
+        ("scale", scale.to_json()),
+        ("scenarios", scenarios.to_json()),
+        ("threads", threads.to_json()),
+        (
+            "sequential",
+            Json::obj([
+                ("wall_seconds", sequential.wall_seconds.to_json()),
+                ("diagnoses_per_sec", sequential.throughput().to_json()),
+            ]),
+        ),
+        (
+            "parallel",
+            Json::obj([
+                ("wall_seconds", parallel.wall_seconds.to_json()),
+                ("diagnoses_per_sec", parallel.throughput().to_json()),
+            ]),
+        ),
+        ("speedup", speedup.to_json()),
+        (
+            "localization_rate",
+            sequential.summary().localization_rate.to_json(),
+        ),
+    ]);
+    let path = "BENCH_campaign.json";
+    let text = serde_json::to_string_pretty(&record).unwrap() + "\n";
+    match std::fs::write(path, &text) {
+        Ok(()) => println!("recorded {path}"),
+        Err(e) => eprintln!("cannot write {path}: {e}"),
+    }
+}

@@ -1,0 +1,191 @@
+//! `rca-campaign` — run a seeded fault-injection campaign from the shell.
+//!
+//! ```text
+//! rca-campaign [--scenarios N] [--seed S] [--scale test|medium|paper]
+//!              [--oracle reachability|runtime] [--clean-every K] [--paper]
+//!              [--fma-scale F] [--threads N] [--json PATH] [--quiet]
+//!              [--assert-localization R] [--assert-clean-pass R]
+//!              [--assert-flagged R]
+//! ```
+//!
+//! The JSON artifact is deterministic for a given seed (timing excluded),
+//! so CI can both diff it and assert quality floors via the `--assert-*`
+//! flags (exit code 1 on violation).
+
+use rca_campaign::{run_campaign, CampaignOptions, RunnerOptions};
+use rca_core::{ExperimentSetup, OracleKind};
+use rca_model::{generate, ModelConfig};
+use std::process::ExitCode;
+
+struct Args {
+    opts: CampaignOptions,
+    runner: RunnerOptions,
+    scale: String,
+    json: Option<String>,
+    quiet: bool,
+    assert_localization: Option<f64>,
+    assert_clean_pass: Option<f64>,
+    assert_flagged: Option<f64>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: rca-campaign [--scenarios N] [--seed S] [--scale test|medium|paper]\n\
+         \x20                   [--oracle reachability|runtime] [--clean-every K] [--paper]\n\
+         \x20                   [--fma-scale F] [--threads N] [--json PATH] [--quiet]\n\
+         \x20                   [--assert-localization R] [--assert-clean-pass R]\n\
+         \x20                   [--assert-flagged R]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        opts: CampaignOptions::default(),
+        runner: RunnerOptions::default(),
+        scale: "test".to_string(),
+        json: None,
+        quiet: false,
+        assert_localization: None,
+        assert_clean_pass: None,
+        assert_flagged: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--scenarios" => {
+                args.opts.scenarios = value("--scenarios").parse().unwrap_or_else(|_| usage())
+            }
+            "--seed" => args.opts.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
+            "--clean-every" => {
+                args.opts.clean_every = value("--clean-every").parse().unwrap_or_else(|_| usage())
+            }
+            "--fma-scale" => {
+                args.opts.fma_scale = value("--fma-scale").parse().unwrap_or_else(|_| usage())
+            }
+            "--paper" => args.opts.include_paper = true,
+            "--scale" => args.scale = value("--scale"),
+            "--oracle" => {
+                args.runner.oracle = match value("--oracle").as_str() {
+                    "reachability" => OracleKind::Reachability,
+                    "runtime" => OracleKind::Runtime,
+                    other => {
+                        eprintln!("unknown oracle: {other}");
+                        usage()
+                    }
+                }
+            }
+            "--threads" => {
+                // The rayon compat layer reads this per fan-out.
+                std::env::set_var("RAYON_NUM_THREADS", value("--threads"));
+            }
+            "--json" => args.json = Some(value("--json")),
+            "--quiet" => args.quiet = true,
+            "--assert-localization" => {
+                args.assert_localization = Some(
+                    value("--assert-localization")
+                        .parse()
+                        .unwrap_or_else(|_| usage()),
+                )
+            }
+            "--assert-clean-pass" => {
+                args.assert_clean_pass = Some(
+                    value("--assert-clean-pass")
+                        .parse()
+                        .unwrap_or_else(|_| usage()),
+                )
+            }
+            "--assert-flagged" => {
+                args.assert_flagged = Some(
+                    value("--assert-flagged")
+                        .parse()
+                        .unwrap_or_else(|_| usage()),
+                )
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let (config, setup) = match args.scale.as_str() {
+        "test" => (ModelConfig::test(), ExperimentSetup::quick()),
+        "medium" => (ModelConfig::medium(), ExperimentSetup::quick()),
+        "paper" => (ModelConfig::paper(), ExperimentSetup::default()),
+        other => {
+            eprintln!("unknown scale: {other}");
+            usage()
+        }
+    };
+    let runner = RunnerOptions {
+        setup,
+        oracle: args.runner.oracle,
+    };
+    let model = generate(&config);
+    let card = match run_campaign(&model, &args.opts, &runner) {
+        Ok(card) => card,
+        Err(e) => {
+            eprintln!("campaign failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !args.quiet {
+        print!("{}", card.render());
+    }
+    if let Some(path) = &args.json {
+        let json = serde_json::to_string_pretty(&card).expect("serialization is infallible");
+        if let Err(e) = std::fs::write(path, json + "\n") {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        if !args.quiet {
+            println!("scorecard written to {path}");
+        }
+    }
+    let s = card.summary();
+    let mut ok = true;
+    if let Some(floor) = args.assert_localization {
+        if s.localization_rate < floor {
+            eprintln!(
+                "ASSERTION FAILED: localization rate {:.2} < floor {floor:.2}",
+                s.localization_rate
+            );
+            ok = false;
+        }
+    }
+    if let Some(floor) = args.assert_clean_pass {
+        if s.clean_pass_rate < floor {
+            eprintln!(
+                "ASSERTION FAILED: clean pass rate {:.2} < floor {floor:.2}",
+                s.clean_pass_rate
+            );
+            ok = false;
+        }
+    }
+    if let Some(floor) = args.assert_flagged {
+        if s.flagged_rate < floor {
+            eprintln!(
+                "ASSERTION FAILED: flagged rate {:.2} < floor {floor:.2}",
+                s.flagged_rate
+            );
+            ok = false;
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,108 @@
+//! The batch runner: one session, N scenarios, all cores.
+//!
+//! Builds the experiment-independent state once — parse, coverage
+//! calibration, metagraph compilation, **and the control ensemble + fitted
+//! ECT** (prewarmed before the fan-out so no worker pays for it) — then
+//! drives every planned scenario through
+//! [`RcaSession::diagnose_scenario`] in parallel. Scenario results come
+//! back in plan order regardless of thread count, so campaign output is
+//! order-deterministic; `RAYON_NUM_THREADS=1` gives the sequential
+//! baseline the throughput bench compares against.
+
+use crate::mutate::{plan_campaign, CampaignOptions, CampaignScenario};
+use crate::scorecard::{ScenarioResult, Scorecard};
+use rayon::prelude::*;
+use rca_core::{OracleKind, RcaError, RcaSession};
+use rca_model::ModelSource;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Session-level knobs for a campaign run.
+#[derive(Debug, Clone)]
+pub struct RunnerOptions {
+    /// Statistical campaign parameters for every scenario.
+    pub setup: rca_core::ExperimentSetup,
+    /// Evidence source for refinement.
+    pub oracle: OracleKind,
+}
+
+impl Default for RunnerOptions {
+    fn default() -> Self {
+        RunnerOptions {
+            setup: rca_core::ExperimentSetup::quick(),
+            oracle: OracleKind::Reachability,
+        }
+    }
+}
+
+/// Plans and runs a whole campaign over `model`, returning the scorecard.
+pub fn run_campaign(
+    model: &ModelSource,
+    opts: &CampaignOptions,
+    runner: &RunnerOptions,
+) -> Result<Scorecard, RcaError> {
+    let session = RcaSession::builder(model)
+        .setup(runner.setup.clone())
+        .oracle(runner.oracle)
+        .build()?;
+    // Pay for the shared control ensemble before the fan-out.
+    session.ensemble()?;
+    let model_arc = Arc::new(model.clone());
+    let plan = plan_campaign(&model_arc, &session, opts);
+    let started = Instant::now();
+    let results: Vec<ScenarioResult> = plan
+        .par_iter()
+        .map(|cs| run_scenario(&session, cs))
+        .collect();
+    Ok(Scorecard::new(results, started.elapsed().as_secs_f64()))
+}
+
+/// Runs one planned scenario through the session pipeline, absorbing
+/// per-scenario failures into the result (a campaign never aborts on one
+/// broken mutant).
+pub fn run_scenario(session: &RcaSession<'_>, cs: &CampaignScenario) -> ScenarioResult {
+    let expect_fail = cs.class.expects_fail();
+    let t0 = Instant::now();
+    let outcome = session.diagnose_scenario(&cs.scenario);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    match outcome {
+        Ok(d) => {
+            let module_in_final = cs
+                .injected_module
+                .as_deref()
+                .is_some_and(|m| d.suspects_module(m));
+            ScenarioResult {
+                name: cs.scenario.name.clone(),
+                kind: cs.class.slug().to_string(),
+                injected_module: cs.injected_module.clone(),
+                detail: cs.detail.clone(),
+                expect_fail,
+                verdict: Some(d.verdict),
+                located: d.located(),
+                module_in_final,
+                slice_nodes: d.slice_nodes,
+                final_suspects: d.suspects.len(),
+                iterations: d.iterations(),
+                stop: d.stop(),
+                error: None,
+                wall_ms,
+            }
+        }
+        Err(e) => ScenarioResult {
+            name: cs.scenario.name.clone(),
+            kind: cs.class.slug().to_string(),
+            injected_module: cs.injected_module.clone(),
+            detail: cs.detail.clone(),
+            expect_fail,
+            verdict: None,
+            located: false,
+            module_in_final: false,
+            slice_nodes: 0,
+            final_suspects: 0,
+            iterations: 0,
+            stop: None,
+            error: Some(e.to_string()),
+            wall_ms,
+        },
+    }
+}

@@ -1,0 +1,152 @@
+//! Campaign-level integration tests: seeded determinism (byte-identical
+//! scorecards), the mutation property suite, and paper-experiment
+//! localization through the batch machinery.
+
+use proptest::prelude::*;
+use rca_campaign::{
+    campaign_sites, mutate_site, run_campaign, CampaignOptions, CampaignRng, MutationKind,
+    RunnerOptions,
+};
+use rca_core::{ExperimentSetup, RcaSession};
+use rca_model::{generate, ModelConfig, ModelSource, PatchSite};
+use rca_stats::Verdict;
+use std::sync::OnceLock;
+
+fn fixture() -> &'static (ModelSource, RcaSession<'static>, Vec<PatchSite>) {
+    static MODEL: OnceLock<ModelSource> = OnceLock::new();
+    static FIX: OnceLock<(ModelSource, RcaSession<'static>, Vec<PatchSite>)> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let m = MODEL.get_or_init(|| generate(&ModelConfig::test()));
+        let session = RcaSession::builder(m)
+            .setup(ExperimentSetup::quick())
+            .build()
+            .expect("session");
+        let sites = campaign_sites(m, &session);
+        (m.clone(), session, sites)
+    })
+}
+
+#[test]
+fn same_seed_produces_byte_identical_scorecard_json() {
+    let (model, _, _) = fixture();
+    let opts = CampaignOptions {
+        scenarios: 6,
+        seed: 0xBEEF,
+        ..Default::default()
+    };
+    let a = run_campaign(model, &opts, &RunnerOptions::default()).expect("campaign");
+    let b = run_campaign(model, &opts, &RunnerOptions::default()).expect("campaign");
+    let ja = serde_json::to_string_pretty(&a).unwrap();
+    let jb = serde_json::to_string_pretty(&b).unwrap();
+    assert_eq!(ja, jb, "same seed must reproduce the identical scorecard");
+    // And a different seed must not (the plans differ).
+    let c = run_campaign(
+        model,
+        &CampaignOptions {
+            seed: 0xBEEF + 1,
+            ..opts
+        },
+        &RunnerOptions::default(),
+    )
+    .expect("campaign");
+    assert_ne!(ja, serde_json::to_string_pretty(&c).unwrap());
+}
+
+#[test]
+fn paper_experiments_all_localize_through_the_batch_runner() {
+    let (model, _, _) = fixture();
+    let opts = CampaignOptions {
+        scenarios: 0,
+        include_paper: true,
+        ..Default::default()
+    };
+    let card = run_campaign(model, &opts, &RunnerOptions::default()).expect("campaign");
+    assert_eq!(card.results.len(), 7);
+    for r in &card.results {
+        assert!(r.error.is_none(), "{}: {:?}", r.name, r.error);
+        if r.name == "paper-CONTROL" {
+            assert_eq!(r.verdict, Some(Verdict::Pass));
+        } else {
+            assert_eq!(r.verdict, Some(Verdict::Fail), "{}", r.name);
+            assert!(r.located, "{} must be located", r.name);
+            assert!(
+                r.module_in_final,
+                "{}: injected module must be in the final slice",
+                r.name
+            );
+        }
+    }
+    let s = card.summary();
+    assert_eq!(s.mutants_flagged, s.mutants);
+    assert_eq!(s.localization_rate, 1.0);
+}
+
+#[test]
+fn campaign_smoke_flags_and_localizes_mutants() {
+    // The CI smoke configuration: N=8, fixed seed, quality floors.
+    let (model, _, _) = fixture();
+    let opts = CampaignOptions {
+        scenarios: 8,
+        seed: 51966,
+        ..Default::default()
+    };
+    let card = run_campaign(model, &opts, &RunnerOptions::default()).expect("campaign");
+    let s = card.summary();
+    assert_eq!(s.errors, 0);
+    assert_eq!(
+        s.clean_pass_rate,
+        1.0,
+        "cleans must pass: {}",
+        card.render()
+    );
+    assert!(
+        s.flagged_rate >= 0.5,
+        "too few mutants flagged: {}",
+        card.render()
+    );
+    assert_eq!(
+        s.localization_rate,
+        1.0,
+        "every flagged mutant must be located: {}",
+        card.render()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn seeded_source_mutations_are_deterministic_and_grounded(
+        seed in any::<u64>(),
+        kind in prop::sample::select(MutationKind::SOURCE_KINDS.to_vec()),
+    ) {
+        let (model, session, sites) = fixture();
+        let applicable: Vec<&PatchSite> =
+            sites.iter().filter(|s| kind.applies_to(s)).collect();
+        prop_assert!(!applicable.is_empty());
+        let site = applicable[CampaignRng::new(seed).below(applicable.len())];
+
+        // Determinism: the same seed reproduces the identical mutant.
+        let (m1, d1) = mutate_site(model, site, kind, &mut CampaignRng::new(seed))
+            .expect("site applies");
+        let (m2, d2) = mutate_site(model, site, kind, &mut CampaignRng::new(seed))
+            .expect("site applies");
+        prop_assert_eq!(&d1, &d2);
+        for (a, b) in m1.files.iter().zip(&m2.files) {
+            prop_assert_eq!(&a.source, &b.source);
+        }
+
+        // The mutant still parses through the full front end.
+        let (_, errs) = m1.parse();
+        prop_assert!(errs.is_empty(), "{:?}", errs);
+
+        // No orphaned injections: the ground-truth module and target are
+        // reachable in the session's metagraph.
+        let mg = session.metagraph();
+        prop_assert!(mg.modules.contains(&site.module));
+        let node = mg
+            .node_by_key(&site.module, Some(&site.subprogram), &site.target)
+            .or_else(|| mg.node_by_key(&site.module, None, &site.target));
+        prop_assert!(node.is_some(), "{}::{} not in graph", site.module, site.target);
+    }
+}

@@ -1,8 +1,181 @@
 //! Offline stand-in for `serde`.
 //!
-//! Re-exports the no-op `Serialize`/`Deserialize` derives from the sibling
-//! `serde_derive` stub so that `use serde::{Deserialize, Serialize}` and
-//! `#[derive(Serialize, Deserialize)]` compile unchanged. See
-//! `crates/compat/serde_derive` for the rationale.
+//! Two layers, mirroring the real crate's split:
+//!
+//! - the no-op `Serialize`/`Deserialize` **derives** re-exported from the
+//!   sibling `serde_derive` stub, so `#[derive(Serialize, Deserialize)]`
+//!   compiles unchanged as forward-looking API surface;
+//! - a real [`Serialize`] **trait** over the tree-shaped [`Json`] data
+//!   model, for types that need machine-readable export today (campaign
+//!   scorecards, diagnosis JSON). `serde_json::to_string` consumes it.
+//!
+//! The trait is deliberately tiny — one method producing a [`Json`] tree —
+//! rather than the real crate's visitor architecture; swapping in the real
+//! serde replaces these hand impls with derives.
 
 pub use serde_derive::{Deserialize, Serialize};
+
+/// A serialization-ready JSON tree. Object fields keep **insertion
+/// order**, so hand-written [`Serialize`] impls produce deterministic,
+/// reviewer-chosen field ordering. Integers carry dedicated variants so
+/// values above 2^53 serialize exactly instead of rounding through f64.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A floating-point number (non-finite values serialize as `null`).
+    Num(f64),
+    /// An unsigned integer, serialized exactly.
+    Uint(u64),
+    /// A signed integer, serialized exactly.
+    Int(i64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered fields.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs, keeping their order.
+    pub fn obj<K: Into<String>>(fields: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Obj(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+}
+
+/// Types that can render themselves as a [`Json`] tree.
+pub trait Serialize {
+    /// The JSON representation of `self`.
+    fn to_json(&self) -> Json;
+}
+
+impl Serialize for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl Serialize for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Json {
+                Json::Uint(*self as u64)
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Json {
+                Json::Int(*self as i64)
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Json {
+                Json::Num(*self as f64)
+            }
+        }
+    )*};
+}
+
+impl_uint!(u8, u16, u32, u64, usize);
+impl_int!(i8, i16, i32, i64, isize);
+impl_float!(f32, f64);
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_json(&self) -> Json {
+        Json::Obj(self.iter().map(|(k, v)| (k.clone(), v.to_json())).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_serialize() {
+        assert_eq!(true.to_json(), Json::Bool(true));
+        assert_eq!(3u32.to_json(), Json::Uint(3));
+        assert_eq!((-4i32).to_json(), Json::Int(-4));
+        assert_eq!(0.5f64.to_json(), Json::Num(0.5));
+        assert_eq!("x".to_json(), Json::Str("x".into()));
+        assert_eq!(None::<u32>.to_json(), Json::Null);
+        assert_eq!(
+            vec![1u8, 2].to_json(),
+            Json::Arr(vec![Json::Uint(1), Json::Uint(2)])
+        );
+    }
+
+    #[test]
+    fn big_integers_do_not_round_through_f64() {
+        assert_eq!(u64::MAX.to_json(), Json::Uint(u64::MAX));
+        assert_eq!(i64::MIN.to_json(), Json::Int(i64::MIN));
+    }
+
+    #[test]
+    fn obj_preserves_insertion_order() {
+        let j = Json::obj([("z", 1u8.to_json()), ("a", 2u8.to_json())]);
+        match j {
+            Json::Obj(fields) => {
+                assert_eq!(fields[0].0, "z");
+                assert_eq!(fields[1].0, "a");
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+    }
+}

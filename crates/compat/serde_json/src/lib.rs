@@ -2,10 +2,16 @@
 //!
 //! Implements the small slice of the real crate's API that the workspace
 //! uses: [`from_str`] into a dynamically-typed [`Value`] with `as_u64`,
-//! `as_array` and `value["key"]` indexing. The parser handles the full
-//! JSON grammar (objects, arrays, strings with escapes, numbers, booleans,
-//! null) so round-trips through externally produced JSON also work.
+//! `as_array` and `value["key"]` indexing, plus the writing half —
+//! [`to_string`] / [`to_string_pretty`] / [`to_value`] over anything
+//! implementing the compat [`serde::Serialize`] trait. The parser handles
+//! the full JSON grammar (objects, arrays, strings with escapes, numbers,
+//! booleans, null) so round-trips through externally produced JSON also
+//! work, and the writer is deterministic: hand-impl field order for
+//! `Json::Obj`, sorted keys for [`Value`] objects, shortest-round-trip
+//! number formatting.
 
+use serde::Json;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::ops::Index;
@@ -313,6 +319,146 @@ impl<'a> Parser<'a> {
     }
 }
 
+impl serde::Serialize for Value {
+    fn to_json(&self) -> Json {
+        match self {
+            Value::Null => Json::Null,
+            Value::Bool(b) => Json::Bool(*b),
+            Value::Number(n) => Json::Num(*n),
+            Value::String(s) => Json::Str(s.clone()),
+            Value::Array(a) => Json::Arr(a.iter().map(serde::Serialize::to_json).collect()),
+            Value::Object(o) => Json::Obj(
+                o.iter()
+                    .map(|(k, v)| (k.clone(), serde::Serialize::to_json(v)))
+                    .collect(),
+            ),
+        }
+    }
+}
+
+/// Converts any serializable value into a dynamically-typed [`Value`]
+/// (object keys become sorted, as in the parser).
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    fn conv(j: &Json) -> Value {
+        match j {
+            Json::Null => Value::Null,
+            Json::Bool(b) => Value::Bool(*b),
+            Json::Num(n) => Value::Number(*n),
+            // Value stores every number as f64 (like the parser); exact
+            // integers above 2^53 survive only through to_string.
+            Json::Uint(u) => Value::Number(*u as f64),
+            Json::Int(i) => Value::Number(*i as f64),
+            Json::Str(s) => Value::String(s.clone()),
+            Json::Arr(a) => Value::Array(a.iter().map(conv).collect()),
+            Json::Obj(o) => Value::Object(o.iter().map(|(k, v)| (k.clone(), conv(v))).collect()),
+        }
+    }
+    conv(&value.to_json())
+}
+
+/// Serializes a value to compact JSON. Infallible for this stub (non-finite
+/// numbers become `null`); the `Result` matches the real crate's signature.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_json(&mut out, &value.to_json(), None, 0);
+    Ok(out)
+}
+
+/// Serializes a value to human-readable, two-space-indented JSON.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_json(&mut out, &value.to_json(), Some(2), 0);
+    Ok(out)
+}
+
+fn write_json(out: &mut String, j: &Json, indent: Option<usize>, depth: usize) {
+    let (nl, pad, pad_in) = match indent {
+        Some(w) => ("\n", " ".repeat(w * depth), " ".repeat(w * (depth + 1))),
+        None => ("", String::new(), String::new()),
+    };
+    match j {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::Num(n) => out.push_str(&format_number(*n)),
+        Json::Uint(u) => out.push_str(&u.to_string()),
+        Json::Int(i) => out.push_str(&i.to_string()),
+        Json::Str(s) => write_escaped(out, s),
+        Json::Arr(a) => {
+            if a.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, v) in a.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad_in);
+                write_json(out, v, indent, depth + 1);
+            }
+            out.push_str(nl);
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Json::Obj(o) => {
+            if o.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, v)) in o.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad_in);
+                write_escaped(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_json(out, v, indent, depth + 1);
+            }
+            out.push_str(nl);
+            out.push_str(&pad);
+            out.push('}');
+        }
+    }
+}
+
+/// JSON has no NaN/Infinity; the real crate errors, this stub (which keeps
+/// serialization infallible) writes `null`. Integral values within the
+/// exact-f64 range print without a fractional part.
+fn format_number(n: f64) -> String {
+    if !n.is_finite() {
+        return "null".to_string();
+    }
+    if n.fract() == 0.0 && n.abs() < 9.007_199_254_740_992e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -348,5 +494,49 @@ mod tests {
         assert!(from_str("{").is_err());
         assert!(from_str("[1,]").is_err());
         assert!(from_str("1 2").is_err());
+    }
+
+    #[test]
+    fn to_string_round_trips_through_parser() {
+        let j = Json::obj([
+            ("name", serde::Serialize::to_json("w\"sub\n")),
+            ("rate", Json::Num(0.25)),
+            ("n", Json::Num(14.0)),
+            ("tags", Json::Arr(vec![Json::Bool(true), Json::Null])),
+        ]);
+        let text = to_string(&j).unwrap();
+        let v = from_str(&text).unwrap();
+        assert_eq!(v["name"].as_str(), Some("w\"sub\n"));
+        assert_eq!(v["rate"].as_f64(), Some(0.25));
+        assert_eq!(v["n"].as_u64(), Some(14));
+        assert_eq!(v["tags"].as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn object_field_order_is_preserved_compact_and_pretty() {
+        let j = Json::obj([("zzz", Json::Num(1.0)), ("aaa", Json::Num(2.0))]);
+        let compact = to_string(&j).unwrap();
+        assert_eq!(compact, r#"{"zzz":1,"aaa":2}"#);
+        let pretty = to_string_pretty(&j).unwrap();
+        assert!(pretty.find("zzz").unwrap() < pretty.find("aaa").unwrap());
+        assert_eq!(from_str(&pretty).unwrap(), from_str(&compact).unwrap());
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+    }
+
+    #[test]
+    fn big_integers_serialize_exactly() {
+        assert_eq!(to_string(&u64::MAX).unwrap(), "18446744073709551615");
+        assert_eq!(to_string(&i64::MIN).unwrap(), "-9223372036854775808");
+    }
+
+    #[test]
+    fn value_serializes_with_sorted_keys() {
+        let v = to_value(&Json::obj([("b", Json::Num(1.0)), ("a", Json::Num(2.0))]));
+        assert_eq!(to_string(&v).unwrap(), r#"{"a":2,"b":1}"#);
     }
 }

@@ -59,15 +59,23 @@ impl ExperimentSetup {
     }
 }
 
+/// The control run configuration every experiment and scenario is
+/// compared against: defaults at the setup's step count. Single source of
+/// truth — the cached ensemble, the session, and the experimental configs
+/// all derive from here.
+pub fn control_config(setup: &ExperimentSetup) -> RunConfig {
+    RunConfig {
+        steps: setup.steps,
+        ..Default::default()
+    }
+}
+
 /// Run configurations for one experiment (control vs experimental).
 pub fn experiment_configs(
     experiment: Experiment,
     setup: &ExperimentSetup,
 ) -> (RunConfig, RunConfig) {
-    let control = RunConfig {
-        steps: setup.steps,
-        ..Default::default()
-    };
+    let control = control_config(setup);
     let mut exp = control.clone();
     if experiment.uses_mersenne_twister() {
         exp.prng = PrngKind::MersenneTwister;
@@ -79,11 +87,41 @@ pub fn experiment_configs(
     (control, exp)
 }
 
+/// Control-side statistics shared by every experiment and scenario over
+/// one `(model, setup)` pair: the perturbed ensemble runs, their output
+/// matrix, and the ECT fitted to it.
+///
+/// Computing this is the expensive half of the statistical front end
+/// (`n_ensemble` interpreter runs); [`crate::RcaSession`] caches one per
+/// session so a fault-injection campaign of N scenarios pays for the
+/// ensemble once, not N times.
+#[derive(Debug, Clone)]
+pub struct EnsembleStats {
+    /// Output names (sorted, finite in every ensemble run).
+    pub names: Vec<String>,
+    /// Ensemble output matrix at the evaluation step.
+    pub matrix: Matrix,
+    /// The ECT fitted to the full ensemble output set.
+    pub(crate) ect: Ect,
+}
+
+/// Runs the control ensemble and fits the ECT — everything on the
+/// statistical front end that does not depend on the experiment.
+pub(crate) fn collect_ensemble(
+    base_model: &ModelSource,
+    setup: &ExperimentSetup,
+) -> Result<EnsembleStats, RuntimeError> {
+    let perts = perturbations(setup.n_ensemble, setup.ic_magnitude, setup.seed);
+    let runs = run_ensemble(base_model, &control_config(setup), &perts)?;
+    let (names, rows) = outputs_matrix(&runs, setup.steps - 1);
+    let matrix = Matrix::from_row_slices(&rows);
+    let ect = Ect::fit(&matrix, setup.ect);
+    Ok(EnsembleStats { names, matrix, ect })
+}
+
 /// Statistical results for one experiment campaign.
 #[derive(Debug, Clone)]
 pub struct ExperimentData {
-    /// The experiment.
-    pub experiment: Experiment,
     /// ECT verdict over the first 3 experimental runs (pyCECT style).
     pub verdict: Verdict,
     /// Failure rate over all experimental run-sets of size 3.
@@ -101,32 +139,28 @@ pub struct ExperimentData {
     pub experimental: Matrix,
 }
 
-/// Runs the full statistical front end for one experiment: generate
-/// ensemble + experimental runs, fit the ECT, and select affected output
-/// variables with both §3 methods.
+/// Runs the experimental side of the statistical front end against a
+/// prepared control ensemble: `n_experiment` runs of `exp_model` under
+/// `exp_cfg`, the ECT verdict/failure rate, and affected-output selection
+/// with both §3 methods.
 ///
-/// This is the engine behind [`crate::RcaSession::statistics`]; external
-/// callers should go through the session (the old free-function entry
-/// point [`run_statistics`] is a deprecated shim over this).
-pub(crate) fn collect_statistics(
-    base_model: &ModelSource,
-    experiment: Experiment,
+/// This is the engine behind [`crate::RcaSession::statistics`] and
+/// [`crate::RcaSession::diagnose_scenario`]: the same cached ensemble
+/// serves every experiment and every injected-fault scenario.
+pub(crate) fn evaluate_against_ensemble(
+    ens: &EnsembleStats,
+    exp_model: &ModelSource,
+    exp_cfg: &RunConfig,
     setup: &ExperimentSetup,
 ) -> Result<ExperimentData, RuntimeError> {
-    let exp_model = base_model.apply(experiment);
-    let (control_cfg, exp_cfg) = experiment_configs(experiment, setup);
-
-    let ens_perts = perturbations(setup.n_ensemble, setup.ic_magnitude, setup.seed);
     let exp_perts = perturbations(setup.n_experiment, setup.ic_magnitude, setup.seed ^ 0xDEAD);
-
-    let ens_runs = run_ensemble(base_model, &control_cfg, &ens_perts)?;
-    let exp_runs = run_ensemble(&exp_model, &exp_cfg, &exp_perts)?;
+    let exp_runs = run_ensemble(exp_model, exp_cfg, &exp_perts)?;
 
     let eval_step = setup.steps - 1;
-    let (names_a, ens_rows) = outputs_matrix(&ens_runs, eval_step);
     let (names_b, exp_rows) = outputs_matrix(&exp_runs, eval_step);
     // Intersect output sets defensively (they should be identical).
-    let names: Vec<String> = names_a
+    let names: Vec<String> = ens
+        .names
         .iter()
         .filter(|n| names_b.contains(n))
         .cloned()
@@ -142,12 +176,28 @@ pub(crate) fn collect_statistics(
             .collect();
         Matrix::from_row_slices(&data)
     };
-    let ensemble = select(&ens_rows, &names_a);
+    let full_match = names == ens.names;
+    let ensemble = if full_match {
+        ens.matrix.clone()
+    } else {
+        let ens_rows: Vec<Vec<f64>> = (0..ens.matrix.rows())
+            .map(|r| ens.matrix.row(r).to_vec())
+            .collect();
+        select(&ens_rows, &ens.names)
+    };
     let experimental = select(&exp_rows, &names_b);
 
     // ECT: verdict on the first 3 experimental runs, failure rate over all
-    // 3-run sets.
-    let ect = Ect::fit(&ensemble, setup.ect);
+    // 3-run sets. The prefit ECT is reusable whenever the output sets
+    // match (the overwhelmingly common case); a mismatch refits on the
+    // intersected ensemble columns, exactly as the one-shot path did.
+    let refit;
+    let ect = if full_match {
+        &ens.ect
+    } else {
+        refit = Ect::fit(&ensemble, setup.ect);
+        &refit
+    };
     let head: Vec<Vec<f64>> = (0..3.min(experimental.rows()))
         .map(|i| experimental.row(i).to_vec())
         .collect();
@@ -185,7 +235,6 @@ pub(crate) fn collect_statistics(
         .collect();
 
     Ok(ExperimentData {
-        experiment,
         verdict,
         failure_rate,
         output_names: names,
@@ -194,6 +243,21 @@ pub(crate) fn collect_statistics(
         ensemble,
         experimental,
     })
+}
+
+/// One-shot convenience over [`collect_ensemble`] +
+/// [`evaluate_against_ensemble`] for a built-in experiment (tests and
+/// callers without a session cache).
+#[cfg(test)]
+pub(crate) fn collect_statistics(
+    base_model: &ModelSource,
+    experiment: Experiment,
+    setup: &ExperimentSetup,
+) -> Result<ExperimentData, RuntimeError> {
+    let ens = collect_ensemble(base_model, setup)?;
+    let exp_model = base_model.apply(experiment);
+    let (_, exp_cfg) = experiment_configs(experiment, setup);
+    evaluate_against_ensemble(&ens, &exp_model, &exp_cfg, setup)
 }
 
 impl ExperimentData {
@@ -214,27 +278,6 @@ impl ExperimentData {
         }
         out
     }
-}
-
-/// Free-function entry point to the statistical front end, kept as a shim
-/// for one release.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `RcaSession::statistics` (or `RcaSession::diagnose` for the full pipeline)"
-)]
-pub fn run_statistics(
-    base_model: &ModelSource,
-    experiment: Experiment,
-    setup: &ExperimentSetup,
-) -> Result<ExperimentData, RuntimeError> {
-    collect_statistics(base_model, experiment, setup)
-}
-
-/// Free-function form of [`ExperimentData::affected_outputs`], kept as a
-/// shim for one release.
-#[deprecated(since = "0.2.0", note = "use `ExperimentData::affected_outputs`")]
-pub fn affected_outputs(data: &ExperimentData, max_vars: usize) -> Vec<String> {
-    data.affected_outputs(max_vars)
 }
 
 /// Per-model-config campaign used by tests/benches to share setup.

@@ -50,22 +50,14 @@ pub mod session;
 pub mod slice;
 
 pub use error::RcaError;
-pub use experiments::{experiment_configs, ExperimentData, ExperimentSetup};
+pub use experiments::{experiment_configs, EnsembleStats, ExperimentData, ExperimentSetup};
 pub use module_rank::{avx2_policy, DisablementPolicy, ModuleRanking};
 pub use oracle::{Oracle, ReachabilityOracle, RuntimeSampler};
 pub use pipeline::{PipelineOptions, RcaPipeline};
 pub use refine::{refine, IterationReport, RefineOptions, RefinementReport, StopReason};
 pub use report::{centrality_listing, refinement_trace, table};
 pub use session::{
-    Diagnosis, OracleKind, RcaSession, RcaSessionBuilder, Refined, SliceScope, Sliced, Statistics,
+    Diagnosis, OracleKind, RcaSession, RcaSessionBuilder, Refined, Scenario, SliceScope, Sliced,
+    Statistics,
 };
 pub use slice::{backward_slice, reinduce, Slice};
-
-// Deprecated pre-0.2 surface, re-exported for one release. See each
-// item's note for the replacement.
-#[allow(deprecated)]
-pub use experiments::{affected_outputs, run_statistics};
-#[allow(deprecated)]
-pub use oracle::SamplingOracle;
-#[allow(deprecated)]
-pub use slice::induce_slice;

@@ -60,10 +60,6 @@ pub trait Oracle {
     }
 }
 
-/// Former name of [`Oracle`], kept as an alias for one release.
-#[deprecated(since = "0.2.0", note = "renamed to `Oracle`")]
-pub use self::Oracle as SamplingOracle;
-
 /// The paper's simulated sampling: a difference is detectable at node `n`
 /// iff a directed path exists from some bug source to `n`.
 pub struct ReachabilityOracle {

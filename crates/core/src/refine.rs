@@ -22,6 +22,7 @@ use rca_graph::{
     bfs_multi, communities, eigenvector_centrality, top_m, Direction, NodeId, PowerIterOptions,
 };
 use rca_metagraph::MetaGraph;
+use serde::Json;
 
 /// Tuning knobs for Algorithm 5.4.
 #[derive(Debug, Clone)]
@@ -121,6 +122,54 @@ impl RefinementReport {
     /// Whether any bug node is inside the final subgraph.
     pub fn localized(&self, bug_nodes: &[NodeId]) -> bool {
         bug_nodes.iter().any(|b| self.final_nodes.contains(b))
+    }
+}
+
+// Machine-readable refinement traces (campaign export, external tooling).
+
+fn nodes_json(nodes: &[NodeId]) -> Json {
+    Json::Arr(nodes.iter().map(|n| Json::Num(n.index() as f64)).collect())
+}
+
+impl serde::Serialize for StopReason {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                StopReason::BugInstrumented => "bug_instrumented",
+                StopReason::SmallEnough => "small_enough",
+                StopReason::Stalled => "stalled",
+                StopReason::Disconnected => "disconnected",
+                StopReason::MaxIterations => "max_iterations",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl serde::Serialize for IterationReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("nodes", self.nodes.to_json()),
+            ("edges", self.edges.to_json()),
+            ("community_sizes", self.community_sizes.to_json()),
+            (
+                "sampled",
+                Json::Arr(self.sampled.iter().map(|g| nodes_json(g)).collect()),
+            ),
+            ("detected", self.detected.to_json()),
+            ("any_detected", self.any_detected.to_json()),
+        ])
+    }
+}
+
+impl serde::Serialize for RefinementReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("iterations", self.iterations.to_json()),
+            ("stop", self.stop.to_json()),
+            ("final_nodes", nodes_json(&self.final_nodes)),
+            ("all_sampled", nodes_json(&self.all_sampled)),
+        ])
     }
 }
 

@@ -27,9 +27,24 @@
 //! from its predecessor, the pipeline cannot be run out of order at
 //! compile time — there is no way to refine before slicing or slice
 //! before the statistics exist.
+//!
+//! # Beyond the six paper experiments: scenarios
+//!
+//! [`RcaSession::diagnose_scenario`] runs the identical pipeline against a
+//! caller-supplied [`Scenario`] — any experimental model variant plus run
+//! configuration, with optional ground truth. This is the substrate of the
+//! `rca-campaign` fault-injection engine: the session's expensive
+//! experiment-independent state (parse, coverage, metagraph, **and the
+//! control ensemble + fitted ECT**) is computed once and shared by every
+//! scenario, so N-scenario campaigns scale with the per-scenario work
+//! only. Sessions are `Sync`; scenarios can be diagnosed from parallel
+//! threads against one shared session.
 
 use crate::error::RcaError;
-use crate::experiments::{collect_statistics, experiment_configs, ExperimentData, ExperimentSetup};
+use crate::experiments::{
+    collect_ensemble, evaluate_against_ensemble, experiment_configs, EnsembleStats, ExperimentData,
+    ExperimentSetup,
+};
 use crate::oracle::{Oracle, ReachabilityOracle, RuntimeSampler};
 use crate::pipeline::{PipelineOptions, RcaPipeline};
 use crate::refine::{refine, RefineOptions, RefinementReport, StopReason};
@@ -37,10 +52,12 @@ use crate::report::refinement_trace;
 use crate::slice::{backward_slice, Slice};
 use rca_graph::NodeId;
 use rca_metagraph::MetaGraph;
-use rca_model::{Experiment, ModelSource};
-use rca_sim::RuntimeError;
+use rca_model::{BugSite, Experiment, ModelSource};
+use rca_sim::{RunConfig, RuntimeError};
 use rca_stats::Verdict;
+use serde::Json;
 use std::fmt::Write as _;
+use std::sync::{Arc, OnceLock};
 
 /// Which built-in evidence source Algorithm 5.4 consults.
 ///
@@ -64,6 +81,57 @@ pub enum SliceScope {
     Cam,
     /// No restriction (the paper's Fig. 15 full-model slice).
     AllComponents,
+}
+
+/// A caller-defined experimental condition: one model variant plus run
+/// configuration, diagnosed through the same session pipeline as the
+/// paper's built-in experiments.
+///
+/// The model is `Arc`-shared so fault-injection campaigns can fan hundreds
+/// of scenarios out across threads without cloning source trees. Ground
+/// truth is optional: leave both `bug_sites` and `bug_modules` empty for a
+/// genuinely unknown defect (the refinement loop then cannot stop on
+/// `BugInstrumented`, exactly as a real investigation).
+#[derive(Clone)]
+pub struct Scenario {
+    /// Scenario identifier for reports (e.g. `"017-opswap-phys_aux_003"`).
+    pub name: String,
+    /// The experimental model (source mutations already applied).
+    pub model: Arc<ModelSource>,
+    /// The experimental run configuration (PRNG/AVX2 changes live here).
+    pub config: RunConfig,
+    /// Ground-truth bug sites, if known (variable-level).
+    pub bug_sites: Vec<BugSite>,
+    /// Ground-truth modules, if known (module-level: every metagraph node
+    /// of these modules counts as a bug node).
+    pub bug_modules: Vec<String>,
+}
+
+impl Scenario {
+    /// A scenario with no ground truth: `model` under `config`.
+    pub fn new(name: impl Into<String>, model: Arc<ModelSource>, config: RunConfig) -> Scenario {
+        Scenario {
+            name: name.into(),
+            model,
+            config,
+            bug_sites: Vec::new(),
+            bug_modules: Vec::new(),
+        }
+    }
+}
+
+/// What one pipeline run is diagnosing: a built-in experiment or a custom
+/// scenario, resolved to the data every stage needs.
+#[derive(Clone)]
+pub(crate) struct Subject {
+    name: String,
+    experiment: Option<Experiment>,
+    /// `None` for built-in experiments (patched lazily from the base
+    /// model); always `Some` for scenarios.
+    exp_model: Option<Arc<ModelSource>>,
+    exp_config: RunConfig,
+    bug_sites: Vec<BugSite>,
+    bug_modules: Vec<String>,
 }
 
 /// Configures and builds an [`RcaSession`].
@@ -137,6 +205,7 @@ impl<'m> RcaSessionBuilder<'m> {
             refine_opts: self.refine_opts,
             max_outputs: self.max_outputs,
             scope: self.scope,
+            ensemble: OnceLock::new(),
         })
     }
 }
@@ -145,7 +214,11 @@ impl<'m> RcaSessionBuilder<'m> {
 ///
 /// Building the session performs the experiment-independent work (parse,
 /// coverage calibration, metagraph compilation) once; each
-/// [`RcaSession::diagnose`] call then runs the per-experiment pipeline.
+/// [`RcaSession::diagnose`] / [`RcaSession::diagnose_scenario`] call then
+/// runs the per-experiment pipeline. The control ensemble and its fitted
+/// ECT are computed lazily on first use and cached for the session's
+/// lifetime — the cache is thread-safe, so one session can serve parallel
+/// scenario fan-outs.
 pub struct RcaSession<'m> {
     model: &'m ModelSource,
     pipeline: RcaPipeline,
@@ -154,6 +227,7 @@ pub struct RcaSession<'m> {
     refine_opts: RefineOptions,
     max_outputs: usize,
     scope: SliceScope,
+    ensemble: OnceLock<Result<EnsembleStats, RcaError>>,
 }
 
 impl<'m> RcaSession<'m> {
@@ -195,10 +269,82 @@ impl<'m> RcaSession<'m> {
         self.oracle
     }
 
+    /// The control-side statistics (perturbed ensemble runs + fitted ECT),
+    /// computed on first use and cached for the session's lifetime.
+    ///
+    /// Batch drivers fanning scenarios across threads should call this
+    /// once up front so the ensemble cost is paid before the fan-out.
+    pub fn ensemble(&self) -> Result<&EnsembleStats, RcaError> {
+        self.ensemble
+            .get_or_init(|| collect_ensemble(self.model, &self.setup).map_err(RcaError::from))
+            .as_ref()
+            .map_err(Clone::clone)
+    }
+
+    /// The control run configuration every subject is compared against.
+    pub fn control_config(&self) -> RunConfig {
+        crate::experiments::control_config(&self.setup)
+    }
+
     /// Metagraph nodes of the experiment's ground-truth bug sites (empty
     /// for experiments without injected bugs, e.g. `Control`).
     pub fn bug_nodes(&self, experiment: Experiment) -> Vec<NodeId> {
-        ReachabilityOracle::from_sites(&self.pipeline.metagraph, &experiment.bug_sites()).bug_nodes
+        self.bug_nodes_for(&self.subject_of(experiment))
+    }
+
+    /// Metagraph nodes of a scenario's ground truth: its `bug_sites` plus
+    /// every node of its `bug_modules`.
+    pub fn scenario_bug_nodes(&self, scenario: &Scenario) -> Vec<NodeId> {
+        self.bug_nodes_for(&self.subject_of_scenario(scenario))
+    }
+
+    /// All metagraph nodes belonging to `module` — the module-level
+    /// ground-truth helper for campaign scoring ("is the injected module
+    /// in the final slice?").
+    pub fn module_nodes(&self, module: &str) -> Vec<NodeId> {
+        self.pipeline.metagraph.nodes_in_modules(|m| m == module)
+    }
+
+    fn subject_of(&self, experiment: Experiment) -> Subject {
+        let (_, exp_config) = experiment_configs(experiment, &self.setup);
+        Subject {
+            name: experiment.name().to_string(),
+            experiment: Some(experiment),
+            exp_model: None,
+            exp_config,
+            bug_sites: experiment.bug_sites(),
+            bug_modules: Vec::new(),
+        }
+    }
+
+    fn subject_of_scenario(&self, scenario: &Scenario) -> Subject {
+        Subject {
+            name: scenario.name.clone(),
+            experiment: None,
+            exp_model: Some(scenario.model.clone()),
+            exp_config: scenario.config.clone(),
+            bug_sites: scenario.bug_sites.clone(),
+            bug_modules: scenario.bug_modules.clone(),
+        }
+    }
+
+    fn exp_model_of(&self, subject: &Subject) -> Arc<ModelSource> {
+        match (&subject.exp_model, subject.experiment) {
+            (Some(m), _) => m.clone(),
+            (None, Some(e)) => Arc::new(self.model.apply(e)),
+            (None, None) => unreachable!("subject carries a model or an experiment"),
+        }
+    }
+
+    fn bug_nodes_for(&self, subject: &Subject) -> Vec<NodeId> {
+        let mg = &self.pipeline.metagraph;
+        let mut nodes = ReachabilityOracle::from_sites(mg, &subject.bug_sites).bug_nodes;
+        if !subject.bug_modules.is_empty() {
+            nodes.extend(mg.nodes_in_modules(|m| subject.bug_modules.iter().any(|b| b == m)));
+        }
+        nodes.sort();
+        nodes.dedup();
+        nodes
     }
 
     /// Instantiates the session's configured oracle for one experiment.
@@ -207,18 +353,26 @@ impl<'m> RcaSession<'m> {
     /// [`Sliced::refine_with`]) with a built-in oracle while owning its
     /// lifecycle — e.g. to interleave queries across experiments.
     pub fn make_oracle(&self, experiment: Experiment) -> Box<dyn Oracle> {
+        self.make_oracle_for(&self.subject_of(experiment))
+    }
+
+    /// Instantiates the session's configured oracle for one scenario.
+    pub fn scenario_oracle(&self, scenario: &Scenario) -> Box<dyn Oracle> {
+        self.make_oracle_for(&self.subject_of_scenario(scenario))
+    }
+
+    fn make_oracle_for(&self, subject: &Subject) -> Box<dyn Oracle> {
         match self.oracle {
-            OracleKind::Reachability => Box::new(ReachabilityOracle::from_sites(
-                &self.pipeline.metagraph,
-                &experiment.bug_sites(),
-            )),
+            OracleKind::Reachability => Box::new(ReachabilityOracle {
+                bug_nodes: self.bug_nodes_for(subject),
+            }),
             OracleKind::Runtime => {
-                let (ctl_cfg, exp_cfg) = experiment_configs(experiment, &self.setup);
+                let exp_model = self.exp_model_of(subject);
                 let mut sampler = RuntimeSampler::new(
                     self.model.clone(),
-                    self.model.apply(experiment),
-                    ctl_cfg,
-                    exp_cfg,
+                    (*exp_model).clone(),
+                    self.control_config(),
+                    subject.exp_config.clone(),
                 );
                 // Sample as early as the discrepancy can be observed (the
                 // paper instruments early steps); stay within the run.
@@ -231,7 +385,19 @@ impl<'m> RcaSession<'m> {
     /// Stage 1 — the statistical front end (§3): ensemble + experimental
     /// runs, UF-ECT verdict, affected-output selection.
     pub fn statistics(&self, experiment: Experiment) -> Result<Statistics<'_, 'm>, RcaError> {
-        let data = collect_statistics(self.model, experiment, &self.setup)?;
+        self.statistics_for(self.subject_of(experiment))
+    }
+
+    /// Stage 1 for a custom scenario; the cached control ensemble is
+    /// shared with every other statistics call on this session.
+    pub fn statistics_scenario(&self, scenario: &Scenario) -> Result<Statistics<'_, 'm>, RcaError> {
+        self.statistics_for(self.subject_of_scenario(scenario))
+    }
+
+    fn statistics_for(&self, subject: Subject) -> Result<Statistics<'_, 'm>, RcaError> {
+        let ens = self.ensemble()?;
+        let exp_model = self.exp_model_of(&subject);
+        let data = evaluate_against_ensemble(ens, &exp_model, &subject.exp_config, &self.setup)?;
         if data.output_names.is_empty() {
             return Err(RcaError::Stats(
                 "ensemble and experimental runs share no output variables".into(),
@@ -240,7 +406,7 @@ impl<'m> RcaSession<'m> {
         let affected = data.affected_outputs(self.max_outputs);
         Ok(Statistics {
             session: self,
-            experiment,
+            subject,
             data,
             affected,
         })
@@ -253,10 +419,23 @@ impl<'m> RcaSession<'m> {
     /// consistent with the ensemble, so there is no discrepancy to chase
     /// and the diagnosis carries no refinement.
     pub fn diagnose(&self, experiment: Experiment) -> Result<Diagnosis, RcaError> {
-        let stats = self.statistics(experiment)?;
+        self.diagnose_for(self.subject_of(experiment))
+    }
+
+    /// Runs the full pipeline for a custom [`Scenario`] — the entry point
+    /// of fault-injection campaigns.
+    pub fn diagnose_scenario(&self, scenario: &Scenario) -> Result<Diagnosis, RcaError> {
+        self.diagnose_for(self.subject_of_scenario(scenario))
+    }
+
+    fn diagnose_for(&self, subject: Subject) -> Result<Diagnosis, RcaError> {
+        let stats = self.statistics_for(subject)?;
         if stats.data.verdict == Verdict::Pass {
+            let subject = stats.subject;
             return Ok(Diagnosis {
-                experiment,
+                bug_nodes: self.bug_nodes_for(&subject),
+                subject: subject.name,
+                experiment: subject.experiment,
                 verdict: Verdict::Pass,
                 failure_rate: stats.data.failure_rate,
                 affected_outputs: stats.affected,
@@ -265,8 +444,8 @@ impl<'m> RcaSession<'m> {
                 slice_edges: 0,
                 oracle: oracle_label(self.oracle),
                 refinement: None,
-                bug_nodes: self.bug_nodes(experiment),
                 suspects: Vec::new(),
+                suspect_modules: Vec::new(),
                 sampling_errors: Vec::new(),
                 trace: String::new(),
             });
@@ -290,11 +469,11 @@ fn oracle_label(kind: OracleKind) -> &'static str {
 }
 
 /// Typed stage handle: statistics have run. Produced by
-/// [`RcaSession::statistics`]; consumed by [`Statistics::slice`].
+/// [`RcaSession::statistics`] / [`RcaSession::statistics_scenario`];
+/// consumed by [`Statistics::slice`].
 pub struct Statistics<'s, 'm> {
     session: &'s RcaSession<'m>,
-    /// The experiment under diagnosis.
-    pub experiment: Experiment,
+    pub(crate) subject: Subject,
     /// Full statistical results (verdict, rankings, matrices).
     pub data: ExperimentData,
     /// Affected outputs selected for slicing (lasso first, topped up by
@@ -304,6 +483,16 @@ pub struct Statistics<'s, 'm> {
 }
 
 impl<'s, 'm> Statistics<'s, 'm> {
+    /// Name of the subject under diagnosis (experiment or scenario).
+    pub fn subject(&self) -> &str {
+        &self.subject.name
+    }
+
+    /// The built-in experiment under diagnosis, if this is not a scenario.
+    pub fn experiment(&self) -> Option<Experiment> {
+        self.subject.experiment
+    }
+
     /// The UF-ECT verdict.
     pub fn verdict(&self) -> Verdict {
         self.data.verdict
@@ -324,7 +513,7 @@ impl<'s, 'm> Statistics<'s, 'm> {
         }
         Ok(Sliced {
             session: self.session,
-            experiment: self.experiment,
+            subject: self.subject,
             data: self.data,
             affected: self.affected,
             criteria,
@@ -338,8 +527,7 @@ impl<'s, 'm> Statistics<'s, 'm> {
 /// [`Sliced::refine_with`].
 pub struct Sliced<'s, 'm> {
     session: &'s RcaSession<'m>,
-    /// The experiment under diagnosis.
-    pub experiment: Experiment,
+    pub(crate) subject: Subject,
     /// Statistical results carried forward.
     pub data: ExperimentData,
     /// Affected outputs that produced the criteria.
@@ -351,16 +539,26 @@ pub struct Sliced<'s, 'm> {
 }
 
 impl<'s, 'm> Sliced<'s, 'm> {
+    /// Name of the subject under diagnosis (experiment or scenario).
+    pub fn subject(&self) -> &str {
+        &self.subject.name
+    }
+
+    /// The built-in experiment under diagnosis, if this is not a scenario.
+    pub fn experiment(&self) -> Option<Experiment> {
+        self.subject.experiment
+    }
+
     /// Stage 3 — Algorithm 5.4 with the session's configured oracle.
     pub fn refine(self) -> Refined<'s, 'm> {
-        let mut oracle = self.session.make_oracle(self.experiment);
+        let mut oracle = self.session.make_oracle_for(&self.subject);
         self.refine_with(oracle.as_mut())
     }
 
     /// Stage 3 with a caller-supplied evidence source — any
     /// [`Oracle`] implementation, including ones outside this crate.
     pub fn refine_with(self, oracle: &mut dyn Oracle) -> Refined<'s, 'm> {
-        let bug_nodes = self.session.bug_nodes(self.experiment);
+        let bug_nodes = self.session.bug_nodes_for(&self.subject);
         let report = refine(
             &self.session.pipeline.metagraph,
             &self.slice,
@@ -370,7 +568,7 @@ impl<'s, 'm> Sliced<'s, 'm> {
         );
         Refined {
             session: self.session,
-            experiment: self.experiment,
+            subject: self.subject,
             data: self.data,
             affected: self.affected,
             criteria: self.criteria,
@@ -389,8 +587,7 @@ impl<'s, 'm> Sliced<'s, 'm> {
 /// [`Refined::into_diagnosis`].
 pub struct Refined<'s, 'm> {
     session: &'s RcaSession<'m>,
-    /// The experiment under diagnosis.
-    pub experiment: Experiment,
+    pub(crate) subject: Subject,
     /// Statistical results carried forward.
     pub data: ExperimentData,
     /// Affected outputs carried forward.
@@ -411,6 +608,16 @@ pub struct Refined<'s, 'm> {
 }
 
 impl Refined<'_, '_> {
+    /// Name of the subject under diagnosis (experiment or scenario).
+    pub fn subject(&self) -> &str {
+        &self.subject.name
+    }
+
+    /// The built-in experiment under diagnosis, if this is not a scenario.
+    pub fn experiment(&self) -> Option<Experiment> {
+        self.subject.experiment
+    }
+
     /// Consolidates everything into the final [`Diagnosis`].
     pub fn into_diagnosis(self) -> Diagnosis {
         let mg = &self.session.pipeline.metagraph;
@@ -420,9 +627,18 @@ impl Refined<'_, '_> {
             .iter()
             .map(|&n| mg.display(n))
             .collect();
+        let mut suspect_modules: Vec<String> = self
+            .report
+            .final_nodes
+            .iter()
+            .map(|&n| mg.meta_of(n).module.clone())
+            .collect();
+        suspect_modules.sort();
+        suspect_modules.dedup();
         let trace = refinement_trace(mg, &self.report);
         Diagnosis {
-            experiment: self.experiment,
+            subject: self.subject.name,
+            experiment: self.subject.experiment,
             verdict: self.data.verdict,
             failure_rate: self.data.failure_rate,
             affected_outputs: self.affected,
@@ -433,18 +649,23 @@ impl Refined<'_, '_> {
             refinement: Some(self.report),
             bug_nodes: self.bug_nodes,
             suspects,
+            suspect_modules,
             sampling_errors: self.sampling_errors,
             trace,
         }
     }
 }
 
-/// The consolidated result of one [`RcaSession::diagnose`] run: verdict,
-/// selected outputs, slice statistics, refinement trace, and stop reason.
+/// The consolidated result of one [`RcaSession::diagnose`] /
+/// [`RcaSession::diagnose_scenario`] run: verdict, selected outputs, slice
+/// statistics, refinement trace, and stop reason.
 #[derive(Debug, Clone)]
 pub struct Diagnosis {
-    /// The experiment that was diagnosed.
-    pub experiment: Experiment,
+    /// Name of what was diagnosed (experiment name or scenario name).
+    pub subject: String,
+    /// The built-in experiment, when the subject was one (`None` for
+    /// custom scenarios).
+    pub experiment: Option<Experiment>,
     /// UF-ECT verdict (a `Pass` carries no refinement).
     pub verdict: Verdict,
     /// ECT failure rate over all experimental run-sets.
@@ -465,6 +686,9 @@ pub struct Diagnosis {
     pub bug_nodes: Vec<NodeId>,
     /// Display names of the final suspect set.
     pub suspects: Vec<String>,
+    /// Modules of the final suspect set (sorted, deduplicated) — the
+    /// module-level localization check campaigns score against.
+    pub suspect_modules: Vec<String>,
     /// Runtime failures the oracle absorbed while sampling.
     pub sampling_errors: Vec<RuntimeError>,
     trace: String,
@@ -501,11 +725,16 @@ impl Diagnosis {
         self.instrumented() || self.localized()
     }
 
+    /// Whether `module` is among the final suspect modules.
+    pub fn suspects_module(&self, module: &str) -> bool {
+        self.suspect_modules.iter().any(|m| m == module)
+    }
+
     /// Renders the full human-readable report: verdict, selections, the
     /// per-iteration refinement trace, stop reason, and suspect list.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "== RCA diagnosis: {} ==", self.experiment.name());
+        let _ = writeln!(out, "== RCA diagnosis: {} ==", self.subject);
         let _ = writeln!(
             out,
             "UF-ECT verdict: {} (failure rate {:.0}%, oracle: {})",
@@ -564,6 +793,53 @@ impl Diagnosis {
     }
 }
 
+// Machine-readable diagnosis export: a stable, deterministic JSON shape
+// for campaign scorecards and external tooling (no `render()` scraping).
+impl serde::Serialize for Diagnosis {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("subject", self.subject.to_json()),
+            (
+                "experiment",
+                self.experiment.map(|e| e.name().to_string()).to_json(),
+            ),
+            ("verdict", self.verdict.to_json()),
+            ("failure_rate", self.failure_rate.to_json()),
+            ("affected_outputs", self.affected_outputs.to_json()),
+            ("slicing_criteria", self.slicing_criteria.to_json()),
+            ("slice_nodes", self.slice_nodes.to_json()),
+            ("slice_edges", self.slice_edges.to_json()),
+            ("oracle", self.oracle.to_json()),
+            ("iterations", self.iterations().to_json()),
+            ("stop", self.stop().to_json()),
+            ("located", self.located().to_json()),
+            ("instrumented", self.instrumented().to_json()),
+            ("localized", self.localized().to_json()),
+            (
+                "bug_nodes",
+                Json::Arr(
+                    self.bug_nodes
+                        .iter()
+                        .map(|n| Json::Num(n.index() as f64))
+                        .collect(),
+                ),
+            ),
+            ("suspects", self.suspects.to_json()),
+            ("suspect_modules", self.suspect_modules.to_json()),
+            (
+                "sampling_errors",
+                Json::Arr(
+                    self.sampling_errors
+                        .iter()
+                        .map(|e| Json::Str(e.to_string()))
+                        .collect(),
+                ),
+            ),
+            ("refinement", self.refinement.to_json()),
+        ])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -615,14 +891,20 @@ mod tests {
             .expect("session");
         let d = session.diagnose(Experiment::WsubBug).expect("diagnosis");
         assert_eq!(d.verdict, Verdict::Fail);
+        assert_eq!(d.experiment, Some(Experiment::WsubBug));
         assert!(d.slice_nodes > 0);
         assert!(
             d.located(),
             "wsub bug must be located (stop {:?})",
             d.stop()
         );
+        assert!(
+            d.suspects_module("microp_aero"),
+            "module-level check: {:?}",
+            d.suspect_modules
+        );
         let report = d.render();
-        assert!(report.contains("WSUBBUG") || report.contains(d.experiment.name()));
+        assert!(report.contains("WSUBBUG") || report.contains(&d.subject));
         assert!(report.contains("stop reason:"));
         assert!(report.contains("final suspects"));
     }
@@ -636,6 +918,8 @@ mod tests {
             .expect("session");
         let stats = session.statistics(Experiment::WsubBug).expect("stage 1");
         assert_eq!(stats.verdict(), Verdict::Fail);
+        assert_eq!(stats.subject(), "WSUBBUG");
+        assert_eq!(stats.experiment(), Some(Experiment::WsubBug));
         let sliced = stats.slice().expect("stage 2");
         assert!(sliced.slice.graph.node_count() > 0);
         assert!(!sliced.criteria.is_empty());
@@ -660,5 +944,94 @@ mod tests {
         assert_eq!(d.iterations(), 0);
         assert!(!d.located());
         assert!(d.render().contains("consistent"));
+    }
+
+    #[test]
+    fn ensemble_is_cached_across_diagnoses() {
+        let m = model();
+        let session = RcaSession::builder(&m)
+            .setup(ExperimentSetup::quick())
+            .build()
+            .expect("session");
+        let a = session.ensemble().expect("ensemble") as *const EnsembleStats;
+        let _ = session.diagnose(Experiment::Control).expect("diagnosis");
+        let b = session.ensemble().expect("ensemble") as *const EnsembleStats;
+        assert_eq!(a, b, "the control ensemble must be computed once");
+    }
+
+    #[test]
+    fn clean_scenario_passes_like_control() {
+        let m = model();
+        let session = RcaSession::builder(&m)
+            .setup(ExperimentSetup::quick())
+            .build()
+            .expect("session");
+        let scenario = Scenario::new("clean", Arc::new(m.clone()), session.control_config());
+        let d = session.diagnose_scenario(&scenario).expect("diagnosis");
+        assert_eq!(d.verdict, Verdict::Pass);
+        assert_eq!(d.subject, "clean");
+        assert_eq!(d.experiment, None);
+    }
+
+    #[test]
+    fn scenario_with_injected_wsub_bug_is_located() {
+        // Recreate WSUBBUG as a *scenario* (patched model + ground truth)
+        // and require the custom-scenario path to localize it exactly like
+        // the built-in experiment path does.
+        let m = model();
+        let session = RcaSession::builder(&m)
+            .setup(ExperimentSetup::quick())
+            .build()
+            .expect("session");
+        let scenario = Scenario {
+            name: "wsub-as-scenario".into(),
+            model: Arc::new(m.apply(Experiment::WsubBug)),
+            config: session.control_config(),
+            bug_sites: Experiment::WsubBug.bug_sites(),
+            bug_modules: Vec::new(),
+        };
+        assert!(!session.scenario_bug_nodes(&scenario).is_empty());
+        let d = session.diagnose_scenario(&scenario).expect("diagnosis");
+        assert_eq!(d.verdict, Verdict::Fail);
+        assert!(d.located(), "stop {:?}", d.stop());
+        assert!(d.suspects_module("microp_aero"));
+    }
+
+    #[test]
+    fn module_level_ground_truth_counts_whole_module() {
+        let m = model();
+        let session = RcaSession::builder(&m)
+            .setup(ExperimentSetup::quick())
+            .build()
+            .expect("session");
+        let by_module = session.module_nodes("microp_aero");
+        assert!(!by_module.is_empty());
+        let scenario = Scenario {
+            name: "module-truth".into(),
+            model: Arc::new(m.apply(Experiment::WsubBug)),
+            config: session.control_config(),
+            bug_sites: Vec::new(),
+            bug_modules: vec!["microp_aero".into()],
+        };
+        let nodes = session.scenario_bug_nodes(&scenario);
+        assert_eq!(nodes, by_module);
+    }
+
+    #[test]
+    fn diagnosis_serializes_deterministically() {
+        let m = model();
+        let session = RcaSession::builder(&m)
+            .setup(ExperimentSetup::quick())
+            .build()
+            .expect("session");
+        let d = session.diagnose(Experiment::WsubBug).expect("diagnosis");
+        let a = serde_json::to_string(&d).expect("serialize");
+        let b = serde_json::to_string(&d).expect("serialize");
+        assert_eq!(a, b);
+        let v = serde_json::from_str(&a).expect("round-trip");
+        assert_eq!(v["subject"].as_str(), Some("WSUBBUG"));
+        assert_eq!(v["verdict"].as_str(), Some("fail"));
+        assert_eq!(v["located"], serde_json::Value::Bool(true));
+        assert!(v["refinement"]["iterations"].as_array().is_some());
     }
 }

@@ -83,16 +83,6 @@ pub fn backward_slice(
     }
 }
 
-/// Former name of [`backward_slice`], kept as a shim for one release.
-#[deprecated(since = "0.2.0", note = "renamed to `backward_slice`")]
-pub fn induce_slice(
-    mg: &MetaGraph,
-    internal_names: &[String],
-    restrict: impl Fn(&str) -> bool,
-) -> Slice {
-    backward_slice(mg, internal_names, restrict)
-}
-
 /// Re-induces a slice on a subset of its own nodes (Algorithm 5.4 steps
 /// 8a/8b operate on the current subgraph `G`).
 pub fn reinduce(mg: &MetaGraph, slice: &Slice, keep_meta: &[NodeId]) -> Slice {

@@ -22,10 +22,12 @@ pub mod anchors;
 pub mod config;
 pub mod experiment;
 pub mod fillers;
+pub mod sites;
 
 pub use anchors::ModelFile;
 pub use config::{Component, ModelConfig};
 pub use experiment::{BugSite, Experiment};
+pub use sites::{patch_sites, LiteralSpan, PatchSite};
 
 use std::collections::HashMap;
 

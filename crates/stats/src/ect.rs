@@ -65,6 +65,19 @@ impl std::fmt::Display for Verdict {
     }
 }
 
+// Stable machine-readable form (campaign scorecards, exported diagnoses).
+impl serde::Serialize for Verdict {
+    fn to_json(&self) -> serde::Json {
+        serde::Json::Str(
+            match self {
+                Verdict::Pass => "pass",
+                Verdict::Fail => "fail",
+            }
+            .to_string(),
+        )
+    }
+}
+
 /// A fitted ensemble consistency test.
 #[derive(Debug, Clone)]
 pub struct Ect {

@@ -1,0 +1,43 @@
+//! Fault-injection campaign: hundreds of scored RCA scenarios from one
+//! seed.
+//!
+//! Where `quickstart` diagnoses one known paper bug, this example turns
+//! the evaluation around: the `rca-campaign` engine injects seeded random
+//! defects (constant perturbations, operator swaps, comparison flips,
+//! PRNG substitution, per-module FMA) into the generated model, runs every
+//! scenario through one shared `RcaSession` in parallel, and scores
+//! whether the pipeline flags each mutant and localizes the injected
+//! module — the repo's standing quality benchmark.
+//!
+//! Run with: `cargo run --release --example campaign`
+
+use rca_campaign::{run_campaign, CampaignOptions, RunnerOptions};
+use rca_model::{generate, ModelConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = generate(&ModelConfig::test());
+    let opts = CampaignOptions {
+        scenarios: 16,
+        seed: 51966,
+        include_paper: true, // the six paper experiments ride along
+        ..Default::default()
+    };
+    let card = run_campaign(&model, &opts, &RunnerOptions::default())?;
+    print!("{}", card.render());
+
+    // The machine-readable scorecard is deterministic for a given seed
+    // (timing excluded): the same seed yields byte-identical JSON.
+    let json = serde_json::to_string_pretty(&card)?;
+    println!(
+        "\nJSON scorecard: {} bytes (deterministic per seed)",
+        json.len()
+    );
+
+    let s = card.summary();
+    println!(
+        "localization rate {:.0}% over {} flagged mutants",
+        s.localization_rate * 100.0,
+        s.mutants_flagged
+    );
+    Ok(())
+}

@@ -75,21 +75,35 @@
 //!
 //! ## Migrating from the 0.1 free functions
 //!
-//! The loose functions are deprecated shims for one release:
+//! The 0.1 loose functions (`run_statistics`, `affected_outputs`,
+//! `induce_slice`) and the `SamplingOracle` alias were deprecated shims
+//! for one release and are now **removed**:
 //!
-//! | 0.1 call | 0.2 replacement |
+//! | removed 0.1 call | replacement |
 //! |---|---|
 //! | `run_statistics(&model, exp, &setup)` | `session.statistics(exp)` (or `diagnose`) |
 //! | `affected_outputs(&data, n)` | `ExperimentData::affected_outputs(&data, n)`, or the `affected` field of the `Statistics` stage |
-//! | `RcaPipeline::build(&model)` | still available; sessions build it internally (`session.pipeline()`) |
 //! | `induce_slice(&mg, &names, f)` | `stats.slice()` stage, or `backward_slice` for raw criteria |
-//! | `refine(&mg, &slice, &mut oracle, ..)` | `sliced.refine()` / `sliced.refine_with(&mut dyn Oracle)`; the free `refine` remains for raw slices |
 //! | `SamplingOracle` (trait) | renamed [`rca::Oracle`] |
 //! | manual report assembly | [`rca::Diagnosis`] fields + [`render`](rca::Diagnosis::render) |
+//!
+//! `RcaPipeline::build`, `backward_slice` and the free `refine` remain as
+//! granular building blocks.
 //!
 //! Errors: every stage returns the workspace-wide [`RcaError`] instead of
 //! stringly-typed `RuntimeError`s; `RuntimeError` converts via `From`, so
 //! `?` composes.
+//!
+//! ## Beyond the paper's experiments: scenarios and campaigns
+//!
+//! [`rca::Scenario`] describes any experimental model variant (mutated
+//! source, PRNG swap, per-module FMA) with optional ground truth;
+//! [`rca::RcaSession::diagnose_scenario`] runs the identical pipeline on
+//! it, sharing the session's cached metagraph **and control ensemble**.
+//! The `rca-campaign` crate builds on this: it generates seeded random
+//! fault-injection scenarios, fans them out across threads, and scores
+//! module-level localization — see `examples/campaign.rs` and the
+//! `rca-campaign` binary.
 //!
 //! ## Workspace layout
 //!
