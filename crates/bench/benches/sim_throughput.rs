@@ -1,0 +1,126 @@
+//! Simulation throughput: compiled-engine steps/sec, single-run and
+//! ensemble, with the tree-walking interpreter as the reference point —
+//! recorded into `BENCH_sim.json` so the perf trajectory of the
+//! parse → compile → execute pipeline is tracked next to
+//! `BENCH_campaign.json`.
+//!
+//! `RCA_BENCH_SCALE=test|medium|paper` sizes the model;
+//! `RCA_SIM_REPEAT` overrides the timed repetition count.
+
+use rca_bench::{bench_config, header};
+use rca_sim::{
+    compile_model, perturbations, run_ensemble_program, run_loaded, run_program, Interpreter,
+    RunConfig,
+};
+use serde::{Json, Serialize as _};
+use std::time::Instant;
+
+fn main() {
+    header(
+        "sim_throughput",
+        "the compiled engine must dominate per-run cost; ensembles compile once",
+    );
+    let scale = std::env::var("RCA_BENCH_SCALE").unwrap_or_else(|_| "medium".to_string());
+    let repeat: usize = std::env::var("RCA_SIM_REPEAT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if scale == "test" { 8 } else { 5 });
+    let model = rca_model::generate(&bench_config());
+    let cfg = RunConfig {
+        steps: 9,
+        ..Default::default()
+    };
+
+    // Compile once (timed separately: this is the cost a campaign pays
+    // once per mutated variant).
+    let t0 = Instant::now();
+    let program = compile_model(&model).expect("compile");
+    let compile_s = t0.elapsed().as_secs_f64();
+
+    // Compiled single runs.
+    let t0 = Instant::now();
+    for i in 0..repeat {
+        run_program(&program, &cfg, i as f64 * 1e-14).expect("compiled run");
+    }
+    let compiled_s = t0.elapsed().as_secs_f64() / repeat as f64;
+
+    // Tree-walking reference: parse + load + run per run, exactly the
+    // per-run cost `run_model` paid before the compile step existed.
+    let t0 = Instant::now();
+    for i in 0..repeat {
+        let (asts, errs) = model.parse();
+        assert!(errs.is_empty(), "{errs:?}");
+        let mut interp = Interpreter::load(&asts, cfg.clone()).expect("load");
+        run_loaded(&mut interp, &cfg, i as f64 * 1e-14).expect("tree-walk run");
+    }
+    let tree_s = t0.elapsed().as_secs_f64() / repeat as f64;
+
+    // Ensemble over the shared program.
+    let n_members = 16usize;
+    let perts = perturbations(n_members, 1e-14, 0xC1);
+    let t0 = Instant::now();
+    let ens = run_ensemble_program(&program, &cfg, &perts).expect("ensemble");
+    let ens_s = t0.elapsed().as_secs_f64();
+    assert_eq!(ens.len(), n_members);
+
+    let steps_per_run = cfg.steps as f64;
+    let compiled_sps = steps_per_run / compiled_s;
+    let tree_sps = steps_per_run / tree_s;
+    let ens_sps = steps_per_run * n_members as f64 / ens_s;
+    let speedup = tree_s / compiled_s;
+
+    println!("model scale: {scale} ({} files)", model.files.len());
+    println!(
+        "compile: {:.1} ms (once per source variant)",
+        compile_s * 1e3
+    );
+    println!(
+        "compiled single run: {:.1} ms ({compiled_sps:.0} steps/sec)",
+        compiled_s * 1e3
+    );
+    println!(
+        "tree-walker single run: {:.1} ms ({tree_sps:.0} steps/sec)",
+        tree_s * 1e3
+    );
+    println!("speedup (tree-walker / compiled): {speedup:.2}x");
+    println!(
+        "ensemble ({n_members} members, shared program): {:.2} s ({ens_sps:.0} steps/sec aggregate)",
+        ens_s
+    );
+
+    let record = Json::obj([
+        ("bench", "sim_throughput".to_json()),
+        ("scale", scale.to_json()),
+        ("steps", cfg.steps.to_json()),
+        ("compile_seconds", compile_s.to_json()),
+        (
+            "compiled",
+            Json::obj([
+                ("run_seconds", compiled_s.to_json()),
+                ("steps_per_sec", compiled_sps.to_json()),
+            ]),
+        ),
+        (
+            "tree_walker",
+            Json::obj([
+                ("run_seconds", tree_s.to_json()),
+                ("steps_per_sec", tree_sps.to_json()),
+            ]),
+        ),
+        ("speedup", speedup.to_json()),
+        (
+            "ensemble",
+            Json::obj([
+                ("members", n_members.to_json()),
+                ("wall_seconds", ens_s.to_json()),
+                ("steps_per_sec", ens_sps.to_json()),
+            ]),
+        ),
+    ]);
+    let path = "BENCH_sim.json";
+    let text = serde_json::to_string_pretty(&record).unwrap() + "\n";
+    match std::fs::write(path, &text) {
+        Ok(()) => println!("recorded {path}"),
+        Err(e) => eprintln!("cannot write {path}: {e}"),
+    }
+}

@@ -1,13 +1,17 @@
 //! The batch runner: one session, N scenarios, all cores.
 //!
-//! Builds the experiment-independent state once — parse, coverage
-//! calibration, metagraph compilation, **and the control ensemble + fitted
-//! ECT** (prewarmed before the fan-out so no worker pays for it) — then
-//! drives every planned scenario through
-//! [`RcaSession::diagnose_scenario`] in parallel. Scenario results come
-//! back in plan order regardless of thread count, so campaign output is
-//! order-deterministic; `RAYON_NUM_THREADS=1` gives the sequential
-//! baseline the throughput bench compares against.
+//! Builds the experiment-independent state once — parse + **compile**
+//! (the slot-indexed program), coverage calibration, metagraph
+//! compilation, **and the control ensemble + fitted ECT** (prewarmed
+//! before the fan-out so no worker pays for it) — then drives every
+//! planned scenario through [`RcaSession::diagnose_scenario`] in
+//! parallel. The session's content-addressed program cache means clean
+//! scenarios and config-only mutants (PRNG swap, FMA toggle) reuse the
+//! already-compiled base program, and each source mutant is parsed and
+//! compiled exactly once no matter how many runs its diagnosis needs.
+//! Scenario results come back in plan order regardless of thread count,
+//! so campaign output is order-deterministic; `RAYON_NUM_THREADS=1`
+//! gives the sequential baseline the throughput bench compares against.
 
 use crate::mutate::{plan_campaign, CampaignOptions, CampaignScenario};
 use crate::scorecard::{ScenarioResult, Scorecard};

@@ -3,9 +3,11 @@
 
 use rca_model::{Experiment, ModelConfig, ModelSource};
 use rca_sim::{
-    outputs_matrix, perturbations, run_ensemble, Avx2Policy, PrngKind, RunConfig, RuntimeError,
+    outputs_matrix, perturbations, run_ensemble_program, Avx2Policy, PrngKind, Program, RunConfig,
+    RuntimeError,
 };
 use rca_stats::{fit_lasso_path, median_distance_selection, Ect, EctConfig, Matrix, Verdict};
+use std::sync::Arc;
 
 /// Sizing and statistical parameters for an experiment campaign.
 #[derive(Debug, Clone)]
@@ -106,13 +108,15 @@ pub struct EnsembleStats {
 }
 
 /// Runs the control ensemble and fits the ECT — everything on the
-/// statistical front end that does not depend on the experiment.
+/// statistical front end that does not depend on the experiment. The
+/// base model arrives pre-compiled; every member executes the shared
+/// program.
 pub(crate) fn collect_ensemble(
-    base_model: &ModelSource,
+    base_program: &Arc<Program>,
     setup: &ExperimentSetup,
 ) -> Result<EnsembleStats, RuntimeError> {
     let perts = perturbations(setup.n_ensemble, setup.ic_magnitude, setup.seed);
-    let runs = run_ensemble(base_model, &control_config(setup), &perts)?;
+    let runs = run_ensemble_program(base_program, &control_config(setup), &perts)?;
     let (names, rows) = outputs_matrix(&runs, setup.steps - 1);
     let matrix = Matrix::from_row_slices(&rows);
     let ect = Ect::fit(&matrix, setup.ect);
@@ -149,12 +153,12 @@ pub struct ExperimentData {
 /// serves every experiment and every injected-fault scenario.
 pub(crate) fn evaluate_against_ensemble(
     ens: &EnsembleStats,
-    exp_model: &ModelSource,
+    exp_program: &Arc<Program>,
     exp_cfg: &RunConfig,
     setup: &ExperimentSetup,
 ) -> Result<ExperimentData, RuntimeError> {
     let exp_perts = perturbations(setup.n_experiment, setup.ic_magnitude, setup.seed ^ 0xDEAD);
-    let exp_runs = run_ensemble(exp_model, exp_cfg, &exp_perts)?;
+    let exp_runs = run_ensemble_program(exp_program, exp_cfg, &exp_perts)?;
 
     let eval_step = setup.steps - 1;
     let (names_b, exp_rows) = outputs_matrix(&exp_runs, eval_step);
@@ -254,10 +258,12 @@ pub(crate) fn collect_statistics(
     experiment: Experiment,
     setup: &ExperimentSetup,
 ) -> Result<ExperimentData, RuntimeError> {
-    let ens = collect_ensemble(base_model, setup)?;
+    let base_program = rca_sim::compile_model(base_model)?;
+    let ens = collect_ensemble(&base_program, setup)?;
     let exp_model = base_model.apply(experiment);
+    let exp_program = rca_sim::compile_model(&exp_model)?;
     let (_, exp_cfg) = experiment_configs(experiment, setup);
-    evaluate_against_ensemble(&ens, &exp_model, &exp_cfg, setup)
+    evaluate_against_ensemble(&ens, &exp_program, &exp_cfg, setup)
 }
 
 impl ExperimentData {

@@ -37,7 +37,8 @@
 use rca_graph::{reaches_any, NodeId};
 use rca_metagraph::{MetaGraph, NodeKind};
 use rca_model::ModelSource;
-use rca_sim::{run_model, RunConfig, RuntimeError, SampleSpec};
+use rca_sim::{compile_model, run_program, Program, RunConfig, RuntimeError, SampleSpec};
+use std::sync::Arc;
 
 /// Decides which sampled nodes take different values between ensemble and
 /// experimental runs (Algorithm 5.4 step 7). See the module docs for the
@@ -105,11 +106,15 @@ impl Oracle for ReachabilityOracle {
 
 /// Real runtime sampling: run control and experimental models with the
 /// node set instrumented and compare values.
+///
+/// Both models are **compiled once** at construction; each `differs`
+/// query then pays only two executions of the shared programs, not two
+/// parse+load cycles. Refinement loops issue one query per iteration, so
+/// this is the oracle's hot path.
 pub struct RuntimeSampler {
-    /// Unmodified model (one ensemble member).
-    pub control_model: ModelSource,
-    /// Experimental model (source patches applied).
-    pub experiment_model: ModelSource,
+    /// Compiled control/experimental programs (or the compile failure,
+    /// re-reported per query — sampling proceeds best-effort).
+    programs: Result<(Arc<Program>, Arc<Program>), RuntimeError>,
     /// Control run configuration.
     pub control_config: RunConfig,
     /// Experimental run configuration (PRNG/AVX2 changes live here).
@@ -125,17 +130,38 @@ pub struct RuntimeSampler {
 
 impl RuntimeSampler {
     /// Creates a sampler with the given models/configs, sampling at the
-    /// last step with 1e-12 relative tolerance.
+    /// last step with 1e-12 relative tolerance. The models are compiled
+    /// here, once.
     pub fn new(
         control_model: ModelSource,
         experiment_model: ModelSource,
         control_config: RunConfig,
         experiment_config: RunConfig,
     ) -> RuntimeSampler {
+        let programs = compile_model(&control_model)
+            .and_then(|c| compile_model(&experiment_model).map(|e| (c, e)));
+        Self::from_parts(programs, control_config, experiment_config)
+    }
+
+    /// Creates a sampler over pre-compiled programs (e.g. from a session's
+    /// program cache) — no parsing or compilation at all.
+    pub fn from_programs(
+        control: Arc<Program>,
+        experiment: Arc<Program>,
+        control_config: RunConfig,
+        experiment_config: RunConfig,
+    ) -> RuntimeSampler {
+        Self::from_parts(Ok((control, experiment)), control_config, experiment_config)
+    }
+
+    fn from_parts(
+        programs: Result<(Arc<Program>, Arc<Program>), RuntimeError>,
+        control_config: RunConfig,
+        experiment_config: RunConfig,
+    ) -> RuntimeSampler {
         let sample_step = control_config.steps.saturating_sub(1);
         RuntimeSampler {
-            control_model,
-            experiment_model,
+            programs,
             control_config,
             experiment_config,
             sample_step,
@@ -167,6 +193,13 @@ impl Oracle for RuntimeSampler {
     }
 
     fn differs(&mut self, mg: &MetaGraph, nodes: &[NodeId]) -> Vec<bool> {
+        let (ctl_program, exp_program) = match &self.programs {
+            Ok((c, e)) => (Arc::clone(c), Arc::clone(e)),
+            Err(e) => {
+                self.errors.push(e.clone());
+                return vec![false; nodes.len()];
+            }
+        };
         let specs: Vec<Option<SampleSpec>> = nodes.iter().map(|&n| Self::spec_for(mg, n)).collect();
         let live: Vec<SampleSpec> = specs.iter().flatten().cloned().collect();
 
@@ -177,14 +210,14 @@ impl Oracle for RuntimeSampler {
         exp.sample_step = Some(self.sample_step);
         exp.samples = live;
 
-        let control = match run_model(&self.control_model, &ctl, 0.0) {
+        let control = match run_program(&ctl_program, &ctl, 0.0) {
             Ok(r) => r,
             Err(e) => {
                 self.errors.push(e);
                 return vec![false; nodes.len()];
             }
         };
-        let experiment = match run_model(&self.experiment_model, &exp, 0.0) {
+        let experiment = match run_program(&exp_program, &exp, 0.0) {
             Ok(r) => r,
             Err(e) => {
                 self.errors.push(e);
@@ -197,8 +230,10 @@ impl Oracle for RuntimeSampler {
             .map(|spec| {
                 let Some(spec) = spec else { return false };
                 let key = spec.key();
-                let (Some(a), Some(b)) = (control.samples.get(&key), experiment.samples.get(&key))
-                else {
+                let (Some(a), Some(b)) = (
+                    control.samples.get(key.as_str()),
+                    experiment.samples.get(key.as_str()),
+                ) else {
                     return false;
                 };
                 if a.len() != b.len() {

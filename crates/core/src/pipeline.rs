@@ -9,8 +9,9 @@
 use crate::error::RcaError;
 use rca_metagraph::{build_metagraph, filter_sources, Coverage, FilterStats, MetaGraph};
 use rca_model::{Component, ModelSource};
-use rca_sim::{run_model, RunConfig};
+use rca_sim::{compile_model, run_program, Program, RunConfig};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A built pipeline: metagraph plus bookkeeping for one model variant.
 pub struct RcaPipeline {
@@ -51,9 +52,35 @@ impl RcaPipeline {
         Self::build_with(model, &PipelineOptions::default())
     }
 
-    /// Builds with explicit options.
+    /// Builds with explicit options (compiles the model for the coverage
+    /// calibration run; callers holding a compiled program should use
+    /// [`RcaPipeline::build_with_program`] instead).
     pub fn build_with(
         model: &ModelSource,
+        opts: &PipelineOptions,
+    ) -> Result<RcaPipeline, RcaError> {
+        let program = if opts.skip_coverage {
+            None
+        } else {
+            Some(compile_model(model)?)
+        };
+        Self::build_inner(model, program.as_ref(), opts)
+    }
+
+    /// Builds with a pre-compiled program for the calibration run — the
+    /// session path, which shares one program across the pipeline, the
+    /// control ensemble, and every runtime oracle.
+    pub fn build_with_program(
+        model: &ModelSource,
+        program: &Arc<Program>,
+        opts: &PipelineOptions,
+    ) -> Result<RcaPipeline, RcaError> {
+        Self::build_inner(model, Some(program), opts)
+    }
+
+    fn build_inner(
+        model: &ModelSource,
+        program: Option<&Arc<Program>>,
         opts: &PipelineOptions,
     ) -> Result<RcaPipeline, RcaError> {
         let (asts, parse_errs) = model.parse();
@@ -83,7 +110,7 @@ impl RcaPipeline {
                 steps: opts.coverage_steps,
                 ..Default::default()
             };
-            let out = run_model(model, &cfg, 0.0)?;
+            let out = run_program(program.expect("calibration needs a program"), &cfg, 0.0)?;
             for (m, s) in &out.coverage {
                 coverage.mark(m, s);
             }

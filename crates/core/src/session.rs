@@ -53,11 +53,12 @@ use crate::slice::{backward_slice, Slice};
 use rca_graph::NodeId;
 use rca_metagraph::MetaGraph;
 use rca_model::{BugSite, Experiment, ModelSource};
-use rca_sim::{RunConfig, RuntimeError};
+use rca_sim::{Program, RunConfig, RuntimeError};
 use rca_stats::Verdict;
 use serde::Json;
+use std::collections::HashMap;
 use std::fmt::Write as _;
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Which built-in evidence source Algorithm 5.4 consults.
 ///
@@ -183,8 +184,10 @@ impl<'m> RcaSessionBuilder<'m> {
         self
     }
 
-    /// Parses the model, runs the coverage calibration, and compiles the
-    /// variable digraph — everything experiment-independent.
+    /// Parses and compiles the model, runs the coverage calibration, and
+    /// compiles the variable digraph — everything experiment-independent.
+    /// The compiled base program is the first entry of the session's
+    /// program cache.
     pub fn build(self) -> Result<RcaSession<'m>, RcaError> {
         if self.max_outputs == 0 {
             return Err(RcaError::Config(
@@ -196,7 +199,11 @@ impl<'m> RcaSessionBuilder<'m> {
                 "setup.steps must be at least 2 (the ECT needs an evaluation step)".into(),
             ));
         }
-        let pipeline = RcaPipeline::build_with(self.model, &self.pipeline_opts)?;
+        let base_program = rca_sim::compile_model(self.model)?;
+        let pipeline =
+            RcaPipeline::build_with_program(self.model, &base_program, &self.pipeline_opts)?;
+        let mut programs = HashMap::new();
+        programs.insert(self.model.content_hash(), base_program);
         Ok(RcaSession {
             model: self.model,
             pipeline,
@@ -206,6 +213,7 @@ impl<'m> RcaSessionBuilder<'m> {
             max_outputs: self.max_outputs,
             scope: self.scope,
             ensemble: OnceLock::new(),
+            programs: Mutex::new(programs),
         })
     }
 }
@@ -228,6 +236,10 @@ pub struct RcaSession<'m> {
     max_outputs: usize,
     scope: SliceScope,
     ensemble: OnceLock<Result<EnsembleStats, RcaError>>,
+    /// Compiled programs keyed by `ModelSource::content_hash` — the base
+    /// model plus every experimental/scenario variant this session has
+    /// diagnosed. Thread-safe: parallel campaign workers share it.
+    programs: Mutex<HashMap<u64, Arc<Program>>>,
 }
 
 impl<'m> RcaSession<'m> {
@@ -276,9 +288,35 @@ impl<'m> RcaSession<'m> {
     /// once up front so the ensemble cost is paid before the fan-out.
     pub fn ensemble(&self) -> Result<&EnsembleStats, RcaError> {
         self.ensemble
-            .get_or_init(|| collect_ensemble(self.model, &self.setup).map_err(RcaError::from))
+            .get_or_init(|| {
+                let program = self.program_for(self.model)?;
+                collect_ensemble(&program, &self.setup).map_err(RcaError::from)
+            })
             .as_ref()
             .map_err(Clone::clone)
+    }
+
+    /// The compiled program for a model variant, from the session's
+    /// content-addressed cache. Each distinct source (keyed by
+    /// [`ModelSource::content_hash`]) is parsed and compiled exactly once
+    /// per session, no matter how many ensemble members, scenarios, or
+    /// oracle queries execute it; variants differing only in run
+    /// configuration (RAND-MT, AVX2) share one entry.
+    pub fn program_for(&self, model: &ModelSource) -> Result<Arc<Program>, RcaError> {
+        let hash = model.content_hash();
+        if let Some(p) = self.programs.lock().expect("program cache lock").get(&hash) {
+            return Ok(Arc::clone(p));
+        }
+        // Compile outside the lock: mutants compile concurrently and a
+        // poisoned cache is impossible.
+        let program = rca_sim::compile_model(model)?;
+        let mut cache = self.programs.lock().expect("program cache lock");
+        Ok(Arc::clone(cache.entry(hash).or_insert(program)))
+    }
+
+    /// Number of distinct compiled programs this session holds.
+    pub fn compiled_programs(&self) -> usize {
+        self.programs.lock().expect("program cache lock").len()
     }
 
     /// The control run configuration every subject is compared against.
@@ -368,12 +406,27 @@ impl<'m> RcaSession<'m> {
             }),
             OracleKind::Runtime => {
                 let exp_model = self.exp_model_of(subject);
-                let mut sampler = RuntimeSampler::new(
-                    self.model.clone(),
-                    (*exp_model).clone(),
-                    self.control_config(),
-                    subject.exp_config.clone(),
-                );
+                // Both programs come from the session cache: the control
+                // program is shared with the ensemble, the experimental
+                // one with this subject's statistics stage.
+                let mut sampler = match (self.program_for(self.model), self.program_for(&exp_model))
+                {
+                    (Ok(ctl), Ok(exp)) => RuntimeSampler::from_programs(
+                        ctl,
+                        exp,
+                        self.control_config(),
+                        subject.exp_config.clone(),
+                    ),
+                    // A variant that fails to compile still yields a
+                    // best-effort sampler that reports the failure per
+                    // query instead of panicking here.
+                    _ => RuntimeSampler::new(
+                        self.model.clone(),
+                        (*exp_model).clone(),
+                        self.control_config(),
+                        subject.exp_config.clone(),
+                    ),
+                };
                 // Sample as early as the discrepancy can be observed (the
                 // paper instruments early steps); stay within the run.
                 sampler.sample_step = self.setup.steps.saturating_sub(1).min(2);
@@ -397,7 +450,8 @@ impl<'m> RcaSession<'m> {
     fn statistics_for(&self, subject: Subject) -> Result<Statistics<'_, 'm>, RcaError> {
         let ens = self.ensemble()?;
         let exp_model = self.exp_model_of(&subject);
-        let data = evaluate_against_ensemble(ens, &exp_model, &subject.exp_config, &self.setup)?;
+        let exp_program = self.program_for(&exp_model)?;
+        let data = evaluate_against_ensemble(ens, &exp_program, &subject.exp_config, &self.setup)?;
         if data.output_names.is_empty() {
             return Err(RcaError::Stats(
                 "ensemble and experimental runs share no output variables".into(),
@@ -1015,6 +1069,33 @@ mod tests {
         };
         let nodes = session.scenario_bug_nodes(&scenario);
         assert_eq!(nodes, by_module);
+    }
+
+    #[test]
+    fn program_cache_compiles_each_variant_once() {
+        let m = model();
+        let session = RcaSession::builder(&m)
+            .setup(ExperimentSetup::quick())
+            .build()
+            .expect("session");
+        // The base model was compiled during build.
+        assert_eq!(session.compiled_programs(), 1);
+        let base = session.program_for(&m).expect("base program");
+        assert!(
+            Arc::ptr_eq(&base, &session.program_for(&m).expect("again")),
+            "same content hash must return the same Arc"
+        );
+        // Config-only experiments (Control, RandMt, Avx2) share the base
+        // program: diagnosing them adds no cache entries.
+        let _ = session.diagnose(Experiment::Control).expect("control");
+        let _ = session.diagnose(Experiment::RandMt).expect("randmt");
+        assert_eq!(session.compiled_programs(), 1);
+        // A source patch is a new variant — exactly one more entry, even
+        // if diagnosed twice.
+        let _ = session.diagnose(Experiment::WsubBug).expect("wsub");
+        assert_eq!(session.compiled_programs(), 2);
+        let _ = session.diagnose(Experiment::WsubBug).expect("wsub again");
+        assert_eq!(session.compiled_programs(), 2);
     }
 
     #[test]

@@ -117,6 +117,29 @@ impl ModelSource {
     pub fn total_loc(&self) -> usize {
         self.loc_per_module().iter().map(|(_, l)| l).sum()
     }
+
+    /// FNV-1a content hash over every file name and source text.
+    ///
+    /// Two models hash equal iff their generated Fortran is identical, so
+    /// this is the cache key for compiled-program caches: experiment
+    /// variants that differ only in run configuration (RAND-MT, AVX2)
+    /// share one hash, while any source patch produces a new one.
+    pub fn content_hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        };
+        for f in &self.files {
+            eat(f.name.as_bytes());
+            eat(&[0]);
+            eat(f.source.as_bytes());
+            eat(&[0xFF]);
+        }
+        h
+    }
 }
 
 #[cfg(test)]
@@ -185,6 +208,19 @@ mod tests {
         assert_eq!(map["micro_mg"], Component::Cam);
         assert_eq!(map["lnd_main"], Component::Land);
         assert_eq!(map["cam_driver"], Component::Coupler);
+    }
+
+    #[test]
+    fn content_hash_tracks_source_changes() {
+        let model = generate(&ModelConfig::test());
+        assert_eq!(model.content_hash(), model.content_hash());
+        assert_eq!(
+            model.content_hash(),
+            generate(&ModelConfig::test()).content_hash(),
+            "deterministic generation must hash identically"
+        );
+        let patched = model.apply(Experiment::WsubBug);
+        assert_ne!(model.content_hash(), patched.content_hash());
     }
 
     #[test]

@@ -1,0 +1,966 @@
+//! The compiled-program executor: slot-indexed, allocation-light, and
+//! bit-identical to the tree-walking interpreter.
+//!
+//! An [`Executor`] is one simulation run over a shared [`Program`]: it
+//! clones the initial global arena, owns the PRNG/pbuf/history state, and
+//! drives the lowered IR. The hot loop touches no `String` and hashes no
+//! name — variables are frame offsets or global indices, call targets are
+//! pre-resolved, sample/output keys are pre-interned `Arc<str>`.
+//!
+//! Semantic parity with [`crate::interp::Interpreter`] is load-bearing
+//! (the differential test suite enforces bit-equal histories, samples,
+//! and coverage): evaluation order, FMA contraction (including the
+//! re-evaluation on non-numeric fallback), implicit-local creation,
+//! copy-out, and error messages all mirror the tree walker. The one
+//! deliberate deviation: array reads index the stored value in place
+//! instead of cloning the whole array first, which is observationally
+//! identical unless a subscript expression itself mutates the array it
+//! subscripts — a pattern the model generator never emits.
+
+use crate::interp::{RunConfig, RuntimeError};
+use crate::ops::{self, Flow, RunResult};
+use crate::prng::{make_prng, Prng};
+use crate::program::{
+    CExpr, CPlace, CProc, CStmt, CallForm, CallSite, EId, Intrin, LocalTemplate, Program, VarBind,
+};
+use crate::value::Value;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// One module-level sampling instruction, resolved from a
+/// [`crate::interp::SampleSpec`] at executor construction.
+struct ModulePlan {
+    /// Pre-resolved global slot, when `(module, name)` names one.
+    global: Option<u32>,
+    /// Field name for the derived-type fallback scan.
+    field: String,
+    /// Pre-built `module::sub::name` key.
+    key: Arc<str>,
+}
+
+type Locals = [Option<Value>];
+
+/// Executes a compiled [`Program`]: load once (cheap — the program is
+/// shared), run one simulation.
+pub struct Executor {
+    program: Arc<Program>,
+    globals: Vec<Value>,
+    /// Per-module-id FMA enablement under this run's AVX2 policy.
+    fma: Vec<bool>,
+    fma_scale: f64,
+    prng: Box<dyn Prng>,
+    step: u32,
+    sample_step: Option<u32>,
+    pbuf: HashMap<i64, Vec<f64>>,
+    /// History output: per-variable global means per step.
+    pub history: BTreeMap<Arc<str>, Vec<f64>>,
+    covered: Vec<bool>,
+    /// Captured samples keyed `module::sub::name`.
+    pub samples: HashMap<Arc<str>, Vec<f64>>,
+    module_plan: Vec<ModulePlan>,
+    local_plan: HashMap<u32, Vec<(u32, Arc<str>)>>,
+}
+
+impl Executor {
+    /// Prepares one run of `program` under `config`.
+    pub fn new(program: Arc<Program>, config: &RunConfig) -> Executor {
+        let fma = program
+            .module_names
+            .iter()
+            .map(|m| config.avx2.enabled_for(m))
+            .collect();
+        let mut module_plan = Vec::new();
+        let mut local_plan: HashMap<u32, Vec<(u32, Arc<str>)>> = HashMap::new();
+        for spec in &config.samples {
+            let key: Arc<str> = Arc::from(spec.key().as_str());
+            match &spec.subprogram {
+                None => module_plan.push(ModulePlan {
+                    global: program
+                        .global_index
+                        .get(&(spec.module.clone(), spec.name.clone()))
+                        .copied(),
+                    field: spec.name.clone(),
+                    key,
+                }),
+                Some(sub) => {
+                    // A spec the program cannot host (unknown subprogram
+                    // or name that never occupies a frame slot) is simply
+                    // never captured — the interpreter behaves the same.
+                    let Some(&proc) = program.proc_index.get(&(spec.module.clone(), sub.clone()))
+                    else {
+                        continue;
+                    };
+                    let Some(slot) = program.procs[proc as usize]
+                        .local_names
+                        .iter()
+                        .position(|n| &**n == spec.name.as_str())
+                    else {
+                        continue;
+                    };
+                    local_plan.entry(proc).or_default().push((slot as u32, key));
+                }
+            }
+        }
+        Executor {
+            globals: program.globals.clone(),
+            fma,
+            fma_scale: config.fma_scale,
+            prng: make_prng(config.prng, config.prng_seed),
+            step: 0,
+            sample_step: config.sample_step,
+            pbuf: HashMap::new(),
+            history: BTreeMap::new(),
+            covered: vec![false; program.procs.len()],
+            samples: HashMap::new(),
+            module_plan,
+            local_plan,
+            program,
+        }
+    }
+
+    /// The program this executor runs.
+    pub fn program(&self) -> &Arc<Program> {
+        &self.program
+    }
+
+    // ----- public driving API -------------------------------------------
+
+    /// Calls a subprogram by name with scalar arguments (no write-back) —
+    /// the host-side entry point (`cam_init`, `cam_run_step`).
+    pub fn call(&mut self, name: &str, args: &[Value]) -> RunResult<()> {
+        let p = Arc::clone(&self.program);
+        let Some(&idx) = p.entry_procs.get(name) else {
+            return Err(RuntimeError::new(
+                format!("unknown subprogram {name}"),
+                "<host>",
+                0,
+            ));
+        };
+        self.invoke(&p, idx, args.to_vec()).map(|_| ())
+    }
+
+    /// Advances the time-step counter (affects history recording and
+    /// sampling).
+    pub fn set_step(&mut self, step: u32) {
+        self.step = step;
+    }
+
+    /// Current step.
+    pub fn step(&self) -> u32 {
+        self.step
+    }
+
+    /// Reads one module-level variable (tests, kernel comparison).
+    pub fn global(&self, module: &str, name: &str) -> Option<&Value> {
+        self.program
+            .global_index
+            .get(&(module.to_string(), name.to_string()))
+            .map(|&s| &self.globals[s as usize])
+    }
+
+    /// Executed `(module, subprogram)` pairs, sorted and deduplicated.
+    pub fn coverage(&self) -> Vec<(String, String)> {
+        let mut out: Vec<(String, String)> = self
+            .covered
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c)
+            .map(|(i, _)| {
+                let p = &self.program.procs[i];
+                (p.module.to_string(), p.name.to_string())
+            })
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Snapshot module-level sampled variables (call at the end of the
+    /// sampling step): module variables first, then derived-type fields
+    /// anywhere in the global arena.
+    pub fn capture_module_samples(&mut self) {
+        let plan = std::mem::take(&mut self.module_plan);
+        for entry in &plan {
+            if self.samples.contains_key(&entry.key) {
+                continue;
+            }
+            if let Some(g) = entry.global {
+                if let Some(flat) = self.globals[g as usize].flatten() {
+                    self.samples.insert(entry.key.clone(), flat);
+                    continue;
+                }
+            }
+            for v in &self.globals {
+                if let Value::Derived(fields) = v {
+                    if let Some(f) = fields.get(&entry.field) {
+                        if let Some(flat) = f.flatten() {
+                            self.samples.insert(entry.key.clone(), flat);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        self.module_plan = plan;
+    }
+
+    // ----- invocation -----------------------------------------------------
+
+    fn invoke(
+        &mut self,
+        p: &Program,
+        proc_idx: u32,
+        args: Vec<Value>,
+    ) -> RunResult<Vec<Option<Value>>> {
+        self.covered[proc_idx as usize] = true;
+        let pr = &p.procs[proc_idx as usize];
+        let mut locals: Vec<Option<Value>> = vec![None; pr.n_locals];
+        for (i, slot) in pr.arg_slots.iter().enumerate() {
+            let v = args.get(i).cloned().unwrap_or(Value::Real(0.0));
+            locals[*slot as usize] = Some(v);
+        }
+        for (slot, line, tmpl) in pr.inits.iter() {
+            let v = self.local_value(p, pr, &locals, tmpl, *line)?;
+            locals[*slot as usize] = Some(v);
+        }
+        if let Some(r) = pr.result_slot {
+            if locals[r as usize].is_none() {
+                locals[r as usize] = Some(Value::Real(0.0));
+            }
+        }
+        self.exec_block(p, pr, &mut locals, &pr.body)?;
+        // Local sampling at the configured step.
+        if self.sample_step == Some(self.step) {
+            if let Some(plan) = self.local_plan.get(&proc_idx).cloned() {
+                for (slot, key) in plan {
+                    if let Some(v) = &locals[slot as usize] {
+                        if let Some(flat) = v.flatten() {
+                            self.samples.insert(key, flat);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(locals)
+    }
+
+    fn local_value(
+        &mut self,
+        p: &Program,
+        pr: &CProc,
+        locals: &Locals,
+        tmpl: &LocalTemplate,
+        line: u32,
+    ) -> RunResult<Value> {
+        match tmpl {
+            LocalTemplate::Derived(proto) => Ok(proto.clone()),
+            LocalTemplate::Error(msg, eline) => {
+                Err(RuntimeError::new(msg.to_string(), &pr.module, *eline))
+            }
+            LocalTemplate::Array(extents) => {
+                let mut n = 1usize;
+                for &e in extents.iter() {
+                    let v = self.eval(p, pr, locals, e, line)?;
+                    let x = v.as_i64().ok_or_else(|| {
+                        RuntimeError::new("array extent not integer", &pr.module, line)
+                    })?;
+                    n *= x.max(0) as usize;
+                }
+                Ok(Value::RealArray(vec![0.0; n]))
+            }
+            LocalTemplate::Int(init) => Ok(match *init {
+                Some(e) => Value::Int(self.eval(p, pr, locals, e, line)?.as_i64().unwrap_or(0)),
+                None => Value::Int(0),
+            }),
+            LocalTemplate::Logic(init) => Ok(match *init {
+                Some(e) => Value::Logical(
+                    self.eval(p, pr, locals, e, line)?
+                        .as_bool()
+                        .unwrap_or(false),
+                ),
+                None => Value::Logical(false),
+            }),
+            LocalTemplate::Char(init) => Ok(match *init {
+                Some(e) => self.eval(p, pr, locals, e, line)?,
+                None => Value::Str(String::new()),
+            }),
+            LocalTemplate::RealVal(init) => Ok(match *init {
+                Some(e) => Value::Real(self.eval(p, pr, locals, e, line)?.as_f64().unwrap_or(0.0)),
+                None => Value::Real(0.0),
+            }),
+        }
+    }
+
+    // ----- statements -----------------------------------------------------
+
+    fn exec_block(
+        &mut self,
+        p: &Program,
+        pr: &CProc,
+        locals: &mut Locals,
+        stmts: &[CStmt],
+    ) -> RunResult<Flow> {
+        for stmt in stmts {
+            match self.exec_stmt(p, pr, locals, stmt)? {
+                Flow::Normal => {}
+                flow => return Ok(flow),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_stmt(
+        &mut self,
+        p: &Program,
+        pr: &CProc,
+        locals: &mut Locals,
+        stmt: &CStmt,
+    ) -> RunResult<Flow> {
+        match stmt {
+            CStmt::Assign { place, value, line } => {
+                let v = self.eval(p, pr, locals, *value, *line)?;
+                self.write_place(p, pr, locals, place, v, *line)?;
+                Ok(Flow::Normal)
+            }
+            CStmt::Call { site, line } => {
+                self.exec_call(p, pr, locals, *site, *line)?;
+                Ok(Flow::Normal)
+            }
+            CStmt::Outfld {
+                name,
+                data,
+                ncol,
+                line,
+            } => {
+                let data = self.eval(p, pr, locals, *data, *line)?;
+                let ncol = match *ncol {
+                    Some(e) => self.eval_int(p, pr, locals, e, *line)? as usize,
+                    None => usize::MAX,
+                };
+                let mean = match data {
+                    Value::RealArray(v) => {
+                        let n = v.len().min(ncol).max(1);
+                        v.iter().take(n).sum::<f64>() / n as f64
+                    }
+                    Value::Real(v) => v,
+                    other => {
+                        return Err(RuntimeError::new(
+                            format!("outfld argument must be real, got {}", other.type_name()),
+                            &pr.module,
+                            *line,
+                        ))
+                    }
+                };
+                let series = self.history.entry(name.clone()).or_default();
+                if series.len() <= self.step as usize {
+                    series.resize(self.step as usize + 1, f64::NAN);
+                }
+                series[self.step as usize] = mean;
+                Ok(Flow::Normal)
+            }
+            CStmt::RandomNumber {
+                current,
+                place,
+                line,
+            } => {
+                let current = self.eval(p, pr, locals, *current, *line)?;
+                let new = match current {
+                    Value::RealArray(v) => {
+                        let mut out = vec![0.0; v.len()];
+                        self.prng.fill(&mut out);
+                        Value::RealArray(out)
+                    }
+                    _ => Value::Real(self.prng.next_f64()),
+                };
+                self.write_place(p, pr, locals, place, new, *line)?;
+                Ok(Flow::Normal)
+            }
+            CStmt::PbufSet { idx, data, line } => {
+                let idx = self.eval_int(p, pr, locals, *idx, *line)?;
+                let data = self.eval(p, pr, locals, *data, *line)?;
+                let arr = match data {
+                    Value::RealArray(v) => v,
+                    Value::Real(v) => vec![v],
+                    other => {
+                        return Err(RuntimeError::new(
+                            format!("pbuf_set_field needs real data, got {}", other.type_name()),
+                            &pr.module,
+                            *line,
+                        ))
+                    }
+                };
+                self.pbuf.insert(idx, arr);
+                Ok(Flow::Normal)
+            }
+            CStmt::PbufGet {
+                idx,
+                current,
+                place,
+                line,
+            } => {
+                let idx = self.eval_int(p, pr, locals, *idx, *line)?;
+                let data = self.pbuf.get(&idx).cloned().unwrap_or_default();
+                let current = self.eval(p, pr, locals, *current, *line)?;
+                let value = match current {
+                    Value::RealArray(v) => {
+                        let mut out = vec![0.0; v.len()];
+                        let n = out.len().min(data.len());
+                        out[..n].copy_from_slice(&data[..n]);
+                        Value::RealArray(out)
+                    }
+                    _ => Value::Real(data.first().copied().unwrap_or(0.0)),
+                };
+                self.write_place(p, pr, locals, place, value, *line)?;
+                Ok(Flow::Normal)
+            }
+            CStmt::If { arms, line } => {
+                for (cond, block) in arms.iter() {
+                    let taken = match cond {
+                        Some(c) => {
+                            self.eval(p, pr, locals, *c, *line)?
+                                .as_bool()
+                                .ok_or_else(|| {
+                                    RuntimeError::new("if condition not logical", &pr.module, *line)
+                                })?
+                        }
+                        None => true,
+                    };
+                    if taken {
+                        return self.exec_block(p, pr, locals, block);
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            CStmt::Do {
+                var,
+                start,
+                end,
+                step,
+                body,
+                line,
+            } => {
+                let s = self.eval_int(p, pr, locals, *start, *line)?;
+                let e = self.eval_int(p, pr, locals, *end, *line)?;
+                let st = match *step {
+                    Some(x) => self.eval_int(p, pr, locals, x, *line)?,
+                    None => 1,
+                };
+                if st == 0 {
+                    return Err(RuntimeError::new("zero do-step", &pr.module, *line));
+                }
+                let mut i = s;
+                loop {
+                    if (st > 0 && i > e) || (st < 0 && i < e) {
+                        break;
+                    }
+                    locals[*var as usize] = Some(Value::Int(i));
+                    match self.exec_block(p, pr, locals, body)? {
+                        Flow::Exit => break,
+                        Flow::Return => return Ok(Flow::Return),
+                        Flow::Normal | Flow::Cycle => {}
+                    }
+                    i += st;
+                }
+                Ok(Flow::Normal)
+            }
+            CStmt::DoWhile { cond, body, line } => {
+                let mut guard = 0u64;
+                loop {
+                    let c = self
+                        .eval(p, pr, locals, *cond, *line)?
+                        .as_bool()
+                        .ok_or_else(|| {
+                            RuntimeError::new("do-while condition not logical", &pr.module, *line)
+                        })?;
+                    if !c {
+                        break;
+                    }
+                    guard += 1;
+                    if guard > 10_000_000 {
+                        return Err(RuntimeError::new(
+                            "do-while iteration bound exceeded",
+                            &pr.module,
+                            *line,
+                        ));
+                    }
+                    match self.exec_block(p, pr, locals, body)? {
+                        Flow::Exit => break,
+                        Flow::Return => return Ok(Flow::Return),
+                        Flow::Normal | Flow::Cycle => {}
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            CStmt::Return => Ok(Flow::Return),
+            CStmt::Exit => Ok(Flow::Exit),
+            CStmt::Cycle => Ok(Flow::Cycle),
+            CStmt::Nop => Ok(Flow::Normal),
+            CStmt::ErrorStmt { msg, line } => {
+                Err(RuntimeError::new(msg.to_string(), &pr.module, *line))
+            }
+        }
+    }
+
+    fn exec_call(
+        &mut self,
+        p: &Program,
+        pr: &CProc,
+        locals: &mut Locals,
+        site: u32,
+        line: u32,
+    ) -> RunResult<()> {
+        let site: &CallSite = &p.sites[site as usize];
+        let mut values = Vec::with_capacity(site.args.len());
+        for &a in site.args.iter() {
+            values.push(self.eval(p, pr, locals, a, line)?);
+        }
+        let callee_locals = self.invoke(p, site.proc, values)?;
+        for (dummy_slot, place) in site.copyout.iter() {
+            if let Some(v) = &callee_locals[*dummy_slot as usize] {
+                self.write_place(p, pr, locals, place, v.clone(), line)?;
+            }
+        }
+        Ok(())
+    }
+
+    // ----- places ---------------------------------------------------------
+
+    fn write_place(
+        &mut self,
+        p: &Program,
+        pr: &CProc,
+        locals: &mut Locals,
+        place: &CPlace,
+        value: Value,
+        line: u32,
+    ) -> RunResult<()> {
+        match place {
+            CPlace::Var { bind, .. } => match *bind {
+                VarBind::Local(s) => {
+                    if let Some(existing) = &mut locals[s as usize] {
+                        ops::assign_into(existing, value, &pr.module, line)
+                    } else {
+                        // Implicit local (loop vars, undeclared temporaries).
+                        locals[s as usize] = Some(value);
+                        Ok(())
+                    }
+                }
+                VarBind::LocalOrGlobal(s, g) => {
+                    if let Some(existing) = &mut locals[s as usize] {
+                        ops::assign_into(existing, value, &pr.module, line)
+                    } else {
+                        ops::assign_into(&mut self.globals[g as usize], value, &pr.module, line)
+                    }
+                }
+                VarBind::Global(g) => {
+                    ops::assign_into(&mut self.globals[g as usize], value, &pr.module, line)
+                }
+            },
+            CPlace::Elem { bind, name, sub } => {
+                let idx = self.eval_index(p, pr, locals, *sub, line)?;
+                let arr: Option<&mut Vec<f64>> = match *bind {
+                    VarBind::Local(s) => match &mut locals[s as usize] {
+                        Some(Value::RealArray(v)) => Some(v),
+                        _ => None,
+                    },
+                    VarBind::LocalOrGlobal(s, g) => {
+                        if matches!(locals[s as usize], Some(Value::RealArray(_))) {
+                            match &mut locals[s as usize] {
+                                Some(Value::RealArray(v)) => Some(v),
+                                _ => unreachable!(),
+                            }
+                        } else {
+                            match &mut self.globals[g as usize] {
+                                Value::RealArray(v) => Some(v),
+                                _ => None,
+                            }
+                        }
+                    }
+                    VarBind::Global(g) => match &mut self.globals[g as usize] {
+                        Value::RealArray(v) => Some(v),
+                        _ => None,
+                    },
+                };
+                match arr {
+                    Some(v) => ops::write_elem(v, idx, &value, &pr.module, line),
+                    None => Err(RuntimeError::new(
+                        format!("cannot index non-array {name}"),
+                        &pr.module,
+                        line,
+                    )),
+                }
+            }
+            CPlace::Derived {
+                bind,
+                name,
+                field,
+                sub,
+            } => {
+                let idx = match sub {
+                    Some(s) => Some(self.eval_index(p, pr, locals, *s, line)?),
+                    None => None,
+                };
+                let target: &mut Value = match *bind {
+                    VarBind::Local(s) => match &mut locals[s as usize] {
+                        Some(v) => v,
+                        None => {
+                            return Err(RuntimeError::new(
+                                format!("undefined derived base {name}"),
+                                &pr.module,
+                                line,
+                            ))
+                        }
+                    },
+                    VarBind::LocalOrGlobal(s, g) => {
+                        if locals[s as usize].is_some() {
+                            locals[s as usize].as_mut().expect("checked")
+                        } else {
+                            &mut self.globals[g as usize]
+                        }
+                    }
+                    VarBind::Global(g) => &mut self.globals[g as usize],
+                };
+                let Value::Derived(fields) = target else {
+                    return Err(RuntimeError::new(
+                        format!("{name} is not a derived type"),
+                        &pr.module,
+                        line,
+                    ));
+                };
+                let fv = fields.get_mut(&**field).ok_or_else(|| {
+                    RuntimeError::new(format!("no field {field}"), &pr.module, line)
+                })?;
+                match (idx, fv) {
+                    (Some(i), Value::RealArray(v)) => {
+                        ops::write_elem(v, i, &value, &pr.module, line)
+                    }
+                    (None, slot) => ops::assign_into(slot, value, &pr.module, line),
+                    (Some(_), other) => Err(RuntimeError::new(
+                        format!("cannot index field of type {}", other.type_name()),
+                        &pr.module,
+                        line,
+                    )),
+                }
+            }
+            CPlace::Invalid { msg } => Err(RuntimeError::new(msg.to_string(), &pr.module, line)),
+        }
+    }
+
+    // ----- expressions ----------------------------------------------------
+
+    fn eval_int(
+        &mut self,
+        p: &Program,
+        pr: &CProc,
+        locals: &Locals,
+        e: EId,
+        line: u32,
+    ) -> RunResult<i64> {
+        let v = self.eval(p, pr, locals, e, line)?;
+        v.as_i64()
+            .or_else(|| v.as_f64().map(|f| f as i64))
+            .ok_or_else(|| {
+                RuntimeError::new(
+                    format!("expected integer, got {}", v.type_name()),
+                    &pr.module,
+                    line,
+                )
+            })
+    }
+
+    fn eval_index(
+        &mut self,
+        p: &Program,
+        pr: &CProc,
+        locals: &Locals,
+        sub: EId,
+        line: u32,
+    ) -> RunResult<usize> {
+        let v = self.eval_int(p, pr, locals, sub, line)?;
+        if v < 1 {
+            return Err(RuntimeError::new(
+                format!("subscript {v} below lower bound 1"),
+                &pr.module,
+                line,
+            ));
+        }
+        Ok(v as usize - 1)
+    }
+
+    fn eval(
+        &mut self,
+        p: &Program,
+        pr: &CProc,
+        locals: &Locals,
+        e: EId,
+        line: u32,
+    ) -> RunResult<Value> {
+        match &p.exprs[e as usize] {
+            CExpr::Real(v) => Ok(Value::Real(*v)),
+            CExpr::Int(v) => Ok(Value::Int(*v)),
+            CExpr::Str(s) => Ok(Value::Str(s.to_string())),
+            CExpr::Logical(b) => Ok(Value::Logical(*b)),
+            CExpr::Var { bind, name } => match *bind {
+                VarBind::Local(s) => locals[s as usize].clone().ok_or_else(|| {
+                    RuntimeError::new(format!("undefined variable '{name}'"), &pr.module, line)
+                }),
+                VarBind::LocalOrGlobal(s, g) => Ok(match &locals[s as usize] {
+                    Some(v) => v.clone(),
+                    None => self.globals[g as usize].clone(),
+                }),
+                VarBind::Global(g) => Ok(self.globals[g as usize].clone()),
+            },
+            CExpr::Index {
+                bind,
+                name,
+                sub,
+                fallback,
+            } => {
+                // An unset plain local falls through to the
+                // intrinsic/function interpretation of `name(args)`.
+                if let VarBind::Local(s) = *bind {
+                    if locals[s as usize].is_none() {
+                        return match fallback.as_deref() {
+                            Some(form) => self.eval_fallback(p, pr, locals, name, form, line),
+                            None => Err(RuntimeError::new(
+                                format!("unknown function or array '{name}'"),
+                                &pr.module,
+                                line,
+                            )),
+                        };
+                    }
+                }
+                let idx = self.eval_index(p, pr, locals, *sub, line)?;
+                let base: &Value = match *bind {
+                    VarBind::Local(s) => locals[s as usize].as_ref().expect("checked above"),
+                    VarBind::LocalOrGlobal(s, g) => match &locals[s as usize] {
+                        Some(v) => v,
+                        None => &self.globals[g as usize],
+                    },
+                    VarBind::Global(g) => &self.globals[g as usize],
+                };
+                match base {
+                    Value::RealArray(v) => v.get(idx).map(|&x| Value::Real(x)).ok_or_else(|| {
+                        RuntimeError::new(
+                            format!(
+                                "subscript {} out of bounds for {name} (len {})",
+                                idx + 1,
+                                v.len()
+                            ),
+                            &pr.module,
+                            line,
+                        )
+                    }),
+                    other => Err(RuntimeError::new(
+                        format!("cannot index {} '{name}'", other.type_name()),
+                        &pr.module,
+                        line,
+                    )),
+                }
+            }
+            CExpr::CallFn { site } => self.call_function(p, pr, locals, *site, line),
+            CExpr::Intrinsic { which, args } => {
+                self.eval_intrinsic(p, pr, locals, *which, args, line)
+            }
+            CExpr::DerivedVar {
+                bind,
+                name,
+                field,
+                sub,
+                err,
+            } => {
+                // Resolve the base in place (the interpreter clones the
+                // whole derived value; same observations, no copy).
+                if let VarBind::Local(s) = *bind {
+                    if locals[s as usize].is_none() {
+                        return Err(RuntimeError::new(
+                            format!("undefined variable '{name}'"),
+                            &pr.module,
+                            line,
+                        ));
+                    }
+                }
+                // First pass: structural checks and the scalar fast path.
+                {
+                    let base = bound_ref(*bind, locals, &self.globals);
+                    let Value::Derived(fields) = base else {
+                        return Err(RuntimeError::new(err.to_string(), &pr.module, line));
+                    };
+                    let fv = fields.get(&**field).ok_or_else(|| {
+                        RuntimeError::new(format!("no field {field}"), &pr.module, line)
+                    })?;
+                    if sub.is_none() {
+                        return Ok(fv.clone());
+                    }
+                }
+                // Indexed access: evaluate the subscript (may run user
+                // code), then re-acquire the field and index it in place.
+                let idx = self.eval_index(p, pr, locals, sub.expect("checked"), line)?;
+                let base = bound_ref(*bind, locals, &self.globals);
+                let Value::Derived(fields) = base else {
+                    return Err(RuntimeError::new(err.to_string(), &pr.module, line));
+                };
+                let fv = fields.get(&**field).ok_or_else(|| {
+                    RuntimeError::new(format!("no field {field}"), &pr.module, line)
+                })?;
+                index_in_place(fv, idx, field, &pr.module, line)
+            }
+            CExpr::DerivedExpr {
+                base,
+                field,
+                sub,
+                err,
+            } => {
+                let basev = self.eval(p, pr, locals, *base, line)?;
+                let Value::Derived(fields) = basev else {
+                    return Err(RuntimeError::new(err.to_string(), &pr.module, line));
+                };
+                let fv = fields.get(&**field).cloned().ok_or_else(|| {
+                    RuntimeError::new(format!("no field {field}"), &pr.module, line)
+                })?;
+                match sub {
+                    None => Ok(fv),
+                    Some(s) => {
+                        let idx = self.eval_index(p, pr, locals, *s, line)?;
+                        index_in_place(&fv, idx, field, &pr.module, line)
+                    }
+                }
+            }
+            CExpr::Unary { op, e } => {
+                let v = self.eval(p, pr, locals, *e, line)?;
+                ops::unary_op(*op, v, &pr.module, line)
+            }
+            CExpr::Binary { op, l, r } => {
+                let a = self.eval(p, pr, locals, *l, line)?;
+                let b = self.eval(p, pr, locals, *r, line)?;
+                ops::binary_op(*op, a, b, &pr.module, line)
+            }
+            CExpr::MaybeFma { op, a, b, c, l, r } => {
+                if self.fma[pr.module_id as usize] {
+                    let av = self.eval(p, pr, locals, *a, line)?;
+                    let bv = self.eval(p, pr, locals, *b, line)?;
+                    let cv = self.eval(p, pr, locals, *c, line)?;
+                    if let (Some(x), Some(y), Some(z)) = (av.as_f64(), bv.as_f64(), cv.as_f64()) {
+                        let z = if *op == rca_fortran::token::Op::Sub {
+                            -z
+                        } else {
+                            z
+                        };
+                        let scale = self.fma_scale;
+                        let base = x * y + z;
+                        let fused = x.mul_add(y, z);
+                        return Ok(Value::Real(base + (fused - base) * scale));
+                    }
+                    // Non-numeric operand: fall through to the plain
+                    // binary evaluation, re-evaluating the operands (the
+                    // tree-walker does exactly this).
+                }
+                let lv = self.eval(p, pr, locals, *l, line)?;
+                let rv = self.eval(p, pr, locals, *r, line)?;
+                ops::binary_op(*op, lv, rv, &pr.module, line)
+            }
+            CExpr::ErrorExpr { msg } => Err(RuntimeError::new(msg.to_string(), &pr.module, line)),
+        }
+    }
+
+    fn eval_fallback(
+        &mut self,
+        p: &Program,
+        pr: &CProc,
+        locals: &Locals,
+        name: &str,
+        form: &CallForm,
+        line: u32,
+    ) -> RunResult<Value> {
+        match form {
+            CallForm::Intrinsic(which, args) => {
+                self.eval_intrinsic(p, pr, locals, *which, args, line)
+            }
+            CallForm::Function(site) => self.call_function(p, pr, locals, *site, line),
+            CallForm::Unknown => Err(RuntimeError::new(
+                format!("unknown function or array '{name}'"),
+                &pr.module,
+                line,
+            )),
+        }
+    }
+
+    fn call_function(
+        &mut self,
+        p: &Program,
+        pr: &CProc,
+        locals: &Locals,
+        site: u32,
+        line: u32,
+    ) -> RunResult<Value> {
+        let site: &CallSite = &p.sites[site as usize];
+        let mut values = Vec::with_capacity(site.args.len());
+        for &a in site.args.iter() {
+            values.push(self.eval(p, pr, locals, a, line)?);
+        }
+        let callee = &p.procs[site.proc as usize];
+        let rs = callee.result_slot.expect("function has result");
+        let callee_locals = self.invoke(p, site.proc, values)?;
+        callee_locals[rs as usize].clone().ok_or_else(|| {
+            RuntimeError::new(
+                format!("function {} returned no value", callee.name),
+                &pr.module,
+                line,
+            )
+        })
+    }
+
+    fn eval_intrinsic(
+        &mut self,
+        p: &Program,
+        pr: &CProc,
+        locals: &Locals,
+        which: Intrin,
+        args: &[EId],
+        line: u32,
+    ) -> RunResult<Value> {
+        ops::intrinsic_op(
+            which,
+            args.len(),
+            &mut |i| self.eval(p, pr, locals, args[i], line),
+            &pr.module,
+            line,
+        )
+    }
+}
+
+/// Resolves a binding to the value it currently denotes (local slot when
+/// set, global otherwise). Callers must have rejected unset plain locals.
+fn bound_ref<'v>(bind: VarBind, locals: &'v Locals, globals: &'v [Value]) -> &'v Value {
+    match bind {
+        VarBind::Local(s) => locals[s as usize].as_ref().expect("checked"),
+        VarBind::LocalOrGlobal(s, g) => match &locals[s as usize] {
+            Some(v) => v,
+            None => &globals[g as usize],
+        },
+        VarBind::Global(g) => &globals[g as usize],
+    }
+}
+
+/// Indexes a field value without cloning the array (the interpreter's
+/// `index_value`, minus the defensive whole-array clone).
+fn index_in_place(fv: &Value, idx: usize, name: &str, module: &str, line: u32) -> RunResult<Value> {
+    match fv {
+        Value::RealArray(v) => v.get(idx).map(|&x| Value::Real(x)).ok_or_else(|| {
+            RuntimeError::new(
+                format!(
+                    "subscript {} out of bounds for {name} (len {})",
+                    idx + 1,
+                    v.len()
+                ),
+                module,
+                line,
+            )
+        }),
+        other => Err(RuntimeError::new(
+            format!("cannot index {} '{name}'", other.type_name()),
+            module,
+            line,
+        )),
+    }
+}

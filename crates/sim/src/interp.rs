@@ -18,6 +18,7 @@
 //!    are snapshotted at a chosen time step (the runtime instrumentation
 //!    of Algorithm 5.4 step 7).
 
+use crate::ops::{assign_into, binary_op, unary_op, write_elem, Flow, RunResult};
 use crate::prng::{make_prng, Prng, PrngKind};
 use crate::value::Value;
 use rca_fortran::ast::{
@@ -42,7 +43,7 @@ pub struct RuntimeError {
 }
 
 impl RuntimeError {
-    fn new(message: impl Into<String>, context: &str, line: u32) -> Self {
+    pub(crate) fn new(message: impl Into<String>, context: &str, line: u32) -> Self {
         RuntimeError {
             message: message.into(),
             context: context.to_string(),
@@ -62,8 +63,6 @@ impl fmt::Display for RuntimeError {
 }
 
 impl std::error::Error for RuntimeError {}
-
-type RunResult<T> = Result<T, RuntimeError>;
 
 /// Per-module AVX2/FMA enablement (Table 1's selective disablement).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -200,14 +199,6 @@ struct Frame {
     module: String,
     proc: String,
     vars: HashMap<String, Value>,
-}
-
-#[derive(Clone, Copy, PartialEq)]
-enum Flow {
-    Normal,
-    Return,
-    Exit,
-    Cycle,
 }
 
 /// The interpreter instance: load once, run one simulation.
@@ -1322,300 +1313,19 @@ impl Interpreter {
         args: &[Expr],
         line: u32,
     ) -> RunResult<Option<Value>> {
-        let reals = |interp: &mut Self, frame: &mut Frame, args: &[Expr]| -> RunResult<Vec<f64>> {
-            let mut out = Vec::with_capacity(args.len());
-            for a in args {
-                let v = interp.eval(frame, a, line)?;
-                out.push(v.as_f64().ok_or_else(|| {
-                    RuntimeError::new(
-                        format!("intrinsic argument must be numeric, got {}", v.type_name()),
-                        &frame.module,
-                        line,
-                    )
-                })?);
-            }
-            Ok(out)
+        let Some(which) = crate::program::Intrin::by_name(name) else {
+            return Ok(None);
         };
-        let v = match name {
-            "min" => {
-                let xs = reals(self, frame, args)?;
-                Value::Real(xs.into_iter().fold(f64::INFINITY, f64::min))
-            }
-            "max" => {
-                let xs = reals(self, frame, args)?;
-                Value::Real(xs.into_iter().fold(f64::NEG_INFINITY, f64::max))
-            }
-            "sqrt" => Value::Real(reals(self, frame, args)?[0].sqrt()),
-            "exp" => Value::Real(reals(self, frame, args)?[0].exp()),
-            "log" => Value::Real(reals(self, frame, args)?[0].ln()),
-            "log10" => Value::Real(reals(self, frame, args)?[0].log10()),
-            "abs" => {
-                let v = self.eval(frame, &args[0], line)?;
-                match v {
-                    Value::Int(i) => Value::Int(i.abs()),
-                    other => Value::Real(other.as_f64().unwrap_or(f64::NAN).abs()),
-                }
-            }
-            "tanh" => Value::Real(reals(self, frame, args)?[0].tanh()),
-            "sin" => Value::Real(reals(self, frame, args)?[0].sin()),
-            "cos" => Value::Real(reals(self, frame, args)?[0].cos()),
-            "atan" => Value::Real(reals(self, frame, args)?[0].atan()),
-            "mod" => {
-                let a = self.eval(frame, &args[0], line)?;
-                let b = self.eval(frame, &args[1], line)?;
-                match (a, b) {
-                    (Value::Int(x), Value::Int(y)) => Value::Int(x % y.max(1)),
-                    (x, y) => {
-                        Value::Real(x.as_f64().unwrap_or(f64::NAN) % y.as_f64().unwrap_or(1.0))
-                    }
-                }
-            }
-            "sign" => {
-                let xs = reals(self, frame, args)?;
-                Value::Real(xs[0].abs() * xs[1].signum())
-            }
-            "sum" => {
-                let v = self.eval(frame, &args[0], line)?;
-                match v {
-                    Value::RealArray(a) => Value::Real(a.iter().sum()),
-                    other => other,
-                }
-            }
-            "maxval" => {
-                let v = self.eval(frame, &args[0], line)?;
-                match v {
-                    Value::RealArray(a) => {
-                        Value::Real(a.iter().cloned().fold(f64::NEG_INFINITY, f64::max))
-                    }
-                    other => other,
-                }
-            }
-            "minval" => {
-                let v = self.eval(frame, &args[0], line)?;
-                match v {
-                    Value::RealArray(a) => {
-                        Value::Real(a.iter().cloned().fold(f64::INFINITY, f64::min))
-                    }
-                    other => other,
-                }
-            }
-            "size" => {
-                let v = self.eval(frame, &args[0], line)?;
-                match v {
-                    Value::RealArray(a) => Value::Int(a.len() as i64),
-                    _ => Value::Int(1),
-                }
-            }
-            "real" => {
-                let v = self.eval(frame, &args[0], line)?;
-                Value::Real(v.as_f64().ok_or_else(|| {
-                    RuntimeError::new("real() of non-numeric", &frame.module, line)
-                })?)
-            }
-            "int" => {
-                let v = self.eval(frame, &args[0], line)?;
-                Value::Int(v.as_f64().unwrap_or(0.0) as i64)
-            }
-            "floor" => Value::Int(reals(self, frame, args)?[0].floor() as i64),
-            "nint" => Value::Int(reals(self, frame, args)?[0].round() as i64),
-            "epsilon" => Value::Real(f64::EPSILON),
-            "tiny" => Value::Real(f64::MIN_POSITIVE),
-            "huge" => Value::Real(f64::MAX),
-            _ => return Ok(None),
-        };
-        Ok(Some(v))
-    }
-}
-
-// ----- scalar operations ---------------------------------------------------
-
-fn write_elem(
-    arr: &mut [f64],
-    idx: usize,
-    value: &Value,
-    module: &str,
-    line: u32,
-) -> RunResult<()> {
-    let x = value.as_f64().ok_or_else(|| {
-        RuntimeError::new(
-            format!("cannot store {} into real array", value.type_name()),
-            module,
+        let module = frame.module.clone();
+        crate::ops::intrinsic_op(
+            which,
+            args.len(),
+            &mut |i| self.eval(frame, &args[i], line),
+            &module,
             line,
         )
-    })?;
-    let len = arr.len();
-    let slot = arr.get_mut(idx).ok_or_else(|| {
-        RuntimeError::new(
-            format!("subscript {} out of bounds (len {})", idx + 1, len),
-            module,
-            line,
-        )
-    })?;
-    *slot = x;
-    Ok(())
-}
-
-/// Assignment with Fortran-style coercion (scalar into array broadcasts).
-fn assign_into(slot: &mut Value, value: Value, module: &str, line: u32) -> RunResult<()> {
-    match (&mut *slot, value) {
-        (Value::RealArray(dst), Value::RealArray(src)) => {
-            let n = dst.len().min(src.len());
-            dst[..n].copy_from_slice(&src[..n]);
-            Ok(())
-        }
-        (Value::RealArray(dst), v) => {
-            let x = v.as_f64().ok_or_else(|| {
-                RuntimeError::new("cannot broadcast non-numeric into array", module, line)
-            })?;
-            dst.fill(x);
-            Ok(())
-        }
-        (Value::Int(dst), v) => {
-            *dst = v
-                .as_i64()
-                .or_else(|| v.as_f64().map(|f| f as i64))
-                .ok_or_else(|| RuntimeError::new("cannot assign to integer", module, line))?;
-            Ok(())
-        }
-        (Value::Real(dst), v) => {
-            *dst = v
-                .as_f64()
-                .ok_or_else(|| RuntimeError::new("cannot assign to real", module, line))?;
-            Ok(())
-        }
-        (dst, v) => {
-            *dst = v;
-            Ok(())
-        }
+        .map(Some)
     }
-}
-
-fn unary_op(op: Op, v: Value, module: &str, line: u32) -> RunResult<Value> {
-    match op {
-        Op::Sub => match v {
-            Value::Int(i) => Ok(Value::Int(-i)),
-            Value::Real(r) => Ok(Value::Real(-r)),
-            other => Err(RuntimeError::new(
-                format!("cannot negate {}", other.type_name()),
-                module,
-                line,
-            )),
-        },
-        Op::Add => Ok(v),
-        Op::Not => match v {
-            Value::Logical(b) => Ok(Value::Logical(!b)),
-            other => Err(RuntimeError::new(
-                format!(".not. of {}", other.type_name()),
-                module,
-                line,
-            )),
-        },
-        other => Err(RuntimeError::new(
-            format!("invalid unary operator {other}"),
-            module,
-            line,
-        )),
-    }
-}
-
-fn binary_op(op: Op, a: Value, b: Value, module: &str, line: u32) -> RunResult<Value> {
-    use Value::*;
-    // Integer arithmetic stays integral (Fortran semantics).
-    if let (Int(x), Int(y)) = (&a, &b) {
-        let (x, y) = (*x, *y);
-        let v = match op {
-            Op::Add => Int(x + y),
-            Op::Sub => Int(x - y),
-            Op::Mul => Int(x * y),
-            Op::Div => {
-                if y == 0 {
-                    return Err(RuntimeError::new("integer division by zero", module, line));
-                }
-                Int(x / y)
-            }
-            Op::Pow => Int(x.pow(y.max(0) as u32)),
-            Op::Eq => Logical(x == y),
-            Op::Ne => Logical(x != y),
-            Op::Lt => Logical(x < y),
-            Op::Le => Logical(x <= y),
-            Op::Gt => Logical(x > y),
-            Op::Ge => Logical(x >= y),
-            _ => {
-                return Err(RuntimeError::new(
-                    format!("operator {op} on integers"),
-                    module,
-                    line,
-                ))
-            }
-        };
-        return Ok(v);
-    }
-    if let (Logical(x), Logical(y)) = (&a, &b) {
-        let v = match op {
-            Op::And => Logical(*x && *y),
-            Op::Or => Logical(*x || *y),
-            Op::Eq => Logical(x == y),
-            Op::Ne => Logical(x != y),
-            _ => {
-                return Err(RuntimeError::new(
-                    format!("operator {op} on logicals"),
-                    module,
-                    line,
-                ))
-            }
-        };
-        return Ok(v);
-    }
-    if let (Str(x), Str(y)) = (&a, &b) {
-        let v = match op {
-            Op::Concat => Str(format!("{x}{y}")),
-            Op::Eq => Logical(x == y),
-            Op::Ne => Logical(x != y),
-            _ => {
-                return Err(RuntimeError::new(
-                    format!("operator {op} on strings"),
-                    module,
-                    line,
-                ))
-            }
-        };
-        return Ok(v);
-    }
-    let (Some(x), Some(y)) = (a.as_f64(), b.as_f64()) else {
-        return Err(RuntimeError::new(
-            format!("operator {op} on {} and {}", a.type_name(), b.type_name()),
-            module,
-            line,
-        ));
-    };
-    let v = match op {
-        Op::Add => Real(x + y),
-        Op::Sub => Real(x - y),
-        Op::Mul => Real(x * y),
-        Op::Div => Real(x / y),
-        Op::Pow => {
-            // Integer exponents use powi for bit-reproducibility.
-            if let Some(iy) = b.as_i64() {
-                Real(x.powi(iy as i32))
-            } else {
-                Real(x.powf(y))
-            }
-        }
-        Op::Eq => Logical(x == y),
-        Op::Ne => Logical(x != y),
-        Op::Lt => Logical(x < y),
-        Op::Le => Logical(x <= y),
-        Op::Gt => Logical(x > y),
-        Op::Ge => Logical(x >= y),
-        _ => {
-            return Err(RuntimeError::new(
-                format!("operator {op} on reals"),
-                module,
-                line,
-            ))
-        }
-    };
-    Ok(v)
 }
 
 #[cfg(test)]

@@ -14,6 +14,8 @@
 //! generating standalone kernel drivers.
 
 use crate::interp::{Interpreter, RunConfig, RuntimeError, SampleSpec};
+use crate::program::Program;
+use crate::runner::{compile_model, run_program};
 
 use rca_model::ModelSource;
 
@@ -35,10 +37,15 @@ pub fn kernel_sample_specs(
     model: &ModelSource,
     kernel_module: &str,
 ) -> Result<Vec<SampleSpec>, RuntimeError> {
-    let (asts, _) = model.parse();
-    let interp = Interpreter::load(&asts, RunConfig::default())?;
+    let program = compile_model(model)?;
+    Ok(kernel_sample_specs_program(&program, kernel_module))
+}
+
+/// Builds instrumentation specs from an already-compiled program (no
+/// parse, no load).
+pub fn kernel_sample_specs_program(program: &Program, kernel_module: &str) -> Vec<SampleSpec> {
     let mut specs = Vec::new();
-    for name in interp.module_var_names(kernel_module) {
+    for name in program.module_var_names(kernel_module) {
         specs.push(SampleSpec {
             module: kernel_module.to_string(),
             subprogram: None,
@@ -46,9 +53,8 @@ pub fn kernel_sample_specs(
         });
     }
     // Locals of every subprogram in the kernel module.
-    let subs: Vec<(String, String)> = interp.coverage_universe(kernel_module);
-    for (module, sub) in subs {
-        for local in interp.local_names(&module, &sub) {
+    for (module, sub) in program.coverage_universe(kernel_module) {
+        for local in program.local_names(&module, &sub) {
             specs.push(SampleSpec {
                 module: module.clone(),
                 subprogram: Some(sub.clone()),
@@ -56,7 +62,7 @@ pub fn kernel_sample_specs(
             });
         }
     }
-    Ok(specs)
+    specs
 }
 
 /// Runs the model under `base` and `variant` configurations (identical
@@ -69,7 +75,9 @@ pub fn compare_kernel(
     kernel_module: &str,
     threshold: f64,
 ) -> Result<KernelComparison, RuntimeError> {
-    let specs = kernel_sample_specs(model, kernel_module)?;
+    // One parse+compile serves spec construction and both runs.
+    let program = compile_model(model)?;
+    let specs = kernel_sample_specs_program(&program, kernel_module);
     let sample_step = base.steps.saturating_sub(1);
     let mut base_cfg = base.clone();
     base_cfg.sample_step = Some(sample_step);
@@ -78,8 +86,8 @@ pub fn compare_kernel(
     var_cfg.sample_step = Some(sample_step);
     var_cfg.samples = specs;
 
-    let a = crate::runner::run_model(model, &base_cfg, 0.0)?;
-    let b = crate::runner::run_model(model, &var_cfg, 0.0)?;
+    let a = run_program(&program, &base_cfg, 0.0)?;
+    let b = run_program(&program, &var_cfg, 0.0)?;
 
     let mut all = Vec::new();
     for (key, av) in &a.samples {
@@ -90,7 +98,7 @@ pub fn compare_kernel(
             continue;
         }
         let nrms = rca_stats::normalized_rms_diff(av, bv);
-        all.push((key.clone(), nrms));
+        all.push((key.to_string(), nrms));
     }
     all.sort_by(|x, y| y.1.partial_cmp(&x.1).unwrap().then_with(|| x.0.cmp(&y.0)));
     let flagged = all

@@ -1,9 +1,9 @@
 //! # rca-sim — execution substrate for the synthetic climate model
 //!
 //! The paper's experiments run CESM on NCAR supercomputers; this crate is
-//! the laptop-scale substitute. It executes the `rca-model` Fortran through
-//! a tree-walking interpreter ([`interp`]) with three paper-critical
-//! capabilities:
+//! the laptop-scale substitute. It executes the `rca-model` Fortran
+//! through a **parse → compile → execute** pipeline with three
+//! paper-critical capabilities:
 //!
 //! - **AVX2/FMA simulation**: per-module fused-multiply-add contraction of
 //!   `a*b ± c` (the actual mechanism by which Broadwell's FMA changes CESM
@@ -15,18 +15,42 @@
 //!   variable-instrumentation substitutes used by hybrid slicing and
 //!   Algorithm 5.4 step 7.
 //!
+//! ## Two engines, one semantics
+//!
+//! [`compile`] lowers the AST into a slot-indexed [`Program`] — interned
+//! symbols, pre-resolved call targets and variable bindings — executed by
+//! [`Executor`] ([`exec`]); this is the production engine behind
+//! [`run_model`] / [`run_ensemble`], and `Arc<Program>` sharing means an
+//! N-member ensemble or N-scenario campaign compiles each source variant
+//! exactly once. The original tree-walking [`Interpreter`] ([`interp`]) is
+//! retained as the reference engine: both are built on the same scalar
+//! kernel (`ops`) and the differential suite (`tests/differential.rs`)
+//! holds them bit-identical across histories, samples, and coverage.
+//!
 //! [`runner`] drives single runs and rayon-parallel ensembles;
 //! [`kernel`] reproduces the KGen normalized-RMS comparison that flags
 //! FMA-affected Morrison–Gettelman variables (§6.4).
 
+pub mod compile;
+pub mod exec;
 pub mod interp;
 pub mod kernel;
+mod ops;
 pub mod prng;
+pub mod program;
 pub mod runner;
 pub mod value;
 
+pub use compile::compile_sources;
+pub use exec::Executor;
 pub use interp::{Avx2Policy, History, Interpreter, RunConfig, RuntimeError, SampleSpec};
-pub use kernel::{compare_kernel, kernel_sample_specs, KernelComparison};
+pub use kernel::{
+    compare_kernel, kernel_sample_specs, kernel_sample_specs_program, KernelComparison,
+};
 pub use prng::{make_prng, Kiss, Mt19937, Prng, PrngKind};
-pub use runner::{outputs_matrix, perturbations, run_ensemble, run_loaded, run_model, RunOutput};
+pub use program::Program;
+pub use runner::{
+    compile_model, outputs_matrix, perturbations, run_ensemble, run_ensemble_program, run_loaded,
+    run_model, run_program, RunOutput,
+};
 pub use value::Value;

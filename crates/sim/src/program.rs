@@ -1,0 +1,434 @@
+//! The compiled program: a flat, slot-indexed IR for the model.
+//!
+//! [`crate::compile`] lowers the parsed AST into this representation
+//! exactly once per model variant; every simulation run then executes the
+//! shared, immutable [`Program`] through [`crate::exec::Executor`] without
+//! ever hashing a name or touching a `String` on the hot path:
+//!
+//! - **symbols are interned** — module/subprogram/variable names become
+//!   `Arc<str>` held once in the program (kept only for diagnostics and
+//!   host lookups), while every *reference* is a `u32`: procedures are
+//!   indices into [`Program::procs`], module globals are indices into the
+//!   global arena, subprogram locals are frame offsets;
+//! - **call targets are pre-resolved** — each call site carries the callee
+//!   procedure index, the lowered argument expressions, and the copy-out
+//!   plan (which dummy slots write back to which caller places);
+//! - **name scoping is pre-resolved** — every variable reference carries a
+//!   [`VarBind`] that encodes the tree-walker's full lookup order
+//!   (frame → use-chain → module scope) as at most one runtime branch.
+//!
+//! The program is `Send + Sync` and shared via `Arc`: an N-member ensemble
+//! or an N-scenario campaign compiles each distinct source variant once
+//! and fans out executors that only clone the initial global arena.
+
+use crate::value::Value;
+use rca_fortran::token::Op;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Index into [`Program::exprs`].
+pub(crate) type EId = u32;
+
+/// Pre-resolved variable binding: how a name in some subprogram resolves,
+/// encoding the interpreter's dynamic scoping rules statically.
+///
+/// A local slot can be *unset* at runtime (implicit locals exist only
+/// after their first write; `do`-variables only after the loop header
+/// runs; declared locals only after frame initialization reaches them).
+/// The binding says what an access falls back to in that window.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum VarBind {
+    /// Frame slot; when unset, the name is undefined (reads error,
+    /// writes create the implicit local).
+    Local(u32),
+    /// Frame slot shadowing a module global; when the slot is unset,
+    /// reads and writes go to the global.
+    LocalOrGlobal(u32, u32),
+    /// Module global (possibly through `use` renames), never local.
+    Global(u32),
+}
+
+/// What a `name(args)` expression does when the name turns out not to be
+/// a set variable at runtime (the Fortran call-vs-index ambiguity,
+/// resolved in the same order the tree-walker uses).
+#[derive(Debug, Clone)]
+pub(crate) enum CallForm {
+    /// A recognized intrinsic.
+    Intrinsic(Intrin, Box<[EId]>),
+    /// A user function call through a resolved site.
+    Function(u32),
+    /// Nothing matches: runtime "unknown function or array" error.
+    Unknown,
+}
+
+/// Recognized intrinsics (the tree-walker's `eval_intrinsic` list).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Intrin {
+    Min,
+    Max,
+    Sqrt,
+    Exp,
+    Log,
+    Log10,
+    Abs,
+    Tanh,
+    Sin,
+    Cos,
+    Atan,
+    Mod,
+    Sign,
+    Sum,
+    Maxval,
+    Minval,
+    Size,
+    Real,
+    Int,
+    Floor,
+    Nint,
+    Epsilon,
+    Tiny,
+    Huge,
+}
+
+impl Intrin {
+    /// Maps an intrinsic name (already lowercase in the AST) to its code.
+    pub(crate) fn by_name(name: &str) -> Option<Intrin> {
+        Some(match name {
+            "min" => Intrin::Min,
+            "max" => Intrin::Max,
+            "sqrt" => Intrin::Sqrt,
+            "exp" => Intrin::Exp,
+            "log" => Intrin::Log,
+            "log10" => Intrin::Log10,
+            "abs" => Intrin::Abs,
+            "tanh" => Intrin::Tanh,
+            "sin" => Intrin::Sin,
+            "cos" => Intrin::Cos,
+            "atan" => Intrin::Atan,
+            "mod" => Intrin::Mod,
+            "sign" => Intrin::Sign,
+            "sum" => Intrin::Sum,
+            "maxval" => Intrin::Maxval,
+            "minval" => Intrin::Minval,
+            "size" => Intrin::Size,
+            "real" => Intrin::Real,
+            "int" => Intrin::Int,
+            "floor" => Intrin::Floor,
+            "nint" => Intrin::Nint,
+            "epsilon" => Intrin::Epsilon,
+            "tiny" => Intrin::Tiny,
+            "huge" => Intrin::Huge,
+            _ => return None,
+        })
+    }
+}
+
+/// A lowered expression node. Children are arena indices, names appear
+/// only for diagnostics.
+#[derive(Debug, Clone)]
+pub(crate) enum CExpr {
+    Real(f64),
+    Int(i64),
+    Str(Arc<str>),
+    Logical(bool),
+    /// Variable read through a pre-resolved binding.
+    Var {
+        bind: VarBind,
+        name: Arc<str>,
+    },
+    /// `name(sub)` where the name can be a visible array: index it;
+    /// otherwise dispatch to `fallback` (only reachable for bindings whose
+    /// local slot may be unset with no global behind it).
+    Index {
+        bind: VarBind,
+        name: Arc<str>,
+        sub: EId,
+        fallback: Option<Box<CallForm>>,
+    },
+    /// User function call through a resolved site.
+    CallFn {
+        site: u32,
+    },
+    /// Intrinsic evaluation.
+    Intrinsic {
+        which: Intrin,
+        args: Box<[EId]>,
+    },
+    /// `base%field` / `base%field(sub)` where base is a plain variable.
+    /// `err` is the pre-rendered "not a derived value" message (the
+    /// tree-walker formats the base AST node into it).
+    DerivedVar {
+        bind: VarBind,
+        name: Arc<str>,
+        field: Arc<str>,
+        sub: Option<EId>,
+        err: Arc<str>,
+    },
+    /// Derived access with a computed base expression.
+    DerivedExpr {
+        base: EId,
+        field: Arc<str>,
+        sub: Option<EId>,
+        err: Arc<str>,
+    },
+    Unary {
+        op: Op,
+        e: EId,
+    },
+    Binary {
+        op: Op,
+        l: EId,
+        r: EId,
+    },
+    /// `a*b ± c` — FMA-contractible when the executing module is compiled
+    /// with AVX2. `l`/`r` are the plain operands for the unfused path
+    /// (re-evaluated on fallback, exactly as the tree-walker does).
+    MaybeFma {
+        op: Op,
+        a: EId,
+        b: EId,
+        c: EId,
+        l: EId,
+        r: EId,
+    },
+    /// Deferred runtime error (the tree-walker reports these lazily, only
+    /// when the expression actually evaluates).
+    ErrorExpr {
+        msg: Arc<str>,
+    },
+}
+
+/// A lowered assignment place.
+#[derive(Debug, Clone)]
+pub(crate) enum CPlace {
+    Var {
+        bind: VarBind,
+    },
+    Elem {
+        bind: VarBind,
+        name: Arc<str>,
+        sub: EId,
+    },
+    Derived {
+        bind: VarBind,
+        name: Arc<str>,
+        field: Arc<str>,
+        sub: Option<EId>,
+    },
+    /// Deferred runtime error ("invalid assignment target ...").
+    Invalid {
+        msg: Arc<str>,
+    },
+}
+
+/// One `if` / `else if` / `else` arm: optional condition plus block.
+pub(crate) type IfArm = (Option<EId>, Box<[CStmt]>);
+
+/// A lowered statement.
+#[derive(Debug, Clone)]
+pub(crate) enum CStmt {
+    Assign {
+        place: CPlace,
+        value: EId,
+        line: u32,
+    },
+    /// Resolved subroutine call with copy-out plan.
+    Call {
+        site: u32,
+        line: u32,
+    },
+    /// `call outfld('NAME', data [, ncol])` with the name pre-lowercased
+    /// and interned.
+    Outfld {
+        name: Arc<str>,
+        data: EId,
+        ncol: Option<EId>,
+        line: u32,
+    },
+    /// `call random_number(x)`: evaluate the current value (for the
+    /// shape), then overwrite through the place.
+    RandomNumber {
+        current: EId,
+        place: CPlace,
+        line: u32,
+    },
+    PbufSet {
+        idx: EId,
+        data: EId,
+        line: u32,
+    },
+    PbufGet {
+        idx: EId,
+        current: EId,
+        place: CPlace,
+        line: u32,
+    },
+    If {
+        arms: Box<[IfArm]>,
+        line: u32,
+    },
+    Do {
+        /// Loop variable frame slot (a `do` always writes the local).
+        var: u32,
+        start: EId,
+        end: EId,
+        step: Option<EId>,
+        body: Box<[CStmt]>,
+        line: u32,
+    },
+    DoWhile {
+        cond: EId,
+        body: Box<[CStmt]>,
+        line: u32,
+    },
+    Return,
+    Exit,
+    Cycle,
+    /// `call random_seed(...)` and friends: executes as a no-op.
+    Nop,
+    /// Deferred runtime error.
+    ErrorStmt {
+        msg: Arc<str>,
+        line: u32,
+    },
+}
+
+/// A resolved call site: callee + lowered arguments + copy-out plan.
+#[derive(Debug, Clone)]
+pub(crate) struct CallSite {
+    /// Callee index into [`Program::procs`].
+    pub proc: u32,
+    /// Lowered actual arguments, in order (all evaluated before the call,
+    /// including extras beyond the dummy list).
+    pub args: Box<[EId]>,
+    /// Copy-out plan: `(dummy frame slot, caller place)` for every
+    /// writeback-eligible designator argument.
+    pub copyout: Box<[(u32, CPlace)]>,
+}
+
+/// How one frame local is initialized at subprogram entry (after dummy
+/// binding, in declaration order).
+#[derive(Debug, Clone)]
+pub(crate) enum LocalTemplate {
+    /// Derived-type instance, prototype precomputed at compile time.
+    Derived(Value),
+    /// Real array with runtime extents (shapes may reference dummies).
+    Array(Box<[EId]>),
+    /// Scalars with optional initializer, coerced per base type.
+    Int(Option<EId>),
+    Logic(Option<EId>),
+    Char(Option<EId>),
+    RealVal(Option<EId>),
+    /// Initialization that the tree-walker would fail at call time
+    /// (e.g. an unknown derived type).
+    Error(Arc<str>, u32),
+}
+
+/// One compiled subprogram.
+#[derive(Debug, Clone)]
+pub(crate) struct CProc {
+    /// Owning module name (diagnostics context).
+    pub module: Arc<str>,
+    /// Subprogram name.
+    pub name: Arc<str>,
+    /// Owning module id (FMA policy table index).
+    pub module_id: u32,
+    /// Argument position → frame slot (identity unless dummies repeat);
+    /// dummies occupy the first slots in order.
+    pub arg_slots: Box<[u32]>,
+    /// Total frame slots (dummies + declared + result + implicit).
+    pub n_locals: usize,
+    /// Slot → name (diagnostics and sample resolution).
+    pub local_names: Box<[Arc<str>]>,
+    /// Ordered local initialization actions (`(slot, decl line, template)`).
+    pub inits: Box<[(u32, u32, LocalTemplate)]>,
+    /// Function result slot, if this is a function.
+    pub result_slot: Option<u32>,
+    /// Lowered body.
+    pub body: Box<[CStmt]>,
+    /// Declared (non-dummy) local names, as the host API reports them.
+    pub declared_locals: Box<[String]>,
+}
+
+/// The compiled model: everything a run needs, immutable and shareable.
+///
+/// Obtain one with [`crate::compile_model`] (or [`crate::compile_sources`]
+/// from already-parsed files) and execute it with
+/// [`crate::Executor`] / [`crate::run_program`].
+pub struct Program {
+    /// Expression arena (shared by all procedures).
+    pub(crate) exprs: Vec<CExpr>,
+    /// All subprograms.
+    pub(crate) procs: Vec<CProc>,
+    /// Resolved call sites.
+    pub(crate) sites: Vec<CallSite>,
+    /// Initial module-global values (cloned per executor).
+    pub(crate) globals: Vec<Value>,
+    /// Host lookup: `(module, variable)` → global slot.
+    pub(crate) global_index: HashMap<(String, String), u32>,
+    /// Module names by id.
+    pub(crate) module_names: Vec<Arc<str>>,
+    /// Host entry lookup: subprogram name → first-candidate proc index.
+    pub(crate) entry_procs: HashMap<String, u32>,
+    /// Host lookup: `(module, subprogram)` → proc index.
+    pub(crate) proc_index: HashMap<(String, String), u32>,
+    /// Declared module variables per module, in declaration order.
+    pub(crate) module_vars: HashMap<String, Vec<String>>,
+}
+
+impl Program {
+    /// Names of all module variables of `module` (declaration order).
+    pub fn module_var_names(&self, module: &str) -> Vec<String> {
+        self.module_vars.get(module).cloned().unwrap_or_default()
+    }
+
+    /// Names of all subprograms defined in `module` (definition order).
+    pub fn proc_names_of_module(&self, module: &str) -> Vec<String> {
+        self.procs
+            .iter()
+            .filter(|p| &*p.module == module)
+            .map(|p| p.name.to_string())
+            .collect()
+    }
+
+    /// Local (non-dummy) declared variable names of a subprogram.
+    pub fn local_names(&self, module: &str, proc: &str) -> Vec<String> {
+        self.proc_index
+            .get(&(module.to_string(), proc.to_string()))
+            .map(|&i| self.procs[i as usize].declared_locals.to_vec())
+            .unwrap_or_default()
+    }
+
+    /// All `(module, subprogram)` pairs defined in `module` — used to
+    /// build kernel instrumentation without executing first.
+    pub fn coverage_universe(&self, module: &str) -> Vec<(String, String)> {
+        self.proc_names_of_module(module)
+            .into_iter()
+            .map(|s| (module.to_string(), s))
+            .collect()
+    }
+
+    /// Number of compiled subprograms.
+    pub fn proc_count(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Initial value of one module variable, if it exists.
+    pub fn initial_global(&self, module: &str, name: &str) -> Option<&Value> {
+        self.global_index
+            .get(&(module.to_string(), name.to_string()))
+            .map(|&s| &self.globals[s as usize])
+    }
+}
+
+impl std::fmt::Debug for Program {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Program")
+            .field("procs", &self.procs.len())
+            .field("exprs", &self.exprs.len())
+            .field("sites", &self.sites.len())
+            .field("globals", &self.globals.len())
+            .field("modules", &self.module_names.len())
+            .finish()
+    }
+}

@@ -3,29 +3,41 @@
 //! Mirrors the paper's experimental setup: an *ensemble* of runs differing
 //! only in O(10⁻¹⁴) initial-condition perturbations (the CESM-ECT
 //! methodology of refs [2, 24]), plus *experimental* runs with a bug
-//! injected or the run configuration changed. Ensembles execute in
-//! parallel with rayon — each member is an independent interpreter
-//! instance.
+//! injected or the run configuration changed.
+//!
+//! Execution goes through the **parse → compile → execute** pipeline:
+//! [`compile_model`] lowers the source into a shared [`Program`] exactly
+//! once, and every run — each ensemble member, each refinement-oracle
+//! sample — is an [`Executor`] over that program. Ensembles execute in
+//! parallel with rayon; members share the `Arc<Program>` and only clone
+//! the initial global arena.
 
+use crate::exec::Executor;
 use crate::interp::{Interpreter, RunConfig, RuntimeError};
+use crate::program::Program;
+use crate::value::Value;
 use rayon::prelude::*;
 use rca_model::ModelSource;
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
-/// Results of one model run.
+/// Results of one model run. History and sample keys are interned
+/// (`Arc<str>`), so assembling a `RunOutput` never copies name strings out
+/// of the step loop; look them up with plain `&str` borrows.
 #[derive(Debug, Clone)]
 pub struct RunOutput {
     /// Output-variable global means per step (`name → series`).
-    pub history: BTreeMap<String, Vec<f64>>,
+    pub history: BTreeMap<Arc<str>, Vec<f64>>,
     /// Captured instrumented values keyed `module::sub::name`.
-    pub samples: HashMap<String, Vec<f64>>,
+    pub samples: HashMap<Arc<str>, Vec<f64>>,
     /// Executed (module, subprogram) pairs.
     pub coverage: Vec<(String, String)>,
 }
 
 impl RunOutput {
-    /// Output values at `step` in sorted-name order.
-    pub fn outputs_at(&self, step: u32) -> Vec<(String, f64)> {
+    /// Output values at `step` in sorted-name order (names are shared
+    /// `Arc`s — cloning a pair is a refcount bump, not a string copy).
+    pub fn outputs_at(&self, step: u32) -> Vec<(Arc<str>, f64)> {
         self.history
             .iter()
             .filter_map(|(k, v)| v.get(step as usize).map(|&x| (k.clone(), x)))
@@ -33,12 +45,11 @@ impl RunOutput {
     }
 }
 
-/// Runs the model once: `cam_init(pert)` then `steps` × `cam_run_step`.
-pub fn run_model(
-    model: &ModelSource,
-    config: &RunConfig,
-    pert: f64,
-) -> Result<RunOutput, RuntimeError> {
+/// Parses and compiles a model into a shareable [`Program`].
+///
+/// This is the expensive, once-per-variant step; see [`run_program`] /
+/// [`run_ensemble_program`] for the cheap, many-times-per-variant part.
+pub fn compile_model(model: &ModelSource) -> Result<Arc<Program>, RuntimeError> {
     let (asts, parse_errs) = model.parse();
     if let Some(e) = parse_errs.first() {
         return Err(RuntimeError {
@@ -47,17 +58,54 @@ pub fn run_model(
             line: e.line,
         });
     }
-    let mut interp = Interpreter::load(&asts, config.clone())?;
-    run_loaded(&mut interp, config, pert)
+    Ok(Arc::new(crate::compile::compile_sources(&asts)?))
 }
 
-/// Drives an already-loaded interpreter through a full simulation.
+/// Runs the model once: `cam_init(pert)` then `steps` × `cam_run_step`.
+///
+/// Convenience over [`compile_model`] + [`run_program`]; callers running a
+/// model more than once should compile once and share the program.
+pub fn run_model(
+    model: &ModelSource,
+    config: &RunConfig,
+    pert: f64,
+) -> Result<RunOutput, RuntimeError> {
+    let program = compile_model(model)?;
+    run_program(&program, config, pert)
+}
+
+/// Runs a compiled program once through the standard driver sequence.
+pub fn run_program(
+    program: &Arc<Program>,
+    config: &RunConfig,
+    pert: f64,
+) -> Result<RunOutput, RuntimeError> {
+    let mut ex = Executor::new(Arc::clone(program), config);
+    ex.call("cam_init", &[Value::Real(pert)])?;
+    for step in 0..config.steps {
+        ex.set_step(step);
+        ex.call("cam_run_step", &[])?;
+        if config.sample_step == Some(step) {
+            ex.capture_module_samples();
+        }
+    }
+    let coverage = ex.coverage();
+    Ok(RunOutput {
+        history: ex.history,
+        samples: ex.samples,
+        coverage,
+    })
+}
+
+/// Drives an already-loaded tree-walking interpreter through a full
+/// simulation. Retained for the reference engine (differential testing
+/// and spot verification against [`run_program`]).
 pub fn run_loaded(
     interp: &mut Interpreter,
     config: &RunConfig,
     pert: f64,
 ) -> Result<RunOutput, RuntimeError> {
-    interp.call("cam_init", &[crate::value::Value::Real(pert)])?;
+    interp.call("cam_init", &[Value::Real(pert)])?;
     for step in 0..config.steps {
         interp.set_step(step);
         interp.call("cam_run_step", &[])?;
@@ -68,12 +116,17 @@ pub fn run_loaded(
     let mut history = BTreeMap::new();
     for name in interp.history.names() {
         if let Some(series) = interp.history.series(&name) {
-            history.insert(name.clone(), series.to_vec());
+            history.insert(Arc::from(name.as_str()), series.to_vec());
         }
     }
+    let samples = interp
+        .samples
+        .iter()
+        .map(|(k, v)| (Arc::from(k.as_str()), v.clone()))
+        .collect();
     Ok(RunOutput {
         history,
-        samples: interp.samples.clone(),
+        samples,
         coverage: interp.coverage.iter().cloned().collect(),
     })
 }
@@ -93,26 +146,27 @@ pub fn perturbations(n: usize, magnitude: f64, seed: u64) -> Vec<f64> {
         .collect()
 }
 
-/// Runs an ensemble in parallel, one interpreter per member.
+/// Runs an ensemble in parallel: the model is parsed and compiled exactly
+/// once, then every member executes the shared program.
 pub fn run_ensemble(
     model: &ModelSource,
     config: &RunConfig,
     perts: &[f64],
 ) -> Result<Vec<RunOutput>, RuntimeError> {
-    let (asts, parse_errs) = model.parse();
-    if let Some(e) = parse_errs.first() {
-        return Err(RuntimeError {
-            message: format!("model does not parse: {e}"),
-            context: "loader".to_string(),
-            line: e.line,
-        });
-    }
+    let program = compile_model(model)?;
+    run_ensemble_program(&program, config, perts)
+}
+
+/// Runs an ensemble of a pre-compiled program in parallel, one executor
+/// per member.
+pub fn run_ensemble_program(
+    program: &Arc<Program>,
+    config: &RunConfig,
+    perts: &[f64],
+) -> Result<Vec<RunOutput>, RuntimeError> {
     perts
         .par_iter()
-        .map(|&p| {
-            let mut interp = Interpreter::load(&asts, config.clone())?;
-            run_loaded(&mut interp, config, p)
-        })
+        .map(|&p| run_program(program, config, p))
         .collect()
 }
 
@@ -130,19 +184,19 @@ pub fn outputs_matrix(runs: &[RunOutput], step: u32) -> (Vec<String>, Vec<Vec<f6
             v.is_finite()
                 && runs.iter().all(|r| {
                     r.history
-                        .get(name)
+                        .get(&**name)
                         .and_then(|s| s.get(step as usize))
                         .is_some_and(|x| x.is_finite())
                 })
         })
-        .map(|(name, _)| name)
+        .map(|(name, _)| name.to_string())
         .collect();
     let rows = runs
         .iter()
         .map(|r| {
             names
                 .iter()
-                .map(|n| r.history[n][step as usize])
+                .map(|n| r.history[n.as_str()][step as usize])
                 .collect::<Vec<f64>>()
         })
         .collect();
@@ -203,7 +257,7 @@ mod tests {
         let diff = a
             .history
             .iter()
-            .filter(|(name, series)| series.last() != b.history[name.as_str()].last())
+            .filter(|(name, series)| series.last() != b.history[&**name].last())
             .count();
         assert!(diff > 0, "perturbation must move at least one output");
     }
@@ -223,7 +277,7 @@ mod tests {
             let changed = base
                 .history
                 .iter()
-                .any(|(name, series)| series.last() != out.history[name.as_str()].last());
+                .any(|(name, series)| series.last() != out.history[&**name].last());
             assert!(changed, "{e:?} must change some output");
         }
     }
@@ -305,8 +359,20 @@ mod tests {
         let changed = base
             .history
             .iter()
-            .filter(|(name, series)| series.last() != fma.history[name.as_str()].last())
+            .filter(|(name, series)| series.last() != fma.history[&**name].last())
             .count();
         assert!(changed > 0, "FMA contraction must alter some outputs");
+    }
+
+    #[test]
+    fn compiled_program_is_shared_across_ensemble() {
+        let model = generate(&ModelConfig::test());
+        let program = compile_model(&model).expect("compile");
+        let perts = perturbations(3, 1e-14, 9);
+        let ens = run_ensemble_program(&program, &cfg(), &perts).unwrap();
+        assert_eq!(ens.len(), 3);
+        // Same program, same pert => identical bits.
+        let again = run_program(&program, &cfg(), perts[0]).unwrap();
+        assert_eq!(ens[0].history, again.history);
     }
 }

@@ -1,0 +1,180 @@
+//! Differential suite: the compiled engine must be **bit-identical** to
+//! the tree-walking interpreter.
+//!
+//! This is the proof obligation of the parse → compile → execute
+//! pipeline: for every paper experiment (source patches, PRNG
+//! substitution, AVX2/FMA contraction) and for instrumented runs, the
+//! histories, captured samples, and coverage sets of
+//! [`rca_sim::run_program`] and the reference [`rca_sim::Interpreter`]
+//! must agree to the last bit. Any divergence — an evaluation-order slip,
+//! a missed FMA shape, a scoping difference — fails here before it can
+//! silently corrupt the statistical layer.
+
+use rca_model::{generate, Experiment, ModelConfig, ModelSource};
+use rca_sim::{
+    compile_model, kernel_sample_specs, run_loaded, run_program, Avx2Policy, Interpreter, PrngKind,
+    RunConfig, RunOutput,
+};
+
+fn tree_walk(model: &ModelSource, config: &RunConfig, pert: f64) -> RunOutput {
+    let (asts, errs) = model.parse();
+    assert!(errs.is_empty(), "{errs:?}");
+    let mut interp = Interpreter::load(&asts, config.clone()).expect("load");
+    run_loaded(&mut interp, config, pert).expect("tree-walk run")
+}
+
+fn compiled(model: &ModelSource, config: &RunConfig, pert: f64) -> RunOutput {
+    let program = compile_model(model).expect("compile");
+    run_program(&program, config, pert).expect("compiled run")
+}
+
+/// Asserts bit-identical histories, samples, and coverage.
+fn assert_identical(label: &str, a: &RunOutput, b: &RunOutput) {
+    // Histories: same outputs, same series, same bits.
+    let names_a: Vec<_> = a.history.keys().collect();
+    let names_b: Vec<_> = b.history.keys().collect();
+    assert_eq!(names_a, names_b, "{label}: output sets differ");
+    for (name, series) in &a.history {
+        let other = &b.history[name];
+        assert_eq!(series.len(), other.len(), "{label}/{name}: lengths differ");
+        for (i, (x, y)) in series.iter().zip(other).enumerate() {
+            assert!(
+                x.to_bits() == y.to_bits() || (x.is_nan() && y.is_nan()),
+                "{label}/{name}[{i}]: {x:e} != {y:e}"
+            );
+        }
+    }
+    // Samples: same keys, same bits.
+    let mut keys_a: Vec<_> = a.samples.keys().collect();
+    let mut keys_b: Vec<_> = b.samples.keys().collect();
+    keys_a.sort();
+    keys_b.sort();
+    assert_eq!(keys_a, keys_b, "{label}: sample keys differ");
+    for (key, va) in &a.samples {
+        let vb = &b.samples[key];
+        assert_eq!(va.len(), vb.len(), "{label}/{key}: sample lengths differ");
+        for (i, (x, y)) in va.iter().zip(vb).enumerate() {
+            assert!(
+                x.to_bits() == y.to_bits() || (x.is_nan() && y.is_nan()),
+                "{label}/{key}[{i}]: {x:e} != {y:e}"
+            );
+        }
+    }
+    // Coverage: same executed set.
+    let mut ca = a.coverage.clone();
+    let mut cb = b.coverage.clone();
+    ca.sort();
+    cb.sort();
+    ca.dedup();
+    cb.dedup();
+    assert_eq!(ca, cb, "{label}: coverage differs");
+}
+
+fn experiment_config(e: Experiment, steps: u32) -> RunConfig {
+    let mut cfg = RunConfig {
+        steps,
+        ..Default::default()
+    };
+    if e.uses_mersenne_twister() {
+        cfg.prng = PrngKind::MersenneTwister;
+    }
+    if e.enables_avx2() {
+        cfg.avx2 = Avx2Policy::AllModules;
+        cfg.fma_scale = 1.0;
+    }
+    cfg
+}
+
+#[test]
+fn engines_agree_on_all_paper_experiments() {
+    let model = generate(&ModelConfig::test());
+    for e in Experiment::ALL {
+        let variant = if e.source_patches().is_empty() {
+            model.clone()
+        } else {
+            model.apply(e)
+        };
+        let cfg = experiment_config(e, 4);
+        let a = tree_walk(&variant, &cfg, 0.0);
+        let b = compiled(&variant, &cfg, 0.0);
+        assert_identical(e.name(), &a, &b);
+    }
+}
+
+#[test]
+fn engines_agree_under_perturbation() {
+    let model = generate(&ModelConfig::test());
+    let cfg = RunConfig {
+        steps: 3,
+        ..Default::default()
+    };
+    for pert in [0.0, 1e-14, -3e-14, 1e-10] {
+        let a = tree_walk(&model, &cfg, pert);
+        let b = compiled(&model, &cfg, pert);
+        assert_identical(&format!("pert={pert:e}"), &a, &b);
+    }
+}
+
+#[test]
+fn engines_agree_with_full_kernel_instrumentation() {
+    // Every micro_mg variable instrumented (module vars + subprogram
+    // locals) exercises both sampling paths on both engines.
+    let model = generate(&ModelConfig::test());
+    let specs = kernel_sample_specs(&model, "micro_mg").expect("specs");
+    assert!(!specs.is_empty());
+    let cfg = RunConfig {
+        steps: 3,
+        sample_step: Some(2),
+        samples: specs,
+        ..Default::default()
+    };
+    let a = tree_walk(&model, &cfg, 0.0);
+    let b = compiled(&model, &cfg, 0.0);
+    assert!(!a.samples.is_empty(), "instrumentation captured nothing");
+    assert_identical("kernel-instrumented", &a, &b);
+}
+
+#[test]
+fn engines_agree_under_per_module_fma() {
+    // FMA in exactly one module (the campaign's FmaToggle mechanism).
+    let model = generate(&ModelConfig::test());
+    for module in ["micro_mg", "dyn_comp", "cldwat2m_macro"] {
+        let cfg = RunConfig {
+            steps: 3,
+            avx2: Avx2Policy::Only([module.to_string()].into_iter().collect()),
+            fma_scale: 1.0,
+            ..Default::default()
+        };
+        let a = tree_walk(&model, &cfg, 0.0);
+        let b = compiled(&model, &cfg, 0.0);
+        assert_identical(&format!("fma-only-{module}"), &a, &b);
+    }
+}
+
+#[test]
+fn engines_agree_at_medium_scale() {
+    // The bench scale: more fillers, deeper call graph.
+    let model = generate(&ModelConfig::medium());
+    let cfg = RunConfig {
+        steps: 2,
+        ..Default::default()
+    };
+    let a = tree_walk(&model, &cfg, 1e-14);
+    let b = compiled(&model, &cfg, 1e-14);
+    assert_identical("medium", &a, &b);
+}
+
+#[test]
+fn compiled_initial_globals_match_interpreter_load() {
+    let model = generate(&ModelConfig::test());
+    let program = compile_model(&model).expect("compile");
+    let (asts, _) = model.parse();
+    let interp = Interpreter::load(&asts, RunConfig::default()).expect("load");
+    for module in ["micro_mg", "microp_aero", "wv_saturation", "shr_const_mod"] {
+        for name in program.module_var_names(module) {
+            let a = program.initial_global(module, &name);
+            let b = interp.global(module, &name);
+            assert_eq!(a, b, "{module}::{name} initial value differs");
+        }
+    }
+}

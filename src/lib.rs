@@ -105,6 +105,34 @@
 //! module-level localization — see `examples/campaign.rs` and the
 //! `rca-campaign` binary.
 //!
+//! ## Execution engine: parse → compile → execute
+//!
+//! Model execution is a three-stage pipeline. `sim::compile_model` parses
+//! the Fortran once and lowers it into a slot-indexed
+//! [`sim::Program`] — interned symbols, pre-resolved call targets and
+//! variable bindings (module globals become arena indices, subprogram
+//! locals become frame offsets) — and every run is then a cheap
+//! [`sim::Executor`] over the shared `Arc<Program>`: the hot
+//! `cam_run_step` loop never hashes a name or touches a `String`. The
+//! original tree-walking `sim::Interpreter` survives as the *reference
+//! engine*; a differential suite holds the two bit-identical (histories,
+//! samples, coverage) across all paper experiments and seeded campaign
+//! mutants, which is the proof that the compilation step is
+//! semantics-preserving.
+//!
+//! [`rca::RcaSession`] keeps a **program cache** keyed by
+//! [`model::ModelSource::content_hash`] (FNV-1a over every file name and
+//! source text). The invalidation rule is content addressing itself:
+//! a cached program is valid exactly as long as a model with the same
+//! source bytes is being executed — any source patch produces a new hash
+//! (and a new entry), while variants that differ only in run
+//! configuration (RAND-MT's PRNG swap, AVX2's FMA policy) share one
+//! compiled program, because PRNG, FMA policy, and instrumentation are
+//! execution-time parameters of the `Executor`, not of the `Program`.
+//! The cache means an N-scenario campaign parses and compiles each
+//! mutated variant exactly once — the ensemble, the statistics stage,
+//! and every runtime-oracle query all execute the same shared program.
+//!
 //! ## Workspace layout
 //!
 //! One crate per subsystem, re-exported here:
@@ -117,11 +145,12 @@
 //!   median-distance variable selection, normalized-RMS comparison.
 //! - [`model`] — the synthetic CESM-like climate model generator with
 //!   ground-truth bug injection.
-//! - [`sim`] — the interpreter: FMA/AVX2 simulation, PRNG substitution,
-//!   coverage, runtime sampling, parallel ensembles.
+//! - [`sim`] — the execution substrate: the compiled slot-indexed engine
+//!   and the reference tree-walker, FMA/AVX2 simulation, PRNG
+//!   substitution, coverage, runtime sampling, parallel ensembles.
 //! - [`rca`] — the paper's pipeline behind [`rca::RcaSession`]: hybrid
 //!   slicing, community/centrality ranking, iterative refinement,
-//!   module-level AVX2 policies.
+//!   module-level AVX2 policies, and the per-session program cache.
 
 pub use rca_core as rca;
 pub use rca_fortran as fortran;
