@@ -68,7 +68,7 @@ fn main() {
         .iter()
         .max_by_key(|c| {
             c.iter()
-                .filter(|&&n| metagraph.meta_of(slice.to_meta(n)).module == "micro_mg")
+                .filter(|&&n| metagraph.module_name_of(slice.to_meta(n)) == "micro_mg")
                 .count()
         })
         .expect("communities exist");
@@ -84,11 +84,11 @@ fn main() {
     let mut shown = 0;
     for (local, c) in ranked.iter() {
         let meta = slice.to_meta(cmap[*local]);
-        if metagraph.meta_of(meta).module != "micro_mg" {
+        if metagraph.module_name_of(meta) != "micro_mg" {
             continue;
         }
         let name = metagraph.display(meta);
-        let canonical = &metagraph.meta_of(meta).canonical;
+        let canonical = metagraph.canonical_of(meta);
         let flagged = flagged_names.iter().any(|f| f == canonical);
         if flagged && shown < 15 {
             hits_top15 += 1;

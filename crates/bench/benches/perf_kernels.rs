@@ -36,9 +36,15 @@ fn bench_pipeline(c: &mut Criterion) {
         b.iter(|| RcaPipeline::build(&model).unwrap())
     });
     let pipeline = RcaPipeline::build(&model).unwrap();
-    let names = vec!["flwds".to_string(), "qrl".to_string()];
+    // Criteria resolve to ids once; the benched loop is the pure id-keyed
+    // slicing engine.
+    let syms = pipeline.metagraph.symbols().clone();
+    let criteria: Vec<_> = ["flwds", "qrl"]
+        .iter()
+        .filter_map(|n| syms.var_id(n))
+        .collect();
     c.bench_function("induce_slice", |b| {
-        b.iter(|| backward_slice(&pipeline.metagraph, &names, |_| true))
+        b.iter(|| backward_slice(&pipeline.metagraph, &criteria, |_| true))
     });
 }
 

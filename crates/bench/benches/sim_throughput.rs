@@ -8,11 +8,14 @@
 //! `RCA_SIM_REPEAT` overrides the timed repetition count.
 
 use rca_bench::{bench_config, header};
+use rca_core::{PipelineOptions, RcaPipeline};
+use rca_metagraph::NodeKind;
 use rca_sim::{
     compile_model, perturbations, run_ensemble_program, run_loaded, run_program, Interpreter,
-    RunConfig,
+    RunConfig, SampleSpec,
 };
 use serde::{Json, Serialize as _};
+use std::collections::HashMap;
 use std::time::Instant;
 
 fn main() {
@@ -88,6 +91,125 @@ fn main() {
         ens_s
     );
 
+    // ----- oracle-differs microbench: string-keyed vs id-keyed ----------
+    //
+    // The refinement oracle's per-iteration data plane, isolated from the
+    // (identical-cost) simulation runs: the pre-identity-plane design
+    // built owned `String` specs, formatted `module::sub::name` keys, and
+    // looked captures up in per-run keyed maps; the id-keyed design
+    // clones interned `Arc<str>` refcounts and compares sample buffers
+    // positionally. Both layers produce the same detect vector here.
+    let pipeline = RcaPipeline::build_with_program(&model, &program, &PipelineOptions::default())
+        .expect("pipeline");
+    let mg = &pipeline.metagraph;
+    let nodes: Vec<_> = mg
+        .graph
+        .nodes()
+        .filter(|&n| mg.meta_of(n).kind == NodeKind::Variable)
+        .take(200)
+        .collect();
+    let syms = mg.symbols();
+    let specs: Vec<SampleSpec> = nodes
+        .iter()
+        .map(|&n| {
+            let meta = mg.meta_of(n);
+            SampleSpec {
+                module: syms.module_arc(meta.module),
+                subprogram: meta.subprogram.map(|s| syms.var_arc(s)),
+                name: syms.var_arc(meta.canonical),
+            }
+        })
+        .collect();
+    let sample_cfg = RunConfig {
+        steps: 3,
+        sample_step: Some(2),
+        samples: specs,
+        ..Default::default()
+    };
+    let ctl_run = run_program(&program, &sample_cfg, 0.0).expect("control run");
+    let exp_run = run_program(&program, &sample_cfg, 1e-12).expect("experimental run");
+    let tolerance = 1e-12;
+    let queries: usize = if scale == "test" { 100 } else { 400 };
+
+    // Id-keyed: interned spec construction + positional buffer compare.
+    let t0 = Instant::now();
+    let mut detect_id = Vec::new();
+    for _ in 0..queries {
+        detect_id = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                let meta = mg.meta_of(n);
+                let _spec = (
+                    syms.module_arc(meta.module),
+                    meta.subprogram.map(|s| syms.var_arc(s)),
+                    syms.var_arc(meta.canonical),
+                );
+                let (Some(a), Some(b)) = (ctl_run.samples[i].as_ref(), exp_run.samples[i].as_ref())
+                else {
+                    return false;
+                };
+                a.iter().zip(b).any(|(&x, &y)| {
+                    let s = x.abs().max(y.abs()).max(1e-300);
+                    ((x - y).abs() / s) > tolerance
+                })
+            })
+            .collect();
+    }
+    let id_us = t0.elapsed().as_secs_f64() * 1e6 / queries as f64;
+
+    // String-keyed baseline: owned-String specs, formatted keys, per-run
+    // keyed maps rebuilt for both runs of every query (what each pair of
+    // instrumented runs returned before the identity plane).
+    let t0 = Instant::now();
+    let mut detect_str = Vec::new();
+    for _ in 0..queries {
+        let keys: Vec<String> = nodes
+            .iter()
+            .map(|&n| {
+                let meta = mg.meta_of(n);
+                let module = syms.module(meta.module).to_string();
+                let sub = meta
+                    .subprogram
+                    .map(|s| syms.var(s).to_string())
+                    .unwrap_or_default();
+                let name = syms.var(meta.canonical).to_string();
+                format!("{module}::{sub}::{name}")
+            })
+            .collect();
+        let ctl_map: HashMap<&str, &Vec<f64>> = keys
+            .iter()
+            .enumerate()
+            .filter_map(|(i, k)| ctl_run.samples[i].as_ref().map(|v| (k.as_str(), v)))
+            .collect();
+        let exp_map: HashMap<&str, &Vec<f64>> = keys
+            .iter()
+            .enumerate()
+            .filter_map(|(i, k)| exp_run.samples[i].as_ref().map(|v| (k.as_str(), v)))
+            .collect();
+        detect_str = keys
+            .iter()
+            .map(|k| {
+                let (Some(a), Some(b)) = (ctl_map.get(k.as_str()), exp_map.get(k.as_str())) else {
+                    return false;
+                };
+                a.iter().zip(b.iter()).any(|(&x, &y)| {
+                    let s = x.abs().max(y.abs()).max(1e-300);
+                    ((x - y).abs() / s) > tolerance
+                })
+            })
+            .collect();
+    }
+    let str_us = t0.elapsed().as_secs_f64() * 1e6 / queries as f64;
+    assert_eq!(detect_id, detect_str, "keying layers must agree");
+
+    let differs_speedup = str_us / id_us;
+    println!(
+        "oracle differs data plane ({} nodes): string-keyed {str_us:.1} us/query, \
+         id-keyed {id_us:.1} us/query ({differs_speedup:.2}x)",
+        nodes.len()
+    );
+
     let record = Json::obj([
         ("bench", "sim_throughput".to_json()),
         ("scale", scale.to_json()),
@@ -114,6 +236,16 @@ fn main() {
                 ("members", n_members.to_json()),
                 ("wall_seconds", ens_s.to_json()),
                 ("steps_per_sec", ens_sps.to_json()),
+            ]),
+        ),
+        (
+            "oracle_differs",
+            Json::obj([
+                ("nodes", nodes.len().to_json()),
+                ("queries", queries.to_json()),
+                ("string_keyed_us_per_query", str_us.to_json()),
+                ("id_keyed_us_per_query", id_us.to_json()),
+                ("speedup", differs_speedup.to_json()),
             ]),
         ),
     ]);

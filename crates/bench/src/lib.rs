@@ -73,7 +73,7 @@ pub fn experiment_figure(session: &RcaSession<'_>, experiment: Experiment) {
     println!("selected outputs: {:?}", stats.affected);
 
     let sliced = stats.slice().expect("slice");
-    println!("internal criteria: {:?}", sliced.criteria);
+    println!("internal criteria: {:?}", sliced.criteria_names());
     println!(
         "induced subgraph: {} nodes, {} edges",
         sliced.slice.graph.node_count(),

@@ -3,10 +3,13 @@
 //! ```text
 //! rca-campaign [--scenarios N] [--seed S] [--scale test|medium|paper]
 //!              [--oracle reachability|runtime] [--clean-every K] [--paper]
-//!              [--fma-scale F] [--threads N] [--json PATH] [--quiet]
-//!              [--assert-localization R] [--assert-clean-pass R]
+//!              [--signflip] [--fma-scale F] [--threads N] [--json PATH]
+//!              [--quiet] [--assert-localization R] [--assert-clean-pass R]
 //!              [--assert-flagged R]
 //! ```
+//!
+//! `--signflip` adds the additive `+`→`-` operator to the mutation mix
+//! (off by default so recorded fixed-seed baselines stay byte-identical).
 //!
 //! The JSON artifact is deterministic for a given seed (timing excluded),
 //! so CI can both diff it and assert quality floors via the `--assert-*`
@@ -32,8 +35,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: rca-campaign [--scenarios N] [--seed S] [--scale test|medium|paper]\n\
          \x20                   [--oracle reachability|runtime] [--clean-every K] [--paper]\n\
-         \x20                   [--fma-scale F] [--threads N] [--json PATH] [--quiet]\n\
-         \x20                   [--assert-localization R] [--assert-clean-pass R]\n\
+         \x20                   [--signflip] [--fma-scale F] [--threads N] [--json PATH]\n\
+         \x20                   [--quiet] [--assert-localization R] [--assert-clean-pass R]\n\
          \x20                   [--assert-flagged R]"
     );
     std::process::exit(2);
@@ -70,6 +73,7 @@ fn parse_args() -> Args {
                 args.opts.fma_scale = value("--fma-scale").parse().unwrap_or_else(|_| usage())
             }
             "--paper" => args.opts.include_paper = true,
+            "--signflip" => args.opts.sign_flip = true,
             "--scale" => args.scale = value("--scale"),
             "--oracle" => {
                 args.runner.oracle = match value("--oracle").as_str() {

@@ -71,10 +71,14 @@ pub fn run_scenario(session: &RcaSession<'_>, cs: &CampaignScenario) -> Scenario
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
     match outcome {
         Ok(d) => {
+            // Scorecard matching runs on interned ids: the injected module
+            // resolves through the session table once, then membership is
+            // a binary search over the diagnosis' id-sorted module set.
             let module_in_final = cs
                 .injected_module
                 .as_deref()
-                .is_some_and(|m| d.suspects_module(m));
+                .and_then(|m| session.symbols().module_id(m))
+                .is_some_and(|m| d.suspects_module_id(m));
             ScenarioResult {
                 name: cs.scenario.name.clone(),
                 kind: cs.class.slug().to_string(),

@@ -46,7 +46,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Element count for [`vec`]: an exact size or a half-open range.
+    /// Element count for [`fn@vec`]: an exact size or a half-open range.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         min: usize,

@@ -3,8 +3,8 @@
 
 use rca_model::{Experiment, ModelConfig, ModelSource};
 use rca_sim::{
-    outputs_matrix, perturbations, run_ensemble_program, Avx2Policy, PrngKind, Program, RunConfig,
-    RuntimeError,
+    finite_outputs_at, perturbations, run_ensemble_program, Avx2Policy, PrngKind, Program,
+    RunConfig, RunOutput, RuntimeError,
 };
 use rca_stats::{fit_lasso_path, median_distance_selection, Ect, EctConfig, Matrix, Verdict};
 use std::sync::Arc;
@@ -105,6 +105,19 @@ pub struct EnsembleStats {
     pub matrix: Matrix,
     /// The ECT fitted to the full ensemble output set.
     pub(crate) ect: Ect,
+    /// The base program's sorted output table (`OutputId` space).
+    pub(crate) table: Arc<[Arc<str>]>,
+    /// Kept column ids (indices into `table`): finite at the evaluation
+    /// step in every ensemble run.
+    pub(crate) kept: Vec<u32>,
+}
+
+/// Builds a `runs × kept` matrix straight from the dense per-run history
+/// buffers — direct column indexing, zero hashing, no intermediate rows.
+fn dense_matrix(runs: &[RunOutput], kept: &[u32], step: usize) -> Matrix {
+    Matrix::from_fn(runs.len(), kept.len(), |r, c| {
+        runs[r].history[kept[c] as usize][step]
+    })
 }
 
 /// Runs the control ensemble and fits the ECT — everything on the
@@ -117,10 +130,22 @@ pub(crate) fn collect_ensemble(
 ) -> Result<EnsembleStats, RuntimeError> {
     let perts = perturbations(setup.n_ensemble, setup.ic_magnitude, setup.seed);
     let runs = run_ensemble_program(base_program, &control_config(setup), &perts)?;
-    let (names, rows) = outputs_matrix(&runs, setup.steps - 1);
-    let matrix = Matrix::from_row_slices(&rows);
+    let eval_step = (setup.steps - 1) as usize;
+    let kept = finite_outputs_at(&runs, setup.steps - 1);
+    let table = Arc::clone(base_program.output_names());
+    let names = kept
+        .iter()
+        .map(|&i| table[i as usize].to_string())
+        .collect();
+    let matrix = dense_matrix(&runs, &kept, eval_step);
     let ect = Ect::fit(&matrix, setup.ect);
-    Ok(EnsembleStats { names, matrix, ect })
+    Ok(EnsembleStats {
+        names,
+        matrix,
+        ect,
+        table,
+        kept,
+    })
 }
 
 /// Statistical results for one experiment campaign.
@@ -161,35 +186,75 @@ pub(crate) fn evaluate_against_ensemble(
     let exp_runs = run_ensemble_program(exp_program, exp_cfg, &exp_perts)?;
 
     let eval_step = setup.steps - 1;
-    let (names_b, exp_rows) = outputs_matrix(&exp_runs, eval_step);
-    // Intersect output sets defensively (they should be identical).
-    let names: Vec<String> = ens
-        .names
-        .iter()
-        .filter(|n| names_b.contains(n))
-        .cloned()
-        .collect();
-    let select = |rows: &[Vec<f64>], from_names: &[String]| -> Matrix {
-        let idx: Vec<usize> = names
+    let kept_b = finite_outputs_at(&exp_runs, eval_step);
+    // The experimental program almost always shares the base program's
+    // output table (mutations patch assignments, not `outfld` calls), so
+    // column intersection is pure id arithmetic and matrices assemble by
+    // direct indexing into the dense history buffers — zero hashing, no
+    // name resolution. A variant with a different output set falls back
+    // to intersecting by name.
+    let same_table = exp_runs
+        .first()
+        .is_some_and(|r| r.output_names == ens.table);
+    let (names, ensemble, experimental, full_match) = if same_table {
+        let mut in_b = vec![false; ens.table.len()];
+        for &i in &kept_b {
+            in_b[i as usize] = true;
+        }
+        let kept: Vec<u32> = ens
+            .kept
             .iter()
-            .map(|n| from_names.iter().position(|m| m == n).expect("intersected"))
+            .copied()
+            .filter(|&i| in_b[i as usize])
             .collect();
-        let data: Vec<Vec<f64>> = rows
+        let full_match = kept == ens.kept;
+        let names: Vec<String> = kept
             .iter()
-            .map(|r| idx.iter().map(|&i| r[i]).collect())
+            .map(|&i| ens.table[i as usize].to_string())
             .collect();
-        Matrix::from_row_slices(&data)
-    };
-    let full_match = names == ens.names;
-    let ensemble = if full_match {
-        ens.matrix.clone()
+        let ensemble = if full_match {
+            ens.matrix.clone()
+        } else {
+            let mut pos_of = vec![usize::MAX; ens.table.len()];
+            for (p, &i) in ens.kept.iter().enumerate() {
+                pos_of[i as usize] = p;
+            }
+            let positions: Vec<usize> = kept.iter().map(|&i| pos_of[i as usize]).collect();
+            ens.matrix.gather_cols(&positions)
+        };
+        let experimental = dense_matrix(&exp_runs, &kept, eval_step as usize);
+        (names, ensemble, experimental, full_match)
     } else {
-        let ens_rows: Vec<Vec<f64>> = (0..ens.matrix.rows())
-            .map(|r| ens.matrix.row(r).to_vec())
+        let exp_table = exp_runs
+            .first()
+            .map(|r| Arc::clone(&r.output_names))
+            .unwrap_or_else(|| Vec::new().into());
+        let names_b: Vec<String> = kept_b
+            .iter()
+            .map(|&i| exp_table[i as usize].to_string())
             .collect();
-        select(&ens_rows, &ens.names)
+        let names: Vec<String> = ens
+            .names
+            .iter()
+            .filter(|n| names_b.contains(n))
+            .cloned()
+            .collect();
+        let ens_pos: Vec<usize> = names
+            .iter()
+            .map(|n| ens.names.iter().position(|m| m == n).expect("intersected"))
+            .collect();
+        let ensemble = ens.matrix.gather_cols(&ens_pos);
+        let exp_cols: Vec<u32> = names
+            .iter()
+            .map(|n| {
+                let p = names_b.iter().position(|m| m == n).expect("intersected");
+                kept_b[p]
+            })
+            .collect();
+        let experimental = dense_matrix(&exp_runs, &exp_cols, eval_step as usize);
+        // Foreign table: the prefit ECT's column space does not apply.
+        (names, ensemble, experimental, false)
     };
-    let experimental = select(&exp_rows, &names_b);
 
     // ECT: verdict on the first 3 experimental runs, failure rate over all
     // 3-run sets. The prefit ECT is reusable whenever the output sets

@@ -25,9 +25,9 @@
 //!    standardized median distance and lasso (§3).
 //! 2. [`pipeline`]: coverage-filter the source (hybrid slicing's dynamic
 //!    information) and compile it into the variable digraph (§4).
-//! 3. [`slice`]: BFS shortest-path backward slice on canonical names; the
+//! 3. [`mod@slice`]: BFS shortest-path backward slice on canonical names; the
 //!    union of path nodes induces the suspect subgraph (§5.1).
-//! 4. [`refine`]: **Algorithm 5.4** — Girvan–Newman communities,
+//! 4. [`mod@refine`]: **Algorithm 5.4** — Girvan–Newman communities,
 //!    per-community eigenvector in-centrality, runtime sampling, and k-ary
 //!    shrinkage until the bug is instrumented or the graph is small enough
 //!    to read (§5.2–5.4).
@@ -54,10 +54,11 @@ pub use experiments::{experiment_configs, EnsembleStats, ExperimentData, Experim
 pub use module_rank::{avx2_policy, DisablementPolicy, ModuleRanking};
 pub use oracle::{Oracle, ReachabilityOracle, RuntimeSampler};
 pub use pipeline::{PipelineOptions, RcaPipeline};
+pub use rca_ident::{ModuleId, OutputId, SymbolTable, VarId};
 pub use refine::{refine, IterationReport, RefineOptions, RefinementReport, StopReason};
 pub use report::{centrality_listing, refinement_trace, table};
 pub use session::{
     Diagnosis, OracleKind, RcaSession, RcaSessionBuilder, Refined, Scenario, SliceScope, Sliced,
     Statistics,
 };
-pub use slice::{backward_slice, reinduce, Slice};
+pub use slice::{backward_slice, backward_slice_names, reinduce, Slice};

@@ -12,7 +12,7 @@
 //! # The `Oracle` contract
 //!
 //! [`Oracle`] is the single object-safe evidence interface of Algorithm
-//! 5.4: [`crate::refine`] (and the [`crate::RcaSession`] facade) accept
+//! 5.4: [`crate::refine()`] (and the [`crate::RcaSession`] facade) accept
 //! `&mut dyn Oracle`, so evidence sources are swappable — simulated
 //! reachability, real instrumented runs, or anything a caller implements
 //! (cached verdicts, a remote sampling service, ...). Implementations
@@ -175,10 +175,13 @@ impl RuntimeSampler {
         if meta.kind != NodeKind::Variable {
             return None; // localized intrinsic call sites are not variables
         }
+        // Interned names: building a spec is three refcount bumps, no
+        // string copies, no hashing.
+        let syms = mg.symbols();
         Some(SampleSpec {
-            module: meta.module.clone(),
-            subprogram: meta.subprogram.clone(),
-            name: meta.canonical.clone(),
+            module: syms.module_arc(meta.module),
+            subprogram: meta.subprogram.map(|s| syms.var_arc(s)),
+            name: syms.var_arc(meta.canonical),
         })
     }
 }
@@ -225,15 +228,21 @@ impl Oracle for RuntimeSampler {
             }
         };
 
+        // Captures are positional over the instrumented spec list: the
+        // i-th live spec is the i-th sample buffer in both runs — the
+        // per-iteration comparison hashes nothing and allocates no keys.
+        let mut live_idx = 0usize;
         specs
             .iter()
             .map(|spec| {
-                let Some(spec) = spec else { return false };
-                let key = spec.key();
-                let (Some(a), Some(b)) = (
-                    control.samples.get(key.as_str()),
-                    experiment.samples.get(key.as_str()),
-                ) else {
+                if spec.is_none() {
+                    return false;
+                }
+                let i = live_idx;
+                live_idx += 1;
+                let (Some(a), Some(b)) =
+                    (control.samples[i].as_ref(), experiment.samples[i].as_ref())
+                else {
                     return false;
                 };
                 if a.len() != b.len() {

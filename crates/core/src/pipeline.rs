@@ -7,7 +7,10 @@
 //! into the variable digraph.
 
 use crate::error::RcaError;
-use rca_metagraph::{build_metagraph, filter_sources, Coverage, FilterStats, MetaGraph};
+use rca_ident::{ModuleId, SymbolTable};
+use rca_metagraph::{
+    build_metagraph_seeded, filter_sources, BuildOptions, Coverage, FilterStats, MetaGraph,
+};
 use rca_model::{Component, ModelSource};
 use rca_sim::{compile_model, run_program, Program, RunConfig};
 use std::collections::HashMap;
@@ -15,7 +18,8 @@ use std::sync::Arc;
 
 /// A built pipeline: metagraph plus bookkeeping for one model variant.
 pub struct RcaPipeline {
-    /// The compiled variable digraph with metadata.
+    /// The compiled variable digraph with metadata (id-keyed over the
+    /// session's workspace-wide symbol table).
     pub metagraph: MetaGraph,
     /// Coverage observed during the calibration run.
     pub coverage: Coverage,
@@ -24,6 +28,10 @@ pub struct RcaPipeline {
     pub filter_stats: FilterStats,
     /// Module → component map from the generator.
     pub components: HashMap<String, Component>,
+    /// `cam_mask[ModuleId]` — dense CAM-membership mask, so slice-scope
+    /// checks on the refinement hot path are array reads, not string
+    /// compares.
+    cam_mask: Vec<bool>,
 }
 
 /// Options for pipeline construction.
@@ -116,12 +124,29 @@ impl RcaPipeline {
             }
             filter_sources(&asts, &coverage)
         };
-        let metagraph = build_metagraph(&filtered);
+        // One identity plane per session: seed the graph's symbol table
+        // from the compiled program's interner so program ids and graph
+        // ids share one space; a coverage-skipping build starts fresh.
+        let seed = match program {
+            Some(p) => (**p.symbols()).clone(),
+            None => SymbolTable::new(),
+        };
+        let metagraph = build_metagraph_seeded(&filtered, &BuildOptions::default(), seed);
+        let components = model.component_map();
+        let syms = metagraph.symbols();
+        let mut cam_mask = vec![false; syms.module_count()];
+        for (i, slot) in cam_mask.iter_mut().enumerate() {
+            *slot = matches!(
+                components.get(syms.module(ModuleId(i as u32))),
+                Some(Component::Cam)
+            );
+        }
         Ok(RcaPipeline {
             metagraph,
             coverage,
             filter_stats,
-            components: model.component_map(),
+            components,
+            cam_mask,
         })
     }
 
@@ -129,6 +154,11 @@ impl RcaPipeline {
     /// subgraphs to CAM modules, §6).
     pub fn is_cam(&self, module: &str) -> bool {
         matches!(self.components.get(module), Some(Component::Cam))
+    }
+
+    /// Dense id-keyed CAM check (the slice-scope hot path).
+    pub fn is_cam_id(&self, module: ModuleId) -> bool {
+        self.cam_mask.get(module.index()).copied().unwrap_or(false)
     }
 
     /// Maps affected output-file names to internal canonical names via the

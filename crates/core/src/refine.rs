@@ -328,7 +328,7 @@ mod tests {
     use super::*;
     use crate::oracle::ReachabilityOracle;
     use crate::pipeline::RcaPipeline;
-    use crate::slice::backward_slice;
+    use crate::slice::backward_slice_names;
     use rca_model::{generate, Experiment, ModelConfig};
 
     fn setup(exp: Experiment) -> (MetaGraph, Slice, Vec<NodeId>) {
@@ -340,7 +340,7 @@ mod tests {
             .map(|s| s.to_string())
             .collect();
         let comp = p.components.clone();
-        let slice = backward_slice(&p.metagraph, &internal, |m| {
+        let slice = backward_slice_names(&p.metagraph, &internal, |m| {
             matches!(comp.get(m), Some(rca_model::Component::Cam))
         });
         let oracle = ReachabilityOracle::from_sites(&p.metagraph, &exp.bug_sites());

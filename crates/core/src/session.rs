@@ -51,6 +51,7 @@ use crate::refine::{refine, RefineOptions, RefinementReport, StopReason};
 use crate::report::refinement_trace;
 use crate::slice::{backward_slice, Slice};
 use rca_graph::NodeId;
+use rca_ident::{ModuleId, OutputId, SymbolTable, VarId};
 use rca_metagraph::MetaGraph;
 use rca_model::{BugSite, Experiment, ModelSource};
 use rca_sim::{Program, RunConfig, RuntimeError};
@@ -132,7 +133,10 @@ pub(crate) struct Subject {
     exp_model: Option<Arc<ModelSource>>,
     exp_config: RunConfig,
     bug_sites: Vec<BugSite>,
-    bug_modules: Vec<String>,
+    /// Ground-truth modules resolved to ids once at subject construction
+    /// (a module the session's graph never interned cannot host a bug
+    /// node, so unresolvable names simply drop out here).
+    bug_module_ids: Vec<ModuleId>,
 }
 
 /// Configures and builds an [`RcaSession`].
@@ -271,6 +275,13 @@ impl<'m> RcaSession<'m> {
         &self.pipeline.metagraph
     }
 
+    /// The session's workspace-wide symbol table: seeded from the base
+    /// program's interner, extended by the metagraph build, shared by
+    /// every stage. Strings resolve to dense ids exactly once, here.
+    pub fn symbols(&self) -> &Arc<SymbolTable> {
+        self.pipeline.metagraph.symbols()
+    }
+
     /// The statistical campaign parameters.
     pub fn setup(&self) -> &ExperimentSetup {
         &self.setup
@@ -340,7 +351,10 @@ impl<'m> RcaSession<'m> {
     /// ground-truth helper for campaign scoring ("is the injected module
     /// in the final slice?").
     pub fn module_nodes(&self, module: &str) -> Vec<NodeId> {
-        self.pipeline.metagraph.nodes_in_modules(|m| m == module)
+        match self.symbols().module_id(module) {
+            Some(id) => self.pipeline.metagraph.nodes_in_module_ids(&[id]),
+            None => Vec::new(),
+        }
     }
 
     fn subject_of(&self, experiment: Experiment) -> Subject {
@@ -351,18 +365,23 @@ impl<'m> RcaSession<'m> {
             exp_model: None,
             exp_config,
             bug_sites: experiment.bug_sites(),
-            bug_modules: Vec::new(),
+            bug_module_ids: Vec::new(),
         }
     }
 
     fn subject_of_scenario(&self, scenario: &Scenario) -> Subject {
+        let syms = self.symbols();
         Subject {
             name: scenario.name.clone(),
             experiment: None,
             exp_model: Some(scenario.model.clone()),
             exp_config: scenario.config.clone(),
             bug_sites: scenario.bug_sites.clone(),
-            bug_modules: scenario.bug_modules.clone(),
+            bug_module_ids: scenario
+                .bug_modules
+                .iter()
+                .filter_map(|m| syms.module_id(m))
+                .collect(),
         }
     }
 
@@ -377,8 +396,8 @@ impl<'m> RcaSession<'m> {
     fn bug_nodes_for(&self, subject: &Subject) -> Vec<NodeId> {
         let mg = &self.pipeline.metagraph;
         let mut nodes = ReachabilityOracle::from_sites(mg, &subject.bug_sites).bug_nodes;
-        if !subject.bug_modules.is_empty() {
-            nodes.extend(mg.nodes_in_modules(|m| subject.bug_modules.iter().any(|b| b == m)));
+        if !subject.bug_module_ids.is_empty() {
+            nodes.extend(mg.nodes_in_module_ids(&subject.bug_module_ids));
         }
         nodes.sort();
         nodes.dedup();
@@ -387,7 +406,7 @@ impl<'m> RcaSession<'m> {
 
     /// Instantiates the session's configured oracle for one experiment.
     ///
-    /// Exposed so callers can drive [`crate::refine`] (or
+    /// Exposed so callers can drive [`crate::refine()`] (or
     /// [`Sliced::refine_with`]) with a built-in oracle while owning its
     /// lifecycle — e.g. to interleave queries across experiments.
     pub fn make_oracle(&self, experiment: Experiment) -> Box<dyn Oracle> {
@@ -500,6 +519,7 @@ impl<'m> RcaSession<'m> {
                 refinement: None,
                 suspects: Vec::new(),
                 suspect_modules: Vec::new(),
+                suspect_module_ids: Vec::new(),
                 sampling_errors: Vec::new(),
                 trace: String::new(),
             });
@@ -507,9 +527,9 @@ impl<'m> RcaSession<'m> {
         Ok(stats.slice()?.refine().into_diagnosis())
     }
 
-    fn in_scope(&self, module: &str) -> bool {
+    fn in_scope(&self, module: ModuleId) -> bool {
         match self.scope {
-            SliceScope::Cam => self.pipeline.is_cam(module),
+            SliceScope::Cam => self.pipeline.is_cam_id(module),
             SliceScope::AllComponents => true,
         }
     }
@@ -553,17 +573,27 @@ impl<'s, 'm> Statistics<'s, 'm> {
     }
 
     /// Stage 2 — §5.1 hybrid slicing: map affected outputs to internal
-    /// canonical names and induce the suspect subgraph.
+    /// canonical names and induce the suspect subgraph. This is where
+    /// strings leave the pipeline: the affected output names resolve
+    /// through the session's symbol table once, and everything downstream
+    /// (criteria, slice restriction, refinement, oracle queries) runs on
+    /// dense ids.
     pub fn slice(self) -> Result<Sliced<'s, 'm>, RcaError> {
-        let criteria = self.session.pipeline.outputs_to_internal(&self.affected);
+        let mg = &self.session.pipeline.metagraph;
+        let syms = mg.symbols();
+        let output_ids: Vec<OutputId> = self
+            .affected
+            .iter()
+            .filter_map(|n| syms.output_id(&n.to_lowercase()))
+            .collect();
+        let criteria = mg.outputs_to_internal_ids(&output_ids);
         if criteria.is_empty() {
             return Err(RcaError::UnknownOutputs(self.affected));
         }
-        let slice = backward_slice(&self.session.pipeline.metagraph, &criteria, |module| {
-            self.session.in_scope(module)
-        });
+        let slice = backward_slice(mg, &criteria, |module| self.session.in_scope(module));
         if slice.graph.node_count() == 0 {
-            return Err(RcaError::EmptySlice(criteria));
+            let names = criteria.iter().map(|&v| syms.var(v).to_string()).collect();
+            return Err(RcaError::EmptySlice(names));
         }
         Ok(Sliced {
             session: self.session,
@@ -586,8 +616,9 @@ pub struct Sliced<'s, 'm> {
     pub data: ExperimentData,
     /// Affected outputs that produced the criteria.
     pub affected: Vec<String>,
-    /// Internal canonical slicing criteria (§5.1 / Table 2).
-    pub criteria: Vec<String>,
+    /// Internal canonical slicing criteria (§5.1 / Table 2), as interned
+    /// ids — resolve with [`Sliced::criteria_names`] at the edge.
+    pub criteria: Vec<VarId>,
     /// The induced suspect subgraph.
     pub slice: Slice,
 }
@@ -596,6 +627,15 @@ impl<'s, 'm> Sliced<'s, 'm> {
     /// Name of the subject under diagnosis (experiment or scenario).
     pub fn subject(&self) -> &str {
         &self.subject.name
+    }
+
+    /// Slicing criteria as display strings (rendering edge).
+    pub fn criteria_names(&self) -> Vec<String> {
+        let syms = self.session.symbols();
+        self.criteria
+            .iter()
+            .map(|&v| syms.var(v).to_string())
+            .collect()
     }
 
     /// The built-in experiment under diagnosis, if this is not a scenario.
@@ -646,8 +686,8 @@ pub struct Refined<'s, 'm> {
     pub data: ExperimentData,
     /// Affected outputs carried forward.
     pub affected: Vec<String>,
-    /// Slicing criteria carried forward.
-    pub criteria: Vec<String>,
+    /// Slicing criteria carried forward (interned ids).
+    pub criteria: Vec<VarId>,
     /// Suspect subgraph size entering refinement.
     pub slice_nodes: usize,
     /// Suspect subgraph edges entering refinement.
@@ -672,23 +712,38 @@ impl Refined<'_, '_> {
         self.subject.experiment
     }
 
-    /// Consolidates everything into the final [`Diagnosis`].
+    /// Consolidates everything into the final [`Diagnosis`] — the string
+    /// edge: every id carried through the pipeline resolves to its display
+    /// name exactly once, here.
     pub fn into_diagnosis(self) -> Diagnosis {
         let mg = &self.session.pipeline.metagraph;
+        let syms = mg.symbols();
         let suspects: Vec<String> = self
             .report
             .final_nodes
             .iter()
             .map(|&n| mg.display(n))
             .collect();
-        let mut suspect_modules: Vec<String> = self
+        let mut suspect_module_ids: Vec<ModuleId> = self
             .report
             .final_nodes
             .iter()
-            .map(|&n| mg.meta_of(n).module.clone())
+            .map(|&n| mg.meta_of(n).module)
+            .collect();
+        suspect_module_ids.sort();
+        suspect_module_ids.dedup();
+        // Rendered module list stays name-sorted (stable report/JSON
+        // shape); the id list next to it is what campaigns match on.
+        let mut suspect_modules: Vec<String> = suspect_module_ids
+            .iter()
+            .map(|&m| syms.module(m).to_string())
             .collect();
         suspect_modules.sort();
-        suspect_modules.dedup();
+        let slicing_criteria = self
+            .criteria
+            .iter()
+            .map(|&v| syms.var(v).to_string())
+            .collect();
         let trace = refinement_trace(mg, &self.report);
         Diagnosis {
             subject: self.subject.name,
@@ -696,7 +751,7 @@ impl Refined<'_, '_> {
             verdict: self.data.verdict,
             failure_rate: self.data.failure_rate,
             affected_outputs: self.affected,
-            slicing_criteria: self.criteria,
+            slicing_criteria,
             slice_nodes: self.slice_nodes,
             slice_edges: self.slice_edges,
             oracle: self.oracle_name,
@@ -704,6 +759,7 @@ impl Refined<'_, '_> {
             bug_nodes: self.bug_nodes,
             suspects,
             suspect_modules,
+            suspect_module_ids,
             sampling_errors: self.sampling_errors,
             trace,
         }
@@ -743,6 +799,10 @@ pub struct Diagnosis {
     /// Modules of the final suspect set (sorted, deduplicated) — the
     /// module-level localization check campaigns score against.
     pub suspect_modules: Vec<String>,
+    /// The same module set as interned ids (id-sorted) — campaign
+    /// scorecard matching runs on these, not on strings. Not serialized
+    /// (ids are session-local).
+    pub suspect_module_ids: Vec<ModuleId>,
     /// Runtime failures the oracle absorbed while sampling.
     pub sampling_errors: Vec<RuntimeError>,
     trace: String,
@@ -782,6 +842,12 @@ impl Diagnosis {
     /// Whether `module` is among the final suspect modules.
     pub fn suspects_module(&self, module: &str) -> bool {
         self.suspect_modules.iter().any(|m| m == module)
+    }
+
+    /// Id-keyed variant of [`Diagnosis::suspects_module`] (binary search
+    /// over the id-sorted list — the campaign scoring path).
+    pub fn suspects_module_id(&self, module: ModuleId) -> bool {
+        self.suspect_module_ids.binary_search(&module).is_ok()
     }
 
     /// Renders the full human-readable report: verdict, selections, the

@@ -12,6 +12,7 @@
 //! CAM modules (§6), with Fig. 15 dropping the restriction.
 
 use rca_graph::{bfs_multi, DiGraph, Direction, NodeId};
+use rca_ident::{ModuleId, VarId};
 use rca_metagraph::MetaGraph;
 
 /// An induced suspect subgraph with its mapping back to metagraph nodes.
@@ -22,20 +23,44 @@ pub struct Slice {
     pub mapping: Vec<NodeId>,
     /// The slicing criteria (metagraph node ids of the target variables).
     pub targets: Vec<NodeId>,
+    /// Dense reverse map: `rev[meta.index()]` = subgraph id or `u32::MAX`
+    /// — `to_sub` on the refinement hot loop is an array read.
+    rev: Vec<u32>,
 }
 
 impl Slice {
+    /// Assembles a slice from an induced subgraph, building the dense
+    /// reverse map (`n_meta` = metagraph node count).
+    fn assemble(
+        graph: DiGraph,
+        mapping: Vec<NodeId>,
+        targets: Vec<NodeId>,
+        n_meta: usize,
+    ) -> Slice {
+        let mut rev = vec![u32::MAX; n_meta];
+        for (i, &m) in mapping.iter().enumerate() {
+            rev[m.index()] = i as u32;
+        }
+        Slice {
+            graph,
+            mapping,
+            targets,
+            rev,
+        }
+    }
+
     /// Metagraph node id of a subgraph node.
     pub fn to_meta(&self, sub: NodeId) -> NodeId {
         self.mapping[sub.index()]
     }
 
-    /// Subgraph node id of a metagraph node, if present.
+    /// Subgraph node id of a metagraph node, if present (O(1) dense
+    /// lookup).
     pub fn to_sub(&self, meta: NodeId) -> Option<NodeId> {
-        self.mapping
-            .iter()
-            .position(|&m| m == meta)
-            .map(|i| NodeId(i as u32))
+        match self.rev.get(meta.index()) {
+            Some(&i) if i != u32::MAX => Some(NodeId(i)),
+            _ => None,
+        }
     }
 
     /// Nodes (metagraph ids) of the slice.
@@ -44,26 +69,20 @@ impl Slice {
     }
 }
 
-/// Induces the suspect subgraph for a set of affected **internal** variable
-/// names.
-///
-/// `restrict` limits the slice to nodes whose module satisfies the
-/// predicate (pass `|m| pipeline.is_cam(m)` for the paper's CAM
-/// restriction, or `|_| true` for Fig. 15's unrestricted slice).
-///
-/// This is the granular building block; most callers want
-/// [`crate::RcaSession::diagnose`] or the typed
-/// [`crate::session::Statistics::slice`] stage, which derive the criteria
-/// from the statistics and apply the session's scope.
+/// Induces the suspect subgraph for a set of **internal** slicing criteria
+/// given as interned [`VarId`]s — the id-keyed engine behind every
+/// session diagnosis. `restrict` limits the slice to nodes whose
+/// [`ModuleId`] satisfies the predicate (sessions pass a dense CAM-mask
+/// lookup); no strings are touched.
 pub fn backward_slice(
     mg: &MetaGraph,
-    internal_names: &[String],
-    restrict: impl Fn(&str) -> bool,
+    criteria: &[VarId],
+    restrict: impl Fn(ModuleId) -> bool,
 ) -> Slice {
     // Slicing criteria: all nodes whose canonical name matches.
     let mut targets: Vec<NodeId> = Vec::new();
-    for name in internal_names {
-        targets.extend_from_slice(mg.nodes_with_canonical(name));
+    for &var in criteria {
+        targets.extend_from_slice(mg.nodes_with_var(var));
     }
     targets.sort();
     targets.dedup();
@@ -73,25 +92,34 @@ pub fn backward_slice(
     let keep: Vec<NodeId> = back
         .reached_nodes()
         .into_iter()
-        .filter(|&n| restrict(&mg.meta_of(n).module))
+        .filter(|&n| restrict(mg.meta_of(n).module))
         .collect();
     let (graph, mapping) = mg.graph.induced_subgraph(&keep);
-    Slice {
-        graph,
-        mapping,
-        targets,
-    }
+    Slice::assemble(graph, mapping, targets, mg.node_count())
+}
+
+/// String-edge convenience over [`backward_slice`]: resolves internal
+/// variable names and a module-name predicate through the graph's symbol
+/// table once, then runs the id-keyed engine. For exploratory callers
+/// (benches, tests); the session resolves ids up front instead.
+pub fn backward_slice_names(
+    mg: &MetaGraph,
+    internal_names: &[String],
+    restrict: impl Fn(&str) -> bool,
+) -> Slice {
+    let syms = mg.symbols();
+    let criteria: Vec<VarId> = internal_names
+        .iter()
+        .filter_map(|n| syms.var_id(n))
+        .collect();
+    backward_slice(mg, &criteria, |m| restrict(syms.module(m)))
 }
 
 /// Re-induces a slice on a subset of its own nodes (Algorithm 5.4 steps
 /// 8a/8b operate on the current subgraph `G`).
 pub fn reinduce(mg: &MetaGraph, slice: &Slice, keep_meta: &[NodeId]) -> Slice {
     let (graph, mapping) = mg.graph.induced_subgraph(keep_meta);
-    Slice {
-        graph,
-        mapping,
-        targets: slice.targets.clone(),
-    }
+    Slice::assemble(graph, mapping, slice.targets.clone(), mg.node_count())
 }
 
 #[cfg(test)]
@@ -132,11 +160,11 @@ end module lnd_soil
     #[test]
     fn slice_contains_ancestors_only() {
         let mg = mg();
-        let slice = backward_slice(&mg, &["flwds".to_string()], |_| true);
+        let slice = backward_slice_names(&mg, &["flwds".to_string()], |_| true);
         let names: Vec<String> = slice
             .meta_nodes()
             .iter()
-            .map(|&n| mg.meta_of(n).canonical.clone())
+            .map(|&n| mg.canonical_of(n).to_string())
             .collect();
         assert!(names.contains(&"flwds".to_string()));
         assert!(names.contains(&"a".to_string()));
@@ -152,7 +180,7 @@ end module lnd_soil
         // soil (in lnd_soil) is an ancestor of nothing here; add flwds as
         // criterion but restrict to lnd modules: only nodes in lnd_soil
         // survive — flwds itself is in phys, so the slice is empty.
-        let slice = backward_slice(&mg, &["flwds".to_string()], |m| m.starts_with("lnd_"));
+        let slice = backward_slice_names(&mg, &["flwds".to_string()], |m| m.starts_with("lnd_"));
         assert!(
             slice.graph.node_count() == 0,
             "{}",
@@ -163,13 +191,13 @@ end module lnd_soil
     #[test]
     fn slice_edges_preserved() {
         let mg = mg();
-        let slice = backward_slice(&mg, &["flwds".to_string()], |_| true);
+        let slice = backward_slice_names(&mg, &["flwds".to_string()], |_| true);
         // a -> b edge survives induction with renumbering.
         let find = |name: &str| {
             slice
                 .meta_nodes()
                 .iter()
-                .position(|&n| mg.meta_of(n).canonical == name)
+                .position(|&n| mg.canonical_of(n) == name)
                 .map(|i| NodeId(i as u32))
                 .unwrap()
         };
@@ -179,12 +207,12 @@ end module lnd_soil
     #[test]
     fn reinduce_narrows() {
         let mg = mg();
-        let slice = backward_slice(&mg, &["flwds".to_string()], |_| true);
+        let slice = backward_slice_names(&mg, &["flwds".to_string()], |_| true);
         let keep: Vec<NodeId> = slice
             .meta_nodes()
             .iter()
             .copied()
-            .filter(|&n| mg.meta_of(n).canonical != "a")
+            .filter(|&n| mg.canonical_of(n) != "a")
             .collect();
         let smaller = reinduce(&mg, &slice, &keep);
         assert_eq!(smaller.graph.node_count(), slice.graph.node_count() - 1);
@@ -194,7 +222,7 @@ end module lnd_soil
     #[test]
     fn to_sub_round_trip() {
         let mg = mg();
-        let slice = backward_slice(&mg, &["flwds".to_string()], |_| true);
+        let slice = backward_slice_names(&mg, &["flwds".to_string()], |_| true);
         for sub in slice.graph.nodes() {
             let meta = slice.to_meta(sub);
             assert_eq!(slice.to_sub(meta), Some(sub));

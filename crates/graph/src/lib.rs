@@ -10,7 +10,7 @@
 //!
 //! - [`DiGraph`]: compact adjacency-list digraph with O(1) edge queries,
 //!   induced subgraphs and undirected views.
-//! - [`bfs`]: multi-source BFS, backward shortest-path slices and
+//! - [`mod@bfs`]: multi-source BFS, backward shortest-path slices and
 //!   shortest-path DAGs (Algorithm 5.4 steps 3/8), reachability oracles.
 //! - [`components`]: weakly/strongly connected components.
 //! - [`betweenness`]: exact Brandes node/edge betweenness, parallelized

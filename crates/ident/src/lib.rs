@@ -1,0 +1,248 @@
+//! # rca-ident — the workspace-wide interned identity plane
+//!
+//! Every layer between the simulator and the final diagnosis speaks the
+//! same three dense identifier spaces:
+//!
+//! - [`VarId`] — variable/canonical names (module variables, subprogram
+//!   locals, derived-type elements, localized intrinsic call sites);
+//! - [`ModuleId`] — Fortran module names;
+//! - [`OutputId`] — history output-file names (the `outfld` registry).
+//!
+//! A [`SymbolTable`] owns the three interners. Names are resolved to ids
+//! **once** — when a model variant is compiled (`rca_sim`) and when the
+//! metagraph is built (`rca_metagraph`) — and everything downstream
+//! (slicing criteria, oracle queries, ensemble/ECT matrix assembly,
+//! campaign ground-truth matching) operates on dense `u32` identities
+//! with `Vec`-backed indexes. Strings appear only at the two edges:
+//! parsing on the way in, `Diagnosis` rendering/JSON on the way out.
+//!
+//! ## Ownership rules
+//!
+//! The table is **append-only**: interning never invalidates an existing
+//! id, so a table seeded from a compiled `Program`'s interner can be
+//! extended by the metagraph builder (derived-type fields, per-line
+//! intrinsic nodes) while every program-assigned id stays valid. An
+//! `RcaSession` builds one table per session this way and shares it
+//! (`Arc`) across the pipeline, the cached ensemble, the oracles, and
+//! campaign scoring — the "one workspace-wide `SymbolTable`".
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+macro_rules! id_newtype {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Dense index for `Vec`-backed tables.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// Dense id of a variable / canonical name.
+    VarId
+);
+id_newtype!(
+    /// Dense id of a Fortran module.
+    ModuleId
+);
+id_newtype!(
+    /// Dense id of a history output-file name (`outfld` registry).
+    OutputId
+);
+
+/// One append-only string interner: `name → u32` and `u32 → Arc<str>`.
+#[derive(Debug, Clone, Default)]
+struct Interner {
+    names: Vec<Arc<str>>,
+    index: HashMap<Arc<str>, u32>,
+}
+
+impl Interner {
+    fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        let a: Arc<str> = Arc::from(name);
+        self.names.push(a.clone());
+        self.index.insert(a, id);
+        id
+    }
+
+    fn lookup(&self, name: &str) -> Option<u32> {
+        self.index.get(name).copied()
+    }
+
+    fn resolve(&self, id: u32) -> &Arc<str> {
+        &self.names[id as usize]
+    }
+}
+
+/// The workspace-wide symbol table: three interned namespaces with dense
+/// ids. Cheap to clone while still unsealed (append-only extension), then
+/// shared via `Arc` for the lifetime of a session.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable {
+    vars: Interner,
+    modules: Interner,
+    outputs: Interner,
+}
+
+impl SymbolTable {
+    /// An empty table.
+    pub fn new() -> SymbolTable {
+        SymbolTable::default()
+    }
+
+    // ----- variables ------------------------------------------------------
+
+    /// Interns a variable/canonical name (idempotent).
+    pub fn intern_var(&mut self, name: &str) -> VarId {
+        VarId(self.vars.intern(name))
+    }
+
+    /// Id of an already-interned variable name.
+    pub fn var_id(&self, name: &str) -> Option<VarId> {
+        self.vars.lookup(name).map(VarId)
+    }
+
+    /// Name of a variable id.
+    pub fn var(&self, id: VarId) -> &str {
+        self.vars.resolve(id.0)
+    }
+
+    /// Shared `Arc<str>` of a variable id (refcount bump, no copy).
+    pub fn var_arc(&self, id: VarId) -> Arc<str> {
+        self.vars.resolve(id.0).clone()
+    }
+
+    /// Number of interned variable names.
+    pub fn var_count(&self) -> usize {
+        self.vars.names.len()
+    }
+
+    // ----- modules --------------------------------------------------------
+
+    /// Interns a module name (idempotent).
+    pub fn intern_module(&mut self, name: &str) -> ModuleId {
+        ModuleId(self.modules.intern(name))
+    }
+
+    /// Id of an already-interned module name.
+    pub fn module_id(&self, name: &str) -> Option<ModuleId> {
+        self.modules.lookup(name).map(ModuleId)
+    }
+
+    /// Name of a module id.
+    pub fn module(&self, id: ModuleId) -> &str {
+        self.modules.resolve(id.0)
+    }
+
+    /// Shared `Arc<str>` of a module id.
+    pub fn module_arc(&self, id: ModuleId) -> Arc<str> {
+        self.modules.resolve(id.0).clone()
+    }
+
+    /// Number of interned module names.
+    pub fn module_count(&self) -> usize {
+        self.modules.names.len()
+    }
+
+    // ----- outputs --------------------------------------------------------
+
+    /// Interns a history output name (idempotent).
+    pub fn intern_output(&mut self, name: &str) -> OutputId {
+        OutputId(self.outputs.intern(name))
+    }
+
+    /// Id of an already-interned output name.
+    pub fn output_id(&self, name: &str) -> Option<OutputId> {
+        self.outputs.lookup(name).map(OutputId)
+    }
+
+    /// Name of an output id.
+    pub fn output(&self, id: OutputId) -> &str {
+        self.outputs.resolve(id.0)
+    }
+
+    /// Shared `Arc<str>` of an output id.
+    pub fn output_arc(&self, id: OutputId) -> Arc<str> {
+        self.outputs.resolve(id.0).clone()
+    }
+
+    /// Number of interned output names.
+    pub fn output_count(&self) -> usize {
+        self.outputs.names.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let mut t = SymbolTable::new();
+        let a = t.intern_var("wsub");
+        let b = t.intern_var("flwds");
+        let a2 = t.intern_var("wsub");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(t.var(a), "wsub");
+        assert_eq!(t.var_count(), 2);
+    }
+
+    #[test]
+    fn namespaces_are_independent() {
+        let mut t = SymbolTable::new();
+        let v = t.intern_var("micro_mg");
+        let m = t.intern_module("micro_mg");
+        let o = t.intern_output("micro_mg");
+        assert_eq!(v.index(), 0);
+        assert_eq!(m.index(), 0);
+        assert_eq!(o.index(), 0);
+        assert_eq!(t.module(m), "micro_mg");
+        assert_eq!(t.output(o), "micro_mg");
+    }
+
+    #[test]
+    fn extension_preserves_existing_ids() {
+        let mut base = SymbolTable::new();
+        let v = base.intern_var("tlat");
+        let m = base.intern_module("micro_mg");
+        let mut extended = base.clone();
+        let extra = extended.intern_var("omega_l42");
+        assert_eq!(extended.var_id("tlat"), Some(v));
+        assert_eq!(extended.module_id("micro_mg"), Some(m));
+        assert_ne!(extra, v);
+        // The seed table is untouched.
+        assert_eq!(base.var_count(), 1);
+    }
+
+    #[test]
+    fn lookup_of_unknown_names_is_none() {
+        let t = SymbolTable::new();
+        assert_eq!(t.var_id("nope"), None);
+        assert_eq!(t.module_id("nope"), None);
+        assert_eq!(t.output_id("nope"), None);
+    }
+
+    #[test]
+    fn arcs_share_storage() {
+        let mut t = SymbolTable::new();
+        let v = t.intern_var("qvlat");
+        let a = t.var_arc(v);
+        let b = t.var_arc(v);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+}

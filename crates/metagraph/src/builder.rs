@@ -21,10 +21,12 @@
 //!   the graph (paper §5.1's instrumented output-name mapping).
 
 use crate::meta::{unique_key, IoCall, MetaGraph, NodeKind, NodeMeta};
-use crate::symbols::{ArgIntent, SymbolTable};
+use crate::symbols::{ArgIntent, ProcTable};
 use rca_fortran::ast::{Expr, Module, SourceFile, Stmt, Subprogram};
 use rca_graph::NodeId;
+use rca_ident::SymbolTable;
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// Options controlling metagraph construction.
 #[derive(Debug, Clone)]
@@ -58,12 +60,27 @@ pub fn build_metagraph(files: &[SourceFile]) -> MetaGraph {
     build_metagraph_with(files, &BuildOptions::default())
 }
 
-/// Builds the metagraph with explicit options.
+/// Builds the metagraph with explicit options over a fresh symbol table.
 pub fn build_metagraph_with(files: &[SourceFile], opts: &BuildOptions) -> MetaGraph {
-    let mut table = SymbolTable::build(files);
+    build_metagraph_seeded(files, opts, SymbolTable::new())
+}
+
+/// Builds the metagraph over a **seeded** symbol table — the session path:
+/// the table arrives pre-populated from the compiled program's interner,
+/// this pass extends it (derived-type elements, localized intrinsics,
+/// use-renamed names), and the sealed result is the workspace-wide
+/// identity plane shared by every downstream stage. Extension is
+/// append-only, so every id the program assigned stays valid.
+pub fn build_metagraph_seeded(
+    files: &[SourceFile],
+    opts: &BuildOptions,
+    syms: SymbolTable,
+) -> MetaGraph {
+    let mut table = ProcTable::build(files);
     table.resolve_interfaces();
     let mut b = Builder {
         table,
+        syms,
         mg: MetaGraph::default(),
         opts: opts.clone(),
     };
@@ -82,11 +99,12 @@ pub fn build_metagraph_with(files: &[SourceFile], opts: &BuildOptions) -> MetaGr
             }
         }
     }
-    b.mg
+    b.finish()
 }
 
 struct Builder {
-    table: SymbolTable,
+    table: ProcTable,
+    syms: SymbolTable,
     mg: MetaGraph,
     opts: BuildOptions,
 }
@@ -101,16 +119,35 @@ struct Scope<'a> {
 }
 
 impl Builder {
-    fn register_module(&mut self, name: &str) {
-        if !self.mg.module_index.contains_key(name) {
-            self.mg
-                .module_index
-                .insert(name.to_string(), self.mg.modules.len() as u32);
-            self.mg.modules.push(name.to_string());
+    /// Seals the builder: the extended symbol table becomes the graph's
+    /// identity plane, and the dense I/O map is assembled.
+    fn finish(mut self) -> MetaGraph {
+        let mut io_by_output: Vec<Vec<rca_ident::VarId>> =
+            vec![Vec::new(); self.syms.output_count()];
+        for call in &self.mg.io_calls {
+            let bucket = &mut io_by_output[call.output.index()];
+            if !bucket.contains(&call.internal) {
+                bucket.push(call.internal);
+            }
         }
+        self.mg.io_by_output = io_by_output;
+        self.mg.syms = Arc::new(self.syms);
+        self.mg
     }
 
-    /// Interned node lookup/creation.
+    fn register_module(&mut self, name: &str) -> rca_ident::ModuleId {
+        let mid = self.syms.intern_module(name);
+        if self.mg.module_class.len() <= mid.index() {
+            self.mg.module_class.resize(mid.index() + 1, u32::MAX);
+        }
+        if self.mg.module_class[mid.index()] == u32::MAX {
+            self.mg.module_class[mid.index()] = self.mg.modules.len() as u32;
+            self.mg.modules.push(name.to_string());
+        }
+        mid
+    }
+
+    /// Interned node lookup/creation — the only place names become ids.
     fn node(
         &mut self,
         module: &str,
@@ -119,25 +156,26 @@ impl Builder {
         line: u32,
         kind: NodeKind,
     ) -> NodeId {
-        let key = unique_key(module, sub, canonical);
+        let mid = self.register_module(module);
+        let svid = sub.map(|s| self.syms.intern_var(s));
+        let cvid = self.syms.intern_var(canonical);
+        let key = unique_key(mid, svid, cvid);
         if let Some(&id) = self.mg.unique_index.get(&key) {
             return id;
         }
-        self.register_module(module);
         let id = self.mg.graph.add_node();
         self.mg.meta.push(NodeMeta {
-            canonical: canonical.to_string(),
-            module: module.to_string(),
-            subprogram: sub.map(str::to_string),
+            canonical: cvid,
+            module: mid,
+            subprogram: svid,
             line,
             kind,
         });
         self.mg.unique_index.insert(key, id);
-        self.mg
-            .canonical_index
-            .entry(canonical.to_string())
-            .or_default()
-            .push(id);
+        if self.mg.canonical_index.len() <= cvid.index() {
+            self.mg.canonical_index.resize(cvid.index() + 1, Vec::new());
+        }
+        self.mg.canonical_index[cvid.index()].push(id);
         id
     }
 
@@ -467,13 +505,16 @@ impl Builder {
                 }
             }
             if let (Some(o), Some(i)) = (output_name, internal) {
-                self.mg.io_calls.push(IoCall {
-                    output_name: o,
-                    internal_name: i,
-                    module: scope.module.to_string(),
-                    subprogram: scope.sub.unwrap_or("").to_string(),
+                let module = self.register_module(scope.module);
+                let subprogram = scope.sub.map(|s| self.syms.intern_var(s));
+                let call = IoCall {
+                    output: self.syms.intern_output(&o),
+                    internal: self.syms.intern_var(&i),
+                    module,
+                    subprogram,
                     line,
-                });
+                };
+                self.mg.io_calls.push(call);
             }
             return;
         }
@@ -634,13 +675,15 @@ mod tests {
             "module m\ncontains\nsubroutine s(a, b)\nreal :: a, b\nb = min(a, 1.0)\nb = min(b, 2.0)\nend subroutine s\nend module m\n",
         );
         // Two min call sites on different lines → two distinct nodes.
-        let mins: Vec<_> = mg
-            .meta
-            .iter()
-            .filter(|m| m.canonical.starts_with("min_l"))
+        let mins: Vec<NodeId> = mg
+            .graph
+            .nodes()
+            .filter(|&n| mg.canonical_of(n).starts_with("min_l"))
             .collect();
         assert_eq!(mins.len(), 2, "{mins:?}");
-        assert!(mins.iter().all(|m| m.kind == NodeKind::Intrinsic));
+        assert!(mins
+            .iter()
+            .all(|&n| mg.meta_of(n).kind == NodeKind::Intrinsic));
         // a -> min_l5 -> b
         let a = node(&mg, "m", Some("s"), "a");
         let b = node(&mg, "m", Some("s"), "b");
@@ -784,7 +827,7 @@ end module m
         let t = node(&mg, "m", Some("s"), "t");
         let state = node(&mg, "m", Some("s"), "state");
         let w = node(&mg, "m", Some("s"), "w");
-        assert_eq!(mg.meta_of(omega).canonical, "omega");
+        assert_eq!(mg.canonical_of(omega), "omega");
         assert!(
             mg.graph.has_edge(t, omega),
             "element read feeds element write"
@@ -863,8 +906,8 @@ end module m
         );
         assert_eq!(mg.io_calls.len(), 1);
         let io = &mg.io_calls[0];
-        assert_eq!(io.output_name, "flds");
-        assert_eq!(io.internal_name, "flwds");
+        assert_eq!(mg.symbols().output(io.output), "flds");
+        assert_eq!(mg.symbols().var(io.internal), "flwds");
         assert_eq!(
             mg.outputs_to_internal(&["FLDS".to_string()]),
             vec!["flwds".to_string()]
@@ -887,12 +930,10 @@ end module m
         );
         let r = node(&mg, "m", Some("s"), "r");
         let cld = node(&mg, "m", Some("s"), "cld");
-        let gen: Vec<_> = mg
-            .meta
-            .iter()
-            .enumerate()
-            .filter(|(_, m)| m.canonical.starts_with("random_number_l"))
-            .map(|(i, _)| NodeId(i as u32))
+        let gen: Vec<NodeId> = mg
+            .graph
+            .nodes()
+            .filter(|&n| mg.canonical_of(n).starts_with("random_number_l"))
             .collect();
         assert_eq!(gen.len(), 1);
         assert!(mg.graph.has_edge(gen[0], r), "PRNG writes its argument");

@@ -1,4 +1,4 @@
-//! Pass 1: global symbol tables.
+//! pass 1: global procedure tables.
 //!
 //! "To allow correct mappings between call and subprogram arguments,
 //! parsing statements with calls must be done after all source files are
@@ -47,7 +47,7 @@ pub type ProcKey = (String, String);
 
 /// Global symbol tables across all parsed files.
 #[derive(Debug, Clone, Default)]
-pub struct SymbolTable {
+pub struct ProcTable {
     /// All procedures by key.
     pub procs: HashMap<ProcKey, ProcSig>,
     /// Procedure keys by bare name (several modules may define the same
@@ -63,10 +63,10 @@ pub struct SymbolTable {
     pub module_vars: HashMap<String, HashSet<String>>,
 }
 
-impl SymbolTable {
+impl ProcTable {
     /// Builds the table from every parsed file.
-    pub fn build(files: &[SourceFile]) -> SymbolTable {
-        let mut table = SymbolTable::default();
+    pub fn build(files: &[SourceFile]) -> ProcTable {
+        let mut table = ProcTable::default();
         for file in files {
             for module in &file.modules {
                 table.ingest_module(module);
@@ -143,7 +143,7 @@ impl SymbolTable {
     }
 
     /// Finalize: interfaces whose targets are functions also enter the
-    /// function-name table. Call after [`SymbolTable::build`] ingests all
+    /// function-name table. Call after [`ProcTable::build`] ingests all
     /// files (interface targets may live in any module).
     pub fn resolve_interfaces(&mut self) {
         let mut promote = Vec::new();
@@ -187,10 +187,10 @@ mod tests {
     use super::*;
     use rca_fortran::parse_source;
 
-    fn table(src: &str) -> SymbolTable {
+    fn table(src: &str) -> ProcTable {
         let (file, errs) = parse_source("t.F90", src);
         assert!(errs.is_empty(), "{errs:?}");
-        let mut t = SymbolTable::build(&[file]);
+        let mut t = ProcTable::build(&[file]);
         t.resolve_interfaces();
         t
     }

@@ -52,6 +52,9 @@ pub struct PatchSite {
     pub mul_ops: Vec<usize>,
     /// Byte offsets of swappable binary ` - ` operators in the RHS.
     pub minus_ops: Vec<usize>,
+    /// Byte offsets of swappable binary ` + ` operators in the RHS
+    /// (additive sign-flip targets).
+    pub plus_ops: Vec<usize>,
     /// Byte offsets of `max(` / `min(` intrinsics in the RHS (`true` for
     /// `max`).
     pub minmax_ops: Vec<(usize, bool)>,
@@ -121,6 +124,7 @@ pub fn patch_sites(model: &ModelSource) -> Vec<PatchSite> {
                 literals,
                 mul_ops,
                 minus_ops,
+                plus_ops,
                 minmax_ops,
                 fma_shape,
             });
@@ -327,6 +331,25 @@ mod tests {
         for s in patch_sites(&model) {
             for &p in &s.minus_ops {
                 // A spaced binary minus can never sit inside `1.0e-6_r8`.
+                assert!(!s.text[..p].ends_with('e') && !s.text[..p].ends_with('E'));
+            }
+        }
+    }
+
+    #[test]
+    fn plus_ops_are_spaced_rhs_operators() {
+        let model = generate(&ModelConfig::test());
+        let sites = patch_sites(&model);
+        assert!(
+            sites.iter().any(|s| !s.plus_ops.is_empty()),
+            "the model must expose additive sign-flip targets"
+        );
+        for s in &sites {
+            let eq = s.text.find(" = ").unwrap();
+            for &p in &s.plus_ops {
+                assert!(p >= eq + 3, "operator in LHS: {}", s.text);
+                assert_eq!(&s.text[p..p + 3], " + ");
+                // A spaced binary plus can never sit inside `1.0e+6_r8`.
                 assert!(!s.text[..p].ends_with('e') && !s.text[..p].ends_with('E'));
             }
         }

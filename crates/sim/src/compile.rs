@@ -10,7 +10,7 @@
 //! 2. **name resolution** — every variable reference in every subprogram
 //!    is resolved through the interpreter's exact lookup order (frame
 //!    vars → subprogram `use` statements → module scope → module `use`
-//!    statements, with renames) into a [`VarBind`];
+//!    statements, with renames) into a `VarBind`;
 //! 3. **call resolution** — callee lookup (same-module preference),
 //!    intrinsic-vs-array-vs-function disambiguation, and `intent`-driven
 //!    copy-out planning;
@@ -18,7 +18,7 @@
 //!
 //! The lowering is **semantics-preserving to the bit**: evaluation order,
 //! FMA contraction shape, coercions, and error messages mirror the tree
-//! walker (the shared [`crate::ops`] kernel guarantees the arithmetic).
+//! walker (the shared `ops` kernel guarantees the arithmetic).
 //! Conditions the tree-walker only reports when an offending statement
 //! actually executes are lowered to deferred error nodes, not compile
 //! failures, so a model that runs under the interpreter compiles here.
@@ -34,6 +34,7 @@ use rca_fortran::ast::{
     SubprogramKind, UseStmt,
 };
 use rca_fortran::token::Op;
+use rca_ident::SymbolTable;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
@@ -75,6 +76,12 @@ struct Compiler<'a> {
     globals: Vec<Value>,
     global_index: HashMap<(String, String), u32>,
     compiled: Vec<CProc>,
+    /// The workspace identity plane seeded here: modules/outputs interned
+    /// up front (outputs sorted, so `OutputId` order is name order),
+    /// variables as `finish` walks the frames and globals. This is the
+    /// single source of truth for the `OutputId` space — `outfld`
+    /// lowering and `Program::output_names` both read through it.
+    syms: SymbolTable,
 }
 
 impl<'a> Compiler<'a> {
@@ -94,6 +101,7 @@ impl<'a> Compiler<'a> {
             globals: Vec::new(),
             global_index: HashMap::new(),
             compiled: Vec::new(),
+            syms: SymbolTable::new(),
         };
         for file in files {
             for module in &file.modules {
@@ -101,9 +109,27 @@ impl<'a> Compiler<'a> {
                     c.module_order.push(module.name.clone());
                     let id = c.module_ids.len() as u32;
                     c.module_ids.insert(module.name.clone(), id);
+                    // ModuleId space == program module-id space.
+                    c.syms.intern_module(&module.name);
                 }
                 c.module_map.insert(module.name.clone(), module);
             }
+        }
+        // Pre-scan `call outfld('NAME', ...)` literals so OutputId space is
+        // fixed (sorted, distinct) before any body is lowered: every run's
+        // history is then a dense buffer indexed by OutputId.
+        let mut outputs: Vec<String> = Vec::new();
+        for file in files {
+            for module in &file.modules {
+                for sub in &module.subprograms {
+                    collect_outfld_names(&sub.body, &mut outputs);
+                }
+            }
+        }
+        outputs.sort();
+        outputs.dedup();
+        for name in outputs {
+            c.syms.intern_output(&name);
         }
         c
     }
@@ -120,6 +146,63 @@ impl<'a> Compiler<'a> {
     fn push(&mut self, e: CExpr) -> EId {
         self.exprs.push(e);
         (self.exprs.len() - 1) as EId
+    }
+
+    // ----- constant folding ----------------------------------------------
+
+    /// Scalar constant value of an already-lowered expression, if it is a
+    /// literal node.
+    fn const_value(&self, e: EId) -> Option<Value> {
+        match &self.exprs[e as usize] {
+            CExpr::Real(v) => Some(Value::Real(*v)),
+            CExpr::Int(v) => Some(Value::Int(*v)),
+            CExpr::Str(s) => Some(Value::Str(s.to_string())),
+            CExpr::Logical(b) => Some(Value::Logical(*b)),
+            _ => None,
+        }
+    }
+
+    /// Literal node for a scalar value (arrays/derived are not literals).
+    fn lit_of(&mut self, v: &Value) -> Option<CExpr> {
+        Some(match v {
+            Value::Real(x) => CExpr::Real(*x),
+            Value::Int(x) => CExpr::Int(*x),
+            Value::Logical(b) => CExpr::Logical(*b),
+            Value::Str(s) => CExpr::Str(self.intern(s)),
+            _ => return None,
+        })
+    }
+
+    /// Pushes a binary node, folding literal-only operands at compile time
+    /// through the **same** [`ops`] kernel the executor and the
+    /// tree-walker evaluate with — bit-identical by construction. An
+    /// operation the kernel rejects (type mismatch) stays unfolded so the
+    /// error surfaces lazily at runtime, exactly as before. `a*b ± c` FMA
+    /// shapes are never folded (the [`CExpr::MaybeFma`] node itself is
+    /// built by the caller; only its unfused multiply operand goes
+    /// through here, which the fused path never reads).
+    fn push_binary(&mut self, op: Op, l: EId, r: EId) -> EId {
+        if let (Some(a), Some(b)) = (self.const_value(l), self.const_value(r)) {
+            if let Ok(v) = ops::binary_op(op, a, b, "<fold>", 0) {
+                if let Some(lit) = self.lit_of(&v) {
+                    return self.push(lit);
+                }
+            }
+        }
+        self.push(CExpr::Binary { op, l, r })
+    }
+
+    /// Pushes a unary node, folding a literal operand (same rules as
+    /// [`Compiler::push_binary`]).
+    fn push_unary(&mut self, op: Op, e: EId) -> EId {
+        if let Some(v) = self.const_value(e) {
+            if let Ok(folded) = ops::unary_op(op, v, "<fold>", 0) {
+                if let Some(lit) = self.lit_of(&folded) {
+                    return self.push(lit);
+                }
+            }
+        }
+        self.push(CExpr::Unary { op, e })
     }
 
     /// Mirrors `Interpreter::ingest_module`: derived types, subprogram
@@ -659,8 +742,13 @@ impl<'a> Compiler<'a> {
     ) -> CStmt {
         match name {
             "outfld" => {
-                let fname = match args.first() {
-                    Some(Expr::Str(s)) => self.intern(&s.to_lowercase()),
+                let out = match args.first() {
+                    Some(Expr::Str(s)) => {
+                        self.syms
+                            .output_id(&s.to_lowercase())
+                            .expect("outfld literal pre-scanned")
+                            .0
+                    }
                     other => {
                         let msg = format!("outfld needs a name literal, got {other:?}");
                         return CStmt::ErrorStmt {
@@ -678,7 +766,7 @@ impl<'a> Compiler<'a> {
                 let data = self.lower_expr(cx, proc_idx, data);
                 let ncol = args.get(2).map(|e| self.lower_expr(cx, proc_idx, e));
                 CStmt::Outfld {
-                    name: fname,
+                    out,
                     data,
                     ncol,
                     line,
@@ -905,10 +993,12 @@ impl<'a> Compiler<'a> {
             }
             Expr::Unary { op, expr } => {
                 let e = self.lower_expr(cx, proc_idx, expr);
-                CExpr::Unary { op: *op, e }
+                return self.push_unary(*op, e);
             }
             Expr::Binary { op, lhs, rhs } => {
                 // FMA candidate: `a*b ± c` contracts the *left* multiply.
+                // Shape detection runs on the AST, before folding, so a
+                // literal-only product keeps its FMA-contractible form.
                 if matches!(op, Op::Add | Op::Sub) {
                     if let Expr::Binary {
                         op: Op::Mul,
@@ -918,11 +1008,7 @@ impl<'a> Compiler<'a> {
                     {
                         let a = self.lower_expr(cx, proc_idx, ma);
                         let b = self.lower_expr(cx, proc_idx, mb);
-                        let l = self.push(CExpr::Binary {
-                            op: Op::Mul,
-                            l: a,
-                            r: b,
-                        });
+                        let l = self.push_binary(Op::Mul, a, b);
                         let r = self.lower_expr(cx, proc_idx, rhs);
                         return self.push(CExpr::MaybeFma {
                             op: *op,
@@ -936,7 +1022,7 @@ impl<'a> Compiler<'a> {
                 }
                 let l = self.lower_expr(cx, proc_idx, lhs);
                 let r = self.lower_expr(cx, proc_idx, rhs);
-                CExpr::Binary { op: *op, l, r }
+                return self.push_binary(*op, l, r);
             }
             Expr::Range { .. } => CExpr::ErrorExpr {
                 msg: self.intern("array sections are not values"),
@@ -1018,13 +1104,14 @@ impl<'a> Compiler<'a> {
             .iter()
             .map(|(name, cands)| (name.clone(), cands[0]))
             .collect();
-        let proc_index: HashMap<(String, String), u32> = self
-            .proc_asts
-            .iter()
-            .enumerate()
-            .rev() // first definition wins, as in the interpreter's lookup
-            .map(|(i, (m, s))| ((m.clone(), s.name.clone()), i as u32))
-            .collect();
+        let mut procs_by_module: HashMap<String, HashMap<String, u32>> = HashMap::new();
+        // First definition wins, as in the interpreter's lookup.
+        for (i, (m, s)) in self.proc_asts.iter().enumerate().rev() {
+            procs_by_module
+                .entry(m.clone())
+                .or_default()
+                .insert(s.name.clone(), i as u32);
+        }
         let module_vars: HashMap<String, Vec<String>> = self
             .module_order
             .iter()
@@ -1037,16 +1124,43 @@ impl<'a> Compiler<'a> {
                 (m.clone(), vars)
             })
             .collect();
+        let mut globals_by_module: HashMap<String, HashMap<String, u32>> = HashMap::new();
+        for ((m, n), slot) in &self.global_index {
+            globals_by_module
+                .entry(m.clone())
+                .or_default()
+                .insert(n.clone(), *slot);
+        }
+        // Seed the variable namespace: module variables (declaration
+        // order per module), then subprogram names and frame-local names
+        // (definition order) — the identifiers the metagraph and the
+        // sampling layer resolve against.
+        for m in &self.module_order {
+            for v in &module_vars[m] {
+                self.syms.intern_var(v);
+            }
+        }
+        for p in &self.compiled {
+            self.syms.intern_var(&p.name);
+            for local in p.local_names.iter() {
+                self.syms.intern_var(local);
+            }
+        }
+        let output_names: Vec<Arc<str>> = (0..self.syms.output_count())
+            .map(|i| self.syms.output_arc(rca_ident::OutputId(i as u32)))
+            .collect();
         Program {
             exprs: self.exprs,
             procs: self.compiled,
             sites: self.sites,
             globals: self.globals,
-            global_index: self.global_index,
+            globals_by_module,
             module_names,
             entry_procs,
-            proc_index,
+            procs_by_module,
             module_vars,
+            output_names: output_names.into(),
+            syms: Arc::new(self.syms),
         }
     }
 }
@@ -1056,6 +1170,29 @@ struct ProcCx<'a> {
     module: String,
     sub: &'a Subprogram,
     binds: HashMap<String, Option<VarBind>>,
+}
+
+/// Collects lowercased `call outfld('NAME', ...)` name literals — the
+/// pre-scan that fixes the dense `OutputId` space before lowering.
+fn collect_outfld_names(stmts: &[Stmt], out: &mut Vec<String>) {
+    for stmt in stmts {
+        match stmt {
+            Stmt::Call { name, args, .. } if name == "outfld" => {
+                if let Some(Expr::Str(s)) = args.first() {
+                    out.push(s.to_lowercase());
+                }
+            }
+            Stmt::If { arms, .. } => {
+                for (_, block) in arms {
+                    collect_outfld_names(block, out);
+                }
+            }
+            Stmt::Do { body, .. } | Stmt::DoWhile { body, .. } => {
+                collect_outfld_names(body, out);
+            }
+            _ => {}
+        }
+    }
 }
 
 /// Collects names the body may create as implicit frame locals, in

@@ -5,7 +5,8 @@
 //! clones the initial global arena, owns the PRNG/pbuf/history state, and
 //! drives the lowered IR. The hot loop touches no `String` and hashes no
 //! name — variables are frame offsets or global indices, call targets are
-//! pre-resolved, sample/output keys are pre-interned `Arc<str>`.
+//! pre-resolved, history writes index a dense `OutputId` buffer, and
+//! sample captures are positional over `config.samples`.
 //!
 //! Semantic parity with [`crate::interp::Interpreter`] is load-bearing
 //! (the differential test suite enforces bit-equal histories, samples,
@@ -24,7 +25,7 @@ use crate::program::{
     CExpr, CPlace, CProc, CStmt, CallForm, CallSite, EId, Intrin, LocalTemplate, Program, VarBind,
 };
 use crate::value::Value;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// One module-level sampling instruction, resolved from a
@@ -33,9 +34,10 @@ struct ModulePlan {
     /// Pre-resolved global slot, when `(module, name)` names one.
     global: Option<u32>,
     /// Field name for the derived-type fallback scan.
-    field: String,
-    /// Pre-built `module::sub::name` key.
-    key: Arc<str>,
+    field: Arc<str>,
+    /// Dense slot into the run's sample buffer (the spec's position in
+    /// `config.samples` — captures are positional, never keyed).
+    idx: u32,
 }
 
 type Locals = [Option<Value>];
@@ -52,13 +54,15 @@ pub struct Executor {
     step: u32,
     sample_step: Option<u32>,
     pbuf: HashMap<i64, Vec<f64>>,
-    /// History output: per-variable global means per step.
-    pub history: BTreeMap<Arc<str>, Vec<f64>>,
+    /// History output: per-variable global means per step, dense-indexed
+    /// by `OutputId` (the program's sorted output table).
+    pub history: Vec<Vec<f64>>,
     covered: Vec<bool>,
-    /// Captured samples keyed `module::sub::name`.
-    pub samples: HashMap<Arc<str>, Vec<f64>>,
+    /// Captured samples, positional over `config.samples` (`None` = the
+    /// spec was never captured, exactly like an absent map key before).
+    pub samples: Vec<Option<Vec<f64>>>,
     module_plan: Vec<ModulePlan>,
-    local_plan: HashMap<u32, Vec<(u32, Arc<str>)>>,
+    local_plan: HashMap<u32, Vec<(u32, u32)>>,
 }
 
 impl Executor {
@@ -70,34 +74,30 @@ impl Executor {
             .map(|m| config.avx2.enabled_for(m))
             .collect();
         let mut module_plan = Vec::new();
-        let mut local_plan: HashMap<u32, Vec<(u32, Arc<str>)>> = HashMap::new();
-        for spec in &config.samples {
-            let key: Arc<str> = Arc::from(spec.key().as_str());
+        let mut local_plan: HashMap<u32, Vec<(u32, u32)>> = HashMap::new();
+        for (idx, spec) in config.samples.iter().enumerate() {
+            let idx = idx as u32;
             match &spec.subprogram {
                 None => module_plan.push(ModulePlan {
-                    global: program
-                        .global_index
-                        .get(&(spec.module.clone(), spec.name.clone()))
-                        .copied(),
+                    global: program.global_slot(&spec.module, &spec.name),
                     field: spec.name.clone(),
-                    key,
+                    idx,
                 }),
                 Some(sub) => {
                     // A spec the program cannot host (unknown subprogram
                     // or name that never occupies a frame slot) is simply
                     // never captured — the interpreter behaves the same.
-                    let Some(&proc) = program.proc_index.get(&(spec.module.clone(), sub.clone()))
-                    else {
+                    let Some(proc) = program.proc_slot(&spec.module, sub) else {
                         continue;
                     };
                     let Some(slot) = program.procs[proc as usize]
                         .local_names
                         .iter()
-                        .position(|n| &**n == spec.name.as_str())
+                        .position(|n| **n == *spec.name)
                     else {
                         continue;
                     };
-                    local_plan.entry(proc).or_default().push((slot as u32, key));
+                    local_plan.entry(proc).or_default().push((slot as u32, idx));
                 }
             }
         }
@@ -109,9 +109,9 @@ impl Executor {
             step: 0,
             sample_step: config.sample_step,
             pbuf: HashMap::new(),
-            history: BTreeMap::new(),
+            history: vec![Vec::new(); program.output_count()],
             covered: vec![false; program.procs.len()],
-            samples: HashMap::new(),
+            samples: vec![None; config.samples.len()],
             module_plan,
             local_plan,
             program,
@@ -153,9 +153,8 @@ impl Executor {
     /// Reads one module-level variable (tests, kernel comparison).
     pub fn global(&self, module: &str, name: &str) -> Option<&Value> {
         self.program
-            .global_index
-            .get(&(module.to_string(), name.to_string()))
-            .map(|&s| &self.globals[s as usize])
+            .global_slot(module, name)
+            .map(|s| &self.globals[s as usize])
     }
 
     /// Executed `(module, subprogram)` pairs, sorted and deduplicated.
@@ -181,20 +180,20 @@ impl Executor {
     pub fn capture_module_samples(&mut self) {
         let plan = std::mem::take(&mut self.module_plan);
         for entry in &plan {
-            if self.samples.contains_key(&entry.key) {
+            if self.samples[entry.idx as usize].is_some() {
                 continue;
             }
             if let Some(g) = entry.global {
                 if let Some(flat) = self.globals[g as usize].flatten() {
-                    self.samples.insert(entry.key.clone(), flat);
+                    self.samples[entry.idx as usize] = Some(flat);
                     continue;
                 }
             }
             for v in &self.globals {
                 if let Value::Derived(fields) = v {
-                    if let Some(f) = fields.get(&entry.field) {
+                    if let Some(f) = fields.get(&*entry.field) {
                         if let Some(flat) = f.flatten() {
-                            self.samples.insert(entry.key.clone(), flat);
+                            self.samples[entry.idx as usize] = Some(flat);
                             break;
                         }
                     }
@@ -232,10 +231,10 @@ impl Executor {
         // Local sampling at the configured step.
         if self.sample_step == Some(self.step) {
             if let Some(plan) = self.local_plan.get(&proc_idx).cloned() {
-                for (slot, key) in plan {
+                for (slot, idx) in plan {
                     if let Some(v) = &locals[slot as usize] {
                         if let Some(flat) = v.flatten() {
-                            self.samples.insert(key, flat);
+                            self.samples[idx as usize] = Some(flat);
                         }
                     }
                 }
@@ -327,7 +326,7 @@ impl Executor {
                 Ok(Flow::Normal)
             }
             CStmt::Outfld {
-                name,
+                out,
                 data,
                 ncol,
                 line,
@@ -351,7 +350,7 @@ impl Executor {
                         ))
                     }
                 };
-                let series = self.history.entry(name.clone()).or_default();
+                let series = &mut self.history[*out as usize];
                 if series.len() <= self.step as usize {
                     series.resize(self.step as usize + 1, f64::NAN);
                 }

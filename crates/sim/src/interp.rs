@@ -91,14 +91,19 @@ impl Avx2Policy {
 }
 
 /// A variable to instrument at the sampling step.
+///
+/// Fields are shared `Arc<str>` so oracles building specs from interned
+/// metagraph names clone refcounts, never string bytes; captures are
+/// returned positionally (the spec's index in `RunConfig::samples`), so
+/// the hot comparison path does no key hashing at all.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct SampleSpec {
     /// Module owning the variable.
-    pub module: String,
+    pub module: Arc<str>,
     /// Subprogram for locals; `None` for module-level variables.
-    pub subprogram: Option<String>,
+    pub subprogram: Option<Arc<str>>,
     /// Variable (canonical) name.
-    pub name: String,
+    pub name: Arc<str>,
 }
 
 impl SampleSpec {
@@ -565,7 +570,7 @@ impl Interpreter {
             }
             if let Some(&slot) = self
                 .global_index
-                .get(&(spec.module.clone(), spec.name.clone()))
+                .get(&(spec.module.to_string(), spec.name.to_string()))
             {
                 if let Some(flat) = self.globals[slot].flatten() {
                     self.samples.insert(key, flat);
@@ -575,7 +580,7 @@ impl Interpreter {
             // Derived-field fallback: search derived globals for the field.
             for v in &self.globals {
                 if let Value::Derived(fields) = v {
-                    if let Some(f) = fields.get(&spec.name) {
+                    if let Some(f) = fields.get(&*spec.name) {
                         if let Some(flat) = f.flatten() {
                             self.samples.insert(key.clone(), flat);
                             break;
@@ -690,10 +695,10 @@ impl Interpreter {
         if self.config.sample_step == Some(self.step) {
             let specs = self.config.samples.clone();
             for spec in &specs {
-                if spec.module == frame.module
+                if *spec.module == *frame.module
                     && spec.subprogram.as_deref() == Some(frame.proc.as_str())
                 {
-                    if let Some(v) = frame.vars.get(&spec.name) {
+                    if let Some(v) = frame.vars.get(&*spec.name) {
                         if let Some(flat) = v.flatten() {
                             self.samples.insert(spec.key(), flat);
                         }

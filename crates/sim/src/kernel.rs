@@ -45,20 +45,24 @@ pub fn kernel_sample_specs(
 /// parse, no load).
 pub fn kernel_sample_specs_program(program: &Program, kernel_module: &str) -> Vec<SampleSpec> {
     let mut specs = Vec::new();
+    let kmod: std::sync::Arc<str> = std::sync::Arc::from(kernel_module);
     for name in program.module_var_names(kernel_module) {
         specs.push(SampleSpec {
-            module: kernel_module.to_string(),
+            module: kmod.clone(),
             subprogram: None,
-            name,
+            name: name.as_str().into(),
         });
     }
     // Locals of every subprogram in the kernel module.
     for (module, sub) in program.coverage_universe(kernel_module) {
-        for local in program.local_names(&module, &sub) {
+        let locals = program.local_names(&module, &sub);
+        let module: std::sync::Arc<str> = module.as_str().into();
+        let sub: std::sync::Arc<str> = sub.as_str().into();
+        for local in locals {
             specs.push(SampleSpec {
                 module: module.clone(),
                 subprogram: Some(sub.clone()),
-                name: local,
+                name: local.as_str().into(),
             });
         }
     }
@@ -89,16 +93,22 @@ pub fn compare_kernel(
     let a = run_program(&program, &base_cfg, 0.0)?;
     let b = run_program(&program, &var_cfg, 0.0)?;
 
+    // Captures are positional over the shared spec list: pair the two
+    // runs' buffers directly, no key hashing.
     let mut all = Vec::new();
-    for (key, av) in &a.samples {
-        let Some(bv) = b.samples.get(key) else {
+    for (spec, (av, bv)) in base_cfg
+        .samples
+        .iter()
+        .zip(a.samples.iter().zip(&b.samples))
+    {
+        let (Some(av), Some(bv)) = (av, bv) else {
             continue;
         };
         if av.len() != bv.len() {
             continue;
         }
         let nrms = rca_stats::normalized_rms_diff(av, bv);
-        all.push((key.to_string(), nrms));
+        all.push((spec.key(), nrms));
     }
     all.sort_by(|x, y| y.1.partial_cmp(&x.1).unwrap().then_with(|| x.0.cmp(&y.0)));
     let flagged = all
@@ -134,7 +144,7 @@ mod tests {
     fn kernel_specs_cover_mg_variables() {
         let model = generate(&ModelConfig::test());
         let specs = kernel_sample_specs(&model, "micro_mg").unwrap();
-        let names: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
+        let names: Vec<&str> = specs.iter().map(|s| &*s.name).collect();
         for expected in ["tlat", "qvlat", "nctend", "qsout2", "dum", "ratio"] {
             assert!(names.contains(&expected), "missing {expected}: {names:?}");
         }

@@ -49,8 +49,9 @@ pub use kernel::{
 };
 pub use prng::{make_prng, Kiss, Mt19937, Prng, PrngKind};
 pub use program::Program;
+pub use rca_ident::{ModuleId, OutputId, SymbolTable, VarId};
 pub use runner::{
-    compile_model, outputs_matrix, perturbations, run_ensemble, run_ensemble_program, run_loaded,
-    run_model, run_program, RunOutput,
+    compile_model, finite_outputs_at, outputs_matrix, perturbations, run_ensemble,
+    run_ensemble_program, run_loaded, run_model, run_program, RunOutput,
 };
 pub use value::Value;

@@ -8,13 +8,13 @@
 //! - **symbols are interned** — module/subprogram/variable names become
 //!   `Arc<str>` held once in the program (kept only for diagnostics and
 //!   host lookups), while every *reference* is a `u32`: procedures are
-//!   indices into [`Program::procs`], module globals are indices into the
+//!   indices into `Program::procs`, module globals are indices into the
 //!   global arena, subprogram locals are frame offsets;
 //! - **call targets are pre-resolved** — each call site carries the callee
 //!   procedure index, the lowered argument expressions, and the copy-out
 //!   plan (which dummy slots write back to which caller places);
 //! - **name scoping is pre-resolved** — every variable reference carries a
-//!   [`VarBind`] that encodes the tree-walker's full lookup order
+//!   `VarBind` that encodes the tree-walker's full lookup order
 //!   (frame → use-chain → module scope) as at most one runtime branch.
 //!
 //! The program is `Send + Sync` and shared via `Arc`: an N-member ensemble
@@ -23,6 +23,7 @@
 
 use crate::value::Value;
 use rca_fortran::token::Op;
+use rca_ident::SymbolTable;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -237,10 +238,11 @@ pub(crate) enum CStmt {
         site: u32,
         line: u32,
     },
-    /// `call outfld('NAME', data [, ncol])` with the name pre-lowercased
-    /// and interned.
+    /// `call outfld('NAME', data [, ncol])` with the name pre-resolved to
+    /// its dense [`rca_ident::OutputId`] index — recording a history value
+    /// is a direct `Vec` write, no map lookup.
     Outfld {
-        name: Arc<str>,
+        out: u32,
         data: EId,
         ncol: Option<EId>,
         line: u32,
@@ -364,19 +366,59 @@ pub struct Program {
     pub(crate) sites: Vec<CallSite>,
     /// Initial module-global values (cloned per executor).
     pub(crate) globals: Vec<Value>,
-    /// Host lookup: `(module, variable)` → global slot.
-    pub(crate) global_index: HashMap<(String, String), u32>,
+    /// Host lookup: module → variable → global slot (nested so `&str`
+    /// queries never allocate key tuples).
+    pub(crate) globals_by_module: HashMap<String, HashMap<String, u32>>,
     /// Module names by id.
     pub(crate) module_names: Vec<Arc<str>>,
     /// Host entry lookup: subprogram name → first-candidate proc index.
     pub(crate) entry_procs: HashMap<String, u32>,
-    /// Host lookup: `(module, subprogram)` → proc index.
-    pub(crate) proc_index: HashMap<(String, String), u32>,
+    /// Host lookup: module → subprogram → proc index.
+    pub(crate) procs_by_module: HashMap<String, HashMap<String, u32>>,
     /// Declared module variables per module, in declaration order.
     pub(crate) module_vars: HashMap<String, Vec<String>>,
+    /// Sorted distinct history output names; [`rca_ident::OutputId`]
+    /// values index this table (and every run's dense history buffer).
+    pub(crate) output_names: Arc<[Arc<str>]>,
+    /// The program's interner: every module/variable/output name resolved
+    /// during compilation, as dense ids. Sessions seed the workspace-wide
+    /// table from this (append-only extension keeps these ids valid).
+    pub(crate) syms: Arc<SymbolTable>,
 }
 
 impl Program {
+    /// The program's symbol table: module/variable/output names interned
+    /// during compilation. An `RcaSession` clones this as the seed of the
+    /// workspace-wide table (append-only extension preserves every id
+    /// assigned here).
+    pub fn symbols(&self) -> &Arc<SymbolTable> {
+        &self.syms
+    }
+
+    /// Sorted distinct history output names; `OutputId` indexes this
+    /// table. Shared (`Arc`) with every [`crate::RunOutput`] of this
+    /// program.
+    pub fn output_names(&self) -> &Arc<[Arc<str>]> {
+        &self.output_names
+    }
+
+    /// Number of distinct history outputs the program can write.
+    pub fn output_count(&self) -> usize {
+        self.output_names.len()
+    }
+
+    /// Global slot of `(module, variable)`, if declared — zero-allocation
+    /// `&str` lookup (sampling resolution's hot path).
+    pub fn global_slot(&self, module: &str, name: &str) -> Option<u32> {
+        self.globals_by_module.get(module)?.get(name).copied()
+    }
+
+    /// Proc index of `(module, subprogram)`, if defined — zero-allocation
+    /// `&str` lookup.
+    pub(crate) fn proc_slot(&self, module: &str, name: &str) -> Option<u32> {
+        self.procs_by_module.get(module)?.get(name).copied()
+    }
+
     /// Names of all module variables of `module` (declaration order).
     pub fn module_var_names(&self, module: &str) -> Vec<String> {
         self.module_vars.get(module).cloned().unwrap_or_default()
@@ -393,9 +435,8 @@ impl Program {
 
     /// Local (non-dummy) declared variable names of a subprogram.
     pub fn local_names(&self, module: &str, proc: &str) -> Vec<String> {
-        self.proc_index
-            .get(&(module.to_string(), proc.to_string()))
-            .map(|&i| self.procs[i as usize].declared_locals.to_vec())
+        self.proc_slot(module, proc)
+            .map(|i| self.procs[i as usize].declared_locals.to_vec())
             .unwrap_or_default()
     }
 
@@ -415,9 +456,8 @@ impl Program {
 
     /// Initial value of one module variable, if it exists.
     pub fn initial_global(&self, module: &str, name: &str) -> Option<&Value> {
-        self.global_index
-            .get(&(module.to_string(), name.to_string()))
-            .map(|&s| &self.globals[s as usize])
+        self.global_slot(module, name)
+            .map(|s| &self.globals[s as usize])
     }
 }
 
@@ -429,6 +469,7 @@ impl std::fmt::Debug for Program {
             .field("sites", &self.sites.len())
             .field("globals", &self.globals.len())
             .field("modules", &self.module_names.len())
+            .field("outputs", &self.output_names.len())
             .finish()
     }
 }

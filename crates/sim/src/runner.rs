@@ -18,28 +18,59 @@ use crate::program::Program;
 use crate::value::Value;
 use rayon::prelude::*;
 use rca_model::ModelSource;
-use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
-/// Results of one model run. History and sample keys are interned
-/// (`Arc<str>`), so assembling a `RunOutput` never copies name strings out
-/// of the step loop; look them up with plain `&str` borrows.
+/// Results of one model run, **dense** end to end: histories are
+/// `Vec`-backed buffers indexed by `OutputId` over the shared sorted
+/// output table, and samples are positional over `config.samples`.
+/// Assembling a `RunOutput` copies no name strings, and downstream matrix
+/// assembly indexes columns without hashing a single key.
 #[derive(Debug, Clone)]
 pub struct RunOutput {
-    /// Output-variable global means per step (`name → series`).
-    pub history: BTreeMap<Arc<str>, Vec<f64>>,
-    /// Captured instrumented values keyed `module::sub::name`.
-    pub samples: HashMap<Arc<str>, Vec<f64>>,
+    /// Sorted output-name table (shared `Arc` across every run of one
+    /// program); `OutputId` values index it.
+    pub output_names: Arc<[Arc<str>]>,
+    /// `history[i]` = per-step global means of `output_names[i]`; an
+    /// empty series means the output was never written this run.
+    pub history: Vec<Vec<f64>>,
+    /// `samples[i]` = captured values of `config.samples[i]` (`None` when
+    /// the spec was never captured).
+    pub samples: Vec<Option<Vec<f64>>>,
     /// Executed (module, subprogram) pairs.
     pub coverage: Vec<(String, String)>,
 }
 
 impl RunOutput {
+    /// Dense index of `name` in this run's output table (binary search
+    /// over the sorted table — no hashing, no allocation).
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.output_names.binary_search_by(|n| (**n).cmp(name)).ok()
+    }
+
+    /// Series written for `name`, if any.
+    pub fn series(&self, name: &str) -> Option<&[f64]> {
+        let s = &self.history[self.index_of(name)?];
+        (!s.is_empty()).then_some(s.as_slice())
+    }
+
+    /// `(name, series)` pairs of every output written this run, in sorted
+    /// name order.
+    pub fn history_iter(&self) -> impl Iterator<Item = (&Arc<str>, &Vec<f64>)> {
+        self.output_names
+            .iter()
+            .zip(&self.history)
+            .filter(|(_, s)| !s.is_empty())
+    }
+
+    /// Number of outputs written this run.
+    pub fn written_count(&self) -> usize {
+        self.history.iter().filter(|s| !s.is_empty()).count()
+    }
+
     /// Output values at `step` in sorted-name order (names are shared
     /// `Arc`s — cloning a pair is a refcount bump, not a string copy).
     pub fn outputs_at(&self, step: u32) -> Vec<(Arc<str>, f64)> {
-        self.history
-            .iter()
+        self.history_iter()
             .filter_map(|(k, v)| v.get(step as usize).map(|&x| (k.clone(), x)))
             .collect()
     }
@@ -91,6 +122,7 @@ pub fn run_program(
     }
     let coverage = ex.coverage();
     Ok(RunOutput {
+        output_names: Arc::clone(program.output_names()),
         history: ex.history,
         samples: ex.samples,
         coverage,
@@ -113,18 +145,33 @@ pub fn run_loaded(
             interp.capture_module_samples();
         }
     }
-    let mut history = BTreeMap::new();
-    for name in interp.history.names() {
-        if let Some(series) = interp.history.series(&name) {
-            history.insert(Arc::from(name.as_str()), series.to_vec());
-        }
-    }
-    let samples = interp
+    // The interpreter only knows the outputs it actually wrote; its table
+    // is the written set (sorted). Comparisons go through
+    // `history_iter`/`series`, which skip unwritten outputs on the
+    // compiled side, so the two engines remain directly comparable.
+    let names = interp.history.names();
+    let output_names: Arc<[Arc<str>]> = names
+        .iter()
+        .map(|n| Arc::from(n.as_str()))
+        .collect::<Vec<Arc<str>>>()
+        .into();
+    let history = names
+        .iter()
+        .map(|n| {
+            interp
+                .history
+                .series(n)
+                .map(|s| s.to_vec())
+                .unwrap_or_default()
+        })
+        .collect();
+    let samples = config
         .samples
         .iter()
-        .map(|(k, v)| (Arc::from(k.as_str()), v.clone()))
+        .map(|spec| interp.samples.get(&spec.key()).cloned())
         .collect();
     Ok(RunOutput {
+        output_names,
         history,
         samples,
         coverage: interp.coverage.iter().cloned().collect(),
@@ -170,33 +217,74 @@ pub fn run_ensemble_program(
         .collect()
 }
 
+/// Whether every run shares one output table (the same-program case, by
+/// pointer or content).
+fn uniform_tables(runs: &[RunOutput]) -> bool {
+    let Some(first) = runs.first() else {
+        return true;
+    };
+    runs.iter().all(|r| {
+        Arc::ptr_eq(&r.output_names, &first.output_names) || r.output_names == first.output_names
+    })
+}
+
+/// Dense column ids (indices into the **first run's** output table) whose
+/// series are present and finite at `step` in every run — the keep-set
+/// the ensemble/ECT matrices are built from. When all runs come from one
+/// program (the ensemble case) this is pure dense indexing with zero
+/// hashing; runs with differing output tables (e.g. tree-walker outputs
+/// of different variants) fall back to per-name binary search, so a
+/// variable missing from any run is dropped, never misaligned.
+pub fn finite_outputs_at(runs: &[RunOutput], step: u32) -> Vec<u32> {
+    let Some(first) = runs.first() else {
+        return Vec::new();
+    };
+    let finite = |r: &RunOutput, i: usize| {
+        r.history[i]
+            .get(step as usize)
+            .is_some_and(|x| x.is_finite())
+    };
+    if uniform_tables(runs) {
+        (0..first.output_names.len() as u32)
+            .filter(|&i| runs.iter().all(|r| finite(r, i as usize)))
+            .collect()
+    } else {
+        (0..first.output_names.len() as u32)
+            .filter(|&i| {
+                let name = &first.output_names[i as usize];
+                runs.iter()
+                    .all(|r| r.index_of(name).is_some_and(|j| finite(r, j)))
+            })
+            .collect()
+    }
+}
+
 /// Assembles the `runs × variables` output matrix at a step, returning the
 /// shared sorted variable-name list and row data. Variables missing from
-/// any run are dropped (all runs must agree on the output set).
+/// any run are dropped (column order follows the first run's table).
 pub fn outputs_matrix(runs: &[RunOutput], step: u32) -> (Vec<String>, Vec<Vec<f64>>) {
     let Some(first) = runs.first() else {
         return (Vec::new(), Vec::new());
     };
-    let names: Vec<String> = first
-        .outputs_at(step)
-        .into_iter()
-        .filter(|(name, v)| {
-            v.is_finite()
-                && runs.iter().all(|r| {
-                    r.history
-                        .get(&**name)
-                        .and_then(|s| s.get(step as usize))
-                        .is_some_and(|x| x.is_finite())
-                })
-        })
-        .map(|(name, _)| name.to_string())
+    let keep = finite_outputs_at(runs, step);
+    let names: Vec<String> = keep
+        .iter()
+        .map(|&i| first.output_names[i as usize].to_string())
         .collect();
+    let uniform = uniform_tables(runs);
     let rows = runs
         .iter()
         .map(|r| {
-            names
-                .iter()
-                .map(|n| r.history[n.as_str()][step as usize])
+            keep.iter()
+                .map(|&i| {
+                    let j = if uniform {
+                        i as usize
+                    } else {
+                        r.index_of(&first.output_names[i as usize])
+                            .expect("kept columns are present in every run")
+                    };
+                    r.history[j][step as usize]
+                })
                 .collect::<Vec<f64>>()
         })
         .collect();
@@ -220,15 +308,15 @@ mod tests {
         let model = generate(&ModelConfig::test());
         let out = run_model(&model, &cfg(), 0.0).expect("model run");
         assert!(
-            out.history.contains_key("wsub"),
+            out.series("wsub").is_some(),
             "outputs: {:?}",
-            out.history.keys().collect::<Vec<_>>()
+            out.output_names
         );
-        assert!(out.history.contains_key("flds"));
-        assert!(out.history.contains_key("omega"));
-        assert!(out.history.contains_key("snowhlnd"));
+        assert!(out.series("flds").is_some());
+        assert!(out.series("omega").is_some());
+        assert!(out.series("snowhlnd").is_some());
         // Every output finite at the last step.
-        for (name, series) in &out.history {
+        for (name, series) in out.history_iter() {
             let last = series.last().copied().unwrap_or(f64::NAN);
             assert!(last.is_finite(), "{name} = {last}");
         }
@@ -244,8 +332,12 @@ mod tests {
         let model = generate(&ModelConfig::test());
         let a = run_model(&model, &cfg(), 1e-14).unwrap();
         let b = run_model(&model, &cfg(), 1e-14).unwrap();
-        for (name, series) in &a.history {
-            assert_eq!(series, &b.history[name], "{name} not reproducible");
+        for (name, series) in a.history_iter() {
+            assert_eq!(
+                series.as_slice(),
+                b.series(name.as_ref()).unwrap(),
+                "{name} not reproducible"
+            );
         }
     }
 
@@ -255,9 +347,8 @@ mod tests {
         let a = run_model(&model, &cfg(), 0.0).unwrap();
         let b = run_model(&model, &cfg(), 1e-10).unwrap();
         let diff = a
-            .history
-            .iter()
-            .filter(|(name, series)| series.last() != b.history[&**name].last())
+            .history_iter()
+            .filter(|(name, series)| series.last() != b.series(name.as_ref()).unwrap().last())
             .count();
         assert!(diff > 0, "perturbation must move at least one output");
     }
@@ -275,9 +366,8 @@ mod tests {
             let bugged = model.apply(e);
             let out = run_model(&bugged, &cfg(), 0.0).unwrap();
             let changed = base
-                .history
-                .iter()
-                .any(|(name, series)| series.last() != out.history[&**name].last());
+                .history_iter()
+                .any(|(name, series)| series.last() != out.series(name.as_ref()).unwrap().last());
             assert!(changed, "{e:?} must change some output");
         }
     }
@@ -287,13 +377,13 @@ mod tests {
         let model = generate(&ModelConfig::test());
         let base = run_model(&model, &cfg(), 0.0).unwrap();
         let bugged = run_model(&model.apply(Experiment::WsubBug), &cfg(), 0.0).unwrap();
-        let w0 = base.history["wsub"].last().unwrap();
-        let w1 = bugged.history["wsub"].last().unwrap();
+        let w0 = base.series("wsub").unwrap().last().unwrap();
+        let w1 = bugged.series("wsub").unwrap().last().unwrap();
         assert!(w1 / w0 > 2.0, "wsub should grow: {w0} -> {w1}");
         // Bug is isolated: flds untouched (wsub feeds nothing else).
         assert_eq!(
-            base.history["flds"].last(),
-            bugged.history["flds"].last(),
+            base.series("flds").unwrap().last(),
+            bugged.series("flds").unwrap().last(),
             "wsub bug must stay isolated from radiation"
         );
     }
@@ -304,7 +394,7 @@ mod tests {
         let perts = perturbations(4, 1e-14, 42);
         let ens = run_ensemble(&model, &cfg(), &perts).unwrap();
         let serial = run_model(&model, &cfg(), perts[2]).unwrap();
-        assert_eq!(ens[2].history["flds"], serial.history["flds"]);
+        assert_eq!(ens[2].series("flds"), serial.series("flds"));
     }
 
     #[test]
@@ -320,6 +410,28 @@ mod tests {
             names.len()
         );
         assert!(rows.iter().all(|r| r.len() == names.len()));
+    }
+
+    #[test]
+    fn outputs_matrix_drops_missing_columns_across_differing_tables() {
+        // Runs whose output tables differ (tree-walker outputs of
+        // different variants) must intersect by name, never misalign or
+        // index out of bounds.
+        let a = RunOutput {
+            output_names: vec![Arc::from("alpha"), Arc::from("beta"), Arc::from("gamma")].into(),
+            history: vec![vec![1.0], vec![2.0], vec![3.0]],
+            samples: Vec::new(),
+            coverage: Vec::new(),
+        };
+        let b = RunOutput {
+            output_names: vec![Arc::from("beta"), Arc::from("gamma")].into(),
+            history: vec![vec![20.0], vec![30.0]],
+            samples: Vec::new(),
+            coverage: Vec::new(),
+        };
+        let (names, rows) = outputs_matrix(&[a, b], 0);
+        assert_eq!(names, vec!["beta".to_string(), "gamma".to_string()]);
+        assert_eq!(rows, vec![vec![2.0, 3.0], vec![20.0, 30.0]]);
     }
 
     #[test]
@@ -340,12 +452,12 @@ mod tests {
         let mt = run_model(&model, &mt_cfg, 0.0).unwrap();
         // flds depends directly on the PRNG-perturbed overlap.
         assert_ne!(
-            base.history["flds"].last(),
-            mt.history["flds"].last(),
+            base.series("flds").unwrap().last(),
+            mt.series("flds").unwrap().last(),
             "PRNG swap must move longwave fluxes"
         );
         // wsub is isolated from clouds entirely.
-        assert_eq!(base.history["wsub"], mt.history["wsub"]);
+        assert_eq!(base.series("wsub"), mt.series("wsub"));
     }
 
     #[test]
@@ -357,9 +469,8 @@ mod tests {
         fma_cfg.fma_scale = 1.0;
         let fma = run_model(&model, &fma_cfg, 0.0).unwrap();
         let changed = base
-            .history
-            .iter()
-            .filter(|(name, series)| series.last() != fma.history[&**name].last())
+            .history_iter()
+            .filter(|(name, series)| series.last() != fma.series(name.as_ref()).unwrap().last())
             .count();
         assert!(changed > 0, "FMA contraction must alter some outputs");
     }
@@ -371,8 +482,10 @@ mod tests {
         let perts = perturbations(3, 1e-14, 9);
         let ens = run_ensemble_program(&program, &cfg(), &perts).unwrap();
         assert_eq!(ens.len(), 3);
-        // Same program, same pert => identical bits.
+        // Same program, same pert => identical bits; the output table is
+        // the program's own, shared by reference.
         let again = run_program(&program, &cfg(), perts[0]).unwrap();
         assert_eq!(ens[0].history, again.history);
+        assert!(Arc::ptr_eq(&ens[0].output_names, program.output_names()));
     }
 }

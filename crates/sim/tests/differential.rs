@@ -29,13 +29,18 @@ fn compiled(model: &ModelSource, config: &RunConfig, pert: f64) -> RunOutput {
 }
 
 /// Asserts bit-identical histories, samples, and coverage.
+///
+/// Histories compare through `history_iter` (written outputs only — the
+/// compiled engine's dense buffer spans the whole `OutputId` table, the
+/// tree-walker's only the written set); samples compare positionally over
+/// the shared `config.samples` list.
 fn assert_identical(label: &str, a: &RunOutput, b: &RunOutput) {
-    // Histories: same outputs, same series, same bits.
-    let names_a: Vec<_> = a.history.keys().collect();
-    let names_b: Vec<_> = b.history.keys().collect();
+    // Histories: same written outputs, same series, same bits.
+    let names_a: Vec<_> = a.history_iter().map(|(n, _)| n.clone()).collect();
+    let names_b: Vec<_> = b.history_iter().map(|(n, _)| n.clone()).collect();
     assert_eq!(names_a, names_b, "{label}: output sets differ");
-    for (name, series) in &a.history {
-        let other = &b.history[name];
+    for (name, series) in a.history_iter() {
+        let other = b.series(name).expect("written in both");
         assert_eq!(series.len(), other.len(), "{label}/{name}: lengths differ");
         for (i, (x, y)) in series.iter().zip(other).enumerate() {
             assert!(
@@ -44,20 +49,25 @@ fn assert_identical(label: &str, a: &RunOutput, b: &RunOutput) {
             );
         }
     }
-    // Samples: same keys, same bits.
-    let mut keys_a: Vec<_> = a.samples.keys().collect();
-    let mut keys_b: Vec<_> = b.samples.keys().collect();
-    keys_a.sort();
-    keys_b.sort();
-    assert_eq!(keys_a, keys_b, "{label}: sample keys differ");
-    for (key, va) in &a.samples {
-        let vb = &b.samples[key];
-        assert_eq!(va.len(), vb.len(), "{label}/{key}: sample lengths differ");
-        for (i, (x, y)) in va.iter().zip(vb).enumerate() {
-            assert!(
-                x.to_bits() == y.to_bits() || (x.is_nan() && y.is_nan()),
-                "{label}/{key}[{i}]: {x:e} != {y:e}"
-            );
+    // Samples: same captures, positionally, same bits.
+    assert_eq!(
+        a.samples.len(),
+        b.samples.len(),
+        "{label}: sample buffer lengths differ"
+    );
+    for (i, (va, vb)) in a.samples.iter().zip(&b.samples).enumerate() {
+        match (va, vb) {
+            (None, None) => {}
+            (Some(va), Some(vb)) => {
+                assert_eq!(va.len(), vb.len(), "{label}/spec {i}: lengths differ");
+                for (j, (x, y)) in va.iter().zip(vb).enumerate() {
+                    assert!(
+                        x.to_bits() == y.to_bits() || (x.is_nan() && y.is_nan()),
+                        "{label}/spec {i}[{j}]: {x:e} != {y:e}"
+                    );
+                }
+            }
+            _ => panic!("{label}/spec {i}: captured in one engine only"),
         }
     }
     // Coverage: same executed set.

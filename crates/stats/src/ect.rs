@@ -1,7 +1,7 @@
 //! Ensemble Consistency Testing — the UF-CAM-ECT substitute.
 //!
 //! The paper's pipeline "begins when CESM-ECT issues a Fail" (§2.1) and uses
-//! the ultra-fast variant evaluated "at time step nine" [24]. Methodology
+//! the ultra-fast variant evaluated "at time step nine" \[24\]. Methodology
 //! (Baker et al. 2015; Milroy et al. 2018): PCA of the standardized ensemble
 //! output means; an experimental run fails a PC when its score falls outside
 //! the ensemble's score distribution; the run fails the test when enough PCs

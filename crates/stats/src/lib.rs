@@ -20,7 +20,7 @@
 //! - [`selection`]: median-distance/IQR variable ranking (§3, method 1).
 //! - [`lasso`]: L1-penalized logistic regression with λ-path tuning
 //!   (§3, method 2).
-//! - [`rms`]: normalized-RMS comparison (KGen's verification metric).
+//! - [`mod@rms`]: normalized-RMS comparison (KGen's verification metric).
 
 pub mod descriptive;
 pub mod ect;

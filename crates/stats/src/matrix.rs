@@ -50,6 +50,27 @@ impl Matrix {
         }
     }
 
+    /// Builds element-wise from a generator — the zero-copy assembly path
+    /// for ensemble/ECT matrices over dense per-run history buffers: the
+    /// caller indexes straight into its columns (`f(run, col)`) and no
+    /// intermediate row `Vec`s are allocated.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Column-gather: a copy keeping only `keep` (by index, in order) —
+    /// used when an experimental run set shares just a subset of the
+    /// ensemble's outputs.
+    pub fn gather_cols(&self, keep: &[usize]) -> Self {
+        Matrix::from_fn(self.rows, keep.len(), |r, c| self[(r, keep[c])])
+    }
+
     /// Identity matrix.
     pub fn identity(n: usize) -> Self {
         let mut m = Matrix::zeros(n, n);

@@ -71,7 +71,7 @@
 //!
 //! Anything implementing `Oracle` can be passed to
 //! [`Sliced::refine_with`](rca::session::Sliced::refine_with) or the
-//! low-level [`rca::refine`].
+//! low-level [`rca::refine()`].
 //!
 //! ## Migrating from the 0.1 free functions
 //!
@@ -90,9 +90,9 @@
 //! `RcaPipeline::build`, `backward_slice` and the free `refine` remain as
 //! granular building blocks.
 //!
-//! Errors: every stage returns the workspace-wide [`RcaError`] instead of
-//! stringly-typed `RuntimeError`s; `RuntimeError` converts via `From`, so
-//! `?` composes.
+//! Errors: every stage returns the workspace-wide [`rca::RcaError`]
+//! instead of stringly-typed `RuntimeError`s; `RuntimeError` converts via
+//! `From`, so `?` composes.
 //!
 //! ## Beyond the paper's experiments: scenarios and campaigns
 //!
@@ -132,6 +132,38 @@
 //! The cache means an N-scenario campaign parses and compiles each
 //! mutated variant exactly once — the ensemble, the statistics stage,
 //! and every runtime-oracle query all execute the same shared program.
+//!
+//! ## The interned identity plane
+//!
+//! Every layer between the simulator and the diagnosis shares **one
+//! workspace-wide symbol table** ([`metagraph::SymbolTable`], from the
+//! `rca-ident` crate) assigning dense ids in three namespaces:
+//! `VarId` (variable/canonical names), `ModuleId`, and `OutputId`
+//! (history output names). Strings cross the boundary in exactly two
+//! places:
+//!
+//! - **in** — parsing/compilation interns every module, variable, and
+//!   `outfld` name into the base program's table; the session clones that
+//!   table as the seed of the metagraph build, which appends the names
+//!   only the graph knows (derived-type elements, per-line intrinsic
+//!   nodes). The table is append-only, so every program-assigned id stays
+//!   valid in the extended session table ([`rca::RcaSession::symbols`]).
+//! - **out** — [`rca::Diagnosis`] resolves ids back to display strings
+//!   (`render`, JSON export) exactly once, in
+//!   `Refined::into_diagnosis`.
+//!
+//! Everything in between is id-keyed and `Vec`-backed: run histories are
+//! dense buffers indexed by `OutputId` over the program's sorted output
+//! table ([`sim::RunOutput`]), sample captures are positional over
+//! `RunConfig::samples`, metagraph node metadata and its three lookup
+//! indexes are `VarId`/`ModuleId` keyed, slicing criteria are `VarId`s,
+//! the slice scope is a dense CAM mask over `ModuleId`, the ensemble/ECT
+//! matrices assemble by direct column indexing, and campaign ground truth
+//! matches by `ModuleId` binary search. **Ownership rules:** ids are
+//! session-local (never persist or compare ids across sessions or across
+//! differently-sourced programs — the scorecard/JSON edge always goes
+//! through strings), and the session table is sealed behind an `Arc`
+//! after the metagraph build — nothing interns after construction.
 //!
 //! ## Workspace layout
 //!

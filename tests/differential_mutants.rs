@@ -53,7 +53,7 @@ proptest! {
     fn seeded_mutants_run_bit_identical(seed in 0u64..1_000_000) {
         let (base, sites) = fixture();
         let mut rng = CampaignRng::new(seed.wrapping_mul(0x9E3779B97F4A7C15) | 1);
-        let kind = MutationKind::SOURCE_KINDS[(seed % 3) as usize];
+        let kind = MutationKind::SOURCE_KINDS[seed as usize % MutationKind::SOURCE_KINDS.len()];
         let applicable: Vec<_> = sites.iter().filter(|s| kind.applies_to(s)).collect();
         prop_assert!(!applicable.is_empty());
         let site = applicable[rng.below(applicable.len())];
@@ -61,10 +61,11 @@ proptest! {
             unreachable!("pre-filtered site applies");
         };
         let (tree, compiled) = run_both(&mutant);
-        // Histories bit-equal.
-        prop_assert_eq!(tree.history.len(), compiled.history.len());
-        for (name, series) in &tree.history {
-            let other = &compiled.history[name];
+        // Histories bit-equal (written outputs only — the compiled
+        // engine's dense buffer spans the full OutputId table).
+        prop_assert_eq!(tree.written_count(), compiled.written_count());
+        for (name, series) in tree.history_iter() {
+            let other = compiled.series(name.as_ref()).expect("written in both");
             prop_assert_eq!(series.len(), other.len());
             for (i, (x, y)) in series.iter().zip(other).enumerate() {
                 prop_assert!(

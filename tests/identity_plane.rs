@@ -1,0 +1,140 @@
+//! Identity-plane equivalence: everything the id-keyed pipeline renders
+//! must be byte-identical to what the legacy string-keyed computation
+//! produces.
+//!
+//! The PR that introduced the interned identity plane (one workspace-wide
+//! `SymbolTable`, dense `VarId`/`ModuleId`/`OutputId` everywhere between
+//! the simulator and the diagnosis) is only sound if the string edge is
+//! lossless: for every paper experiment, the `Diagnosis` fields and the
+//! rendered report derived *through ids* must match the same values
+//! recomputed through the string-based APIs (`outputs_to_internal`,
+//! `nodes_in_modules`, `display`).
+
+use climate_rca::prelude::*;
+use model::{generate, Experiment, ModelConfig};
+use rca_core::backward_slice_names;
+use std::sync::OnceLock;
+
+fn session() -> &'static RcaSession<'static> {
+    static MODEL: OnceLock<model::ModelSource> = OnceLock::new();
+    static SESSION: OnceLock<RcaSession<'static>> = OnceLock::new();
+    SESSION.get_or_init(|| {
+        let m = MODEL.get_or_init(|| generate(&ModelConfig::test()));
+        RcaSession::builder(m)
+            .setup(ExperimentSetup::quick())
+            .build()
+            .expect("session")
+    })
+}
+
+#[test]
+fn id_keyed_diagnosis_matches_legacy_string_rendering_on_all_paper_experiments() {
+    let session = session();
+    let mg = session.metagraph();
+    for e in Experiment::ALL {
+        let d = session.diagnose(e).expect("diagnosis");
+        let Some(report) = &d.refinement else {
+            // A passing verdict short-circuits before slicing.
+            assert!(d.suspects.is_empty());
+            assert!(d.slicing_criteria.is_empty());
+            continue;
+        };
+        // Slicing criteria: the id path (OutputId → VarId → string at the
+        // edge) must reproduce the legacy string-keyed I/O-registry
+        // translation byte-for-byte.
+        let legacy_criteria = session.pipeline().outputs_to_internal(&d.affected_outputs);
+        assert_eq!(
+            d.slicing_criteria,
+            legacy_criteria,
+            "{}: criteria diverge from string path",
+            e.name()
+        );
+        // Suspects: id-resolved display names must equal per-node legacy
+        // display rendering.
+        let legacy_suspects: Vec<String> =
+            report.final_nodes.iter().map(|&n| mg.display(n)).collect();
+        assert_eq!(d.suspects, legacy_suspects, "{}", e.name());
+        // Suspect modules: id-set → names must equal the string-keyed
+        // sort/dedup of per-node module names.
+        let mut legacy_modules: Vec<String> = report
+            .final_nodes
+            .iter()
+            .map(|&n| mg.module_name_of(n).to_string())
+            .collect();
+        legacy_modules.sort();
+        legacy_modules.dedup();
+        assert_eq!(d.suspect_modules, legacy_modules, "{}", e.name());
+        // The id list and the name list describe the same set.
+        let syms = session.symbols();
+        let mut from_ids: Vec<String> = d
+            .suspect_module_ids
+            .iter()
+            .map(|&m| syms.module(m).to_string())
+            .collect();
+        from_ids.sort();
+        assert_eq!(d.suspect_modules, from_ids, "{}", e.name());
+        // The rendered report embeds exactly those strings.
+        let rendered = d.render();
+        assert!(rendered.contains(&format!("slicing criteria: {:?}", legacy_criteria)));
+        for m in &legacy_suspects[..legacy_suspects.len().min(3)] {
+            assert!(
+                rendered.contains(m),
+                "{}: {m} missing from render",
+                e.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn id_keyed_slice_equals_string_keyed_slice() {
+    // The id-keyed `backward_slice` engine and the string-edge wrapper
+    // must induce the identical subgraph for Table-2 criteria.
+    let session = session();
+    let mg = session.metagraph();
+    let syms = session.symbols();
+    for e in [
+        Experiment::WsubBug,
+        Experiment::GoffGratch,
+        Experiment::Dyn3Bug,
+    ] {
+        let names: Vec<String> = e.table2_internal().iter().map(|s| s.to_string()).collect();
+        let by_name = backward_slice_names(mg, &names, |m| session.pipeline().is_cam(m));
+        let ids: Vec<_> = names.iter().filter_map(|n| syms.var_id(n)).collect();
+        let by_id = rca_core::backward_slice(mg, &ids, |m| session.pipeline().is_cam_id(m));
+        assert_eq!(by_name.mapping, by_id.mapping, "{}", e.name());
+        assert_eq!(by_name.targets, by_id.targets, "{}", e.name());
+        assert_eq!(
+            by_name.graph.edge_count(),
+            by_id.graph.edge_count(),
+            "{}",
+            e.name()
+        );
+    }
+}
+
+#[test]
+fn session_table_extends_program_table_without_invalidating_ids() {
+    // The workspace table is the program interner plus the metagraph's
+    // extensions: every module/output the program knows must resolve to
+    // the same id through the session table.
+    let session = session();
+    let program = session
+        .program_for(session.model())
+        .expect("base program cached");
+    let psyms = program.symbols();
+    let ssyms = session.symbols();
+    for i in 0..psyms.module_count() {
+        let id = metagraph::ModuleId(i as u32);
+        assert_eq!(ssyms.module(id), psyms.module(id), "module id {i} drifted");
+    }
+    for i in 0..psyms.output_count() {
+        let id = metagraph::OutputId(i as u32);
+        assert_eq!(ssyms.output(id), psyms.output(id), "output id {i} drifted");
+    }
+    for i in 0..psyms.var_count() {
+        let id = metagraph::VarId(i as u32);
+        assert_eq!(ssyms.var(id), psyms.var(id), "var id {i} drifted");
+    }
+    assert!(ssyms.var_count() >= psyms.var_count());
+}

@@ -4,7 +4,7 @@
 use climate_rca::prelude::*;
 use graph::{fit_power_law, DegreeKind};
 use model::{generate, Experiment, ModelConfig};
-use rca::{backward_slice, ModuleRanking, RcaPipeline};
+use rca::{backward_slice_names, ModuleRanking, RcaPipeline};
 
 fn pipeline() -> (model::ModelSource, RcaPipeline) {
     let m = generate(&ModelConfig::test());
@@ -18,7 +18,7 @@ fn slice_for(p: &RcaPipeline, exp: Experiment) -> rca::Slice {
         .iter()
         .map(|s| s.to_string())
         .collect();
-    backward_slice(&p.metagraph, &internal, |m| p.is_cam(m))
+    backward_slice_names(&p.metagraph, &internal, |m| p.is_cam(m))
 }
 
 #[test]
@@ -70,12 +70,12 @@ fn wsub_slice_members_are_all_wsub_related() {
     let (_, p) = pipeline();
     let slice = slice_for(&p, Experiment::WsubBug);
     for &n in slice.meta_nodes() {
-        let meta = p.metagraph.meta_of(n);
+        let module = p.metagraph.module_name_of(n);
         assert!(
-            ["microp_aero", "camstate", "ppgrid", "shr_kind_mod"].contains(&meta.module.as_str()),
+            ["microp_aero", "camstate", "ppgrid", "shr_kind_mod"].contains(&module),
             "unexpected module {} ({}) in the wsub slice",
-            meta.module,
-            meta.display()
+            module,
+            p.metagraph.display(n)
         );
     }
 }
@@ -168,7 +168,7 @@ fn dum_is_most_central_in_mg_kernel() {
     let top = graph::top_m(&cent, 3);
     let names: Vec<String> = top
         .iter()
-        .map(|&n| p.metagraph.meta_of(mapping[n.index()]).canonical.clone())
+        .map(|&n| p.metagraph.canonical_of(mapping[n.index()]).to_string())
         .collect();
     assert_eq!(names[0], "dum", "top-3 by in-centrality: {names:?}");
 }

@@ -160,8 +160,49 @@ proptest! {
             name: "tlat".into(),
         }];
         let b = sim::run_model(&model, &cfg, 0.0).unwrap();
-        for (name, series) in &a.history {
-            prop_assert_eq!(series, &b.history[name], "{} altered by instrumentation", name);
+        for (name, series) in a.history_iter() {
+            prop_assert_eq!(
+                series.as_slice(),
+                b.series(name.as_ref()).unwrap(),
+                "{} altered by instrumentation",
+                name
+            );
         }
+    }
+
+    /// The workspace-wide symbol table round-trips every name in every
+    /// namespace: intern → resolve → intern is the identity, ids are
+    /// dense, and re-interning never mints a fresh id.
+    #[test]
+    fn symbol_table_interning_round_trips(
+        names in proptest::collection::vec("[a-z][a-z0-9_]{0,12}", 1..40),
+    ) {
+        let mut t = metagraph::SymbolTable::new();
+        let vars: Vec<_> = names.iter().map(|n| t.intern_var(n)).collect();
+        let mods: Vec<_> = names.iter().map(|n| t.intern_module(n)).collect();
+        let outs: Vec<_> = names.iter().map(|n| t.intern_output(n)).collect();
+        for (((n, &v), &m), &o) in names.iter().zip(&vars).zip(&mods).zip(&outs) {
+            // resolve
+            prop_assert_eq!(t.var(v), n.as_str());
+            prop_assert_eq!(t.module(m), n.as_str());
+            prop_assert_eq!(t.output(o), n.as_str());
+            // intern → resolve → intern identity
+            prop_assert_eq!(t.intern_var(n), v);
+            prop_assert_eq!(t.intern_module(n), m);
+            prop_assert_eq!(t.intern_output(n), o);
+            // lookup agrees with intern
+            prop_assert_eq!(t.var_id(n), Some(v));
+            prop_assert_eq!(t.module_id(n), Some(m));
+            prop_assert_eq!(t.output_id(n), Some(o));
+        }
+        // Ids are dense: the id space is exactly the distinct-name count.
+        let distinct = names
+            .iter()
+            .collect::<std::collections::HashSet<_>>()
+            .len();
+        prop_assert_eq!(t.var_count(), distinct);
+        prop_assert_eq!(t.module_count(), distinct);
+        prop_assert_eq!(t.output_count(), distinct);
+        prop_assert!(vars.iter().all(|v| v.index() < distinct));
     }
 }
