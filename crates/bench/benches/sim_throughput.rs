@@ -7,16 +7,54 @@
 //! `RCA_BENCH_SCALE=test|medium|paper` sizes the model;
 //! `RCA_SIM_REPEAT` overrides the timed repetition count.
 
+use rayon::prelude::*;
 use rca_bench::{bench_config, header};
 use rca_core::{PipelineOptions, RcaPipeline};
 use rca_metagraph::NodeKind;
 use rca_sim::{
-    compile_model, perturbations, run_ensemble_program, run_loaded, run_program, Interpreter,
-    RunConfig, SampleSpec,
+    compile_model, perturbations, run_ensemble_program, run_loaded, run_program, EnsembleRuns,
+    Interpreter, RunConfig, SampleSpec,
 };
 use serde::{Json, Serialize as _};
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+
+/// Counts every heap allocation so the ensemble-memory entry can report
+/// allocations/member — the store's zero-steady-state claim, measured.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Runs `f`, returning its result plus (wall seconds, heap allocations).
+fn counted<R>(f: impl FnOnce() -> R) -> (R, f64, u64) {
+    let a0 = ALLOCS.load(Ordering::Relaxed);
+    let t0 = Instant::now();
+    let r = f();
+    let wall = t0.elapsed().as_secs_f64();
+    let allocs = ALLOCS.load(Ordering::Relaxed) - a0;
+    (r, wall, allocs)
+}
 
 fn main() {
     header(
@@ -58,13 +96,77 @@ fn main() {
     }
     let tree_s = t0.elapsed().as_secs_f64() / repeat as f64;
 
-    // Ensemble over the shared program.
+    // Ensemble over the shared program (legacy-compatible materializing
+    // path, still store-backed underneath).
     let n_members = 16usize;
     let perts = perturbations(n_members, 1e-14, 0xC1);
     let t0 = Instant::now();
     let ens = run_ensemble_program(&program, &cfg, &perts).expect("ensemble");
     let ens_s = t0.elapsed().as_secs_f64();
     assert_eq!(ens.len(), n_members);
+
+    // ----- ensemble memory + throughput: store vs clone-per-run ---------
+    //
+    // The clone-per-run baseline is what every ensemble member paid
+    // before the columnar store: a fresh executor (global arena cloned
+    // from the program) and an owned, materialized `RunOutput` per
+    // member. The store path fills one contiguous block through pooled,
+    // reset executors and materializes nothing. Warm both paths once,
+    // then record members/sec and allocations/member.
+    let store_members = if scale == "test" { 24 } else { 48 };
+    let store_perts = perturbations(store_members, 1e-14, 0xC1);
+    let baseline_run = || -> Vec<rca_sim::RunOutput> {
+        // Parallel like the store path — the comparison isolates the data
+        // plane (arena clones + materialization vs pooled in-place fill),
+        // not the thread fan-out.
+        store_perts
+            .par_iter()
+            .map(|&p| run_program(&program, &cfg, p).expect("baseline member"))
+            .collect()
+    };
+    let store_run = || EnsembleRuns::run(&program, &cfg, &store_perts).expect("store ensemble");
+    let _ = baseline_run();
+    let _ = store_run();
+    // Min-of-k wall time: the least-noise estimator on shared hardware
+    // (each path's allocation count is deterministic, so one read
+    // suffices).
+    let reps = 3;
+    let (mut baseline_runs, mut base_s, mut base_allocs) = counted(baseline_run);
+    let (mut store, mut store_s, mut store_allocs) = counted(store_run);
+    for _ in 1..reps {
+        let (b, s, a) = counted(baseline_run);
+        if s < base_s {
+            (baseline_runs, base_s, base_allocs) = (b, s, a);
+        }
+        let (st, s, a) = counted(store_run);
+        if s < store_s {
+            (store, store_s, store_allocs) = (st, s, a);
+        }
+    }
+    assert_eq!(baseline_runs.len(), store.members());
+    // Same bits either way (spot check the last member's eval plane).
+    let last = store.members() - 1;
+    for (i, series) in baseline_runs[last].history.iter().enumerate() {
+        if let Some(&x) = series.last() {
+            let y = store
+                .value(last, i, series.len() - 1)
+                .expect("written in store");
+            assert!(
+                x.to_bits() == y.to_bits() || (x.is_nan() && y.is_nan()),
+                "store/baseline diverge at output {i}"
+            );
+        }
+    }
+    let base_mps = store_members as f64 / base_s;
+    let store_mps = store_members as f64 / store_s;
+    let base_apm = base_allocs as f64 / store_members as f64;
+    let store_apm = store_allocs as f64 / store_members as f64;
+    println!(
+        "ensemble store ({store_members} members): clone-per-run {base_mps:.1} members/sec \
+         ({base_apm:.0} allocs/member), columnar store {store_mps:.1} members/sec \
+         ({store_apm:.0} allocs/member), {:.2}x members/sec",
+        store_mps / base_mps
+    );
 
     let steps_per_run = cfg.steps as f64;
     let compiled_sps = steps_per_run / compiled_s;
@@ -236,6 +338,33 @@ fn main() {
                 ("members", n_members.to_json()),
                 ("wall_seconds", ens_s.to_json()),
                 ("steps_per_sec", ens_sps.to_json()),
+            ]),
+        ),
+        (
+            "ensemble_store",
+            Json::obj([
+                ("members", store_members.to_json()),
+                (
+                    "clone_per_run",
+                    Json::obj([
+                        ("wall_seconds", base_s.to_json()),
+                        ("members_per_sec", base_mps.to_json()),
+                        ("allocs_per_member", base_apm.to_json()),
+                    ]),
+                ),
+                (
+                    "columnar_store",
+                    Json::obj([
+                        ("wall_seconds", store_s.to_json()),
+                        ("members_per_sec", store_mps.to_json()),
+                        ("allocs_per_member", store_apm.to_json()),
+                    ]),
+                ),
+                ("members_per_sec_gain", (store_mps / base_mps).to_json()),
+                (
+                    "allocs_per_member_ratio",
+                    (base_apm / store_apm.max(1.0)).to_json(),
+                ),
             ]),
         ),
         (

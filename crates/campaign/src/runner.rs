@@ -5,7 +5,11 @@
 //! compilation, **and the control ensemble + fitted ECT** (prewarmed
 //! before the fan-out so no worker pays for it) — then drives every
 //! planned scenario through [`RcaSession::diagnose_scenario`] in
-//! parallel. The session's content-addressed program cache means clean
+//! parallel. Every ensemble under the hood — the shared control
+//! ensemble and each scenario's experimental runs — fills one columnar
+//! `rca_sim::EnsembleRuns` block through pooled, reset-reused executors,
+//! so growing `--scenarios` or the ensemble size N pays for arithmetic,
+//! not for per-run allocation and matrix re-assembly. The session's content-addressed program cache means clean
 //! scenarios and config-only mutants (PRNG swap, FMA toggle) reuse the
 //! already-compiled base program, and each source mutant is parsed and
 //! compiled exactly once no matter how many runs its diagnosis needs.

@@ -129,6 +129,25 @@ impl<T: Send> ParIter<T> {
         }
     }
 
+    /// Like [`ParIter::map`], but threads a per-worker state value through
+    /// the items of each parallel chunk (rayon's `map_init`: `init` runs
+    /// once per split, here once per worker chunk). This is the executor
+    /// reuse hook: a run-store fill creates one pooled executor per worker
+    /// and resets it between ensemble members instead of rebuilding it.
+    pub fn map_init<S, R, INIT, F>(self, init: INIT, f: F) -> ParIter<R>
+    where
+        R: Send,
+        INIT: Fn() -> S + Sync,
+        F: Fn(&mut S, T) -> R + Sync,
+    {
+        ParIter {
+            items: run_chunks(self.items, |chunk| {
+                let mut state = init();
+                chunk.into_iter().map(|t| f(&mut state, t)).collect()
+            }),
+        }
+    }
+
     /// Folds each parallel chunk separately, yielding one accumulator per
     /// chunk (rayon's per-split `fold` semantics).
     pub fn fold<A, ID, F>(self, identity: ID, fold_op: F) -> ParIter<A>
@@ -239,6 +258,28 @@ mod tests {
             })
             .collect();
         assert!(PEAK.load(Ordering::SeqCst) >= 2, "no parallelism observed");
+    }
+
+    #[test]
+    fn map_init_reuses_state_within_a_chunk() {
+        // Every item observes a state; the number of distinct states is at
+        // most the worker count, and order is preserved.
+        let out: Vec<(usize, u32)> = (0u32..64)
+            .into_par_iter()
+            .map_init(
+                || Box::new(0u32),
+                |state, x| {
+                    **state += 1;
+                    (&**state as *const u32 as usize, x)
+                },
+            )
+            .collect();
+        assert_eq!(out.len(), 64);
+        for (i, (_, x)) in out.iter().enumerate() {
+            assert_eq!(*x, i as u32);
+        }
+        let distinct: std::collections::HashSet<usize> = out.iter().map(|&(p, _)| p).collect();
+        assert!(distinct.len() <= super::max_threads().max(1));
     }
 
     #[test]

@@ -3,8 +3,7 @@
 
 use rca_model::{Experiment, ModelConfig, ModelSource};
 use rca_sim::{
-    finite_outputs_at, perturbations, run_ensemble_program, Avx2Policy, PrngKind, Program,
-    RunConfig, RunOutput, RuntimeError,
+    perturbations, Avx2Policy, EnsembleRuns, PrngKind, Program, RunConfig, RuntimeError,
 };
 use rca_stats::{fit_lasso_path, median_distance_selection, Ect, EctConfig, Matrix, Verdict};
 use std::sync::Arc;
@@ -112,32 +111,26 @@ pub struct EnsembleStats {
     pub(crate) kept: Vec<u32>,
 }
 
-/// Builds a `runs × kept` matrix straight from the dense per-run history
-/// buffers — direct column indexing, zero hashing, no intermediate rows.
-fn dense_matrix(runs: &[RunOutput], kept: &[u32], step: usize) -> Matrix {
-    Matrix::from_fn(runs.len(), kept.len(), |r, c| {
-        runs[r].history[kept[c] as usize][step]
-    })
-}
-
 /// Runs the control ensemble and fits the ECT — everything on the
 /// statistical front end that does not depend on the experiment. The
 /// base model arrives pre-compiled; every member executes the shared
-/// program.
+/// program **into one columnar [`EnsembleRuns`] block**, and the ensemble
+/// matrix memcpy-gathers from the store's contiguous evaluation-step
+/// planes — no per-run history vectors, no re-assembly.
 pub(crate) fn collect_ensemble(
     base_program: &Arc<Program>,
     setup: &ExperimentSetup,
 ) -> Result<EnsembleStats, RuntimeError> {
     let perts = perturbations(setup.n_ensemble, setup.ic_magnitude, setup.seed);
-    let runs = run_ensemble_program(base_program, &control_config(setup), &perts)?;
-    let eval_step = (setup.steps - 1) as usize;
-    let kept = finite_outputs_at(&runs, setup.steps - 1);
+    let store = EnsembleRuns::run(base_program, &control_config(setup), &perts)?;
+    let eval_step = setup.steps - 1;
+    let kept = store.finite_outputs_at(eval_step);
     let table = Arc::clone(base_program.output_names());
     let names = kept
         .iter()
         .map(|&i| table[i as usize].to_string())
         .collect();
-    let matrix = dense_matrix(&runs, &kept, eval_step);
+    let matrix = store.matrix_at(eval_step, &kept);
     let ect = Ect::fit(&matrix, setup.ect);
     Ok(EnsembleStats {
         names,
@@ -183,19 +176,18 @@ pub(crate) fn evaluate_against_ensemble(
     setup: &ExperimentSetup,
 ) -> Result<ExperimentData, RuntimeError> {
     let exp_perts = perturbations(setup.n_experiment, setup.ic_magnitude, setup.seed ^ 0xDEAD);
-    let exp_runs = run_ensemble_program(exp_program, exp_cfg, &exp_perts)?;
+    let exp_store = EnsembleRuns::run(exp_program, exp_cfg, &exp_perts)?;
 
     let eval_step = setup.steps - 1;
-    let kept_b = finite_outputs_at(&exp_runs, eval_step);
+    let kept_b = exp_store.finite_outputs_at(eval_step);
     // The experimental program almost always shares the base program's
     // output table (mutations patch assignments, not `outfld` calls), so
-    // column intersection is pure id arithmetic and matrices assemble by
-    // direct indexing into the dense history buffers — zero hashing, no
-    // name resolution. A variant with a different output set falls back
+    // column intersection is pure id arithmetic and the experimental
+    // matrix memcpy-gathers straight from the store's contiguous
+    // evaluation-step planes — zero hashing, no name resolution, no
+    // per-run buffers. A variant with a different output set falls back
     // to intersecting by name.
-    let same_table = exp_runs
-        .first()
-        .is_some_and(|r| r.output_names == ens.table);
+    let same_table = *exp_store.output_names() == ens.table;
     let (names, ensemble, experimental, full_match) = if same_table {
         let mut in_b = vec![false; ens.table.len()];
         for &i in &kept_b {
@@ -222,13 +214,10 @@ pub(crate) fn evaluate_against_ensemble(
             let positions: Vec<usize> = kept.iter().map(|&i| pos_of[i as usize]).collect();
             ens.matrix.gather_cols(&positions)
         };
-        let experimental = dense_matrix(&exp_runs, &kept, eval_step as usize);
+        let experimental = exp_store.matrix_at(eval_step, &kept);
         (names, ensemble, experimental, full_match)
     } else {
-        let exp_table = exp_runs
-            .first()
-            .map(|r| Arc::clone(&r.output_names))
-            .unwrap_or_else(|| Vec::new().into());
+        let exp_table = Arc::clone(exp_store.output_names());
         let names_b: Vec<String> = kept_b
             .iter()
             .map(|&i| exp_table[i as usize].to_string())
@@ -251,7 +240,7 @@ pub(crate) fn evaluate_against_ensemble(
                 kept_b[p]
             })
             .collect();
-        let experimental = dense_matrix(&exp_runs, &exp_cols, eval_step as usize);
+        let experimental = exp_store.matrix_at(eval_step, &exp_cols);
         // Foreign table: the prefit ECT's column space does not apply.
         (names, ensemble, experimental, false)
     };

@@ -37,7 +37,7 @@
 use rca_graph::{reaches_any, NodeId};
 use rca_metagraph::{MetaGraph, NodeKind};
 use rca_model::ModelSource;
-use rca_sim::{compile_model, run_program, Program, RunConfig, RuntimeError, SampleSpec};
+use rca_sim::{compile_model, Executor, Program, RunConfig, RuntimeError, SampleSpec};
 use std::sync::Arc;
 
 /// Decides which sampled nodes take different values between ensemble and
@@ -107,14 +107,22 @@ impl Oracle for ReachabilityOracle {
 /// Real runtime sampling: run control and experimental models with the
 /// node set instrumented and compare values.
 ///
-/// Both models are **compiled once** at construction; each `differs`
-/// query then pays only two executions of the shared programs, not two
-/// parse+load cycles. Refinement loops issue one query per iteration, so
-/// this is the oracle's hot path.
+/// Both models are **compiled once** at construction, and the sampler
+/// holds one **pooled executor pair**: the first `differs` query builds
+/// the executors, every later query resets them in place
+/// ([`Executor::reset_with`] — arena restored by in-place copy, frames
+/// pooled, PRNG reseeded) with the fresh instrumentation list. A query
+/// thus pays two executions and materializes nothing: sample buffers are
+/// compared positionally straight off the executor state (views, not
+/// owned `RunOutput`s). Refinement loops issue one query per iteration,
+/// so this is the oracle's hot path.
 pub struct RuntimeSampler {
     /// Compiled control/experimental programs (or the compile failure,
     /// re-reported per query — sampling proceeds best-effort).
     programs: Result<(Arc<Program>, Arc<Program>), RuntimeError>,
+    /// Pooled (control, experimental) executors, built on first query and
+    /// reset-with-reused on every later one.
+    execs: Option<(Executor, Executor)>,
     /// Control run configuration.
     pub control_config: RunConfig,
     /// Experimental run configuration (PRNG/AVX2 changes live here).
@@ -162,6 +170,7 @@ impl RuntimeSampler {
         let sample_step = control_config.steps.saturating_sub(1);
         RuntimeSampler {
             programs,
+            execs: None,
             control_config,
             experiment_config,
             sample_step,
@@ -213,24 +222,35 @@ impl Oracle for RuntimeSampler {
         exp.sample_step = Some(self.sample_step);
         exp.samples = live;
 
-        let control = match run_program(&ctl_program, &ctl, 0.0) {
-            Ok(r) => r,
-            Err(e) => {
-                self.errors.push(e);
-                return vec![false; nodes.len()];
+        // Lease the pooled executor pair: built once, reset in place with
+        // this query's instrumentation list on every later query.
+        match &mut self.execs {
+            Some((c, e)) => {
+                c.reset_with(&ctl);
+                e.reset_with(&exp);
             }
-        };
-        let experiment = match run_program(&exp_program, &exp, 0.0) {
-            Ok(r) => r,
-            Err(e) => {
-                self.errors.push(e);
-                return vec![false; nodes.len()];
+            slot @ None => {
+                *slot = Some((
+                    Executor::new(ctl_program, &ctl),
+                    Executor::new(exp_program, &exp),
+                ));
             }
-        };
+        }
+        let (ctl_ex, exp_ex) = self.execs.as_mut().expect("executors just leased");
+        if let Err(e) = ctl_ex.drive(0.0) {
+            self.errors.push(e);
+            return vec![false; nodes.len()];
+        }
+        if let Err(e) = exp_ex.drive(0.0) {
+            self.errors.push(e);
+            return vec![false; nodes.len()];
+        }
 
         // Captures are positional over the instrumented spec list: the
         // i-th live spec is the i-th sample buffer in both runs — the
-        // per-iteration comparison hashes nothing and allocates no keys.
+        // per-iteration comparison reads the executor state in place,
+        // hashes nothing, and allocates no keys.
+        let tolerance = self.tolerance;
         let mut live_idx = 0usize;
         specs
             .iter()
@@ -240,8 +260,7 @@ impl Oracle for RuntimeSampler {
                 }
                 let i = live_idx;
                 live_idx += 1;
-                let (Some(a), Some(b)) =
-                    (control.samples[i].as_ref(), experiment.samples[i].as_ref())
+                let (Some(a), Some(b)) = (ctl_ex.samples[i].as_ref(), exp_ex.samples[i].as_ref())
                 else {
                     return false;
                 };
@@ -250,7 +269,7 @@ impl Oracle for RuntimeSampler {
                 }
                 a.iter().zip(b).any(|(&x, &y)| {
                     let scale = x.abs().max(y.abs()).max(1e-300);
-                    ((x - y).abs() / scale) > self.tolerance
+                    ((x - y).abs() / scale) > tolerance
                 })
             })
             .collect()

@@ -119,7 +119,9 @@ impl RcaPipeline {
                 ..Default::default()
             };
             let out = run_program(program.expect("calibration needs a program"), &cfg, 0.0)?;
-            for (m, s) in &out.coverage {
+            // The id-keyed coverage renders its pairs here, at the
+            // calibration edge — no owned string pairs in between.
+            for (m, s) in out.coverage.iter() {
                 coverage.mark(m, s);
             }
             filter_sources(&asts, &coverage)

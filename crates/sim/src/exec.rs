@@ -1,11 +1,14 @@
 //! The compiled-program executor: slot-indexed, allocation-light, and
 //! bit-identical to the tree-walking interpreter.
 //!
-//! An [`Executor`] is one simulation run over a shared [`Program`]: it
-//! clones the initial global arena, owns the PRNG/pbuf/history state, and
-//! drives the lowered IR. The hot loop touches no `String` and hashes no
-//! name — variables are frame offsets or global indices, call targets are
-//! pre-resolved, history writes index a dense `OutputId` buffer, and
+//! An [`Executor`] is one simulation run over a shared [`Program`] — or,
+//! through the reset-and-reuse protocol, many runs: construction clones
+//! the initial global arena once, and [`Executor::reset`] /
+//! [`Executor::reset_with`] restore it in place (allocation-reusing deep
+//! copy, reseeded PRNG, pooled frames/args/array buffers) for the next
+//! run. The hot loop touches no `String` and hashes no name — variables
+//! are frame offsets or global indices, call targets are pre-resolved,
+//! history writes land in a flat step-major `OutputId`-indexed block, and
 //! sample captures are positional over `config.samples`.
 //!
 //! Semantic parity with [`crate::interp::Interpreter`] is load-bearing
@@ -20,10 +23,11 @@
 
 use crate::interp::{RunConfig, RuntimeError};
 use crate::ops::{self, Flow, RunResult};
-use crate::prng::{make_prng, Prng};
+use crate::prng::{make_prng, Prng, PrngKind};
 use crate::program::{
     CExpr, CPlace, CProc, CStmt, CallForm, CallSite, EId, Intrin, LocalTemplate, Program, VarBind,
 };
+use crate::store::RunCoverage;
 use crate::value::Value;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -42,8 +46,21 @@ struct ModulePlan {
 
 type Locals = [Option<Value>];
 
+/// Per-proc local sampling plans: proc index → `(frame slot, sample idx)`.
+type LocalPlans = HashMap<u32, Vec<(u32, u32)>>;
+
 /// Executes a compiled [`Program`]: load once (cheap — the program is
-/// shared), run one simulation.
+/// shared), run one simulation — or, through the reset-and-reuse
+/// protocol ([`Executor::reset`] / [`Executor::reset_with`]), run many.
+///
+/// The history buffer is **flat and step-major**: one contiguous
+/// `steps × outputs` block where row `s` holds every output's global mean
+/// at step `s`, dense-indexed by `OutputId`. A run-store ensemble member
+/// publishes the whole run with a single memcpy, and the evaluation-step
+/// plane the ECT matrices are built from is a contiguous slice. Per-output
+/// series lengths live in `written` (a series spans steps
+/// `0..written[out]`, unwritten intermediate steps are NaN — exactly the
+/// ragged legacy semantics, reconstructible on demand).
 pub struct Executor {
     program: Arc<Program>,
     globals: Vec<Value>,
@@ -51,18 +68,33 @@ pub struct Executor {
     fma: Vec<bool>,
     fma_scale: f64,
     prng: Box<dyn Prng>,
+    prng_kind: PrngKind,
+    prng_seed: u32,
     step: u32,
+    steps: u32,
     sample_step: Option<u32>,
     pbuf: HashMap<i64, Vec<f64>>,
-    /// History output: per-variable global means per step, dense-indexed
-    /// by `OutputId` (the program's sorted output table).
-    pub history: Vec<Vec<f64>>,
-    covered: Vec<bool>,
+    /// Flat step-major history (`step * outputs + out`), grown one
+    /// NaN-filled row at a time as steps write outputs.
+    pub(crate) history: Vec<f64>,
+    /// Per-output series length: `1 + last written step`, 0 = never
+    /// written this run.
+    pub(crate) written: Vec<u32>,
+    pub(crate) covered: Vec<bool>,
     /// Captured samples, positional over `config.samples` (`None` = the
     /// spec was never captured, exactly like an absent map key before).
     pub samples: Vec<Option<Vec<f64>>>,
     module_plan: Vec<ModulePlan>,
-    local_plan: HashMap<u32, Vec<(u32, u32)>>,
+    local_plan: LocalPlans,
+    /// Recycled call frames: `invoke` pops, callers push back after
+    /// copy-out, so steady-state calls allocate no frame backbone.
+    frame_pool: Vec<Vec<Option<Value>>>,
+    /// Recycled argument vectors (call sites evaluate actuals into one).
+    arg_pool: Vec<Vec<Value>>,
+    /// Recycled `f64` buffers harvested from finished frames' array
+    /// locals — array-local initialization reuses them instead of
+    /// allocating `vec![0.0; n]` per call.
+    scratch_f64: Vec<Vec<f64>>,
 }
 
 impl Executor {
@@ -73,47 +105,27 @@ impl Executor {
             .iter()
             .map(|m| config.avx2.enabled_for(m))
             .collect();
-        let mut module_plan = Vec::new();
-        let mut local_plan: HashMap<u32, Vec<(u32, u32)>> = HashMap::new();
-        for (idx, spec) in config.samples.iter().enumerate() {
-            let idx = idx as u32;
-            match &spec.subprogram {
-                None => module_plan.push(ModulePlan {
-                    global: program.global_slot(&spec.module, &spec.name),
-                    field: spec.name.clone(),
-                    idx,
-                }),
-                Some(sub) => {
-                    // A spec the program cannot host (unknown subprogram
-                    // or name that never occupies a frame slot) is simply
-                    // never captured — the interpreter behaves the same.
-                    let Some(proc) = program.proc_slot(&spec.module, sub) else {
-                        continue;
-                    };
-                    let Some(slot) = program.procs[proc as usize]
-                        .local_names
-                        .iter()
-                        .position(|n| **n == *spec.name)
-                    else {
-                        continue;
-                    };
-                    local_plan.entry(proc).or_default().push((slot as u32, idx));
-                }
-            }
-        }
+        let (module_plan, local_plan) = build_sample_plans(&program, config);
         Executor {
             globals: program.globals.clone(),
             fma,
             fma_scale: config.fma_scale,
             prng: make_prng(config.prng, config.prng_seed),
+            prng_kind: config.prng,
+            prng_seed: config.prng_seed,
             step: 0,
+            steps: config.steps,
             sample_step: config.sample_step,
             pbuf: HashMap::new(),
-            history: vec![Vec::new(); program.output_count()],
+            history: Vec::new(),
+            written: vec![0; program.output_count()],
             covered: vec![false; program.procs.len()],
             samples: vec![None; config.samples.len()],
             module_plan,
             local_plan,
+            frame_pool: Vec::new(),
+            arg_pool: Vec::new(),
+            scratch_f64: Vec::new(),
             program,
         }
     }
@@ -121,6 +133,69 @@ impl Executor {
     /// The program this executor runs.
     pub fn program(&self) -> &Arc<Program> {
         &self.program
+    }
+
+    /// Restores the executor to its just-constructed state for another
+    /// run of the **same configuration**: the global arena is overwritten
+    /// in place from the program's pristine snapshot (allocation-reusing
+    /// deep copy, no re-clone), the PRNG is reseeded in place, history
+    /// rows / written lengths / coverage bits are zeroed, and the pooled
+    /// frames stay pooled. A reset run is bit-identical to a fresh one.
+    pub fn reset(&mut self) {
+        let p = Arc::clone(&self.program);
+        for (g, init) in self.globals.iter_mut().zip(p.globals.iter()) {
+            g.clone_from(init);
+        }
+        self.prng.reseed(self.prng_seed);
+        self.step = 0;
+        self.pbuf.clear();
+        self.history.clear();
+        self.written.fill(0);
+        self.covered.fill(false);
+        for s in &mut self.samples {
+            *s = None;
+        }
+    }
+
+    /// [`Executor::reset`] plus a configuration change: FMA policy, PRNG
+    /// kind/seed, step counts, and the sampling plans are rebuilt for
+    /// `config`. This is the oracle path — one pooled executor pair serves
+    /// every refinement query, each with a fresh instrumentation list.
+    pub fn reset_with(&mut self, config: &RunConfig) {
+        let p = Arc::clone(&self.program);
+        if config.prng != self.prng_kind {
+            self.prng = make_prng(config.prng, config.prng_seed);
+            self.prng_kind = config.prng;
+        }
+        self.prng_seed = config.prng_seed;
+        for (f, m) in self.fma.iter_mut().zip(p.module_names.iter()) {
+            *f = config.avx2.enabled_for(m);
+        }
+        self.fma_scale = config.fma_scale;
+        self.steps = config.steps;
+        self.sample_step = config.sample_step;
+        let (module_plan, local_plan) = build_sample_plans(&p, config);
+        self.module_plan = module_plan;
+        self.local_plan = local_plan;
+        self.samples.clear();
+        self.samples.resize(config.samples.len(), None);
+        self.reset();
+    }
+
+    /// Runs the standard driver sequence (`cam_init(pert)` then one
+    /// `cam_run_step` per configured step, sampling at the sample step)
+    /// against the executor's current state. Callers reusing an executor
+    /// must [`Executor::reset`] / [`Executor::reset_with`] first.
+    pub fn drive(&mut self, pert: f64) -> RunResult<()> {
+        self.call("cam_init", &[Value::Real(pert)])?;
+        for step in 0..self.steps {
+            self.set_step(step);
+            self.call("cam_run_step", &[])?;
+            if self.sample_step == Some(step) {
+                self.capture_module_samples();
+            }
+        }
+        Ok(())
     }
 
     // ----- public driving API -------------------------------------------
@@ -136,7 +211,9 @@ impl Executor {
                 0,
             ));
         };
-        self.invoke(&p, idx, args.to_vec()).map(|_| ())
+        let locals = self.invoke(&p, idx, args.to_vec())?;
+        self.recycle_frame(locals);
+        Ok(())
     }
 
     /// Advances the time-step counter (affects history recording and
@@ -157,21 +234,44 @@ impl Executor {
             .map(|s| &self.globals[s as usize])
     }
 
-    /// Executed `(module, subprogram)` pairs, sorted and deduplicated.
-    pub fn coverage(&self) -> Vec<(String, String)> {
-        let mut out: Vec<(String, String)> = self
-            .covered
-            .iter()
-            .enumerate()
-            .filter(|&(_, &c)| c)
-            .map(|(i, _)| {
-                let p = &self.program.procs[i];
-                (p.module.to_string(), p.name.to_string())
-            })
+    /// Executed subprograms as an id-keyed [`RunCoverage`] (strings render
+    /// at the edge, in the legacy sorted `(module, subprogram)` order).
+    pub fn coverage(&self) -> RunCoverage {
+        RunCoverage::from_program(&self.program, &self.covered)
+    }
+
+    /// Flat step-major history written so far (`step * outputs + out`);
+    /// rows exist up to the last step any output was written at.
+    pub fn history_flat(&self) -> &[f64] {
+        &self.history
+    }
+
+    /// Per-output series lengths (`OutputId`-indexed).
+    pub fn written(&self) -> &[u32] {
+        &self.written
+    }
+
+    /// One output's series this run (steps `0..written`, NaN where a step
+    /// was skipped), gathered out of the step-major block.
+    pub fn series_of(&self, out: usize) -> Vec<f64> {
+        let outputs = self.program.output_count();
+        (0..self.written[out] as usize)
+            .map(|s| self.history[s * outputs + out])
+            .collect()
+    }
+
+    /// Consumes the executor into the materialized edge type: ragged
+    /// per-output series, captured samples, id-keyed coverage.
+    pub fn into_run_output(mut self) -> crate::runner::RunOutput {
+        let history = (0..self.program.output_count())
+            .map(|i| self.series_of(i))
             .collect();
-        out.sort();
-        out.dedup();
-        out
+        crate::runner::RunOutput {
+            output_names: Arc::clone(self.program.output_names()),
+            history,
+            samples: std::mem::take(&mut self.samples),
+            coverage: self.coverage(),
+        }
     }
 
     /// Snapshot module-level sampled variables (call at the end of the
@@ -205,19 +305,53 @@ impl Executor {
 
     // ----- invocation -----------------------------------------------------
 
+    /// Returns a pooled call frame, emptied and sized to `n` `None` slots.
+    fn lease_frame(&mut self, n: usize) -> Vec<Option<Value>> {
+        let mut locals = self.frame_pool.pop().unwrap_or_default();
+        locals.clear();
+        locals.resize(n, None);
+        locals
+    }
+
+    /// Returns a finished frame to the pool, harvesting its array-local
+    /// buffers into the scratch pool (other values drop, backbone stays).
+    fn recycle_frame(&mut self, mut frame: Vec<Option<Value>>) {
+        for slot in frame.iter_mut() {
+            if let Some(Value::RealArray(buf)) = slot.take() {
+                self.scratch_f64.push(buf);
+            }
+        }
+        frame.clear();
+        self.frame_pool.push(frame);
+    }
+
+    /// Returns a pooled, emptied argument vector.
+    fn lease_args(&mut self) -> Vec<Value> {
+        let mut args = self.arg_pool.pop().unwrap_or_default();
+        args.clear();
+        args
+    }
+
     fn invoke(
         &mut self,
         p: &Program,
         proc_idx: u32,
-        args: Vec<Value>,
+        mut args: Vec<Value>,
     ) -> RunResult<Vec<Option<Value>>> {
         self.covered[proc_idx as usize] = true;
         let pr = &p.procs[proc_idx as usize];
-        let mut locals: Vec<Option<Value>> = vec![None; pr.n_locals];
+        let mut locals: Vec<Option<Value>> = self.lease_frame(pr.n_locals);
         for (i, slot) in pr.arg_slots.iter().enumerate() {
-            let v = args.get(i).cloned().unwrap_or(Value::Real(0.0));
+            // Move the actual into its frame slot — the old per-arg clone
+            // re-allocated every array argument a second time.
+            let v = match args.get_mut(i) {
+                Some(v) => std::mem::replace(v, Value::Real(0.0)),
+                None => Value::Real(0.0),
+            };
             locals[*slot as usize] = Some(v);
         }
+        args.clear();
+        self.arg_pool.push(args);
         for (slot, line, tmpl) in pr.inits.iter() {
             let v = self.local_value(p, pr, &locals, tmpl, *line)?;
             locals[*slot as usize] = Some(v);
@@ -265,7 +399,12 @@ impl Executor {
                     })?;
                     n *= x.max(0) as usize;
                 }
-                Ok(Value::RealArray(vec![0.0; n]))
+                // Zero-filled like a fresh `vec![0.0; n]`, but backed by a
+                // buffer harvested from an earlier frame when one exists.
+                let mut buf = self.scratch_f64.pop().unwrap_or_default();
+                buf.clear();
+                buf.resize(n, 0.0);
+                Ok(Value::RealArray(buf))
             }
             LocalTemplate::Int(init) => Ok(match *init {
                 Some(e) => Value::Int(self.eval(p, pr, locals, e, line)?.as_i64().unwrap_or(0)),
@@ -350,11 +489,15 @@ impl Executor {
                         ))
                     }
                 };
-                let series = &mut self.history[*out as usize];
-                if series.len() <= self.step as usize {
-                    series.resize(self.step as usize + 1, f64::NAN);
+                let outputs = self.program.output_count();
+                let step = self.step as usize;
+                let need = (step + 1) * outputs;
+                if self.history.len() < need {
+                    self.history.resize(need, f64::NAN);
                 }
-                series[self.step as usize] = mean;
+                self.history[step * outputs + *out as usize] = mean;
+                let w = &mut self.written[*out as usize];
+                *w = (*w).max(self.step + 1);
                 Ok(Flow::Normal)
             }
             CStmt::RandomNumber {
@@ -364,10 +507,12 @@ impl Executor {
             } => {
                 let current = self.eval(p, pr, locals, *current, *line)?;
                 let new = match current {
-                    Value::RealArray(v) => {
-                        let mut out = vec![0.0; v.len()];
-                        self.prng.fill(&mut out);
-                        Value::RealArray(out)
+                    // The evaluated current value is already an owned
+                    // buffer of the right shape — fill it in place
+                    // (every element is overwritten, same draws).
+                    Value::RealArray(mut v) => {
+                        self.prng.fill(&mut v);
+                        Value::RealArray(v)
                     }
                     _ => Value::Real(self.prng.next_f64()),
                 };
@@ -398,14 +543,19 @@ impl Executor {
                 line,
             } => {
                 let idx = self.eval_int(p, pr, locals, *idx, *line)?;
+                // Snapshot before evaluating `current` — the tree-walker
+                // reads pbuf first, and `current` may run user code.
                 let data = self.pbuf.get(&idx).cloned().unwrap_or_default();
                 let current = self.eval(p, pr, locals, *current, *line)?;
                 let value = match current {
-                    Value::RealArray(v) => {
-                        let mut out = vec![0.0; v.len()];
-                        let n = out.len().min(data.len());
-                        out[..n].copy_from_slice(&data[..n]);
-                        Value::RealArray(out)
+                    // Reuse the evaluated buffer: overwrite the prefix
+                    // with pbuf data, zero the rest (a fresh zero vector
+                    // with the prefix copied in, without the allocation).
+                    Value::RealArray(mut v) => {
+                        let n = v.len().min(data.len());
+                        v[..n].copy_from_slice(&data[..n]);
+                        v[n..].fill(0.0);
+                        Value::RealArray(v)
                     }
                     _ => Value::Real(data.first().copied().unwrap_or(0.0)),
                 };
@@ -509,7 +659,7 @@ impl Executor {
         line: u32,
     ) -> RunResult<()> {
         let site: &CallSite = &p.sites[site as usize];
-        let mut values = Vec::with_capacity(site.args.len());
+        let mut values = self.lease_args();
         for &a in site.args.iter() {
             values.push(self.eval(p, pr, locals, a, line)?);
         }
@@ -519,6 +669,7 @@ impl Executor {
                 self.write_place(p, pr, locals, place, v.clone(), line)?;
             }
         }
+        self.recycle_frame(callee_locals);
         Ok(())
     }
 
@@ -893,14 +1044,18 @@ impl Executor {
         line: u32,
     ) -> RunResult<Value> {
         let site: &CallSite = &p.sites[site as usize];
-        let mut values = Vec::with_capacity(site.args.len());
+        let mut values = self.lease_args();
         for &a in site.args.iter() {
             values.push(self.eval(p, pr, locals, a, line)?);
         }
         let callee = &p.procs[site.proc as usize];
         let rs = callee.result_slot.expect("function has result");
-        let callee_locals = self.invoke(p, site.proc, values)?;
-        callee_locals[rs as usize].clone().ok_or_else(|| {
+        let mut callee_locals = self.invoke(p, site.proc, values)?;
+        // Move the result out of the finished frame — a clone would
+        // re-allocate every array-valued return.
+        let result = callee_locals[rs as usize].take();
+        self.recycle_frame(callee_locals);
+        result.ok_or_else(|| {
             RuntimeError::new(
                 format!("function {} returned no value", callee.name),
                 &pr.module,
@@ -926,6 +1081,39 @@ impl Executor {
             line,
         )
     }
+}
+
+/// Resolves `config.samples` into the executor's positional capture plans
+/// (module-level scans and per-proc frame-slot snapshots). Specs the
+/// program cannot host are simply never captured — the interpreter
+/// behaves the same.
+fn build_sample_plans(program: &Program, config: &RunConfig) -> (Vec<ModulePlan>, LocalPlans) {
+    let mut module_plan = Vec::new();
+    let mut local_plan: LocalPlans = HashMap::new();
+    for (idx, spec) in config.samples.iter().enumerate() {
+        let idx = idx as u32;
+        match &spec.subprogram {
+            None => module_plan.push(ModulePlan {
+                global: program.global_slot(&spec.module, &spec.name),
+                field: spec.name.clone(),
+                idx,
+            }),
+            Some(sub) => {
+                let Some(proc) = program.proc_slot(&spec.module, sub) else {
+                    continue;
+                };
+                let Some(slot) = program.procs[proc as usize]
+                    .local_names
+                    .iter()
+                    .position(|n| **n == *spec.name)
+                else {
+                    continue;
+                };
+                local_plan.entry(proc).or_default().push((slot as u32, idx));
+            }
+        }
+    }
+    (module_plan, local_plan)
 }
 
 /// Resolves a binding to the value it currently denotes (local slot when

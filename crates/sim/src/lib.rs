@@ -28,8 +28,12 @@
 //! holds them bit-identical across histories, samples, and coverage.
 //!
 //! [`runner`] drives single runs and rayon-parallel ensembles;
-//! [`kernel`] reproduces the KGen normalized-RMS comparison that flags
-//! FMA-affected Morrison–Gettelman variables (§6.4).
+//! [`store`] holds whole ensembles as **one contiguous columnar block**
+//! ([`EnsembleRuns`]) filled in place by pooled, reset-reused executors —
+//! [`RunView`] is the cheap per-member view, [`RunOutput`] the
+//! materialize-on-demand edge type; [`kernel`] reproduces the KGen
+//! normalized-RMS comparison that flags FMA-affected Morrison–Gettelman
+//! variables (§6.4).
 
 pub mod compile;
 pub mod exec;
@@ -39,6 +43,7 @@ mod ops;
 pub mod prng;
 pub mod program;
 pub mod runner;
+pub mod store;
 pub mod value;
 
 pub use compile::compile_sources;
@@ -54,4 +59,5 @@ pub use runner::{
     compile_model, finite_outputs_at, outputs_matrix, perturbations, run_ensemble,
     run_ensemble_program, run_loaded, run_model, run_program, RunOutput,
 };
+pub use store::{EnsembleRuns, RunCoverage, RunView};
 pub use value::Value;

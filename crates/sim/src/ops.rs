@@ -15,6 +15,49 @@ use rca_fortran::token::Op;
 
 pub(crate) type RunResult<T> = Result<T, RuntimeError>;
 
+/// Stack-first buffer for numeric intrinsic arguments (spills to the
+/// heap only beyond eight — arities generated code never reaches).
+struct RealArgBuf {
+    inline: [f64; 8],
+    spill: Vec<f64>,
+}
+
+/// Evaluates `n_args` numeric arguments left-to-right into `buf` and
+/// returns the filled slice. Values, evaluation order, and error
+/// rendering are exactly those of the old per-call `Vec` collection.
+fn eval_real_args<'b>(
+    n_args: usize,
+    arg: &mut dyn FnMut(usize) -> RunResult<Value>,
+    buf: &'b mut RealArgBuf,
+    module: &str,
+    line: u32,
+) -> RunResult<&'b [f64]> {
+    let spilled = n_args > buf.inline.len();
+    if spilled {
+        buf.spill.reserve(n_args);
+    }
+    for i in 0..n_args {
+        let v = arg(i)?;
+        let x = v.as_f64().ok_or_else(|| {
+            RuntimeError::new(
+                format!("intrinsic argument must be numeric, got {}", v.type_name()),
+                module,
+                line,
+            )
+        })?;
+        if spilled {
+            buf.spill.push(x);
+        } else {
+            buf.inline[i] = x;
+        }
+    }
+    Ok(if spilled {
+        &buf.spill[..]
+    } else {
+        &buf.inline[..n_args]
+    })
+}
+
 /// Evaluates one intrinsic, pulling arguments through `arg` on demand —
 /// the callback indexes the caller's argument list, so each engine keeps
 /// its own (lazy, left-to-right) argument evaluation while the arithmetic
@@ -28,33 +71,34 @@ pub(crate) fn intrinsic_op(
     module: &str,
     line: u32,
 ) -> RunResult<Value> {
-    let reals = |arg: &mut dyn FnMut(usize) -> RunResult<Value>| -> RunResult<Vec<f64>> {
-        let mut out = Vec::with_capacity(n_args);
-        for i in 0..n_args {
-            let v = arg(i)?;
-            out.push(v.as_f64().ok_or_else(|| {
-                RuntimeError::new(
-                    format!("intrinsic argument must be numeric, got {}", v.type_name()),
-                    module,
-                    line,
-                )
-            })?);
-        }
-        Ok(out)
+    // Numeric argument lists live on the stack: intrinsics are the single
+    // densest allocation site of a simulation step (every min/max/sqrt in
+    // the physics evaluated one Vec per call), and generated code never
+    // passes more than a handful of arguments. The rare wider call spills
+    // to the heap; values and evaluation order are identical either way.
+    let mut argbuf = RealArgBuf {
+        inline: [0.0; 8],
+        spill: Vec::new(),
     };
     let v = match which {
         Intrin::Min => {
-            let xs = reals(arg)?;
-            Value::Real(xs.into_iter().fold(f64::INFINITY, f64::min))
+            let xs = eval_real_args(n_args, arg, &mut argbuf, module, line)?;
+            Value::Real(xs.iter().copied().fold(f64::INFINITY, f64::min))
         }
         Intrin::Max => {
-            let xs = reals(arg)?;
-            Value::Real(xs.into_iter().fold(f64::NEG_INFINITY, f64::max))
+            let xs = eval_real_args(n_args, arg, &mut argbuf, module, line)?;
+            Value::Real(xs.iter().copied().fold(f64::NEG_INFINITY, f64::max))
         }
-        Intrin::Sqrt => Value::Real(reals(arg)?[0].sqrt()),
-        Intrin::Exp => Value::Real(reals(arg)?[0].exp()),
-        Intrin::Log => Value::Real(reals(arg)?[0].ln()),
-        Intrin::Log10 => Value::Real(reals(arg)?[0].log10()),
+        Intrin::Sqrt => {
+            Value::Real(eval_real_args(n_args, arg, &mut argbuf, module, line)?[0].sqrt())
+        }
+        Intrin::Exp => {
+            Value::Real(eval_real_args(n_args, arg, &mut argbuf, module, line)?[0].exp())
+        }
+        Intrin::Log => Value::Real(eval_real_args(n_args, arg, &mut argbuf, module, line)?[0].ln()),
+        Intrin::Log10 => {
+            Value::Real(eval_real_args(n_args, arg, &mut argbuf, module, line)?[0].log10())
+        }
         Intrin::Abs => {
             let v = arg(0)?;
             match v {
@@ -62,10 +106,18 @@ pub(crate) fn intrinsic_op(
                 other => Value::Real(other.as_f64().unwrap_or(f64::NAN).abs()),
             }
         }
-        Intrin::Tanh => Value::Real(reals(arg)?[0].tanh()),
-        Intrin::Sin => Value::Real(reals(arg)?[0].sin()),
-        Intrin::Cos => Value::Real(reals(arg)?[0].cos()),
-        Intrin::Atan => Value::Real(reals(arg)?[0].atan()),
+        Intrin::Tanh => {
+            Value::Real(eval_real_args(n_args, arg, &mut argbuf, module, line)?[0].tanh())
+        }
+        Intrin::Sin => {
+            Value::Real(eval_real_args(n_args, arg, &mut argbuf, module, line)?[0].sin())
+        }
+        Intrin::Cos => {
+            Value::Real(eval_real_args(n_args, arg, &mut argbuf, module, line)?[0].cos())
+        }
+        Intrin::Atan => {
+            Value::Real(eval_real_args(n_args, arg, &mut argbuf, module, line)?[0].atan())
+        }
         Intrin::Mod => {
             let a = arg(0)?;
             let b = arg(1)?;
@@ -75,7 +127,7 @@ pub(crate) fn intrinsic_op(
             }
         }
         Intrin::Sign => {
-            let xs = reals(arg)?;
+            let xs = eval_real_args(n_args, arg, &mut argbuf, module, line)?;
             Value::Real(xs[0].abs() * xs[1].signum())
         }
         Intrin::Sum => {
@@ -119,8 +171,12 @@ pub(crate) fn intrinsic_op(
             let v = arg(0)?;
             Value::Int(v.as_f64().unwrap_or(0.0) as i64)
         }
-        Intrin::Floor => Value::Int(reals(arg)?[0].floor() as i64),
-        Intrin::Nint => Value::Int(reals(arg)?[0].round() as i64),
+        Intrin::Floor => {
+            Value::Int(eval_real_args(n_args, arg, &mut argbuf, module, line)?[0].floor() as i64)
+        }
+        Intrin::Nint => {
+            Value::Int(eval_real_args(n_args, arg, &mut argbuf, module, line)?[0].round() as i64)
+        }
         Intrin::Epsilon => Value::Real(f64::EPSILON),
         Intrin::Tiny => Value::Real(f64::MIN_POSITIVE),
         Intrin::Huge => Value::Real(f64::MAX),

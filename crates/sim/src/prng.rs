@@ -28,6 +28,11 @@ pub trait Prng: Send {
             *v = self.next_f64();
         }
     }
+
+    /// Restores the generator to the exact state a fresh construction
+    /// with `seed` would have — the executor reset protocol reseeds in
+    /// place instead of boxing a new generator per run.
+    fn reseed(&mut self, seed: u32);
 }
 
 /// Instantiates the configured generator with a seed.
@@ -84,6 +89,10 @@ impl Prng for Kiss {
     fn next_f64(&mut self) -> f64 {
         self.next_u32() as f64 / 4294967296.0
     }
+
+    fn reseed(&mut self, seed: u32) {
+        *self = Kiss::new(seed);
+    }
 }
 
 /// MT19937 (32-bit Mersenne Twister), the classic Matsumoto–Nishimura
@@ -137,6 +146,10 @@ impl Prng for Mt19937 {
     fn next_f64(&mut self) -> f64 {
         self.next_u32() as f64 / 4294967296.0
     }
+
+    fn reseed(&mut self, seed: u32) {
+        *self = Mt19937::new(seed);
+    }
 }
 
 #[cfg(test)]
@@ -172,6 +185,21 @@ mod tests {
             let mut b = make_prng(kind, 7);
             for _ in 0..100 {
                 assert_eq!(a.next_f64(), b.next_f64());
+            }
+        }
+    }
+
+    #[test]
+    fn reseed_matches_fresh_construction() {
+        for kind in [PrngKind::Kiss, PrngKind::MersenneTwister] {
+            let mut reused = make_prng(kind, 7);
+            for _ in 0..700 {
+                reused.next_f64();
+            }
+            reused.reseed(13);
+            let mut fresh = make_prng(kind, 13);
+            for _ in 0..700 {
+                assert_eq!(reused.next_f64(), fresh.next_f64());
             }
         }
     }

@@ -454,6 +454,19 @@ impl Program {
         self.procs.len()
     }
 
+    /// Identity-plane key of subprogram `idx`: its owning `ModuleId` (the
+    /// program module-id space equals the interner's) and the interned
+    /// `VarId` of its name. `None` only for an index out of range.
+    pub(crate) fn proc_identity(
+        &self,
+        idx: usize,
+        syms: &SymbolTable,
+    ) -> Option<(rca_ident::ModuleId, rca_ident::VarId)> {
+        let p = self.procs.get(idx)?;
+        let var = syms.var_id(&p.name)?;
+        Some((rca_ident::ModuleId(p.module_id), var))
+    }
+
     /// Initial value of one module variable, if it exists.
     pub fn initial_global(&self, module: &str, name: &str) -> Option<&Value> {
         self.global_slot(module, name)

@@ -9,22 +9,30 @@
 //! [`compile_model`] lowers the source into a shared [`Program`] exactly
 //! once, and every run — each ensemble member, each refinement-oracle
 //! sample — is an [`Executor`] over that program. Ensembles execute in
-//! parallel with rayon; members share the `Arc<Program>` and only clone
-//! the initial global arena.
+//! parallel through the columnar [`EnsembleRuns`] store: each rayon
+//! worker leases one pooled executor, resets it between members, and
+//! publishes every run into one contiguous history block.
 
 use crate::exec::Executor;
 use crate::interp::{Interpreter, RunConfig, RuntimeError};
 use crate::program::Program;
+use crate::store::{EnsembleRuns, RunCoverage};
 use crate::value::Value;
-use rayon::prelude::*;
+use rca_ident::OutputId;
 use rca_model::ModelSource;
 use std::sync::Arc;
 
 /// Results of one model run, **dense** end to end: histories are
 /// `Vec`-backed buffers indexed by `OutputId` over the shared sorted
-/// output table, and samples are positional over `config.samples`.
-/// Assembling a `RunOutput` copies no name strings, and downstream matrix
-/// assembly indexes columns without hashing a single key.
+/// output table, samples are positional over `config.samples`, and
+/// coverage is id-keyed ([`RunCoverage`]). Assembling a `RunOutput`
+/// copies no name strings, and downstream matrix assembly indexes
+/// columns without hashing a single key.
+///
+/// This is the **materialize-on-demand edge type**: hot paths (ensemble
+/// statistics, oracle sampling) run on [`crate::EnsembleRuns`] /
+/// [`crate::RunView`] or directly on executor state and never build one;
+/// a `RunOutput` exists where a caller owns a single run's results.
 #[derive(Debug, Clone)]
 pub struct RunOutput {
     /// Sorted output-name table (shared `Arc` across every run of one
@@ -36,8 +44,9 @@ pub struct RunOutput {
     /// `samples[i]` = captured values of `config.samples[i]` (`None` when
     /// the spec was never captured).
     pub samples: Vec<Option<Vec<f64>>>,
-    /// Executed (module, subprogram) pairs.
-    pub coverage: Vec<(String, String)>,
+    /// Executed subprograms, keyed by the identity plane (strings render
+    /// at the edge).
+    pub coverage: RunCoverage,
 }
 
 impl RunOutput {
@@ -62,16 +71,35 @@ impl RunOutput {
             .filter(|(_, s)| !s.is_empty())
     }
 
+    /// Id-keyed variant of [`RunOutput::history_iter`]: `(OutputId,
+    /// series)` for every written output, in id (= sorted-name) order —
+    /// no `Arc` refcount traffic, nothing allocated.
+    pub fn history_iter_ids(&self) -> impl Iterator<Item = (OutputId, &[f64])> {
+        self.history
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.is_empty())
+            .map(|(i, s)| (OutputId(i as u32), s.as_slice()))
+    }
+
     /// Number of outputs written this run.
     pub fn written_count(&self) -> usize {
         self.history.iter().filter(|s| !s.is_empty()).count()
     }
 
+    /// Id-keyed output values at `step`, in id (= sorted-name) order —
+    /// the non-allocating variant loops should consume; resolve an id
+    /// through the shared table only at the rendering edge.
+    pub fn outputs_at_ids(&self, step: u32) -> impl Iterator<Item = (OutputId, f64)> + '_ {
+        self.history_iter_ids()
+            .filter_map(move |(id, v)| v.get(step as usize).map(|&x| (id, x)))
+    }
+
     /// Output values at `step` in sorted-name order (names are shared
     /// `Arc`s — cloning a pair is a refcount bump, not a string copy).
     pub fn outputs_at(&self, step: u32) -> Vec<(Arc<str>, f64)> {
-        self.history_iter()
-            .filter_map(|(k, v)| v.get(step as usize).map(|&x| (k.clone(), x)))
+        self.outputs_at_ids(step)
+            .map(|(id, x)| (self.output_names[id.index()].clone(), x))
             .collect()
     }
 }
@@ -105,28 +133,18 @@ pub fn run_model(
     run_program(&program, config, pert)
 }
 
-/// Runs a compiled program once through the standard driver sequence.
+/// Runs a compiled program once through the standard driver sequence and
+/// materializes the owned edge type. Callers running many variants of one
+/// configuration should pool an [`Executor`] ([`Executor::reset`] /
+/// [`Executor::reset_with`]) or fill an [`EnsembleRuns`] store instead.
 pub fn run_program(
     program: &Arc<Program>,
     config: &RunConfig,
     pert: f64,
 ) -> Result<RunOutput, RuntimeError> {
     let mut ex = Executor::new(Arc::clone(program), config);
-    ex.call("cam_init", &[Value::Real(pert)])?;
-    for step in 0..config.steps {
-        ex.set_step(step);
-        ex.call("cam_run_step", &[])?;
-        if config.sample_step == Some(step) {
-            ex.capture_module_samples();
-        }
-    }
-    let coverage = ex.coverage();
-    Ok(RunOutput {
-        output_names: Arc::clone(program.output_names()),
-        history: ex.history,
-        samples: ex.samples,
-        coverage,
-    })
+    ex.drive(pert)?;
+    Ok(ex.into_run_output())
 }
 
 /// Drives an already-loaded tree-walking interpreter through a full
@@ -174,7 +192,14 @@ pub fn run_loaded(
         output_names,
         history,
         samples,
-        coverage: interp.coverage.iter().cloned().collect(),
+        // The reference engine has no interner; its string pairs enter
+        // the identity plane here, at the edge.
+        coverage: RunCoverage::from_pairs(
+            interp
+                .coverage
+                .iter()
+                .map(|(m, s)| (m.as_str(), s.as_str())),
+        ),
     })
 }
 
@@ -204,17 +229,17 @@ pub fn run_ensemble(
     run_ensemble_program(&program, config, perts)
 }
 
-/// Runs an ensemble of a pre-compiled program in parallel, one executor
-/// per member.
+/// Runs an ensemble of a pre-compiled program in parallel through the
+/// columnar [`EnsembleRuns`] store (pooled executors, one contiguous
+/// history block), then materializes the legacy owned per-run outputs.
+/// Callers that only need matrices or views should use
+/// [`EnsembleRuns::run`] directly and skip the materialization.
 pub fn run_ensemble_program(
     program: &Arc<Program>,
     config: &RunConfig,
     perts: &[f64],
 ) -> Result<Vec<RunOutput>, RuntimeError> {
-    perts
-        .par_iter()
-        .map(|&p| run_program(program, config, p))
-        .collect()
+    Ok(EnsembleRuns::run(program, config, perts)?.to_run_outputs())
 }
 
 /// Whether every run shares one output table (the same-program case, by
@@ -321,10 +346,7 @@ mod tests {
             assert!(last.is_finite(), "{name} = {last}");
         }
         // Coverage includes core physics.
-        assert!(out
-            .coverage
-            .iter()
-            .any(|(m, s)| m == "micro_mg" && s == "micro_mg_tend"));
+        assert!(out.coverage.contains("micro_mg", "micro_mg_tend"));
     }
 
     #[test]
@@ -421,13 +443,13 @@ mod tests {
             output_names: vec![Arc::from("alpha"), Arc::from("beta"), Arc::from("gamma")].into(),
             history: vec![vec![1.0], vec![2.0], vec![3.0]],
             samples: Vec::new(),
-            coverage: Vec::new(),
+            coverage: RunCoverage::empty(),
         };
         let b = RunOutput {
             output_names: vec![Arc::from("beta"), Arc::from("gamma")].into(),
             history: vec![vec![20.0], vec![30.0]],
             samples: Vec::new(),
-            coverage: Vec::new(),
+            coverage: RunCoverage::empty(),
         };
         let (names, rows) = outputs_matrix(&[a, b], 0);
         assert_eq!(names, vec!["beta".to_string(), "gamma".to_string()]);

@@ -1,0 +1,592 @@
+//! The columnar run store: one contiguous ensemble data plane.
+//!
+//! The paper's method is ensemble-statistical — every diagnosis pays for
+//! `n_ensemble + n_experiment` full model runs before a single PCA/ECT
+//! step — and before this module each of those runs allocated its own
+//! ragged `Vec<Vec<f64>>` history, each member cloned the global arena
+//! from scratch, and the statistics layer re-copied everything
+//! element-by-element into a matrix. [`EnsembleRuns`] replaces all of
+//! that with **one contiguous block** of `members × steps × outputs`
+//! history values plus positional sample and coverage arenas:
+//!
+//! - each rayon worker leases one pooled [`Executor`] and runs its chunk
+//!   of members through the reset-and-reuse protocol (arena restored in
+//!   place, frames pooled, PRNG reseeded) — zero steady-state allocation;
+//! - a finished member publishes its flat step-major history into the
+//!   store with a single memcpy;
+//! - the evaluation-step plane of every member is a contiguous
+//!   `outputs`-wide slice, so ensemble/ECT matrices assemble row-by-row
+//!   via [`rca_stats::Matrix`]'s borrowed-row constructors without
+//!   hashing a name or allocating intermediate rows.
+//!
+//! [`RunView`] is the cheap indexed view into one member;
+//! [`crate::RunOutput`] remains the materialize-on-demand edge type
+//! ([`RunView::materialize`] reconstructs it bit-identically).
+//!
+//! [`RunCoverage`] is the id-keyed executed-subprogram set — coverage
+//! pairs are `(ModuleId, VarId)` over the program's interner, and strings
+//! are rendered only at the edges (calibration marking, reports, tests).
+
+use crate::exec::Executor;
+use crate::interp::{RunConfig, RuntimeError};
+use crate::program::Program;
+use crate::runner::RunOutput;
+use rayon::prelude::*;
+use rca_ident::{ModuleId, OutputId, SymbolTable, VarId};
+use rca_stats::Matrix;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// RunCoverage
+// ---------------------------------------------------------------------------
+
+/// Executed `(module, subprogram)` pairs of one run, keyed by the identity
+/// plane: `ModuleId` for the module, the interned `VarId` of the
+/// subprogram name. Pairs are held sorted by their rendered
+/// `(module, subprogram)` names and deduplicated, so the string edge
+/// ([`RunCoverage::iter`] / [`RunCoverage::to_pairs`]) reproduces the
+/// legacy `Vec<(String, String)>` ordering byte-for-byte.
+#[derive(Clone)]
+pub struct RunCoverage {
+    syms: Arc<SymbolTable>,
+    ids: Vec<(ModuleId, VarId)>,
+}
+
+impl RunCoverage {
+    /// The ordering invariant every constructor establishes: pairs sorted
+    /// by their rendered `(module, subprogram)` names (what `iter`
+    /// renders and `contains` binary-searches), deduplicated.
+    fn finish(syms: Arc<SymbolTable>, mut ids: Vec<(ModuleId, VarId)>) -> RunCoverage {
+        ids.sort_by(|a, b| {
+            (syms.module(a.0), syms.var(a.1)).cmp(&(syms.module(b.0), syms.var(b.1)))
+        });
+        ids.dedup();
+        RunCoverage { syms, ids }
+    }
+
+    /// Builds from an executor's covered-proc bitmap over the program's
+    /// interner (no string copies — ids only, sorted by rendered name).
+    pub(crate) fn from_program(program: &Arc<Program>, covered: &[bool]) -> RunCoverage {
+        let syms = Arc::clone(program.symbols());
+        let ids: Vec<(ModuleId, VarId)> = covered
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c)
+            .filter_map(|(i, _)| program.proc_identity(i, &syms))
+            .collect();
+        Self::finish(syms, ids)
+    }
+
+    /// An empty coverage set (synthetic runs in tests).
+    pub fn empty() -> RunCoverage {
+        RunCoverage {
+            syms: Arc::new(SymbolTable::new()),
+            ids: Vec::new(),
+        }
+    }
+
+    /// Builds from string pairs (the tree-walking reference engine, which
+    /// has no interner): names are interned into a private table here, at
+    /// the edge.
+    pub fn from_pairs<'a>(pairs: impl IntoIterator<Item = (&'a str, &'a str)>) -> RunCoverage {
+        let mut syms = SymbolTable::new();
+        let ids: Vec<(ModuleId, VarId)> = pairs
+            .into_iter()
+            .map(|(m, s)| (syms.intern_module(m), syms.intern_var(s)))
+            .collect();
+        Self::finish(Arc::new(syms), ids)
+    }
+
+    /// The id pairs (sorted by rendered names). Ids are local to this
+    /// coverage's table — compare across runs through the string edge.
+    pub fn ids(&self) -> &[(ModuleId, VarId)] {
+        &self.ids
+    }
+
+    /// The symbol table the id pairs resolve against.
+    pub fn symbols(&self) -> &Arc<SymbolTable> {
+        &self.syms
+    }
+
+    /// Rendered `(module, subprogram)` pairs, sorted — the string edge,
+    /// borrowing straight out of the interner.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.ids
+            .iter()
+            .map(|&(m, s)| (self.syms.module(m), self.syms.var(s)))
+    }
+
+    /// Owned rendered pairs (legacy shape, for tests and serialization).
+    pub fn to_pairs(&self) -> Vec<(String, String)> {
+        self.iter()
+            .map(|(m, s)| (m.to_string(), s.to_string()))
+            .collect()
+    }
+
+    /// Whether `(module, subprogram)` was executed (binary search over the
+    /// name-sorted pairs — no allocation).
+    pub fn contains(&self, module: &str, subprogram: &str) -> bool {
+        self.ids
+            .binary_search_by(|&(m, s)| {
+                (self.syms.module(m), self.syms.var(s)).cmp(&(module, subprogram))
+            })
+            .is_ok()
+    }
+
+    /// Number of executed pairs.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether nothing executed.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+}
+
+impl PartialEq for RunCoverage {
+    /// Coverage sets compare by their rendered pairs (ids are table-local).
+    fn eq(&self, other: &RunCoverage) -> bool {
+        self.ids.len() == other.ids.len() && self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for RunCoverage {}
+
+impl std::fmt::Debug for RunCoverage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// EnsembleRuns
+// ---------------------------------------------------------------------------
+
+/// A whole ensemble as one columnar block: `members × steps × outputs`
+/// history values in a single contiguous `Vec<f64>` (member-major, each
+/// member's chunk step-major), written in place by pooled executors and
+/// consumed by direct indexing — no per-run ragged vectors, no
+/// re-assembly between the executor and the ECT.
+///
+/// Layout invariants:
+/// - `data[member * steps * outputs + step * outputs + out]` is the mean
+///   of output `out` at `step` in `member`'s run; unwritten cells are NaN;
+/// - `written[member * outputs + out]` is the series length (`1 + last
+///   written step`, 0 = never written), preserving the ragged legacy
+///   semantics exactly;
+/// - `covered[member * procs + p]` is the coverage bitmap;
+/// - `samples[member]` is positional over `config.samples`.
+pub struct EnsembleRuns {
+    program: Arc<Program>,
+    members: usize,
+    steps: usize,
+    outputs: usize,
+    data: Vec<f64>,
+    written: Vec<u32>,
+    covered: Vec<bool>,
+    samples: Vec<Vec<Option<Vec<f64>>>>,
+}
+
+impl EnsembleRuns {
+    /// Runs one ensemble member per perturbation in parallel, writing
+    /// every run into the store in place. Each rayon worker leases one
+    /// executor ([`Executor::new`] once per worker, [`Executor::reset`]
+    /// between members) so the steady-state fill allocates nothing beyond
+    /// the store itself.
+    pub fn run(
+        program: &Arc<Program>,
+        config: &RunConfig,
+        perts: &[f64],
+    ) -> Result<EnsembleRuns, RuntimeError> {
+        let members = perts.len();
+        let steps = config.steps as usize;
+        let outputs = program.output_count();
+        let procs = program.proc_count();
+        let mut data = vec![f64::NAN; members * steps * outputs];
+        let mut written = vec![0u32; members * outputs];
+        let mut covered = vec![false; members * procs];
+        let mut samples: Vec<Vec<Option<Vec<f64>>>> = Vec::new();
+        samples.resize_with(members, Vec::new);
+
+        // One work item per member: disjoint &mut chunks of the store
+        // (split explicitly so degenerate shapes — zero outputs, zero
+        // steps — still produce one item per member).
+        struct Slot<'a> {
+            hist: &'a mut [f64],
+            written: &'a mut [u32],
+            covered: &'a mut [bool],
+            samples: &'a mut Vec<Option<Vec<f64>>>,
+            pert: f64,
+        }
+        let chunk = steps * outputs;
+        let mut items: Vec<Slot<'_>> = Vec::with_capacity(members);
+        {
+            let mut hist_rest: &mut [f64] = &mut data;
+            let mut written_rest: &mut [u32] = &mut written;
+            let mut covered_rest: &mut [bool] = &mut covered;
+            for (samples, &pert) in samples.iter_mut().zip(perts.iter()) {
+                let (hist, hr) = hist_rest.split_at_mut(chunk);
+                let (written, wr) = written_rest.split_at_mut(outputs);
+                let (covered, cr) = covered_rest.split_at_mut(procs);
+                hist_rest = hr;
+                written_rest = wr;
+                covered_rest = cr;
+                items.push(Slot {
+                    hist,
+                    written,
+                    covered,
+                    samples,
+                    pert,
+                });
+            }
+        }
+        let results: Result<Vec<()>, RuntimeError> = items
+            .into_par_iter()
+            .map_init(
+                || Executor::new(Arc::clone(program), config),
+                |ex, slot| {
+                    ex.reset();
+                    ex.drive(slot.pert)?;
+                    // Publish: one memcpy for the rows the run actually
+                    // reached (the store is NaN-prefilled past them).
+                    let rows = ex.history.len().min(slot.hist.len());
+                    slot.hist[..rows].copy_from_slice(&ex.history[..rows]);
+                    slot.written.copy_from_slice(&ex.written);
+                    slot.covered.copy_from_slice(&ex.covered);
+                    *slot.samples = std::mem::take(&mut ex.samples);
+                    ex.samples.resize(config.samples.len(), None);
+                    Ok(())
+                },
+            )
+            .collect();
+        results?;
+        Ok(EnsembleRuns {
+            program: Arc::clone(program),
+            members,
+            steps,
+            outputs,
+            data,
+            written,
+            covered,
+            samples,
+        })
+    }
+
+    /// Number of ensemble members held.
+    pub fn members(&self) -> usize {
+        self.members
+    }
+
+    /// Step capacity per member (the run configuration's step count).
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Width of the output dimension (the program's `OutputId` space).
+    pub fn outputs(&self) -> usize {
+        self.outputs
+    }
+
+    /// The shared sorted output table (`OutputId` space).
+    pub fn output_names(&self) -> &Arc<[Arc<str>]> {
+        self.program.output_names()
+    }
+
+    /// The program every member executed.
+    pub fn program(&self) -> &Arc<Program> {
+        &self.program
+    }
+
+    /// Dense index of `name` in the output table.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.program
+            .output_names()
+            .binary_search_by(|n| (**n).cmp(name))
+            .ok()
+    }
+
+    /// The contiguous `outputs`-wide plane of `member` at `step` — the
+    /// slice ensemble matrices are built from. Cells of outputs not
+    /// written by `step` are NaN; pair with [`EnsembleRuns::written_of`]
+    /// or a [`EnsembleRuns::finite_outputs_at`] keep-set.
+    pub fn step_plane(&self, member: usize, step: usize) -> &[f64] {
+        assert!(member < self.members && step < self.steps, "out of range");
+        let start = member * self.steps * self.outputs + step * self.outputs;
+        &self.data[start..start + self.outputs]
+    }
+
+    /// Per-output series lengths of one member.
+    pub fn written_of(&self, member: usize) -> &[u32] {
+        &self.written[member * self.outputs..(member + 1) * self.outputs]
+    }
+
+    /// Value of output `out` at `step` in `member`'s run, if that step is
+    /// within the output's written series.
+    pub fn value(&self, member: usize, out: usize, step: usize) -> Option<f64> {
+        (step < self.written_of(member)[out] as usize).then(|| self.step_plane(member, step)[out])
+    }
+
+    /// Dense output ids whose series are present and finite at `step` in
+    /// **every** member — the keep-set ensemble/ECT matrices are built
+    /// from. Pure contiguous-plane scanning, no hashing, no fallback: one
+    /// store always means one program and one output table.
+    pub fn finite_outputs_at(&self, step: u32) -> Vec<u32> {
+        let step = step as usize;
+        if step >= self.steps || self.members == 0 {
+            return Vec::new();
+        }
+        let mut keep: Vec<bool> = vec![true; self.outputs];
+        for m in 0..self.members {
+            let plane = self.step_plane(m, step);
+            let written = self.written_of(m);
+            for (i, k) in keep.iter_mut().enumerate() {
+                *k = *k && (step < written[i] as usize) && plane[i].is_finite();
+            }
+        }
+        keep.iter()
+            .enumerate()
+            .filter(|&(_, &k)| k)
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    /// Assembles the `members × kept` output matrix at `step` straight out
+    /// of the store: each matrix row memcpy-gathers from the member's
+    /// contiguous step plane, with the full-table case degenerating to a
+    /// straight row copy. `kept` holds dense output ids (e.g. from
+    /// [`EnsembleRuns::finite_outputs_at`]).
+    pub fn matrix_at(&self, step: u32, kept: &[u32]) -> Matrix {
+        let step = step as usize;
+        let identity =
+            kept.len() == self.outputs && kept.iter().enumerate().all(|(i, &k)| i == k as usize);
+        if identity {
+            Matrix::from_rows_with(self.members, self.outputs, |m| self.step_plane(m, step))
+        } else {
+            Matrix::gather_rows_with(self.members, kept, |m| self.step_plane(m, step))
+        }
+    }
+
+    /// Cheap indexed view of one member.
+    pub fn view(&self, member: usize) -> RunView<'_> {
+        assert!(member < self.members, "member {member} out of range");
+        RunView {
+            store: self,
+            member,
+        }
+    }
+
+    /// Views over every member, in perturbation order.
+    pub fn views(&self) -> impl Iterator<Item = RunView<'_>> {
+        (0..self.members).map(|m| self.view(m))
+    }
+
+    /// Materializes every member into the legacy owned edge type (the
+    /// compatibility path behind [`crate::run_ensemble_program`]).
+    pub fn to_run_outputs(&self) -> Vec<RunOutput> {
+        self.views().map(|v| v.materialize()).collect()
+    }
+}
+
+impl std::fmt::Debug for EnsembleRuns {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EnsembleRuns")
+            .field("members", &self.members)
+            .field("steps", &self.steps)
+            .field("outputs", &self.outputs)
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RunView
+// ---------------------------------------------------------------------------
+
+/// A borrowed, zero-copy view of one ensemble member inside an
+/// [`EnsembleRuns`] store — the hot-path replacement for an owned
+/// [`RunOutput`]. Reads index straight into the shared block;
+/// [`RunView::materialize`] reconstructs the owned edge type bit-for-bit
+/// when a caller genuinely needs one.
+#[derive(Clone, Copy)]
+pub struct RunView<'a> {
+    store: &'a EnsembleRuns,
+    member: usize,
+}
+
+impl<'a> RunView<'a> {
+    /// Which member this views.
+    pub fn member(&self) -> usize {
+        self.member
+    }
+
+    /// The shared sorted output table.
+    pub fn output_names(&self) -> &Arc<[Arc<str>]> {
+        self.store.output_names()
+    }
+
+    /// Series length of one output (0 = never written).
+    pub fn written_len(&self, out: OutputId) -> usize {
+        self.store.written_of(self.member)[out.index()] as usize
+    }
+
+    /// Value of `out` at `step`, if within the written series.
+    pub fn value_at(&self, out: OutputId, step: u32) -> Option<f64> {
+        self.store.value(self.member, out.index(), step as usize)
+    }
+
+    /// One output's series as a (strided) iterator over the block.
+    pub fn series_iter(&self, out: OutputId) -> impl Iterator<Item = f64> + 'a {
+        let store = self.store;
+        let member = self.member;
+        let len = self.written_len(out);
+        (0..len).map(move |s| store.step_plane(member, s)[out.index()])
+    }
+
+    /// `(OutputId, value)` pairs at `step` for every output written there,
+    /// in id (= sorted-name) order — non-allocating.
+    pub fn outputs_at_ids(&self, step: u32) -> impl Iterator<Item = (OutputId, f64)> + 'a {
+        let v = *self;
+        (0..self.store.outputs as u32)
+            .map(OutputId)
+            .filter_map(move |o| v.value_at(o, step).map(|x| (o, x)))
+    }
+
+    /// Captured samples, positional over the run's `config.samples`.
+    pub fn samples(&self) -> &'a [Option<Vec<f64>>] {
+        &self.store.samples[self.member]
+    }
+
+    /// Id-keyed coverage of this member's run.
+    pub fn coverage(&self) -> RunCoverage {
+        let procs = self.store.program.proc_count();
+        let bits = &self.store.covered[self.member * procs..(self.member + 1) * procs];
+        RunCoverage::from_program(&self.store.program, bits)
+    }
+
+    /// Materializes the owned edge type: ragged per-output series, cloned
+    /// samples, rendered-sorted coverage — bit-identical to what
+    /// [`crate::run_program`] would have produced for this member.
+    pub fn materialize(&self) -> RunOutput {
+        let history = (0..self.store.outputs)
+            .map(|i| {
+                let n = self.store.written_of(self.member)[i] as usize;
+                (0..n)
+                    .map(|s| self.store.step_plane(self.member, s)[i])
+                    .collect()
+            })
+            .collect();
+        RunOutput {
+            output_names: Arc::clone(self.store.output_names()),
+            history,
+            samples: self.store.samples[self.member].clone(),
+            coverage: self.coverage(),
+        }
+    }
+}
+
+impl std::fmt::Debug for RunView<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunView")
+            .field("member", &self.member)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{compile_model, perturbations, run_program};
+    use rca_model::{generate, ModelConfig};
+
+    fn cfg() -> RunConfig {
+        RunConfig {
+            steps: 3,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn store_matches_per_run_outputs_bit_for_bit() {
+        let model = generate(&ModelConfig::test());
+        let program = compile_model(&model).expect("compile");
+        let perts = perturbations(4, 1e-14, 0xAB);
+        let store = EnsembleRuns::run(&program, &cfg(), &perts).expect("store");
+        assert_eq!(store.members(), 4);
+        for (i, &p) in perts.iter().enumerate() {
+            let direct = run_program(&program, &cfg(), p).expect("run");
+            let view = store.view(i);
+            let materialized = view.materialize();
+            let bits = |h: &Vec<Vec<f64>>| -> Vec<Vec<u64>> {
+                h.iter()
+                    .map(|s| s.iter().map(|x| x.to_bits()).collect())
+                    .collect()
+            };
+            assert_eq!(
+                bits(&materialized.history),
+                bits(&direct.history),
+                "member {i}"
+            );
+            assert_eq!(materialized.samples, direct.samples);
+            assert_eq!(materialized.coverage, direct.coverage);
+            // View reads agree with the materialized series.
+            for (o, series) in direct.history.iter().enumerate() {
+                let o = OutputId(o as u32);
+                assert_eq!(view.written_len(o), series.len());
+                let viewed: Vec<f64> = view.series_iter(o).collect();
+                assert_eq!(
+                    viewed.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    series.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn finite_keep_set_and_matrix_agree_with_legacy_assembly() {
+        let model = generate(&ModelConfig::test());
+        let program = compile_model(&model).expect("compile");
+        let perts = perturbations(3, 1e-14, 0xEE);
+        let store = EnsembleRuns::run(&program, &cfg(), &perts).expect("store");
+        let runs = store.to_run_outputs();
+        let legacy = crate::runner::finite_outputs_at(&runs, 2);
+        assert_eq!(store.finite_outputs_at(2), legacy);
+        let kept = store.finite_outputs_at(2);
+        let m = store.matrix_at(2, &kept);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), kept.len());
+        for (r, run) in runs.iter().enumerate() {
+            for (c, &k) in kept.iter().enumerate() {
+                assert_eq!(m[(r, c)].to_bits(), run.history[k as usize][2].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn coverage_is_id_keyed_and_renders_sorted() {
+        let model = generate(&ModelConfig::test());
+        let program = compile_model(&model).expect("compile");
+        let store = EnsembleRuns::run(&program, &cfg(), &[0.0]).expect("store");
+        let cov = store.view(0).coverage();
+        assert!(!cov.is_empty());
+        assert!(cov.contains("micro_mg", "micro_mg_tend"));
+        assert!(!cov.contains("micro_mg", "no_such_subprogram"));
+        let pairs = cov.to_pairs();
+        let mut sorted = pairs.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(pairs, sorted, "rendered pairs must be sorted + deduped");
+        // Round-trip through the string edge.
+        let back = RunCoverage::from_pairs(pairs.iter().map(|(m, s)| (m.as_str(), s.as_str())));
+        assert_eq!(back, cov);
+    }
+
+    #[test]
+    fn empty_ensemble_is_fine() {
+        let model = generate(&ModelConfig::test());
+        let program = compile_model(&model).expect("compile");
+        let store = EnsembleRuns::run(&program, &cfg(), &[]).expect("store");
+        assert_eq!(store.members(), 0);
+        assert!(store.finite_outputs_at(0).is_empty());
+        assert!(store.to_run_outputs().is_empty());
+    }
+}

@@ -4,7 +4,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 /// A Fortran runtime value.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, PartialEq)]
 pub enum Value {
     /// `real(r8)` scalar.
     Real(f64),
@@ -18,6 +18,39 @@ pub enum Value {
     RealArray(Vec<f64>),
     /// Derived-type instance: field name → value.
     Derived(HashMap<String, Value>),
+}
+
+impl Clone for Value {
+    fn clone(&self) -> Value {
+        match self {
+            Value::Real(v) => Value::Real(*v),
+            Value::Int(v) => Value::Int(*v),
+            Value::Logical(b) => Value::Logical(*b),
+            Value::Str(s) => Value::Str(s.clone()),
+            Value::RealArray(v) => Value::RealArray(v.clone()),
+            Value::Derived(m) => Value::Derived(m.clone()),
+        }
+    }
+
+    /// Allocation-reusing overwrite: when `self` and `source` have the
+    /// same shape (the executor-reset case — a run's global arena restored
+    /// from the program's pristine snapshot), array payloads are memcpy'd
+    /// into the existing buffers and derived-type fields are overwritten
+    /// field-by-field, so a reset run allocates nothing in steady state.
+    fn clone_from(&mut self, source: &Value) {
+        match (self, source) {
+            (Value::RealArray(a), Value::RealArray(b)) => a.clone_from(b),
+            (Value::Str(a), Value::Str(b)) => a.clone_from(b),
+            (Value::Derived(a), Value::Derived(b))
+                if a.len() == b.len() && a.keys().all(|k| b.contains_key(k)) =>
+            {
+                for (k, v) in a.iter_mut() {
+                    v.clone_from(&b[k]);
+                }
+            }
+            (dst, src) => *dst = src.clone(),
+        }
+    }
 }
 
 impl Value {
@@ -95,6 +128,30 @@ mod tests {
         assert_eq!(Value::Real(3.0).as_i64(), None, "no silent truncation");
         assert_eq!(Value::Logical(true).as_bool(), Some(true));
         assert_eq!(Value::Str("x".into()).as_f64(), None);
+    }
+
+    #[test]
+    fn clone_from_matches_clone_and_reuses_buffers() {
+        let mut fields = HashMap::new();
+        fields.insert("a".to_string(), Value::RealArray(vec![1.0, 2.0, 3.0]));
+        fields.insert("b".to_string(), Value::Real(7.0));
+        let source = Value::Derived(fields);
+        // Same-shape overwrite.
+        let mut dst = source.clone();
+        if let Value::Derived(m) = &mut dst {
+            if let Some(Value::RealArray(v)) = m.get_mut("a") {
+                v[0] = 99.0;
+            }
+        }
+        dst.clone_from(&source);
+        assert_eq!(dst, source);
+        // Shape-changing overwrite falls back to a plain clone.
+        let mut other = Value::Int(3);
+        other.clone_from(&source);
+        assert_eq!(other, source);
+        let mut arr = Value::RealArray(vec![0.0; 8]);
+        arr.clone_from(&Value::RealArray(vec![1.0, 2.0]));
+        assert_eq!(arr, Value::RealArray(vec![1.0, 2.0]));
     }
 
     #[test]

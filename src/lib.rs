@@ -133,6 +133,43 @@
 //! mutated variant exactly once — the ensemble, the statistics stage,
 //! and every runtime-oracle query all execute the same shared program.
 //!
+//! ## The columnar run store
+//!
+//! Ensembles are the method's dominant cost (`n_ensemble +
+//! n_experiment` full runs per diagnosis), so their data plane is **one
+//! contiguous block, written in place and never re-assembled**:
+//!
+//! - [`sim::EnsembleRuns`] owns a single `members × steps × outputs`
+//!   history block (member-major, each member's chunk step-major so the
+//!   ECT evaluation step is a contiguous `outputs`-wide plane) plus
+//!   positional sample buffers and a dense coverage bitmap. Ensemble and
+//!   experimental matrices memcpy-gather straight out of the store's step
+//!   planes (`Matrix::from_rows_with` / `Matrix::gather_rows_with` in
+//!   `rca-stats`) — no per-run vectors, no hashing, no element-wise
+//!   re-copy between the executor and the ECT.
+//! - **Executor reuse contract**: [`sim::Executor::reset`] restores a
+//!   just-constructed state in place — global arena overwritten from the
+//!   program's pristine snapshot (allocation-reusing deep copy), PRNG
+//!   reseeded, history rows / written lengths / coverage bits zeroed —
+//!   and call frames, argument vectors, and array-local buffers are
+//!   pooled across calls and runs. A reset run is bit-identical to a
+//!   fresh one (the differential suite proves it on every paper
+//!   experiment and on seeded campaign mutants), and a store fill gives
+//!   each rayon worker one pooled executor for its whole chunk of
+//!   members, so the steady-state ensemble allocates nothing beyond the
+//!   store itself. [`sim::Executor::reset_with`] additionally swaps the
+//!   run configuration — the `RuntimeSampler` oracle keeps one pooled
+//!   executor pair for every refinement query this way.
+//! - **When to materialize**: [`sim::RunOutput`] is the
+//!   materialize-on-demand edge type. Hot paths read [`sim::RunView`]s
+//!   (cheap indexed views into the store) or executor state directly;
+//!   `RunView::materialize` reconstructs the owned ragged form
+//!   bit-identically for callers that own a single run's results
+//!   (single-run drivers, the differential harness, external tooling).
+//!   Run coverage follows the same rule: [`sim::RunCoverage`] keys
+//!   executed subprograms by `(ModuleId, VarId)` and renders strings only
+//!   at the edges (calibration marking, reports, tests).
+//!
 //! ## The interned identity plane
 //!
 //! Every layer between the simulator and the diagnosis shares **one
@@ -179,7 +216,8 @@
 //!   ground-truth bug injection.
 //! - [`sim`] — the execution substrate: the compiled slot-indexed engine
 //!   and the reference tree-walker, FMA/AVX2 simulation, PRNG
-//!   substitution, coverage, runtime sampling, parallel ensembles.
+//!   substitution, coverage, runtime sampling, and the columnar
+//!   [`sim::EnsembleRuns`] store behind parallel ensembles.
 //! - [`rca`] — the paper's pipeline behind [`rca::RcaSession`]: hybrid
 //!   slicing, community/centrality ranking, iterative refinement,
 //!   module-level AVX2 policies, and the per-session program cache.

@@ -75,13 +75,26 @@ proptest! {
                 );
             }
         }
-        // Coverage identical as a set.
-        let mut ca = tree.coverage.clone();
-        let mut cb = compiled.coverage.clone();
-        ca.sort();
-        cb.sort();
-        ca.dedup();
-        cb.dedup();
-        prop_assert_eq!(ca, cb);
+        // Coverage identical as a set (id-keyed, compared through the
+        // rendered string edge).
+        prop_assert_eq!(&tree.coverage, &compiled.coverage);
+
+        // The columnar run store must reproduce the compiled run
+        // bit-for-bit on the same mutant: one member through pooled
+        // reset executors vs the standalone run.
+        let cfg = sim::RunConfig {
+            steps: 3,
+            ..Default::default()
+        };
+        let program = sim::compile_model(&mutant).expect("compile");
+        let store = sim::EnsembleRuns::run(&program, &cfg, &[0.0]).expect("store");
+        let via_store = store.view(0).materialize();
+        let bits = |h: &Vec<Vec<f64>>| -> Vec<Vec<u64>> {
+            h.iter()
+                .map(|s| s.iter().map(|x| x.to_bits()).collect())
+                .collect()
+        };
+        prop_assert_eq!(bits(&via_store.history), bits(&compiled.history));
+        prop_assert_eq!(&via_store.coverage, &compiled.coverage);
     }
 }

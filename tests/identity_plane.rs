@@ -114,6 +114,56 @@ fn id_keyed_slice_equals_string_keyed_slice() {
 }
 
 #[test]
+fn columnar_ensemble_matrix_is_byte_identical_to_per_run_assembly() {
+    // The session's cached control ensemble is assembled straight from
+    // the columnar run store (contiguous evaluation-step planes, memcpy
+    // row gathers). Recomputing the same matrix the legacy way — owned
+    // per-run outputs, per-element indexing — must give the same bytes,
+    // column names, and keep-set.
+    let session = session();
+    let ens = session.ensemble().expect("ensemble");
+    let setup = session.setup();
+    let program = session.program_for(session.model()).expect("base program");
+    let perts = sim::perturbations(setup.n_ensemble, setup.ic_magnitude, setup.seed);
+    let runs =
+        sim::run_ensemble_program(&program, &session.control_config(), &perts).expect("runs");
+    let eval_step = setup.steps - 1;
+    let kept = sim::finite_outputs_at(&runs, eval_step);
+    let legacy_names: Vec<String> = kept
+        .iter()
+        .map(|&i| runs[0].output_names[i as usize].to_string())
+        .collect();
+    assert_eq!(ens.names, legacy_names);
+    let legacy = stats::Matrix::from_fn(runs.len(), kept.len(), |r, c| {
+        runs[r].history[kept[c] as usize][eval_step as usize]
+    });
+    assert_eq!(ens.matrix.rows(), legacy.rows());
+    assert_eq!(ens.matrix.cols(), legacy.cols());
+    for r in 0..legacy.rows() {
+        for c in 0..legacy.cols() {
+            assert_eq!(
+                ens.matrix[(r, c)].to_bits(),
+                legacy[(r, c)].to_bits(),
+                "({r},{c}) diverges"
+            );
+        }
+    }
+    // The id-keyed per-run iterators agree with the name-keyed edge.
+    for run in &runs {
+        let by_ids: Vec<(String, u64)> = run
+            .outputs_at_ids(eval_step)
+            .map(|(id, x)| (run.output_names[id.index()].to_string(), x.to_bits()))
+            .collect();
+        let by_names: Vec<(String, u64)> = run
+            .outputs_at(eval_step)
+            .into_iter()
+            .map(|(n, x)| (n.to_string(), x.to_bits()))
+            .collect();
+        assert_eq!(by_ids, by_names);
+    }
+}
+
+#[test]
 fn session_table_extends_program_table_without_invalidating_ids() {
     // The workspace table is the program interner plus the metagraph's
     // extensions: every module/output the program knows must resolve to
