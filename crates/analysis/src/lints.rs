@@ -1,0 +1,149 @@
+//! The lint catalog and its deterministic JSON rendering.
+//!
+//! Every lint is **definite by construction** — a finding means the
+//! defect holds on every execution path the analysis models — so the
+//! bundled paper models gate CI at zero warnings (`--assert-clean`).
+//! Informational findings (`ConstFoldable`) report missed optimization,
+//! not defects, and do not trip the gate.
+//!
+//! Output is byte-deterministic: findings are fully sorted, keys are
+//! emitted in fixed insertion order, and nothing in the pipeline depends
+//! on thread count or hash-map iteration.
+
+use serde::{Json, Serialize};
+
+use crate::absint::HazardKind;
+
+/// Finding severity. Warnings gate `--assert-clean`; infos do not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// A definite defect.
+    Warning,
+    /// A missed-optimization / hygiene note.
+    Info,
+}
+
+impl Severity {
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Info => "info",
+        }
+    }
+}
+
+/// One diagnostic, string-keyed for rendering (ids resolve at the edge).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Stable lint slug (`dead-store`, `uninit-read`, ...).
+    pub lint: &'static str,
+    /// Owning module.
+    pub module: String,
+    /// Owning subprogram (empty for module/model scope).
+    pub subprogram: String,
+    /// Source line (0 when the finding has no single line).
+    pub line: u32,
+    /// Affected variable/output name, if any.
+    pub variable: String,
+    /// Human-readable one-liner.
+    pub message: String,
+    /// Severity class.
+    pub severity: Severity,
+}
+
+impl Finding {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("lint", self.lint.to_json()),
+            ("severity", self.severity.name().to_json()),
+            ("module", self.module.to_json()),
+            ("subprogram", self.subprogram.to_json()),
+            ("line", u64::from(self.line).to_json()),
+            ("variable", self.variable.to_json()),
+            ("message", self.message.to_json()),
+        ])
+    }
+}
+
+/// Hazard kind → lint slug, severity, message template.
+pub fn hazard_lint(kind: HazardKind) -> (&'static str, Severity, &'static str) {
+    match kind {
+        HazardKind::DivByZero => (
+            "div-by-zero",
+            Severity::Warning,
+            "denominator is provably zero on every path",
+        ),
+        HazardKind::SqrtNegative => (
+            "sqrt-domain",
+            Severity::Warning,
+            "sqrt argument is provably negative on every path",
+        ),
+        HazardKind::LogDomain => (
+            "log-domain",
+            Severity::Warning,
+            "log argument is provably non-positive on every path",
+        ),
+        HazardKind::ConstFoldable => (
+            "const-foldable",
+            Severity::Info,
+            "subexpression has a provably constant value the compiler did not fold",
+        ),
+    }
+}
+
+/// A full lint run: sorted findings plus severity counts.
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    /// All findings, fully sorted (lint, module, subprogram, line,
+    /// variable, message).
+    pub findings: Vec<Finding>,
+}
+
+impl LintReport {
+    /// Seals the report: full sort + dedup.
+    pub fn seal(mut findings: Vec<Finding>) -> LintReport {
+        findings.sort();
+        findings.dedup();
+        LintReport { findings }
+    }
+
+    /// Number of warning-severity findings (the `--assert-clean` gate).
+    pub fn warning_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Warning)
+            .count()
+    }
+
+    /// Number of info-severity findings.
+    pub fn info_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Info)
+            .count()
+    }
+
+    /// The canonical JSON value for one model's report.
+    pub fn json_doc(&self, model_label: &str) -> Json {
+        let findings: Vec<Json> = self.findings.iter().map(Finding::to_json).collect();
+        Json::obj([
+            ("model", model_label.to_json()),
+            ("warnings", (self.warning_count() as u64).to_json()),
+            ("infos", (self.info_count() as u64).to_json()),
+            ("findings", Json::Arr(findings)),
+        ])
+    }
+
+    /// Renders the canonical JSON document. Byte-identical across runs
+    /// and thread counts for the same model.
+    pub fn to_json(&self, model_label: &str) -> String {
+        let doc = Json::obj([
+            ("tool", "rca-lint".to_json()),
+            ("report", self.json_doc(model_label)),
+        ]);
+        let mut s = serde_json::to_string_pretty(&doc).expect("json render is infallible");
+        s.push('\n');
+        s
+    }
+}

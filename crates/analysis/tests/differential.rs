@@ -1,0 +1,278 @@
+//! Differential suite: the IR dependence mirror vs the AST metagraph.
+//!
+//! The same fence the interpreter-vs-executor pair uses, applied to the
+//! two slicers: `rca_metagraph::build_metagraph` (textual AST walk) and
+//! `rca_analysis::DepGraph` (slot-indexed IR walk) must produce the same
+//! `(module, subprogram, canonical)` node universe and the same edge set
+//! on the pristine model and on every paper experiment variant.
+
+use rca_analysis::DepGraph;
+use rca_fortran::parse_source;
+use rca_metagraph::build_metagraph;
+use rca_model::{generate, Experiment, ModelConfig, ModelSource};
+use rca_sim::compile_sources;
+
+type Rendered = (String, Option<String>, String);
+
+fn metagraph_nodes_edges(
+    files: &[rca_fortran::SourceFile],
+) -> (Vec<Rendered>, Vec<(Rendered, Rendered)>) {
+    let mg = build_metagraph(files);
+    let render = |n| {
+        (
+            mg.module_name_of(n).to_string(),
+            mg.subprogram_of(n).map(str::to_string),
+            mg.canonical_of(n).to_string(),
+        )
+    };
+    let mut nodes: Vec<Rendered> = mg.graph.nodes().map(render).collect();
+    nodes.sort();
+    let mut edges: Vec<(Rendered, Rendered)> = mg
+        .graph
+        .edges()
+        .map(|(a, b)| (render(a), render(b)))
+        .collect();
+    edges.sort();
+    (nodes, edges)
+}
+
+fn depgraph_nodes_edges(
+    files: &[rca_fortran::SourceFile],
+) -> (Vec<Rendered>, Vec<(Rendered, Rendered)>) {
+    let prog = compile_sources(files).expect("sources compile");
+    let dg = DepGraph::build(&prog);
+    (dg.rendered_nodes(), dg.rendered_edges())
+}
+
+fn assert_mirror(files: &[rca_fortran::SourceFile], label: &str) {
+    let (mg_nodes, mg_edges) = metagraph_nodes_edges(files);
+    let (dg_nodes, dg_edges) = depgraph_nodes_edges(files);
+    let only_mg: Vec<_> = mg_nodes.iter().filter(|n| !dg_nodes.contains(n)).collect();
+    let only_dg: Vec<_> = dg_nodes.iter().filter(|n| !mg_nodes.contains(n)).collect();
+    assert!(
+        only_mg.is_empty() && only_dg.is_empty(),
+        "{label}: node universes differ\n  metagraph-only: {only_mg:?}\n  depgraph-only: {only_dg:?}"
+    );
+    let only_mg: Vec<_> = mg_edges.iter().filter(|e| !dg_edges.contains(e)).collect();
+    let only_dg: Vec<_> = dg_edges.iter().filter(|e| !mg_edges.contains(e)).collect();
+    assert!(
+        only_mg.is_empty() && only_dg.is_empty(),
+        "{label}: edge sets differ\n  metagraph-only: {only_mg:?}\n  depgraph-only: {only_dg:?}"
+    );
+}
+
+fn assert_mirror_model(model: &ModelSource, label: &str) {
+    let (asts, errs) = model.parse();
+    assert!(errs.is_empty(), "{label}: {errs:?}");
+    assert_mirror(&asts, label);
+}
+
+#[test]
+fn mirror_matches_metagraph_on_pristine_model() {
+    let model = generate(&ModelConfig::test());
+    assert_mirror_model(&model, "pristine");
+}
+
+#[test]
+fn mirror_matches_metagraph_on_all_experiments() {
+    let model = generate(&ModelConfig::test());
+    for e in Experiment::ALL {
+        assert_mirror_model(&model.apply(e), e.name());
+    }
+}
+
+#[test]
+fn mirror_matches_metagraph_at_medium_scale() {
+    let model = generate(&ModelConfig::medium());
+    assert_mirror_model(&model, "medium");
+}
+
+fn parse_one(src: &str) -> Vec<rca_fortran::SourceFile> {
+    let (ast, errs) = parse_source("test.F90", src);
+    assert!(errs.is_empty(), "{errs:?}");
+    vec![ast]
+}
+
+#[test]
+fn arrays_are_atomic_in_both() {
+    let files = parse_one(
+        "module m\n\
+         contains\n\
+         subroutine s(a, b, i)\n\
+         real(r8) :: a(4), b(4)\n\
+         integer :: i\n\
+         a(i) = b(i) + 1.0_r8\n\
+         end subroutine s\n\
+         end module m\n",
+    );
+    assert_mirror(&files, "arrays-atomic");
+    // The subscript `i` must feed neither side: arrays are whole-variable
+    // nodes (§4.2).
+    let prog = compile_sources(&files).expect("compiles");
+    let dg = DepGraph::build(&prog);
+    let a = dg.find("m", Some("s"), "a").expect("node a");
+    let b = dg.find("m", Some("s"), "b").expect("node b");
+    assert!(dg.preds_of(a).contains(&b));
+    // A subscript-only variable never even becomes a node.
+    assert!(dg.find("m", Some("s"), "i").is_none());
+}
+
+#[test]
+fn intrinsics_localize_per_call_site_in_both() {
+    let files = parse_one(
+        "module m\n\
+         contains\n\
+         subroutine s(x, y)\n\
+         real(r8) :: x, y\n\
+         x = max(y, 0.0_r8)\n\
+         y = max(x, 1.0_r8)\n\
+         end subroutine s\n\
+         end module m\n",
+    );
+    assert_mirror(&files, "intrinsic-localized");
+    let prog = compile_sources(&files).expect("compiles");
+    let dg = DepGraph::build(&prog);
+    // Two distinct localized nodes, one per line.
+    assert!(dg.find("m", Some("s"), "max_l5").is_some());
+    assert!(dg.find("m", Some("s"), "max_l6").is_some());
+}
+
+#[test]
+fn intents_orient_subroutine_edges_in_both() {
+    let files = parse_one(
+        "module m\n\
+         contains\n\
+         subroutine inner(p, q)\n\
+         real(r8), intent(in) :: p\n\
+         real(r8), intent(out) :: q\n\
+         q = p * 2.0_r8\n\
+         end subroutine inner\n\
+         subroutine outer(u, v)\n\
+         real(r8) :: u, v\n\
+         call inner(u, v)\n\
+         end subroutine outer\n\
+         end module m\n",
+    );
+    assert_mirror(&files, "intent-oriented");
+    let prog = compile_sources(&files).expect("compiles");
+    let dg = DepGraph::build(&prog);
+    let p = dg.find("m", Some("inner"), "p").expect("dummy p");
+    let q = dg.find("m", Some("inner"), "q").expect("dummy q");
+    let u = dg.find("m", Some("outer"), "u").expect("actual u");
+    let v = dg.find("m", Some("outer"), "v").expect("actual v");
+    assert!(dg.preds_of(p).contains(&u), "in-intent: actual -> dummy");
+    assert!(dg.preds_of(v).contains(&q), "out-intent: dummy -> actual");
+    assert!(
+        !dg.preds_of(u).contains(&p),
+        "no reverse edge for intent(in)"
+    );
+}
+
+#[test]
+fn derived_type_fields_flow_both_directions_in_both() {
+    let files = parse_one(
+        "module m\n\
+         contains\n\
+         subroutine s(state, t, w)\n\
+         type(physics_state) :: state\n\
+         real(r8) :: t, w\n\
+         t = state%temp(1)\n\
+         state%omega(1) = w\n\
+         end subroutine s\n\
+         end module m\n",
+    );
+    assert_mirror(&files, "derived-fields");
+    let prog = compile_sources(&files).expect("compiles");
+    let dg = DepGraph::build(&prog);
+    let state = dg.find("m", Some("s"), "state").expect("base node");
+    let temp = dg.find("m", Some("s"), "temp").expect("read field");
+    let omega = dg.find("m", Some("s"), "omega").expect("written field");
+    assert!(dg.preds_of(temp).contains(&state), "read: base -> field");
+    assert!(dg.preds_of(state).contains(&omega), "write: field -> base");
+}
+
+#[test]
+fn use_renames_resolve_to_origin_module_in_both() {
+    let files = parse_one(
+        "module phys_const\n\
+         real(r8), parameter :: gravit = 9.8_r8\n\
+         end module phys_const\n\
+         module m\n\
+         use phys_const, only: g => gravit\n\
+         contains\n\
+         subroutine s(x)\n\
+         real(r8) :: x\n\
+         x = g * 2.0_r8\n\
+         end subroutine s\n\
+         end module m\n",
+    );
+    assert_mirror(&files, "use-rename");
+    let prog = compile_sources(&files).expect("compiles");
+    let dg = DepGraph::build(&prog);
+    // The rename resolves to the origin module's node, not a local.
+    let gravit = dg.find("phys_const", None, "gravit").expect("origin node");
+    let x = dg.find("m", Some("s"), "x").expect("x");
+    assert!(dg.preds_of(x).contains(&gravit));
+    assert!(dg.find("m", Some("s"), "g").is_none(), "no phantom local");
+}
+
+#[test]
+fn outfld_registers_io_without_edges_in_both() {
+    let files = parse_one(
+        "module m\n\
+         contains\n\
+         subroutine s(t)\n\
+         real(r8) :: t(4)\n\
+         call outfld('T', t, 4)\n\
+         end subroutine s\n\
+         end module m\n",
+    );
+    assert_mirror(&files, "outfld-registry");
+    let prog = compile_sources(&files).expect("compiles");
+    let dg = DepGraph::build(&prog);
+    let t = dg.find("m", Some("s"), "t").expect("internal node");
+    assert!(dg.preds_of(t).is_empty(), "outfld adds no edges");
+    let names: Vec<&str> = dg
+        .io_internal()
+        .iter()
+        .map(|&v| dg.symbols().var(v))
+        .collect();
+    assert_eq!(names, ["t"], "internal variable registered for I/O");
+}
+
+#[test]
+fn function_results_fan_out_over_candidates_in_both() {
+    let files = parse_one(
+        "module m\n\
+         contains\n\
+         function f(a) result(r)\n\
+         real(r8) :: a, r\n\
+         r = a + 1.0_r8\n\
+         end function f\n\
+         subroutine s(x, y)\n\
+         real(r8) :: x, y\n\
+         x = f(y)\n\
+         end subroutine s\n\
+         end module m\n",
+    );
+    assert_mirror(&files, "function-call");
+    let prog = compile_sources(&files).expect("compiles");
+    let dg = DepGraph::build(&prog);
+    let a = dg.find("m", Some("f"), "a").expect("dummy a");
+    let r = dg.find("m", Some("f"), "r").expect("result r");
+    let x = dg.find("m", Some("s"), "x").expect("x");
+    let y = dg.find("m", Some("s"), "y").expect("y");
+    assert!(dg.preds_of(a).contains(&y), "actual -> dummy");
+    assert!(dg.preds_of(x).contains(&r), "result -> assignment target");
+}
+
+#[test]
+fn static_slice_is_deterministic() {
+    let model = generate(&ModelConfig::test());
+    let (asts, _) = model.parse();
+    let prog = compile_sources(&asts).expect("compiles");
+    let a = DepGraph::build(&prog).static_slice(&["nctend", "dum"], None);
+    let b = DepGraph::build(&prog).static_slice(&["nctend", "dum"], None);
+    assert_eq!(a, b);
+    assert!(!a.is_empty());
+}

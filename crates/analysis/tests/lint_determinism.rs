@@ -1,0 +1,80 @@
+//! Property: lint output is a pure function of the model — byte-identical
+//! JSON across repeated runs, across independently built analyses, and
+//! across concurrent threads. The campaign diffs recorded lint baselines
+//! byte-for-byte, so any nondeterminism (hash-order iteration, racy
+//! accumulation) is a CI-poisoning bug.
+
+use proptest::prelude::*;
+use rca_analysis::ModelAnalysis;
+use rca_model::{generate, patch_sites, ModelConfig, ModelSource, PatchSite};
+use rca_sim::compile_model;
+use std::sync::{Arc, OnceLock};
+
+fn base_model() -> &'static (ModelSource, Vec<PatchSite>) {
+    static M: OnceLock<(ModelSource, Vec<PatchSite>)> = OnceLock::new();
+    M.get_or_init(|| {
+        let m = generate(&ModelConfig::test());
+        let sites = patch_sites(&m);
+        (m, sites)
+    })
+}
+
+/// Renders the full lint report to its canonical JSON bytes.
+fn lint_json(model: &ModelSource) -> String {
+    let program = compile_model(model).expect("model compiles");
+    let analysis = ModelAnalysis::build(program);
+    serde_json::to_string_pretty(&analysis.lint().json_doc("prop")).expect("render")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn lint_json_is_byte_identical_across_runs(seed in any::<u64>()) {
+        // Derive a model variant from the seed: every fourth case lints
+        // the pristine model, the rest lint a seeded dead-store mutant.
+        let (base, sites) = base_model();
+        let model = if seed.is_multiple_of(4) {
+            base.clone()
+        } else {
+            let site = &sites[(seed as usize / 4) % sites.len()];
+            let indent: String = site.text.chars().take_while(|c| *c == ' ').collect();
+            let rhs = &site.text[site.text.find(" = ").expect("assignment") + 3..];
+            base.with_patched_line(
+                &site.file,
+                site.line,
+                &format!("{indent}lint_mut_{} = {rhs}", site.target),
+            )
+        };
+        let a = lint_json(&model);
+        let b = lint_json(&model);
+        prop_assert_eq!(&a, &b, "independent builds rendered different JSON");
+    }
+
+    #[test]
+    fn lint_json_is_byte_identical_across_threads(seed in any::<u64>()) {
+        let (base, _) = base_model();
+        let program = compile_model(base).expect("model compiles");
+        let analysis = Arc::new(ModelAnalysis::build(program));
+        let reference =
+            serde_json::to_string_pretty(&analysis.lint().json_doc("prop")).expect("render");
+        let workers = 2 + (seed % 3) as usize;
+        let rendered: Vec<String> = std::thread::scope(|scope| {
+            (0..workers)
+                .map(|_| {
+                    let a = Arc::clone(&analysis);
+                    scope.spawn(move || {
+                        serde_json::to_string_pretty(&a.lint().json_doc("prop"))
+                            .expect("render")
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("worker"))
+                .collect()
+        });
+        for r in &rendered {
+            prop_assert_eq!(r, &reference, "concurrent lint rendered different JSON");
+        }
+    }
+}

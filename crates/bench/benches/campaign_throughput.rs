@@ -47,7 +47,7 @@ fn main() {
     let b = serde_json::to_string(&parallel).unwrap();
     assert_eq!(a, b, "scorecard must be identical at any thread count");
 
-    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     let speedup = parallel.throughput() / sequential.throughput().max(1e-9);
     println!(
         "scenarios: {scenarios} (scale {scale}), localization {:.0}%",

@@ -82,7 +82,7 @@ fn main() {
     println!("\n>>> avx2_bluecommunity_incentrality[:16]   (* = KGen-flagged)");
     let mut hits_top15 = 0;
     let mut shown = 0;
-    for (local, c) in ranked.iter() {
+    for (local, c) in &ranked {
         let meta = slice.to_meta(cmap[*local]);
         if metagraph.module_name_of(meta) != "micro_mg" {
             continue;

@@ -59,8 +59,8 @@ fn main() {
     let n = ev_series.len().max(1);
     for pct in [0usize, 5, 10, 25, 50, 75, 90, 99] {
         let idx = (pct * n / 100).min(n - 1);
-        let e = ev_series.get(idx).map(|&(_, v)| v).unwrap_or(0.0);
-        let h = nb_series.get(idx).map(|&(_, v)| v).unwrap_or(0.0);
+        let e = ev_series.get(idx).map_or(0.0, |&(_, v)| v);
+        let h = nb_series.get(idx).map_or(0.0, |&(_, v)| v);
         println!("{:>6} {:>14.4e} {:>14.4e}", idx + 1, e, h);
     }
 

@@ -14,17 +14,17 @@ fn bench_graph_kernels(c: &mut Criterion) {
     let g = preferential_attachment(5_000, 3, 42);
     let targets: Vec<NodeId> = (0..10).map(NodeId).collect();
     c.bench_function("bfs_slice_5k_nodes", |b| {
-        b.iter(|| shortest_path_slice(&g, &targets))
+        b.iter(|| shortest_path_slice(&g, &targets));
     });
     c.bench_function("eigenvector_in_centrality_5k", |b| {
-        b.iter(|| eigenvector_centrality(&g, Direction::In, PowerIterOptions::default()))
+        b.iter(|| eigenvector_centrality(&g, Direction::In, PowerIterOptions::default()));
     });
     c.bench_function("nonbacktracking_centrality_5k", |b| {
-        b.iter(|| nonbacktracking_centrality(&g, Direction::In, PowerIterOptions::default()))
+        b.iter(|| nonbacktracking_centrality(&g, Direction::In, PowerIterOptions::default()));
     });
     let small = preferential_attachment(400, 3, 7);
     c.bench_function("edge_betweenness_400", |b| {
-        b.iter(|| edge_betweenness(&small))
+        b.iter(|| edge_betweenness(&small));
     });
     c.bench_function("girvan_newman_400", |b| b.iter(|| girvan_newman(&small, 1)));
 }
@@ -33,7 +33,7 @@ fn bench_pipeline(c: &mut Criterion) {
     let model = generate(&ModelConfig::test());
     c.bench_function("parse_model", |b| b.iter(|| model.parse()));
     c.bench_function("pipeline_build", |b| {
-        b.iter(|| RcaPipeline::build(&model).unwrap())
+        b.iter(|| RcaPipeline::build(&model).unwrap());
     });
     let pipeline = RcaPipeline::build(&model).unwrap();
     // Criteria resolve to ids once; the benched loop is the pure id-keyed
@@ -44,7 +44,7 @@ fn bench_pipeline(c: &mut Criterion) {
         .filter_map(|n| syms.var_id(n))
         .collect();
     c.bench_function("induce_slice", |b| {
-        b.iter(|| backward_slice(&pipeline.metagraph, &criteria, |_| true))
+        b.iter(|| backward_slice(&pipeline.metagraph, &criteria, |_| true));
     });
 }
 

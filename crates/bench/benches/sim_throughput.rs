@@ -189,8 +189,7 @@ fn main() {
     );
     println!("speedup (tree-walker / compiled): {speedup:.2}x");
     println!(
-        "ensemble ({n_members} members, shared program): {:.2} s ({ens_sps:.0} steps/sec aggregate)",
-        ens_s
+        "ensemble ({n_members} members, shared program): {ens_s:.2} s ({ens_sps:.0} steps/sec aggregate)"
     );
 
     // ----- oracle-differs microbench: string-keyed vs id-keyed ----------

@@ -63,14 +63,14 @@ fn parse_args() -> Args {
         };
         match flag.as_str() {
             "--scenarios" => {
-                args.opts.scenarios = value("--scenarios").parse().unwrap_or_else(|_| usage())
+                args.opts.scenarios = value("--scenarios").parse().unwrap_or_else(|_| usage());
             }
             "--seed" => args.opts.seed = value("--seed").parse().unwrap_or_else(|_| usage()),
             "--clean-every" => {
-                args.opts.clean_every = value("--clean-every").parse().unwrap_or_else(|_| usage())
+                args.opts.clean_every = value("--clean-every").parse().unwrap_or_else(|_| usage());
             }
             "--fma-scale" => {
-                args.opts.fma_scale = value("--fma-scale").parse().unwrap_or_else(|_| usage())
+                args.opts.fma_scale = value("--fma-scale").parse().unwrap_or_else(|_| usage());
             }
             "--paper" => args.opts.include_paper = true,
             "--signflip" => args.opts.sign_flip = true,
@@ -96,21 +96,21 @@ fn parse_args() -> Args {
                     value("--assert-localization")
                         .parse()
                         .unwrap_or_else(|_| usage()),
-                )
+                );
             }
             "--assert-clean-pass" => {
                 args.assert_clean_pass = Some(
                     value("--assert-clean-pass")
                         .parse()
                         .unwrap_or_else(|_| usage()),
-                )
+                );
             }
             "--assert-flagged" => {
                 args.assert_flagged = Some(
                     value("--assert-flagged")
                         .parse()
                         .unwrap_or_else(|_| usage()),
-                )
+                );
             }
             "--help" | "-h" => usage(),
             other => {

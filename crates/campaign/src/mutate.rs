@@ -28,6 +28,7 @@ use std::collections::HashSet;
 use std::sync::Arc;
 
 /// The campaign's deterministic xorshift64* generator.
+#[derive(Debug)]
 pub struct CampaignRng(u64);
 
 impl CampaignRng {
@@ -142,7 +143,7 @@ impl ScenarioClass {
 
 /// One planned campaign entry: the core [`Scenario`] plus scoring
 /// expectations.
-#[derive(Clone)]
+#[derive(Clone, Debug)]
 pub struct CampaignScenario {
     /// The diagnosable scenario (model variant + config + ground truth).
     pub scenario: Scenario,
@@ -288,10 +289,19 @@ pub fn mutate_site(
 /// history output. A defect nothing observes can neither be flagged nor
 /// localized — injecting there would only measure the model's blind
 /// spots, not the pipeline's quality.
+///
+/// Observability is decided twice, by independent implementations: the
+/// metagraph's backward-reachable set (below) and the static analysis
+/// plane's IR classifier ([`rca_analysis::ModelAnalysis::classify_site`]).
+/// Both must agree on every candidate — a disagreement means one of the
+/// two slicing planes is wrong, so it is asserted, not reconciled.
 pub fn campaign_sites(model: &ModelSource, session: &RcaSession<'_>) -> Vec<PatchSite> {
     let components = model.component_map();
     let mg = session.metagraph();
     let syms = session.symbols();
+    let analysis = session
+        .analyze()
+        .expect("session sources already compiled once; static analysis must too");
     // Backward-reachable set of every registered history output (the I/O
     // registry is id-keyed; node lookups are dense).
     let mut outputs: Vec<_> = mg
@@ -317,9 +327,22 @@ pub fn campaign_sites(model: &ModelSource, session: &RcaSession<'_>) -> Vec<Patc
                 return false;
             };
             let sub = syms.var_id(&s.subprogram);
-            sub.and_then(|sv| mg.node_by_ids(m, Some(sv), v))
+            let mg_observable = sub
+                .and_then(|sv| mg.node_by_ids(m, Some(sv), v))
                 .or_else(|| mg.node_by_ids(m, None, v))
-                .is_some_and(|n| observable.reached(n))
+                .is_some_and(|n| observable.reached(n));
+            let class = analysis.classify_site(&s.module, &s.subprogram, &s.target);
+            debug_assert_eq!(
+                mg_observable,
+                class == rca_analysis::SiteClass::Observable,
+                "metagraph and static observability disagree at {}::{}::{}",
+                s.module,
+                s.subprogram,
+                s.target
+            );
+            // Intersection, not either-or: a site survives only when both
+            // planes prove it output-reaching.
+            mg_observable && class == rca_analysis::SiteClass::Observable
         })
         .collect()
 }

@@ -74,10 +74,7 @@ impl Serialize for ScenarioResult {
             ("expect_fail", self.expect_fail.to_json()),
             (
                 "verdict",
-                self.verdict
-                    .as_ref()
-                    .map(Verdict::to_json)
-                    .unwrap_or(Json::Null),
+                self.verdict.as_ref().map_or(Json::Null, Verdict::to_json),
             ),
             ("located", self.located.to_json()),
             ("module_in_final", self.module_in_final.to_json()),

@@ -15,6 +15,7 @@ pub fn black_box<T>(x: T) -> T {
 }
 
 /// The benchmark driver handed to `criterion_group!` functions.
+#[derive(Debug)]
 pub struct Criterion {
     /// Wall-clock measurement budget per benchmark.
     budget: Duration,
@@ -68,6 +69,7 @@ fn fmt_ns(ns: f64) -> String {
 }
 
 /// Times closures on behalf of one benchmark.
+#[derive(Debug)]
 pub struct Bencher {
     budget: Duration,
     samples: Vec<f64>,

@@ -84,6 +84,12 @@ pub mod collection {
         size: SizeRange,
     }
 
+    impl<S> std::fmt::Debug for VecStrategy<S> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("VecStrategy").finish_non_exhaustive()
+        }
+    }
+
     /// A strategy for vectors of `element` values.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
         VecStrategy {
@@ -111,6 +117,14 @@ pub mod sample {
     /// Picks uniformly from a fixed set of options.
     pub struct Select<T> {
         options: Vec<T>,
+    }
+
+    impl<T> std::fmt::Debug for Select<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Select")
+                .field("options", &self.options.len())
+                .finish()
+        }
     }
 
     /// A strategy yielding one of `options` (must be non-empty).
@@ -167,6 +181,12 @@ impl Arbitrary for f64 {
 
 /// The `any::<T>()` strategy.
 pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T> std::fmt::Debug for Any<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Any")
+    }
+}
 
 /// A strategy producing arbitrary values of `T`.
 pub fn any<T: Arbitrary>() -> Any<T> {

@@ -27,6 +27,12 @@ pub struct Map<S, F> {
     f: F,
 }
 
+impl<S, F> std::fmt::Debug for Map<S, F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Map").finish_non_exhaustive()
+    }
+}
+
 impl<S, U, F> Strategy for Map<S, F>
 where
     S: Strategy,
@@ -285,7 +291,7 @@ mod tests {
             let cs: Vec<char> = s.chars().collect();
             assert!(('a'..='c').contains(&cs[0]));
             assert!((3..=5).contains(&cs.len()));
-            assert!(cs[1..].iter().all(|c| c.is_ascii_digit()), "{s}");
+            assert!(cs[1..].iter().all(char::is_ascii_digit), "{s}");
         }
     }
 

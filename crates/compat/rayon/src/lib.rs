@@ -24,6 +24,14 @@ pub struct ParIter<T> {
     items: Vec<T>,
 }
 
+impl<T> std::fmt::Debug for ParIter<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParIter")
+            .field("len", &self.items.len())
+            .finish()
+    }
+}
+
 /// `into_par_iter()` for owned iterables (ranges, vectors, ...).
 pub trait IntoParallelIterator {
     /// Element type.
@@ -74,9 +82,7 @@ fn max_threads() -> usize {
             return n.max(1);
         }
     }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
 }
 
 /// Splits `items` into per-core chunks, runs `f` on each chunk in a scoped
@@ -239,11 +245,7 @@ mod tests {
     #[test]
     fn work_actually_runs_on_multiple_threads() {
         // With >= 2 cores, two long-running chunks must overlap.
-        if std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            < 2
-        {
+        if std::thread::available_parallelism().map_or(1, std::num::NonZero::get) < 2 {
             return;
         }
         static LIVE: AtomicUsize = AtomicUsize::new(0);

@@ -14,6 +14,7 @@ use rca_sim::Avx2Policy;
 use std::collections::HashSet;
 
 /// The module quotient graph with its centrality ranking.
+#[derive(Debug)]
 pub struct ModuleRanking {
     /// Quotient (module) digraph.
     pub quotient: Quotient,

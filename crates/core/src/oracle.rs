@@ -63,6 +63,7 @@ pub trait Oracle {
 
 /// The paper's simulated sampling: a difference is detectable at node `n`
 /// iff a directed path exists from some bug source to `n`.
+#[derive(Debug)]
 pub struct ReachabilityOracle {
     /// Metagraph ids of the ground-truth bug locations.
     pub bug_nodes: Vec<NodeId>,
@@ -116,6 +117,7 @@ impl Oracle for ReachabilityOracle {
 /// compared positionally straight off the executor state (views, not
 /// owned `RunOutput`s). Refinement loops issue one query per iteration,
 /// so this is the oracle's hot path.
+#[derive(Debug)]
 pub struct RuntimeSampler {
     /// Compiled control/experimental programs (or the compile failure,
     /// re-reported per query — sampling proceeds best-effort).

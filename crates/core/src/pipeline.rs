@@ -17,6 +17,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 /// A built pipeline: metagraph plus bookkeeping for one model variant.
+#[derive(Debug)]
 pub struct RcaPipeline {
     /// The compiled variable digraph with metadata (id-keyed over the
     /// session's workspace-wide symbol table).
@@ -32,6 +33,11 @@ pub struct RcaPipeline {
     /// checks on the refinement hot path are array reads, not string
     /// compares.
     cam_mask: Vec<bool>,
+    /// The coverage-filtered ASTs the metagraph was compiled from —
+    /// retained so the static analysis plane ([`rca_analysis`]) can
+    /// compile the *same* source universe and agree with the metagraph
+    /// node-for-node.
+    filtered: Vec<rca_fortran::SourceFile>,
 }
 
 /// Options for pipeline construction.
@@ -134,6 +140,7 @@ impl RcaPipeline {
             None => SymbolTable::new(),
         };
         let metagraph = build_metagraph_seeded(&filtered, &BuildOptions::default(), seed);
+        let filtered_sources = filtered;
         let components = model.component_map();
         let syms = metagraph.symbols();
         let mut cam_mask = vec![false; syms.module_count()];
@@ -149,7 +156,15 @@ impl RcaPipeline {
             filter_stats,
             components,
             cam_mask,
+            filtered: filtered_sources,
         })
+    }
+
+    /// The coverage-filtered ASTs the metagraph was built from (the
+    /// source universe the static analysis plane must compile to agree
+    /// with the graph).
+    pub fn filtered_sources(&self) -> &[rca_fortran::SourceFile] {
+        &self.filtered
     }
 
     /// Whether a module belongs to CAM (the paper restricts experiment

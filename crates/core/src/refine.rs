@@ -337,7 +337,7 @@ mod tests {
         let internal: Vec<String> = exp
             .table2_internal()
             .iter()
-            .map(|s| s.to_string())
+            .map(std::string::ToString::to_string)
             .collect();
         let comp = p.components.clone();
         let slice = backward_slice_names(&p.metagraph, &internal, |m| {

@@ -22,7 +22,7 @@ pub fn table(title: &str, headers: (&str, &str), rows: &[(String, String)]) -> S
         "-".repeat(w1 + 2 + headers.1.len().max(8))
     ));
     for (a, b) in rows {
-        out.push_str(&format!("{a:<w1$}  {b}\n", w1 = w1));
+        out.push_str(&format!("{a:<w1$}  {b}\n"));
     }
     out
 }

@@ -94,7 +94,7 @@ pub enum SliceScope {
 /// truth is optional: leave both `bug_sites` and `bug_modules` empty for a
 /// genuinely unknown defect (the refinement loop then cannot stop on
 /// `BugInstrumented`, exactly as a real investigation).
-#[derive(Clone)]
+#[derive(Clone, Debug)]
 pub struct Scenario {
     /// Scenario identifier for reports (e.g. `"017-opswap-phys_aux_003"`).
     pub name: String,
@@ -124,7 +124,7 @@ impl Scenario {
 
 /// What one pipeline run is diagnosing: a built-in experiment or a custom
 /// scenario, resolved to the data every stage needs.
-#[derive(Clone)]
+#[derive(Debug, Clone)]
 pub(crate) struct Subject {
     name: String,
     experiment: Option<Experiment>,
@@ -140,6 +140,7 @@ pub(crate) struct Subject {
 }
 
 /// Configures and builds an [`RcaSession`].
+#[derive(Debug)]
 pub struct RcaSessionBuilder<'m> {
     model: &'m ModelSource,
     setup: ExperimentSetup,
@@ -217,6 +218,7 @@ impl<'m> RcaSessionBuilder<'m> {
             max_outputs: self.max_outputs,
             scope: self.scope,
             ensemble: OnceLock::new(),
+            analysis: OnceLock::new(),
             programs: Mutex::new(programs),
         })
     }
@@ -231,6 +233,7 @@ impl<'m> RcaSessionBuilder<'m> {
 /// ECT are computed lazily on first use and cached for the session's
 /// lifetime — the cache is thread-safe, so one session can serve parallel
 /// scenario fan-outs.
+#[derive(Debug)]
 pub struct RcaSession<'m> {
     model: &'m ModelSource,
     pipeline: RcaPipeline,
@@ -240,6 +243,9 @@ pub struct RcaSession<'m> {
     max_outputs: usize,
     scope: SliceScope,
     ensemble: OnceLock<Result<EnsembleStats, RcaError>>,
+    /// Static analysis over the coverage-filtered sources, computed
+    /// lazily on first use (dependence mirror, dataflow, lint catalog).
+    analysis: OnceLock<Result<rca_analysis::ModelAnalysis, RcaError>>,
     /// Compiled programs keyed by `ModelSource::content_hash` — the base
     /// model plus every experimental/scenario variant this session has
     /// diagnosed. Thread-safe: parallel campaign workers share it.
@@ -328,6 +334,22 @@ impl<'m> RcaSession<'m> {
     /// Number of distinct compiled programs this session holds.
     pub fn compiled_programs(&self) -> usize {
         self.programs.lock().expect("program cache lock").len()
+    }
+
+    /// The static analysis plane over this session's **coverage-filtered**
+    /// source universe — the same files the metagraph was compiled from,
+    /// so the IR dependence mirror and the metagraph agree node-for-node
+    /// and the static observability pre-filter matches the metagraph
+    /// filter on every campaign site. Computed lazily on first use and
+    /// cached for the session's lifetime.
+    pub fn analyze(&self) -> Result<&rca_analysis::ModelAnalysis, RcaError> {
+        self.analysis
+            .get_or_init(|| {
+                let program = Arc::new(rca_sim::compile_sources(self.pipeline.filtered_sources())?);
+                Ok(rca_analysis::ModelAnalysis::build(program))
+            })
+            .as_ref()
+            .map_err(Clone::clone)
     }
 
     /// The control run configuration every subject is compared against.
@@ -545,6 +567,7 @@ fn oracle_label(kind: OracleKind) -> &'static str {
 /// Typed stage handle: statistics have run. Produced by
 /// [`RcaSession::statistics`] / [`RcaSession::statistics_scenario`];
 /// consumed by [`Statistics::slice`].
+#[derive(Debug)]
 pub struct Statistics<'s, 'm> {
     session: &'s RcaSession<'m>,
     pub(crate) subject: Subject,
@@ -609,6 +632,7 @@ impl<'s, 'm> Statistics<'s, 'm> {
 /// Typed stage handle: the suspect subgraph exists. Produced by
 /// [`Statistics::slice`]; consumed by [`Sliced::refine`] or
 /// [`Sliced::refine_with`].
+#[derive(Debug)]
 pub struct Sliced<'s, 'm> {
     session: &'s RcaSession<'m>,
     pub(crate) subject: Subject,
@@ -679,6 +703,7 @@ impl<'s, 'm> Sliced<'s, 'm> {
 /// Typed stage handle: refinement has run. Produced by
 /// [`Sliced::refine`]/[`Sliced::refine_with`]; finished by
 /// [`Refined::into_diagnosis`].
+#[derive(Debug)]
 pub struct Refined<'s, 'm> {
     session: &'s RcaSession<'m>,
     pub(crate) subject: Subject,
@@ -975,8 +1000,7 @@ mod tests {
         let err = RcaSession::builder(&m)
             .max_outputs(0)
             .build()
-            .err()
-            .expect("must fail");
+            .expect_err("must fail");
         assert!(matches!(err, RcaError::Config(_)), "{err}");
         let err = RcaSession::builder(&m)
             .setup(ExperimentSetup {
@@ -984,8 +1008,7 @@ mod tests {
                 ..ExperimentSetup::quick()
             })
             .build()
-            .err()
-            .expect("must fail");
+            .expect_err("must fail");
         assert!(matches!(err, RcaError::Config(_)), "{err}");
     }
 

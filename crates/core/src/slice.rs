@@ -16,6 +16,7 @@ use rca_ident::{ModuleId, VarId};
 use rca_metagraph::MetaGraph;
 
 /// An induced suspect subgraph with its mapping back to metagraph nodes.
+#[derive(Debug)]
 pub struct Slice {
     /// The induced subgraph (dense ids).
     pub graph: DiGraph,

@@ -1,0 +1,104 @@
+//! Slicer-agreement differential: the metagraph's `backward_slice` vs
+//! the IR-level `DepGraph::static_slice` from `rca_analysis`.
+//!
+//! Two independent implementations of the paper's §4.2 backward slice —
+//! one walking the textual AST metagraph, one walking the slot-indexed
+//! compiled IR — must select the same `(module, subprogram, canonical)`
+//! node set for the same criteria, on the pristine model and on every
+//! paper experiment variant, both unrestricted and module-restricted.
+
+use rca_core::{backward_slice_names, RcaPipeline, RcaSession};
+use rca_model::{generate, Experiment, ModelConfig, ModelSource};
+use rca_sim::compile_sources;
+
+type Rendered = (String, Option<String>, String);
+
+/// Renders a metagraph slice to sorted `(module, subprogram, canonical)`
+/// triples — the same shape `DepGraph::static_slice` returns.
+fn meta_slice(pipeline: &RcaPipeline, criteria: &[&str], restrict: Option<&str>) -> Vec<Rendered> {
+    let names: Vec<String> = criteria.iter().map(|s| (*s).to_string()).collect();
+    let mg = &pipeline.metagraph;
+    let slice = backward_slice_names(mg, &names, |m| restrict.is_none_or(|r| m == r));
+    let mut out: Vec<Rendered> = slice
+        .meta_nodes()
+        .iter()
+        .map(|&n| {
+            (
+                mg.module_name_of(n).to_string(),
+                mg.subprogram_of(n).map(str::to_string),
+                mg.canonical_of(n).to_string(),
+            )
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// The IR slicer over the *same* coverage-filtered source universe the
+/// pipeline compiled its metagraph from.
+fn ir_slice(pipeline: &RcaPipeline, criteria: &[&str], restrict: Option<&str>) -> Vec<Rendered> {
+    let prog = compile_sources(pipeline.filtered_sources()).expect("filtered sources compile");
+    rca_analysis::DepGraph::build(&prog).static_slice(criteria, restrict)
+}
+
+fn assert_slices_agree(model: &ModelSource, label: &str) {
+    let pipeline = RcaPipeline::build(model).expect("pipeline");
+    // Criteria from the paper's Table-2 style output mapping plus a
+    // deep internal temporary, so the closure spans modules.
+    let internal = pipeline.outputs_to_internal(&["flds".into(), "taux".into()]);
+    let mut criteria: Vec<&str> = internal.iter().map(String::as_str).collect();
+    criteria.push("nctend");
+    for restrict in [None, Some("micro_mg")] {
+        let a = meta_slice(&pipeline, &criteria, restrict);
+        let b = ir_slice(&pipeline, &criteria, restrict);
+        let only_mg: Vec<_> = a.iter().filter(|n| !b.contains(n)).collect();
+        let only_ir: Vec<_> = b.iter().filter(|n| !a.contains(n)).collect();
+        assert!(
+            only_mg.is_empty() && only_ir.is_empty(),
+            "{label} (restrict={restrict:?}): slices differ\n  metagraph-only: {only_mg:?}\n  ir-only: {only_ir:?}"
+        );
+        assert!(!a.is_empty(), "{label}: slice is empty");
+    }
+}
+
+#[test]
+fn slicers_agree_on_pristine_model() {
+    let model = generate(&ModelConfig::test());
+    assert_slices_agree(&model, "pristine");
+}
+
+#[test]
+fn slicers_agree_on_all_experiments() {
+    let model = generate(&ModelConfig::test());
+    for e in Experiment::ALL {
+        assert_slices_agree(&model.apply(e), e.name());
+    }
+}
+
+#[test]
+fn session_analysis_mirrors_session_metagraph() {
+    // `RcaSession::analyze` compiles the pipeline's coverage-filtered
+    // sources; its dependence graph must cover exactly the metagraph's
+    // node universe.
+    let model = generate(&ModelConfig::test());
+    let session = RcaSession::builder(&model).build().expect("session");
+    let analysis = session.analyze().expect("analysis");
+    let mg = session.metagraph();
+    let mut mg_nodes: Vec<Rendered> = mg
+        .graph
+        .nodes()
+        .map(|n| {
+            (
+                mg.module_name_of(n).to_string(),
+                mg.subprogram_of(n).map(str::to_string),
+                mg.canonical_of(n).to_string(),
+            )
+        })
+        .collect();
+    mg_nodes.sort();
+    let dg_nodes = analysis.deps().rendered_nodes();
+    assert_eq!(
+        mg_nodes, dg_nodes,
+        "session analysis/metagraph universes differ"
+    );
+}

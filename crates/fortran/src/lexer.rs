@@ -51,7 +51,9 @@ fn join_continuations(source: &str) -> Vec<(String, u32)> {
         let mut text = trimmed.to_string();
         // Leading '&' continues the previous line's token stream.
         if let Some((prev, start)) = pending.take() {
-            let cont = text.strip_prefix('&').map(str::trim_start).unwrap_or(&text);
+            let cont = text
+                .strip_prefix('&')
+                .map_or(text.as_str(), str::trim_start);
             text = format!("{prev} {cont}");
             pending = Some((text, start));
         } else {

@@ -470,11 +470,7 @@ impl Parser {
         match cur.peek() {
             Some(Tok::Ident(w)) if w == "if" => {
                 // Distinguish one-line `if (c) stmt` from `if (c) then`.
-                let is_block = line
-                    .tokens
-                    .last()
-                    .map(|t| t.is_ident("then"))
-                    .unwrap_or(false);
+                let is_block = line.tokens.last().is_some_and(|t| t.is_ident("then"));
                 if is_block {
                     return self.parse_if_block().map(Some);
                 }
@@ -570,7 +566,7 @@ impl Parser {
                 }
                 _ => {
                     if let Some(s) = self.parse_stmt()? {
-                        arms.last_mut().expect("arm exists").1.push(s)
+                        arms.last_mut().expect("arm exists").1.push(s);
                     }
                 }
             }

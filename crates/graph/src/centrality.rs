@@ -157,9 +157,7 @@ pub fn pagerank(graph: &DiGraph, dir: Direction, d: f64, opts: PowerIterOptions)
             .map(|(_, v)| v)
             .sum();
         let base = (1.0 - d) / nf + d * dangling / nf;
-        for nx in next.iter_mut() {
-            *nx = base;
-        }
+        next.fill(base);
         for (i, &xi) in x.iter().enumerate() {
             let c = out_counts[i];
             if c > 0 {

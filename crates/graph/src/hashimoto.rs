@@ -54,9 +54,7 @@ pub fn nonbacktracking_centrality(
     let mut insum = vec![0.0f64; n];
     for _ in 0..opts.max_iter {
         // insum[j] = Σ_{(i→j)} x_(i→j)
-        for s in insum.iter_mut() {
-            *s = 0.0;
-        }
+        insum.fill(0.0);
         for (e, &(_, v)) in edges.iter().enumerate() {
             insum[v as usize] += x[e];
         }

@@ -69,7 +69,7 @@ pub struct IoCall {
 pub(crate) type UniqueKey = (u32, u32, u32);
 
 pub(crate) fn unique_key(module: ModuleId, sub: Option<VarId>, canonical: VarId) -> UniqueKey {
-    (module.0, sub.map(|s| s.0 + 1).unwrap_or(0), canonical.0)
+    (module.0, sub.map_or(0, |s| s.0 + 1), canonical.0)
 }
 
 /// The compiled metagraph.
@@ -162,8 +162,7 @@ impl MetaGraph {
     pub fn nodes_with_var(&self, var: VarId) -> &[NodeId] {
         self.canonical_index
             .get(var.index())
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+            .map_or(&[], Vec::as_slice)
     }
 
     /// All nodes whose canonical name equals `name` — the paper's slicing

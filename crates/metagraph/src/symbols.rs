@@ -150,7 +150,7 @@ impl ProcTable {
         for (generic, keys) in &self.interfaces {
             if keys
                 .iter()
-                .any(|k| self.procs.get(k).map(|p| p.is_function).unwrap_or(false))
+                .any(|k| self.procs.get(k).is_some_and(|p| p.is_function))
             {
                 promote.push(generic.clone());
             }

@@ -26,7 +26,8 @@
 use crate::interp::RuntimeError;
 use crate::ops::{self, RunResult};
 use crate::program::{
-    CExpr, CPlace, CProc, CStmt, CallForm, CallSite, EId, Intrin, LocalTemplate, Program, VarBind,
+    ArgFlow, CExpr, CPlace, CProc, CStmt, CallForm, CallSite, EId, Intrin, LocalTemplate, Program,
+    VarBind,
 };
 use crate::value::Value;
 use rca_fortran::ast::{
@@ -69,6 +70,12 @@ struct Compiler<'a> {
     proc_asts: Vec<(String, &'a Subprogram)>,
     procs_by_name: HashMap<String, Vec<u32>>,
     writeback: Vec<Vec<bool>>,
+    /// Declared per-dummy intents, parallel to `writeback` (analysis
+    /// metadata carried into [`CProc::arg_flows`]).
+    arg_flows: Vec<Vec<ArgFlow>>,
+    /// `(src, dst)` global slots where `dst`'s initializer reads `src` —
+    /// the dataflow that load-time constant folding erases.
+    global_init_deps: Vec<(u32, u32)>,
     frames: Vec<FrameInfo>,
     interner: HashMap<String, Arc<str>>,
     exprs: Vec<CExpr>,
@@ -94,6 +101,8 @@ impl<'a> Compiler<'a> {
             proc_asts: Vec::new(),
             procs_by_name: HashMap::new(),
             writeback: Vec::new(),
+            arg_flows: Vec::new(),
+            global_init_deps: Vec::new(),
             frames: Vec::new(),
             interner: HashMap::new(),
             exprs: Vec::new(),
@@ -225,9 +234,26 @@ impl<'a> Compiler<'a> {
                         })
                     })
                     .collect();
+                let flows = sub
+                    .args
+                    .iter()
+                    .map(|arg| {
+                        let decl = sub
+                            .decls
+                            .iter()
+                            .find(|d| d.entities.iter().any(|e| &e.name == arg));
+                        match decl {
+                            Some(d) if d.attrs.contains(&Attr::IntentIn) => ArgFlow::In,
+                            Some(d) if d.attrs.contains(&Attr::IntentOut) => ArgFlow::Out,
+                            Some(d) if d.attrs.contains(&Attr::IntentInOut) => ArgFlow::InOut,
+                            _ => ArgFlow::Unknown,
+                        }
+                    })
+                    .collect();
                 let idx = self.proc_asts.len() as u32;
                 self.proc_asts.push((module.name.clone(), sub));
                 self.writeback.push(writeback);
+                self.arg_flows.push(flows);
                 self.procs_by_name
                     .entry(sub.name.clone())
                     .or_default()
@@ -294,6 +320,20 @@ impl<'a> Compiler<'a> {
         let slot = self.globals.len() as u32;
         self.globals.push(value);
         self.global_index.insert(key, slot);
+        // Preserve the initializer's dataflow: `build_value` just folded
+        // it into a constant, but the variables it read are real
+        // dependencies (module-scope resolution, same order const_eval
+        // used). Shape extents are index information and excluded.
+        if let Some(init) = &entity.init {
+            let mut reads = Vec::new();
+            collect_init_reads(init, &mut reads);
+            for name in reads {
+                let mut fresh = HashSet::new();
+                if let Ok(Some(src)) = self.resolve_module_name(module, &name, &mut fresh) {
+                    self.global_init_deps.push((src, slot));
+                }
+            }
+        }
         Ok(Some(slot))
     }
 
@@ -518,7 +558,7 @@ impl<'a> Compiler<'a> {
         }
         let result_slot = sub
             .result_name()
-            .map(|r| r.to_string())
+            .map(std::string::ToString::to_string)
             .map(|r| add(self, &mut slot_names, &mut slot_of, &r));
         // Body scan for implicit locals.
         let mut written: Vec<(String, bool)> = Vec::new(); // (name, is_do_var)
@@ -589,6 +629,7 @@ impl<'a> Compiler<'a> {
             name: name_sym,
             module_id,
             arg_slots: frame.arg_slots.clone().into_boxed_slice(),
+            arg_flows: self.arg_flows[proc_idx].clone().into_boxed_slice(),
             n_locals: frame.slot_names.len(),
             local_names: frame.slot_names.clone().into_boxed_slice(),
             inits: inits.into_boxed_slice(),
@@ -1125,7 +1166,13 @@ impl<'a> Compiler<'a> {
             })
             .collect();
         let mut globals_by_module: HashMap<String, HashMap<String, u32>> = HashMap::new();
+        let mut global_origins: Vec<(u32, Arc<str>)> =
+            vec![(u32::MAX, Arc::from("")); self.globals.len()];
         for ((m, n), slot) in &self.global_index {
+            global_origins[*slot as usize] = (self.module_ids[m], {
+                let a: Arc<str> = Arc::from(n.as_str());
+                a
+            });
             globals_by_module
                 .entry(m.clone())
                 .or_default()
@@ -1142,7 +1189,7 @@ impl<'a> Compiler<'a> {
         }
         for p in &self.compiled {
             self.syms.intern_var(&p.name);
-            for local in p.local_names.iter() {
+            for local in &p.local_names {
                 self.syms.intern_var(local);
             }
         }
@@ -1160,6 +1207,8 @@ impl<'a> Compiler<'a> {
             procs_by_module,
             module_vars,
             output_names: output_names.into(),
+            global_init_deps: self.global_init_deps,
+            global_origins,
             syms: Arc::new(self.syms),
         }
     }
@@ -1192,6 +1241,21 @@ fn collect_outfld_names(stmts: &[Stmt], out: &mut Vec<String>) {
             }
             _ => {}
         }
+    }
+}
+
+/// Collects the variable names a module-declaration initializer reads
+/// (constant expressions: literals, names, unary/binary operators — the
+/// same forms `const_eval` accepts).
+fn collect_init_reads(expr: &Expr, out: &mut Vec<String>) {
+    match expr {
+        Expr::Var(name) => out.push(name.clone()),
+        Expr::Unary { expr, .. } => collect_init_reads(expr, out),
+        Expr::Binary { lhs, rhs, .. } => {
+            collect_init_reads(lhs, out);
+            collect_init_reads(rhs, out);
+        }
+        _ => {}
     }
 }
 

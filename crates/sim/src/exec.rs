@@ -97,6 +97,17 @@ pub struct Executor {
     scratch_f64: Vec<Vec<f64>>,
 }
 
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor")
+            .field("prng_kind", &self.prng_kind)
+            .field("prng_seed", &self.prng_seed)
+            .field("step", &self.step)
+            .field("steps", &self.steps)
+            .finish_non_exhaustive()
+    }
+}
+
 impl Executor {
     /// Prepares one run of `program` under `config`.
     pub fn new(program: Arc<Program>, config: &RunConfig) -> Executor {
@@ -316,7 +327,7 @@ impl Executor {
     /// Returns a finished frame to the pool, harvesting its array-local
     /// buffers into the scratch pool (other values drop, backbone stays).
     fn recycle_frame(&mut self, mut frame: Vec<Option<Value>>) {
-        for slot in frame.iter_mut() {
+        for slot in &mut frame {
             if let Some(Value::RealArray(buf)) = slot.take() {
                 self.scratch_f64.push(buf);
             }
@@ -352,7 +363,7 @@ impl Executor {
         }
         args.clear();
         self.arg_pool.push(args);
-        for (slot, line, tmpl) in pr.inits.iter() {
+        for (slot, line, tmpl) in &pr.inits {
             let v = self.local_value(p, pr, &locals, tmpl, *line)?;
             locals[*slot as usize] = Some(v);
         }
@@ -392,7 +403,7 @@ impl Executor {
             }
             LocalTemplate::Array(extents) => {
                 let mut n = 1usize;
-                for &e in extents.iter() {
+                for &e in extents {
                     let v = self.eval(p, pr, locals, e, line)?;
                     let x = v.as_i64().ok_or_else(|| {
                         RuntimeError::new("array extent not integer", &pr.module, line)
@@ -563,7 +574,7 @@ impl Executor {
                 Ok(Flow::Normal)
             }
             CStmt::If { arms, line } => {
-                for (cond, block) in arms.iter() {
+                for (cond, block) in arms {
                     let taken = match cond {
                         Some(c) => {
                             self.eval(p, pr, locals, *c, *line)?
@@ -660,11 +671,11 @@ impl Executor {
     ) -> RunResult<()> {
         let site: &CallSite = &p.sites[site as usize];
         let mut values = self.lease_args();
-        for &a in site.args.iter() {
+        for &a in &site.args {
             values.push(self.eval(p, pr, locals, a, line)?);
         }
         let callee_locals = self.invoke(p, site.proc, values)?;
-        for (dummy_slot, place) in site.copyout.iter() {
+        for (dummy_slot, place) in &site.copyout {
             if let Some(v) = &callee_locals[*dummy_slot as usize] {
                 self.write_place(p, pr, locals, place, v.clone(), line)?;
             }
@@ -1045,7 +1056,7 @@ impl Executor {
     ) -> RunResult<Value> {
         let site: &CallSite = &p.sites[site as usize];
         let mut values = self.lease_args();
-        for &a in site.args.iter() {
+        for &a in &site.args {
             values.push(self.eval(p, pr, locals, a, line)?);
         }
         let callee = &p.procs[site.proc as usize];

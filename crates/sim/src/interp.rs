@@ -228,6 +228,16 @@ pub struct Interpreter {
     pub samples: HashMap<String, Vec<f64>>,
 }
 
+impl std::fmt::Debug for Interpreter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Interpreter")
+            .field("modules", &self.modules.len())
+            .field("procs", &self.proc_defs.len())
+            .field("step", &self.step)
+            .finish_non_exhaustive()
+    }
+}
+
 impl Interpreter {
     /// Loads parsed sources into an executable image.
     pub fn load(files: &[SourceFile], config: RunConfig) -> RunResult<Interpreter> {

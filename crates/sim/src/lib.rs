@@ -53,7 +53,11 @@ pub use kernel::{
     compare_kernel, kernel_sample_specs, kernel_sample_specs_program, KernelComparison,
 };
 pub use prng::{make_prng, Kiss, Mt19937, Prng, PrngKind};
-pub use program::Program;
+pub use program::{
+    ArgFlow, CExpr, CPlace, CProc, CStmt, CallForm, CallSite, EId, IfArm, Intrin, LocalTemplate,
+    Program, VarBind,
+};
+pub use rca_fortran::token::Op;
 pub use rca_ident::{ModuleId, OutputId, SymbolTable, VarId};
 pub use runner::{
     compile_model, finite_outputs_at, outputs_matrix, perturbations, run_ensemble,

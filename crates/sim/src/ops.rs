@@ -141,7 +141,7 @@ pub(crate) fn intrinsic_op(
             let v = arg(0)?;
             match v {
                 Value::RealArray(a) => {
-                    Value::Real(a.iter().cloned().fold(f64::NEG_INFINITY, f64::max))
+                    Value::Real(a.iter().copied().fold(f64::NEG_INFINITY, f64::max))
                 }
                 other => other,
             }
@@ -149,7 +149,7 @@ pub(crate) fn intrinsic_op(
         Intrin::Minval => {
             let v = arg(0)?;
             match v {
-                Value::RealArray(a) => Value::Real(a.iter().cloned().fold(f64::INFINITY, f64::min)),
+                Value::RealArray(a) => Value::Real(a.iter().copied().fold(f64::INFINITY, f64::min)),
                 other => other,
             }
         }

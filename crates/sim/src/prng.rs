@@ -45,6 +45,7 @@ pub fn make_prng(kind: PrngKind, seed: u32) -> Box<dyn Prng> {
 
 /// Marsaglia's KISS generator (combination of LCG, xorshift, and MWC),
 /// mirroring CESM's `shr_RandNum` kissvec implementation.
+#[derive(Debug)]
 pub struct Kiss {
     x: u32,
     y: u32,
@@ -100,6 +101,14 @@ impl Prng for Kiss {
 pub struct Mt19937 {
     mt: [u32; 624],
     index: usize,
+}
+
+impl std::fmt::Debug for Mt19937 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mt19937")
+            .field("index", &self.index)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Mt19937 {

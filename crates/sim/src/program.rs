@@ -27,8 +27,8 @@ use rca_ident::SymbolTable;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// Index into [`Program::exprs`].
-pub(crate) type EId = u32;
+/// Index into the expression pool ([`Program::ir_exprs`]).
+pub type EId = u32;
 
 /// Pre-resolved variable binding: how a name in some subprogram resolves,
 /// encoding the interpreter's dynamic scoping rules statically.
@@ -38,7 +38,7 @@ pub(crate) type EId = u32;
 /// runs; declared locals only after frame initialization reaches them).
 /// The binding says what an access falls back to in that window.
 #[derive(Debug, Clone, Copy)]
-pub(crate) enum VarBind {
+pub enum VarBind {
     /// Frame slot; when unset, the name is undefined (reads error,
     /// writes create the implicit local).
     Local(u32),
@@ -53,7 +53,7 @@ pub(crate) enum VarBind {
 /// a set variable at runtime (the Fortran call-vs-index ambiguity,
 /// resolved in the same order the tree-walker uses).
 #[derive(Debug, Clone)]
-pub(crate) enum CallForm {
+pub enum CallForm {
     /// A recognized intrinsic.
     Intrinsic(Intrin, Box<[EId]>),
     /// A user function call through a resolved site.
@@ -64,7 +64,7 @@ pub(crate) enum CallForm {
 
 /// Recognized intrinsics (the tree-walker's `eval_intrinsic` list).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum Intrin {
+pub enum Intrin {
     Min,
     Max,
     Sqrt,
@@ -91,9 +91,24 @@ pub(crate) enum Intrin {
     Huge,
 }
 
+/// Declared intent of one dummy argument, recorded for static analysis
+/// (the executor only needs the collapsed writeback flag on the call
+/// site's copy-out plan).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArgFlow {
+    /// `intent(in)` — data flows caller → callee only.
+    In,
+    /// `intent(out)` — data flows callee → caller only.
+    Out,
+    /// `intent(inout)` — both directions.
+    InOut,
+    /// No intent declaration: treated bidirectionally.
+    Unknown,
+}
+
 impl Intrin {
     /// Maps an intrinsic name (already lowercase in the AST) to its code.
-    pub(crate) fn by_name(name: &str) -> Option<Intrin> {
+    pub fn by_name(name: &str) -> Option<Intrin> {
         Some(match name {
             "min" => Intrin::Min,
             "max" => Intrin::Max,
@@ -122,12 +137,44 @@ impl Intrin {
             _ => return None,
         })
     }
+
+    /// The intrinsic's source-level name (the inverse of
+    /// [`Intrin::by_name`]) — static analysis renders localized intrinsic
+    /// nodes (`min_l42`) from it.
+    pub fn name(self) -> &'static str {
+        match self {
+            Intrin::Min => "min",
+            Intrin::Max => "max",
+            Intrin::Sqrt => "sqrt",
+            Intrin::Exp => "exp",
+            Intrin::Log => "log",
+            Intrin::Log10 => "log10",
+            Intrin::Abs => "abs",
+            Intrin::Tanh => "tanh",
+            Intrin::Sin => "sin",
+            Intrin::Cos => "cos",
+            Intrin::Atan => "atan",
+            Intrin::Mod => "mod",
+            Intrin::Sign => "sign",
+            Intrin::Sum => "sum",
+            Intrin::Maxval => "maxval",
+            Intrin::Minval => "minval",
+            Intrin::Size => "size",
+            Intrin::Real => "real",
+            Intrin::Int => "int",
+            Intrin::Floor => "floor",
+            Intrin::Nint => "nint",
+            Intrin::Epsilon => "epsilon",
+            Intrin::Tiny => "tiny",
+            Intrin::Huge => "huge",
+        }
+    }
 }
 
 /// A lowered expression node. Children are arena indices, names appear
 /// only for diagnostics.
 #[derive(Debug, Clone)]
-pub(crate) enum CExpr {
+pub enum CExpr {
     Real(f64),
     Int(i64),
     Str(Arc<str>),
@@ -201,7 +248,7 @@ pub(crate) enum CExpr {
 
 /// A lowered assignment place.
 #[derive(Debug, Clone)]
-pub(crate) enum CPlace {
+pub enum CPlace {
     Var {
         bind: VarBind,
     },
@@ -223,11 +270,11 @@ pub(crate) enum CPlace {
 }
 
 /// One `if` / `else if` / `else` arm: optional condition plus block.
-pub(crate) type IfArm = (Option<EId>, Box<[CStmt]>);
+pub type IfArm = (Option<EId>, Box<[CStmt]>);
 
 /// A lowered statement.
 #[derive(Debug, Clone)]
-pub(crate) enum CStmt {
+pub enum CStmt {
     Assign {
         place: CPlace,
         value: EId,
@@ -297,8 +344,8 @@ pub(crate) enum CStmt {
 
 /// A resolved call site: callee + lowered arguments + copy-out plan.
 #[derive(Debug, Clone)]
-pub(crate) struct CallSite {
-    /// Callee index into [`Program::procs`].
+pub struct CallSite {
+    /// Callee index into the procedure table ([`Program::ir_procs`]).
     pub proc: u32,
     /// Lowered actual arguments, in order (all evaluated before the call,
     /// including extras beyond the dummy list).
@@ -311,7 +358,7 @@ pub(crate) struct CallSite {
 /// How one frame local is initialized at subprogram entry (after dummy
 /// binding, in declaration order).
 #[derive(Debug, Clone)]
-pub(crate) enum LocalTemplate {
+pub enum LocalTemplate {
     /// Derived-type instance, prototype precomputed at compile time.
     Derived(Value),
     /// Real array with runtime extents (shapes may reference dummies).
@@ -328,7 +375,7 @@ pub(crate) enum LocalTemplate {
 
 /// One compiled subprogram.
 #[derive(Debug, Clone)]
-pub(crate) struct CProc {
+pub struct CProc {
     /// Owning module name (diagnostics context).
     pub module: Arc<str>,
     /// Subprogram name.
@@ -338,6 +385,9 @@ pub(crate) struct CProc {
     /// Argument position → frame slot (identity unless dummies repeat);
     /// dummies occupy the first slots in order.
     pub arg_slots: Box<[u32]>,
+    /// Declared intent per dummy argument (static-analysis metadata; the
+    /// executor reads the collapsed copy-out plan instead).
+    pub arg_flows: Box<[ArgFlow]>,
     /// Total frame slots (dummies + declared + result + implicit).
     pub n_locals: usize,
     /// Slot → name (diagnostics and sample resolution).
@@ -380,6 +430,13 @@ pub struct Program {
     /// Sorted distinct history output names; [`rca_ident::OutputId`]
     /// values index this table (and every run's dense history buffer).
     pub(crate) output_names: Arc<[Arc<str>]>,
+    /// Module-level initializer dependencies `(src, dst)`: global slot
+    /// `dst`'s declaration initializer reads global slot `src`. The values
+    /// themselves are const-folded into [`Program::globals`] at compile
+    /// time; this side table preserves the dataflow the folding erases.
+    pub(crate) global_init_deps: Vec<(u32, u32)>,
+    /// Slot-indexed origin of every module global: `(module id, name)`.
+    pub(crate) global_origins: Vec<(u32, Arc<str>)>,
     /// The program's interner: every module/variable/output name resolved
     /// during compilation, as dense ids. Sessions seed the workspace-wide
     /// table from this (append-only extension keeps these ids valid).
@@ -471,6 +528,67 @@ impl Program {
     pub fn initial_global(&self, module: &str, name: &str) -> Option<&Value> {
         self.global_slot(module, name)
             .map(|s| &self.globals[s as usize])
+    }
+
+    // ----- read-only IR surface (the static-analysis plane) --------------
+
+    /// The expression arena. Indices ([`EId`]) in statements, places and
+    /// call sites point into this slice.
+    pub fn ir_exprs(&self) -> &[CExpr] {
+        &self.exprs
+    }
+
+    /// All compiled subprograms; [`CallSite::proc`] and proc-index
+    /// accessors index this slice.
+    pub fn ir_procs(&self) -> &[CProc] {
+        &self.procs
+    }
+
+    /// All resolved call sites ([`CStmt::Call`] / [`CExpr::CallFn`] carry
+    /// indices into this slice).
+    pub fn ir_sites(&self) -> &[CallSite] {
+        &self.sites
+    }
+
+    /// Module-initializer dataflow `(src slot, dst slot)` pairs erased by
+    /// load-time constant folding (see [`Program::global_origins`] for the
+    /// slot identities).
+    pub fn global_init_deps(&self) -> &[(u32, u32)] {
+        &self.global_init_deps
+    }
+
+    /// Slot-indexed `(module id, variable name)` origin of every module
+    /// global. Module ids index [`Program::ir_module_names`] and equal the
+    /// interner's [`rca_ident::ModuleId`] space.
+    pub fn global_origins(&self) -> &[(u32, Arc<str>)] {
+        &self.global_origins
+    }
+
+    /// Module names by program module id.
+    pub fn ir_module_names(&self) -> &[Arc<str>] {
+        &self.module_names
+    }
+
+    /// Number of module globals.
+    pub fn global_count(&self) -> usize {
+        self.globals.len()
+    }
+
+    /// Compile-time initial value of global `slot`.
+    pub fn global_initial(&self, slot: u32) -> &Value {
+        &self.globals[slot as usize]
+    }
+
+    /// Proc index of `(module, subprogram)` — the public face of the
+    /// internal host lookup, for analysis callers.
+    pub fn proc_index(&self, module: &str, name: &str) -> Option<u32> {
+        self.proc_slot(module, name)
+    }
+
+    /// Proc index a host `Executor::call(name, ..)` entry resolves to
+    /// (first-candidate rule), if any.
+    pub fn entry_proc_index(&self, name: &str) -> Option<u32> {
+        self.entry_procs.get(name).copied()
     }
 }
 

@@ -179,7 +179,7 @@ pub fn run_loaded(
             interp
                 .history
                 .series(n)
-                .map(|s| s.to_vec())
+                .map(<[f64]>::to_vec)
                 .unwrap_or_default()
         })
         .collect();

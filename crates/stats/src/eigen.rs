@@ -90,7 +90,7 @@ pub fn jacobi_eigen(a: &Matrix, max_sweeps: usize, tol: f64) -> EigenDecompositi
         let col: Vec<f64> = (0..n).map(|r| v[(r, old_col)]).collect();
         let lead = col
             .iter()
-            .cloned()
+            .copied()
             .max_by(|a, b| a.abs().partial_cmp(&b.abs()).unwrap())
             .unwrap_or(1.0);
         let sign = if lead < 0.0 { -1.0 } else { 1.0 };

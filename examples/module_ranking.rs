@@ -46,6 +46,6 @@ fn main() -> Result<(), RcaError> {
     println!("\nselective AVX2 policy: disable FMA in the {k} most central modules:");
     let mut names: Vec<&String> = set.iter().collect();
     names.sort();
-    println!("  {:?}", names);
+    println!("  {names:?}");
     Ok(())
 }

@@ -202,6 +202,44 @@
 //! through strings), and the session table is sealed behind an `Arc`
 //! after the metagraph build — nothing interns after construction.
 //!
+//! ## The static analysis plane
+//!
+//! The paper's feasibility argument is that *static*, compiler-style
+//! analysis collapses the search space before anything dynamic runs.
+//! The [`analysis`] crate is that plane for the reproduction — a
+//! reusable dataflow framework over the slot-indexed [`sim::Program`]
+//! IR, id-keyed end to end (strings only at the render edge):
+//!
+//! - **Framework** ([`analysis::dataflow`], [`analysis::reach`],
+//!   [`analysis::absint`]): per-procedure CFGs with ordered use/def
+//!   events and worklist solvers (reaching definitions, def-use chains,
+//!   liveness), call-graph reachability from the host entry points, and
+//!   an interval/sign abstract interpretation for definite numeric
+//!   hazards.
+//! - **Lint catalog** ([`analysis::ModelAnalysis::lint`], `rca-lint`
+//!   CLI): uninitialized-read, dead-store/redundant-store, unreachable
+//!   procedure, unused output, unused sample spec, division-by-zero /
+//!   sqrt/log domain hazards, and const-foldable subexpressions —
+//!   deterministic string-keyed JSON, byte-identical across runs and
+//!   thread counts. CI gates the bundled paper models at zero warnings
+//!   and proves a seeded mutant still raises one.
+//! - **Slicer-agreement invariant**: [`analysis::DepGraph`] is a
+//!   *second, independent* implementation of §4.2 dependence extraction,
+//!   built from the IR instead of the AST. A differential suite holds it
+//!   node-for-node **and** edge-for-edge equal to the metagraph, and
+//!   [`analysis::DepGraph::static_slice`] equal to
+//!   [`rca::backward_slice`], on the pristine model, all seven paper
+//!   experiments, and seeded campaign mutants — the same fence the
+//!   interpreter/executor pair sits behind.
+//! - **Campaign pre-filter**: `campaign_sites` classifies every
+//!   injection candidate through both planes
+//!   ([`analysis::ModelAnalysis::classify_site`] vs the metagraph's
+//!   backward-reachable set) and asserts they agree; provably-dead sites
+//!   (including whole subprograms `model::patch_sites` proves
+//!   unreachable from the driver) are rejected before they can corrupt
+//!   ground truth. [`rca::RcaSession::analyze`] exposes the plane over
+//!   the session's own coverage-filtered source universe.
+//!
 //! ## Workspace layout
 //!
 //! One crate per subsystem, re-exported here:
@@ -218,10 +256,14 @@
 //!   and the reference tree-walker, FMA/AVX2 simulation, PRNG
 //!   substitution, coverage, runtime sampling, and the columnar
 //!   [`sim::EnsembleRuns`] store behind parallel ensembles.
+//! - [`analysis`] — the static analysis plane: IR dataflow framework,
+//!   the `rca-lint` detector catalog, and the independent dependence
+//!   slicer cross-checked against the metagraph.
 //! - [`rca`] — the paper's pipeline behind [`rca::RcaSession`]: hybrid
 //!   slicing, community/centrality ranking, iterative refinement,
 //!   module-level AVX2 policies, and the per-session program cache.
 
+pub use rca_analysis as analysis;
 pub use rca_core as rca;
 pub use rca_fortran as fortran;
 pub use rca_graph as graph;
@@ -233,6 +275,6 @@ pub use rca_stats as stats;
 /// Convenient glob-import: the crates under their short names plus the
 /// session-facade types.
 pub mod prelude {
-    pub use crate::{fortran, graph, metagraph, model, rca, sim, stats};
+    pub use crate::{analysis, fortran, graph, metagraph, model, rca, sim, stats};
     pub use rca_core::{Diagnosis, ExperimentSetup, OracleKind, RcaError, RcaSession, SliceScope};
 }

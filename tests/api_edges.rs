@@ -38,10 +38,10 @@ fn session_reports_unknown_outputs_as_typed_error() {
     let mut stats = session.statistics(Experiment::WsubBug).expect("statistics");
     // Override the selection with outputs the I/O registry cannot map.
     stats.affected = vec!["definitely_not_an_output".into()];
-    let err = stats.slice().err().expect("slice must fail");
+    let err = stats.slice().expect_err("slice must fail");
     match err {
         RcaError::UnknownOutputs(names) => {
-            assert_eq!(names, vec!["definitely_not_an_output".to_string()])
+            assert_eq!(names, vec!["definitely_not_an_output".to_string()]);
         }
         other => panic!("expected UnknownOutputs, got: {other}"),
     }

@@ -75,7 +75,7 @@ fn id_keyed_diagnosis_matches_legacy_string_rendering_on_all_paper_experiments()
         assert_eq!(d.suspect_modules, from_ids, "{}", e.name());
         // The rendered report embeds exactly those strings.
         let rendered = d.render();
-        assert!(rendered.contains(&format!("slicing criteria: {:?}", legacy_criteria)));
+        assert!(rendered.contains(&format!("slicing criteria: {legacy_criteria:?}")));
         for m in &legacy_suspects[..legacy_suspects.len().min(3)] {
             assert!(
                 rendered.contains(m),
@@ -98,7 +98,11 @@ fn id_keyed_slice_equals_string_keyed_slice() {
         Experiment::GoffGratch,
         Experiment::Dyn3Bug,
     ] {
-        let names: Vec<String> = e.table2_internal().iter().map(|s| s.to_string()).collect();
+        let names: Vec<String> = e
+            .table2_internal()
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
         let by_name = backward_slice_names(mg, &names, |m| session.pipeline().is_cam(m));
         let ids: Vec<_> = names.iter().filter_map(|n| syms.var_id(n)).collect();
         let by_id = rca_core::backward_slice(mg, &ids, |m| session.pipeline().is_cam_id(m));

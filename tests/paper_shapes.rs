@@ -16,7 +16,7 @@ fn slice_for(p: &RcaPipeline, exp: Experiment) -> rca::Slice {
     let internal: Vec<String> = exp
         .table2_internal()
         .iter()
-        .map(|s| s.to_string())
+        .map(std::string::ToString::to_string)
         .collect();
     backward_slice_names(&p.metagraph, &internal, |m| p.is_cam(m))
 }
@@ -34,7 +34,11 @@ fn table2_output_mapping_is_complete() {
         Experiment::RandMt,
         Experiment::Avx2,
     ] {
-        let outputs: Vec<String> = exp.table2_outputs().iter().map(|s| s.to_string()).collect();
+        let outputs: Vec<String> = exp
+            .table2_outputs()
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
         let internal = p.outputs_to_internal(&outputs);
         let expected: Vec<&str> = exp.table2_internal();
         for want in &expected {

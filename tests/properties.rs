@@ -201,7 +201,7 @@ proptest! {
                 let id = metagraph::OutputId(o as u32);
                 prop_assert_eq!(view.written_len(id), series.len());
                 let via_view: Vec<u64> =
-                    view.series_iter(id).map(|x| x.to_bits()).collect();
+                    view.series_iter(id).map(f64::to_bits).collect();
                 let direct_bits: Vec<u64> = series.iter().map(|x| x.to_bits()).collect();
                 prop_assert_eq!(&via_view, &direct_bits);
                 let mat_bits: Vec<u64> =
