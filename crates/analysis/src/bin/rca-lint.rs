@@ -3,7 +3,7 @@
 //! ```text
 //! rca-lint [--scale test|medium|paper] [--all-experiments] [--json PATH]
 //!          [--assert-clean] [--mutate-seed S] [--min-findings N]
-//!          [--threads N] [--quiet]
+//!          [--threads N] [--trace-out PATH] [--metrics] [--quiet]
 //! ```
 //!
 //! Default mode lints the pristine generated model; `--all-experiments`
@@ -17,7 +17,10 @@
 //! warnings over the pristine baseline.
 //!
 //! Output JSON is byte-deterministic for a given model and seed,
-//! regardless of `--threads`.
+//! regardless of `--threads`. `--trace-out` streams build/lint phase
+//! spans and per-target `lint.report` events as JSONL telemetry;
+//! `--metrics` prints the counter and phase-profile snapshot to stderr.
+//! Neither flag changes a byte of the JSON artifact.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -34,6 +37,8 @@ struct Args {
     assert_clean: bool,
     mutate_seed: Option<u64>,
     min_findings: usize,
+    trace_out: Option<String>,
+    metrics: bool,
     quiet: bool,
 }
 
@@ -41,7 +46,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: rca-lint [--scale test|medium|paper] [--all-experiments] [--json PATH]\n\
          \x20               [--assert-clean] [--mutate-seed S] [--min-findings N]\n\
-         \x20               [--threads N] [--quiet]"
+         \x20               [--threads N] [--trace-out PATH] [--metrics] [--quiet]"
     );
     std::process::exit(2);
 }
@@ -54,6 +59,8 @@ fn parse_args() -> Args {
         assert_clean: false,
         mutate_seed: None,
         min_findings: 1,
+        trace_out: None,
+        metrics: false,
         quiet: false,
     };
     let mut it = std::env::args().skip(1);
@@ -80,6 +87,8 @@ fn parse_args() -> Args {
                 // exists so determinism checks can vary it and diff output.
                 std::env::set_var("RAYON_NUM_THREADS", value("--threads"));
             }
+            "--trace-out" => args.trace_out = Some(value("--trace-out")),
+            "--metrics" => args.metrics = true,
             "--quiet" => args.quiet = true,
             "--help" | "-h" => usage(),
             other => {
@@ -139,6 +148,32 @@ fn lint_model(model: &ModelSource) -> Result<rca_analysis::LintReport, String> {
 
 fn main() -> ExitCode {
     let args = parse_args();
+    // The trace sink is thread-scoped: install it around the whole run so
+    // build/lint spans and per-target events land in one JSONL stream.
+    match args.trace_out.clone() {
+        None => run(&args),
+        Some(path) => {
+            let writer = match rca_obs::JsonlWriter::create(&path) {
+                Ok(w) => Arc::new(w),
+                Err(e) => {
+                    eprintln!("cannot open trace file {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let code = rca_obs::with_sink(writer.clone(), || run(&args));
+            if let Err(e) = writer.finish() {
+                eprintln!("cannot flush trace file {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            if !args.quiet {
+                eprintln!("trace written to {path}");
+            }
+            code
+        }
+    }
+}
+
+fn run(args: &Args) -> ExitCode {
     let config = match args.scale.as_str() {
         "test" => ModelConfig::test(),
         "medium" => ModelConfig::medium(),
@@ -214,6 +249,16 @@ fn main() -> ExitCode {
                 );
             }
         }
+        if rca_obs::tracing_active() {
+            rca_obs::event(
+                "lint.report",
+                &[
+                    ("target", label.as_str().into()),
+                    ("warnings", report.warning_count().into()),
+                    ("infos", report.info_count().into()),
+                ],
+            );
+        }
         total_warnings += report.warning_count();
         mutant_delta = report.warning_count().saturating_sub(baseline_warnings);
         docs.push(report.json_doc(label));
@@ -233,6 +278,14 @@ fn main() -> ExitCode {
         }
         if !args.quiet {
             println!("report written to {path}");
+        }
+    }
+
+    if args.metrics {
+        eprint!("{}", rca_obs::metrics_snapshot().render());
+        let phases = rca_obs::phase_snapshot();
+        if !phases.is_empty() {
+            eprint!("{}", phases.render());
         }
     }
 

@@ -73,10 +73,5 @@ fn main() {
         ("lints_per_sec", lints_per_sec.to_json()),
         ("findings", findings.to_json()),
     ]);
-    let path = "BENCH_analysis.json";
-    let text = serde_json::to_string_pretty(&record).unwrap() + "\n";
-    match std::fs::write(path, &text) {
-        Ok(()) => println!("recorded {path}"),
-        Err(e) => eprintln!("cannot write {path}: {e}"),
-    }
+    rca_bench::record_bench("BENCH_analysis.json", record);
 }

@@ -90,10 +90,5 @@ fn main() {
             sequential.summary().localization_rate.to_json(),
         ),
     ]);
-    let path = "BENCH_campaign.json";
-    let text = serde_json::to_string_pretty(&record).unwrap() + "\n";
-    match std::fs::write(path, &text) {
-        Ok(()) => println!("recorded {path}"),
-        Err(e) => eprintln!("cannot write {path}: {e}"),
-    }
+    rca_bench::record_bench("BENCH_campaign.json", record);
 }

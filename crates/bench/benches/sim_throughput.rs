@@ -57,6 +57,9 @@ fn counted<R>(f: impl FnOnce() -> R) -> (R, f64, u64) {
 }
 
 fn main() {
+    // The counting allocator doubles as the phase-profiler's alloc probe,
+    // so `phase_profile` entries in BENCH_sim.json report allocations too.
+    rca_obs::set_alloc_probe(|| ALLOCS.load(Ordering::Relaxed));
     header(
         "sim_throughput",
         "the compiled engine must dominate per-run cost; ensembles compile once",
@@ -377,10 +380,5 @@ fn main() {
             ]),
         ),
     ]);
-    let path = "BENCH_sim.json";
-    let text = serde_json::to_string_pretty(&record).unwrap() + "\n";
-    match std::fs::write(path, &text) {
-        Ok(()) => println!("recorded {path}"),
-        Err(e) => eprintln!("cannot write {path}: {e}"),
-    }
+    rca_bench::record_bench("BENCH_sim.json", record);
 }

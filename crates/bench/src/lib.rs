@@ -8,6 +8,7 @@
 
 use rca_core::{ExperimentSetup, RcaPipeline, RcaSession, RefineOptions, SliceScope};
 use rca_model::{generate, Experiment, ModelConfig, ModelSource};
+use serde::Json;
 
 /// Scale used by the figure/table harnesses. Override with
 /// `RCA_BENCH_SCALE=test|medium|paper`.
@@ -50,6 +51,24 @@ pub fn bench_session(model: &ModelSource, restrict_cam: bool) -> RcaSession<'_> 
 /// Refinement options used by the figure harnesses.
 pub fn bench_refine_options() -> RefineOptions {
     RefineOptions::default()
+}
+
+/// Writes one `BENCH_*.json` record: pretty-printed with a trailing
+/// newline, and with the process-wide phase profile appended under
+/// `phase_profile` so every bench records where its wall time and
+/// allocations went alongside its headline numbers. Errors are reported,
+/// not fatal — a read-only checkout must not kill the bench.
+pub fn record_bench(path: &str, record: Json) {
+    let mut fields = match record {
+        Json::Obj(fields) => fields,
+        other => vec![("record".to_string(), other)],
+    };
+    fields.push(("phase_profile".to_string(), rca_obs::phase_snapshot_json()));
+    let text = serde_json::to_string_pretty(&Json::Obj(fields)).expect("json render is infallible");
+    match std::fs::write(path, text + "\n") {
+        Ok(()) => println!("recorded {path}"),
+        Err(e) => eprintln!("cannot write {path}: {e}"),
+    }
 }
 
 /// Prints a standard harness header.

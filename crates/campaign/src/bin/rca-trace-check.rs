@@ -1,0 +1,175 @@
+//! `rca-trace-check` — validate a JSONL trace produced by `--trace-out`.
+//!
+//! ```text
+//! rca-trace-check PATH [--require-phases name,name,...]
+//! ```
+//!
+//! Checks every line against the trace schema (see `rca_obs::sink`):
+//!
+//! - each line is a JSON object with a `type` of `span_start`,
+//!   `span_end`, or `event`, a string `name`, and a numeric `ts`;
+//! - `span_start` carries a `u64` `id`, a `parent` (null or span id),
+//!   and a `fields` object;
+//! - `span_end` carries the matching `id` plus a numeric `dur`;
+//! - `event` carries `parent` and `fields`;
+//! - every opened span is closed exactly once, under the same name,
+//!   and parents refer to spans opened earlier in the stream.
+//!
+//! `--require-phases` additionally asserts that each named span or
+//! event occurs at least once — the CI trace-smoke gate uses this to
+//! prove the trace covers every pipeline phase. Exit code 0 on a valid
+//! trace, 1 otherwise.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!("usage: rca-trace-check PATH [--require-phases name,name,...]");
+    std::process::exit(2);
+}
+
+fn as_span_id(v: &serde_json::Value) -> Option<u64> {
+    v.as_u64()
+}
+
+/// Validates one parsed line; returns the opened/closed span id action.
+fn check_record(
+    v: &serde_json::Value,
+    lineno: usize,
+    open: &mut HashMap<u64, &'static str>,
+    names: &mut HashMap<String, usize>,
+    errors: &mut Vec<String>,
+) {
+    let mut fail = |msg: String| errors.push(format!("line {lineno}: {msg}"));
+    if v.as_object().is_none() {
+        fail("not a JSON object".to_string());
+        return;
+    }
+    let Some(ty) = v["type"].as_str() else {
+        fail("missing string `type`".to_string());
+        return;
+    };
+    let Some(name) = v["name"].as_str() else {
+        fail("missing string `name`".to_string());
+        return;
+    };
+    *names.entry(name.to_string()).or_insert(0) += 1;
+    if v["ts"].as_f64().is_none() {
+        fail("missing numeric `ts`".to_string());
+    }
+    let parent_ok = |v: &serde_json::Value, open: &HashMap<u64, &'static str>| match v {
+        serde_json::Value::Null => true,
+        other => as_span_id(other).is_some_and(|id| open.contains_key(&id)),
+    };
+    match ty {
+        "span_start" => {
+            if v["fields"].as_object().is_none() {
+                fail("span_start missing `fields` object".to_string());
+            }
+            if !parent_ok(&v["parent"], open) {
+                fail("span_start `parent` is not null or an open span id".to_string());
+            }
+            match as_span_id(&v["id"]) {
+                None => fail("span_start missing u64 `id`".to_string()),
+                Some(id) => {
+                    // Leak one small string per distinct span so the open-set
+                    // can hold `&'static str` without lifetime juggling; a
+                    // trace check is a one-shot process.
+                    let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+                    if open.insert(id, leaked).is_some() {
+                        fail(format!("span id {id} opened twice"));
+                    }
+                }
+            }
+        }
+        "span_end" => {
+            if v["dur"].as_f64().is_none() {
+                fail("span_end missing numeric `dur`".to_string());
+            }
+            match as_span_id(&v["id"]) {
+                None => fail("span_end missing u64 `id`".to_string()),
+                Some(id) => match open.remove(&id) {
+                    None => fail(format!("span id {id} closed without a matching start")),
+                    Some(opened) if opened != name => {
+                        fail(format!(
+                            "span id {id} opened as `{opened}`, closed as `{name}`"
+                        ));
+                    }
+                    Some(_) => {}
+                },
+            }
+        }
+        "event" => {
+            if v["fields"].as_object().is_none() {
+                fail("event missing `fields` object".to_string());
+            }
+            if !parent_ok(&v["parent"], open) {
+                fail("event `parent` is not null or an open span id".to_string());
+            }
+        }
+        other => fail(format!("unknown record type `{other}`")),
+    }
+}
+
+fn main() -> ExitCode {
+    let mut path: Option<String> = None;
+    let mut required: Vec<String> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--require-phases" => {
+                let list = it.next().unwrap_or_else(|| usage());
+                required.extend(list.split(',').map(|s| s.trim().to_string()));
+            }
+            "--help" | "-h" => usage(),
+            other if path.is_none() && !other.starts_with("--") => path = Some(other.to_string()),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage()
+            }
+        }
+    }
+    let Some(path) = path else { usage() };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut errors: Vec<String> = Vec::new();
+    let mut open: HashMap<u64, &'static str> = HashMap::new();
+    let mut names: HashMap<String, usize> = HashMap::new();
+    let mut records = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        records += 1;
+        match serde_json::from_str(line) {
+            Err(e) => errors.push(format!("line {}: invalid JSON: {e}", i + 1)),
+            Ok(v) => check_record(&v, i + 1, &mut open, &mut names, &mut errors),
+        }
+    }
+    for (id, name) in &open {
+        errors.push(format!("span id {id} (`{name}`) never closed"));
+    }
+    for want in &required {
+        if !names.contains_key(want) {
+            errors.push(format!("required phase `{want}` absent from trace"));
+        }
+    }
+    if errors.is_empty() {
+        println!(
+            "{path}: {records} records, {} distinct names, schema OK",
+            names.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for e in &errors {
+            eprintln!("rca-trace-check: {e}");
+        }
+        eprintln!("rca-trace-check: {path}: {} error(s)", errors.len());
+        ExitCode::FAILURE
+    }
+}

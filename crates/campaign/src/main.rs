@@ -4,7 +4,8 @@
 //! rca-campaign [--scenarios N] [--seed S] [--scale test|medium|paper]
 //!              [--oracle reachability|runtime] [--clean-every K] [--paper]
 //!              [--signflip] [--fma-scale F] [--threads N] [--json PATH]
-//!              [--quiet] [--assert-localization R] [--assert-clean-pass R]
+//!              [--trace-out PATH] [--metrics] [--quiet]
+//!              [--assert-localization R] [--assert-clean-pass R]
 //!              [--assert-flagged R]
 //! ```
 //!
@@ -13,7 +14,12 @@
 //!
 //! The JSON artifact is deterministic for a given seed (timing excluded),
 //! so CI can both diff it and assert quality floors via the `--assert-*`
-//! flags (exit code 1 on violation).
+//! flags (exit code 1 on violation). `--trace-out` streams the run as a
+//! JSONL trace (per-scenario progress, every pipeline phase span) into
+//! the telemetry channel — the scorecard bytes are identical with or
+//! without it, which the CI trace-smoke gate asserts. `--metrics` prints
+//! the process-wide counter/gauge/histogram snapshot and the aggregate
+//! phase profile to stderr after the run.
 
 use rca_campaign::{run_campaign, CampaignOptions, RunnerOptions};
 use rca_core::{ExperimentSetup, OracleKind};
@@ -25,6 +31,8 @@ struct Args {
     runner: RunnerOptions,
     scale: String,
     json: Option<String>,
+    trace_out: Option<String>,
+    metrics: bool,
     quiet: bool,
     assert_localization: Option<f64>,
     assert_clean_pass: Option<f64>,
@@ -36,7 +44,8 @@ fn usage() -> ! {
         "usage: rca-campaign [--scenarios N] [--seed S] [--scale test|medium|paper]\n\
          \x20                   [--oracle reachability|runtime] [--clean-every K] [--paper]\n\
          \x20                   [--signflip] [--fma-scale F] [--threads N] [--json PATH]\n\
-         \x20                   [--quiet] [--assert-localization R] [--assert-clean-pass R]\n\
+         \x20                   [--trace-out PATH] [--metrics] [--quiet]\n\
+         \x20                   [--assert-localization R] [--assert-clean-pass R]\n\
          \x20                   [--assert-flagged R]"
     );
     std::process::exit(2);
@@ -48,6 +57,8 @@ fn parse_args() -> Args {
         runner: RunnerOptions::default(),
         scale: "test".to_string(),
         json: None,
+        trace_out: None,
+        metrics: false,
         quiet: false,
         assert_localization: None,
         assert_clean_pass: None,
@@ -90,6 +101,8 @@ fn parse_args() -> Args {
                 std::env::set_var("RAYON_NUM_THREADS", value("--threads"));
             }
             "--json" => args.json = Some(value("--json")),
+            "--trace-out" => args.trace_out = Some(value("--trace-out")),
+            "--metrics" => args.metrics = true,
             "--quiet" => args.quiet = true,
             "--assert-localization" => {
                 args.assert_localization = Some(
@@ -138,7 +151,31 @@ fn main() -> ExitCode {
         oracle: args.runner.oracle,
     };
     let model = generate(&config);
-    let card = match run_campaign(&model, &args.opts, &runner) {
+    // The trace sink is thread-scoped: install it around the whole run so
+    // every span and event the campaign emits lands in one JSONL stream.
+    let outcome = match &args.trace_out {
+        None => run_campaign(&model, &args.opts, &runner),
+        Some(path) => {
+            let writer = match rca_obs::JsonlWriter::create(path) {
+                Ok(w) => std::sync::Arc::new(w),
+                Err(e) => {
+                    eprintln!("cannot open trace file {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let res =
+                rca_obs::with_sink(writer.clone(), || run_campaign(&model, &args.opts, &runner));
+            if let Err(e) = writer.finish() {
+                eprintln!("cannot flush trace file {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            if !args.quiet {
+                eprintln!("trace written to {path}");
+            }
+            res
+        }
+    };
+    let card = match outcome {
         Ok(card) => card,
         Err(e) => {
             eprintln!("campaign failed: {e}");
@@ -147,6 +184,13 @@ fn main() -> ExitCode {
     };
     if !args.quiet {
         print!("{}", card.render());
+    }
+    if args.metrics {
+        eprint!("{}", rca_obs::metrics_snapshot().render());
+        let phases = rca_obs::phase_snapshot();
+        if !phases.is_empty() {
+            eprint!("{}", phases.render());
+        }
     }
     if let Some(path) = &args.json {
         let json = serde_json::to_string_pretty(&card).expect("serialization is infallible");

@@ -57,11 +57,22 @@ pub fn run_campaign(
     session.ensemble()?;
     let model_arc = Arc::new(model.clone());
     let plan = plan_campaign(&model_arc, &session, opts);
+    rca_obs::counter_inc!("campaign.scenarios", plan.len() as u64);
+    rca_obs::event("campaign.plan", &[("scenarios", plan.len().into())]);
     let started = Instant::now();
-    let results: Vec<ScenarioResult> = plan
-        .par_iter()
-        .map(|cs| run_scenario(&session, cs))
-        .collect();
+    // Trace sinks are thread-scoped, so a traced campaign runs its
+    // scenarios sequentially on the installing thread — every phase of
+    // every scenario lands in one deterministic trace. Results are
+    // identical either way (scenario diagnoses are independent and
+    // collected in plan order); the CI trace-smoke gate asserts the
+    // scorecard bytes match the parallel no-trace run.
+    let results: Vec<ScenarioResult> = if rca_obs::tracing_active() {
+        plan.iter().map(|cs| run_scenario(&session, cs)).collect()
+    } else {
+        plan.par_iter()
+            .map(|cs| run_scenario(&session, cs))
+            .collect()
+    };
     Ok(Scorecard::new(results, started.elapsed().as_secs_f64()))
 }
 
@@ -83,6 +94,20 @@ pub fn run_scenario(session: &RcaSession<'_>, cs: &CampaignScenario) -> Scenario
                 .as_deref()
                 .and_then(|m| session.symbols().module_id(m))
                 .is_some_and(|m| d.suspects_module_id(m));
+            if rca_obs::tracing_active() {
+                rca_obs::event(
+                    "scenario",
+                    &[
+                        ("name", cs.scenario.name.as_str().into()),
+                        ("kind", cs.class.slug().into()),
+                        ("verdict", d.verdict.to_string().into()),
+                        ("located", d.located().into()),
+                        ("iterations", d.iterations().into()),
+                        ("slice_nodes", d.slice_nodes.into()),
+                    ],
+                );
+            }
+            let profile = d.profile().clone();
             ScenarioResult {
                 name: cs.scenario.name.clone(),
                 kind: cs.class.slug().to_string(),
@@ -98,23 +123,39 @@ pub fn run_scenario(session: &RcaSession<'_>, cs: &CampaignScenario) -> Scenario
                 stop: d.stop(),
                 error: None,
                 wall_ms,
+                profile,
             }
         }
-        Err(e) => ScenarioResult {
-            name: cs.scenario.name.clone(),
-            kind: cs.class.slug().to_string(),
-            injected_module: cs.injected_module.clone(),
-            detail: cs.detail.clone(),
-            expect_fail,
-            verdict: None,
-            located: false,
-            module_in_final: false,
-            slice_nodes: 0,
-            final_suspects: 0,
-            iterations: 0,
-            stop: None,
-            error: Some(e.to_string()),
-            wall_ms,
-        },
+        Err(e) => {
+            // Surface the absorbed failure as a structured event —
+            // silently folding it into the scorecard denominator hides
+            // broken mutants from anyone watching the trace.
+            rca_obs::counter_inc!("campaign.errors", 1);
+            rca_obs::event(
+                "scenario.error",
+                &[
+                    ("name", cs.scenario.name.as_str().into()),
+                    ("kind", cs.class.slug().into()),
+                    ("error", e.to_string().into()),
+                ],
+            );
+            ScenarioResult {
+                name: cs.scenario.name.clone(),
+                kind: cs.class.slug().to_string(),
+                injected_module: cs.injected_module.clone(),
+                detail: cs.detail.clone(),
+                expect_fail,
+                verdict: None,
+                located: false,
+                module_in_final: false,
+                slice_nodes: 0,
+                final_suspects: 0,
+                iterations: 0,
+                stop: None,
+                error: Some(e.to_string()),
+                wall_ms,
+                profile: rca_obs::PhaseProfile::new(),
+            }
+        }
     }
 }

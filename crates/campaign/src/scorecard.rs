@@ -50,6 +50,9 @@ pub struct ScenarioResult {
     pub error: Option<String>,
     /// Wall time of this diagnosis (excluded from JSON export).
     pub wall_ms: f64,
+    /// Per-phase profile of this diagnosis (excluded from JSON export —
+    /// timing lives in the telemetry channel, never the artifact).
+    pub profile: rca_obs::PhaseProfile,
 }
 
 impl ScenarioResult {
@@ -163,6 +166,12 @@ impl Scorecard {
         } else {
             0.0
         }
+    }
+
+    /// Aggregates every scenario's phase profile into one campaign-wide
+    /// rollup (summed counts, wall time, and allocations per phase).
+    pub fn profile_rollup(&self) -> rca_obs::PhaseProfile {
+        rca_obs::PhaseProfile::rollup(self.results.iter().map(|r| &r.profile))
     }
 
     /// Computes the aggregate metrics.
@@ -299,6 +308,26 @@ impl Scorecard {
             self.wall_seconds,
             self.throughput()
         );
+        let errored: Vec<&ScenarioResult> =
+            self.results.iter().filter(|r| r.error.is_some()).collect();
+        if !errored.is_empty() {
+            let _ = writeln!(out);
+            let _ = writeln!(out, "errors:");
+            for r in errored {
+                let _ = writeln!(
+                    out,
+                    "  {}: {}",
+                    r.name,
+                    r.error.as_deref().unwrap_or_default()
+                );
+            }
+        }
+        let rollup = self.profile_rollup();
+        if !rollup.is_empty() {
+            let _ = writeln!(out);
+            let _ = writeln!(out, "phase profile (all scenarios):");
+            out.push_str(&rollup.render());
+        }
         out
     }
 }
@@ -334,6 +363,7 @@ mod tests {
             stop: Some(StopReason::SmallEnough),
             error: None,
             wall_ms: 1.0,
+            profile: rca_obs::PhaseProfile::new(),
         }
     }
 

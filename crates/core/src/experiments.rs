@@ -120,9 +120,12 @@ pub struct EnsembleStats {
 pub(crate) fn collect_ensemble(
     base_program: &Arc<Program>,
     setup: &ExperimentSetup,
+    profile: &mut rca_obs::PhaseProfile,
 ) -> Result<EnsembleStats, RuntimeError> {
     let perts = perturbations(setup.n_ensemble, setup.ic_magnitude, setup.seed);
-    let store = EnsembleRuns::run(base_program, &control_config(setup), &perts)?;
+    let store = profile.time("phase.ensemble_fill", || {
+        EnsembleRuns::run(base_program, &control_config(setup), &perts)
+    })?;
     let eval_step = setup.steps - 1;
     let kept = store.finite_outputs_at(eval_step);
     let table = Arc::clone(base_program.output_names());
@@ -131,7 +134,7 @@ pub(crate) fn collect_ensemble(
         .map(|&i| table[i as usize].to_string())
         .collect();
     let matrix = store.matrix_at(eval_step, &kept);
-    let ect = Ect::fit(&matrix, setup.ect);
+    let ect = profile.time("phase.ect_fit", || Ect::fit(&matrix, setup.ect));
     Ok(EnsembleStats {
         names,
         matrix,
@@ -313,7 +316,7 @@ pub(crate) fn collect_statistics(
     setup: &ExperimentSetup,
 ) -> Result<ExperimentData, RuntimeError> {
     let base_program = rca_sim::compile_model(base_model)?;
-    let ens = collect_ensemble(&base_program, setup)?;
+    let ens = collect_ensemble(&base_program, setup, &mut rca_obs::PhaseProfile::new())?;
     let exp_model = base_model.apply(experiment);
     let exp_program = rca_sim::compile_model(&exp_model)?;
     let (_, exp_cfg) = experiment_configs(experiment, setup);

@@ -173,6 +173,12 @@ impl serde::Serialize for RefinementReport {
     }
 }
 
+/// Oracle-query latency histogram bounds (seconds).
+const ORACLE_LATENCY_BOUNDS: &[f64] = &[1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0];
+
+/// Refinement iteration-count histogram bounds.
+const REFINE_ITER_BOUNDS: &[f64] = &[1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0];
+
 /// Runs Algorithm 5.4 on a suspect slice with the given oracle.
 ///
 /// `bug_nodes` (metagraph ids) are optional ground truth used only for
@@ -217,7 +223,12 @@ pub fn refine(
         // community runs are independent, which is what the paper
         // parallelizes).
         let flat: Vec<NodeId> = sampled.iter().flatten().copied().collect();
+        let query_start = std::time::Instant::now();
         let flat_detect = oracle.differs(mg, &flat);
+        rca_obs::counter_inc!("oracle.queries", 1);
+        rca_obs::counter_inc!("oracle.candidates", flat.len() as u64);
+        rca_obs::histogram("oracle.query_seconds", ORACLE_LATENCY_BOUNDS)
+            .observe(query_start.elapsed().as_secs_f64());
         let mut detected: Vec<Vec<bool>> = Vec::with_capacity(sampled.len());
         let mut cursor = 0usize;
         for group in &sampled {
@@ -227,6 +238,23 @@ pub fn refine(
         all_sampled.extend(&flat);
         let any_detected = flat_detect.iter().any(|&d| d);
 
+        if rca_obs::tracing_active() {
+            rca_obs::event(
+                "refine.iter",
+                &[
+                    ("iter", iterations.len().into()),
+                    ("nodes", current.graph.node_count().into()),
+                    ("edges", current.graph.edge_count().into()),
+                    ("communities", comms.len().into()),
+                    ("candidates", flat.len().into()),
+                    (
+                        "detected",
+                        flat_detect.iter().filter(|&&d| d).count().into(),
+                    ),
+                    ("any_detected", any_detected.into()),
+                ],
+            );
+        }
         iterations.push(IterationReport {
             nodes: current.graph.node_count(),
             edges: current.graph.edge_count(),
@@ -315,6 +343,7 @@ pub fn refine(
 
     all_sampled.sort();
     all_sampled.dedup();
+    rca_obs::histogram("refine.iterations", REFINE_ITER_BOUNDS).observe(iterations.len() as f64);
     RefinementReport {
         iterations,
         stop,

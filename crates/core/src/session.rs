@@ -204,9 +204,15 @@ impl<'m> RcaSessionBuilder<'m> {
                 "setup.steps must be at least 2 (the ECT needs an evaluation step)".into(),
             ));
         }
-        let base_program = rca_sim::compile_model(self.model)?;
+        // Session-level phase costs live in the telemetry channel only;
+        // `compile_model` and the pipeline build emit their own spans and
+        // global phase records, so accumulate locally here.
+        let mut profile = rca_obs::PhaseProfile::new();
+        let base_program =
+            profile.time_local("phase.compile", || rca_sim::compile_model(self.model))?;
         let pipeline =
             RcaPipeline::build_with_program(self.model, &base_program, &self.pipeline_opts)?;
+        profile.merge(pipeline.build_profile());
         let mut programs = HashMap::new();
         programs.insert(self.model.content_hash(), base_program);
         Ok(RcaSession {
@@ -220,6 +226,7 @@ impl<'m> RcaSessionBuilder<'m> {
             ensemble: OnceLock::new(),
             analysis: OnceLock::new(),
             programs: Mutex::new(programs),
+            profile: Mutex::new(profile),
         })
     }
 }
@@ -250,6 +257,10 @@ pub struct RcaSession<'m> {
     /// model plus every experimental/scenario variant this session has
     /// diagnosed. Thread-safe: parallel campaign workers share it.
     programs: Mutex<HashMap<u64, Arc<Program>>>,
+    /// Session-level phase costs (compile, parse, coverage, metagraph,
+    /// ensemble fill, ECT fit, analysis) — telemetry only, cloned into
+    /// every diagnosis profile so each report is self-contained.
+    profile: Mutex<rca_obs::PhaseProfile>,
 }
 
 impl<'m> RcaSession<'m> {
@@ -307,10 +318,20 @@ impl<'m> RcaSession<'m> {
         self.ensemble
             .get_or_init(|| {
                 let program = self.program_for(self.model)?;
-                collect_ensemble(&program, &self.setup).map_err(RcaError::from)
+                let mut prof = rca_obs::PhaseProfile::new();
+                let res =
+                    collect_ensemble(&program, &self.setup, &mut prof).map_err(RcaError::from);
+                self.profile.lock().expect("profile lock").merge(&prof);
+                res
             })
             .as_ref()
             .map_err(Clone::clone)
+    }
+
+    /// The session-level phase profile so far (build, ensemble, analysis
+    /// costs) — telemetry channel only, never part of an artifact.
+    pub fn profile(&self) -> rca_obs::PhaseProfile {
+        self.profile.lock().expect("profile lock").clone()
     }
 
     /// The compiled program for a model variant, from the session's
@@ -345,8 +366,17 @@ impl<'m> RcaSession<'m> {
     pub fn analyze(&self) -> Result<&rca_analysis::ModelAnalysis, RcaError> {
         self.analysis
             .get_or_init(|| {
-                let program = Arc::new(rca_sim::compile_sources(self.pipeline.filtered_sources())?);
-                Ok(rca_analysis::ModelAnalysis::build(program))
+                let mut prof = rca_obs::PhaseProfile::new();
+                let res = prof.time_local(
+                    "phase.analysis",
+                    || -> Result<rca_analysis::ModelAnalysis, RcaError> {
+                        let program =
+                            Arc::new(rca_sim::compile_sources(self.pipeline.filtered_sources())?);
+                        Ok(rca_analysis::ModelAnalysis::build(program))
+                    },
+                );
+                self.profile.lock().expect("profile lock").merge(&prof);
+                res
             })
             .as_ref()
             .map_err(Clone::clone)
@@ -489,10 +519,20 @@ impl<'m> RcaSession<'m> {
     }
 
     fn statistics_for(&self, subject: Subject) -> Result<Statistics<'_, 'm>, RcaError> {
+        // The ensemble is a session-level cost: pay (and profile) it
+        // before the per-subject statistics phase starts.
         let ens = self.ensemble()?;
+        let mut profile = self.profile();
         let exp_model = self.exp_model_of(&subject);
-        let exp_program = self.program_for(&exp_model)?;
-        let data = evaluate_against_ensemble(ens, &exp_program, &subject.exp_config, &self.setup)?;
+        let data = profile.time("phase.statistics", || -> Result<_, RcaError> {
+            let exp_program = self.program_for(&exp_model)?;
+            Ok(evaluate_against_ensemble(
+                ens,
+                &exp_program,
+                &subject.exp_config,
+                &self.setup,
+            )?)
+        })?;
         if data.output_names.is_empty() {
             return Err(RcaError::Stats(
                 "ensemble and experimental runs share no output variables".into(),
@@ -504,6 +544,7 @@ impl<'m> RcaSession<'m> {
             subject,
             data,
             affected,
+            profile,
         })
     }
 
@@ -524,6 +565,7 @@ impl<'m> RcaSession<'m> {
     }
 
     fn diagnose_for(&self, subject: Subject) -> Result<Diagnosis, RcaError> {
+        let _span = rca_obs::span_with("diagnose", &[("subject", subject.name.as_str().into())]);
         let stats = self.statistics_for(subject)?;
         if stats.data.verdict == Verdict::Pass {
             let subject = stats.subject;
@@ -544,6 +586,7 @@ impl<'m> RcaSession<'m> {
                 suspect_module_ids: Vec::new(),
                 sampling_errors: Vec::new(),
                 trace: String::new(),
+                profile: stats.profile,
             });
         }
         Ok(stats.slice()?.refine().into_diagnosis())
@@ -564,6 +607,9 @@ fn oracle_label(kind: OracleKind) -> &'static str {
     }
 }
 
+/// Fixed bucket bounds for the slice-size histogram (nodes).
+const SLICE_SIZE_BOUNDS: &[f64] = &[10.0, 25.0, 50.0, 100.0, 200.0, 400.0, 800.0];
+
 /// Typed stage handle: statistics have run. Produced by
 /// [`RcaSession::statistics`] / [`RcaSession::statistics_scenario`];
 /// consumed by [`Statistics::slice`].
@@ -577,6 +623,9 @@ pub struct Statistics<'s, 'm> {
     /// median distance). Mutable before [`Statistics::slice`] for callers
     /// that want to override the selection.
     pub affected: Vec<String>,
+    /// Per-diagnosis phase profile (session-level phases plus this
+    /// subject's statistics so far) — telemetry only.
+    profile: rca_obs::PhaseProfile,
 }
 
 impl<'s, 'm> Statistics<'s, 'm> {
@@ -601,23 +650,30 @@ impl<'s, 'm> Statistics<'s, 'm> {
     /// through the session's symbol table once, and everything downstream
     /// (criteria, slice restriction, refinement, oracle queries) runs on
     /// dense ids.
-    pub fn slice(self) -> Result<Sliced<'s, 'm>, RcaError> {
-        let mg = &self.session.pipeline.metagraph;
-        let syms = mg.symbols();
-        let output_ids: Vec<OutputId> = self
-            .affected
-            .iter()
-            .filter_map(|n| syms.output_id(&n.to_lowercase()))
-            .collect();
-        let criteria = mg.outputs_to_internal_ids(&output_ids);
-        if criteria.is_empty() {
-            return Err(RcaError::UnknownOutputs(self.affected));
-        }
-        let slice = backward_slice(mg, &criteria, |module| self.session.in_scope(module));
-        if slice.graph.node_count() == 0 {
-            let names = criteria.iter().map(|&v| syms.var(v).to_string()).collect();
-            return Err(RcaError::EmptySlice(names));
-        }
+    pub fn slice(mut self) -> Result<Sliced<'s, 'm>, RcaError> {
+        let mut profile = std::mem::take(&mut self.profile);
+        let sliced = profile.time("phase.slice", || -> Result<_, RcaError> {
+            let mg = &self.session.pipeline.metagraph;
+            let syms = mg.symbols();
+            let output_ids: Vec<OutputId> = self
+                .affected
+                .iter()
+                .filter_map(|n| syms.output_id(&n.to_lowercase()))
+                .collect();
+            let criteria = mg.outputs_to_internal_ids(&output_ids);
+            if criteria.is_empty() {
+                return Err(RcaError::UnknownOutputs(self.affected.clone()));
+            }
+            let slice = backward_slice(mg, &criteria, |module| self.session.in_scope(module));
+            if slice.graph.node_count() == 0 {
+                let names = criteria.iter().map(|&v| syms.var(v).to_string()).collect();
+                return Err(RcaError::EmptySlice(names));
+            }
+            Ok((criteria, slice))
+        });
+        let (criteria, slice) = sliced?;
+        rca_obs::histogram("slice.nodes", SLICE_SIZE_BOUNDS)
+            .observe(slice.graph.node_count() as f64);
         Ok(Sliced {
             session: self.session,
             subject: self.subject,
@@ -625,6 +681,7 @@ impl<'s, 'm> Statistics<'s, 'm> {
             affected: self.affected,
             criteria,
             slice,
+            profile,
         })
     }
 }
@@ -645,6 +702,8 @@ pub struct Sliced<'s, 'm> {
     pub criteria: Vec<VarId>,
     /// The induced suspect subgraph.
     pub slice: Slice,
+    /// Per-diagnosis phase profile carried forward (telemetry only).
+    profile: rca_obs::PhaseProfile,
 }
 
 impl<'s, 'm> Sliced<'s, 'm> {
@@ -675,15 +734,18 @@ impl<'s, 'm> Sliced<'s, 'm> {
 
     /// Stage 3 with a caller-supplied evidence source — any
     /// [`Oracle`] implementation, including ones outside this crate.
-    pub fn refine_with(self, oracle: &mut dyn Oracle) -> Refined<'s, 'm> {
+    pub fn refine_with(mut self, oracle: &mut dyn Oracle) -> Refined<'s, 'm> {
+        let mut profile = std::mem::take(&mut self.profile);
         let bug_nodes = self.session.bug_nodes_for(&self.subject);
-        let report = refine(
-            &self.session.pipeline.metagraph,
-            &self.slice,
-            oracle,
-            &bug_nodes,
-            &self.session.refine_opts,
-        );
+        let report = profile.time("phase.refine", || {
+            refine(
+                &self.session.pipeline.metagraph,
+                &self.slice,
+                oracle,
+                &bug_nodes,
+                &self.session.refine_opts,
+            )
+        });
         Refined {
             session: self.session,
             subject: self.subject,
@@ -696,6 +758,7 @@ impl<'s, 'm> Sliced<'s, 'm> {
             oracle_name: oracle.name(),
             sampling_errors: oracle.take_errors(),
             bug_nodes,
+            profile,
         }
     }
 }
@@ -724,6 +787,7 @@ pub struct Refined<'s, 'm> {
     /// Runtime failures the oracle absorbed while sampling.
     pub sampling_errors: Vec<RuntimeError>,
     bug_nodes: Vec<NodeId>,
+    profile: rca_obs::PhaseProfile,
 }
 
 impl Refined<'_, '_> {
@@ -787,6 +851,7 @@ impl Refined<'_, '_> {
             suspect_module_ids,
             sampling_errors: self.sampling_errors,
             trace,
+            profile: self.profile,
         }
     }
 }
@@ -831,12 +896,26 @@ pub struct Diagnosis {
     /// Runtime failures the oracle absorbed while sampling.
     pub sampling_errors: Vec<RuntimeError>,
     trace: String,
+    /// Per-phase wall/alloc/count profile of this diagnosis (plus the
+    /// session-level build phases it depended on). Telemetry channel
+    /// only — deliberately absent from `render()` and `Serialize`, so
+    /// the diagnosis artifact stays byte-identical run to run.
+    profile: rca_obs::PhaseProfile,
 }
 
 impl Diagnosis {
     /// Why refinement stopped, if it ran.
     pub fn stop(&self) -> Option<StopReason> {
         self.refinement.as_ref().map(|r| r.stop)
+    }
+
+    /// The per-phase wall-time/alloc/count profile: session-level phases
+    /// (compile, parse, coverage, metagraph, ensemble fill, ECT fit)
+    /// plus this diagnosis' statistics/slice/refine. Render with
+    /// [`rca_obs::PhaseProfile::render`] (text) or `to_json` — it is
+    /// never part of the serialized diagnosis.
+    pub fn profile(&self) -> &rca_obs::PhaseProfile {
+        &self.profile
     }
 
     /// Refinement iterations performed.

@@ -111,6 +111,7 @@ impl std::fmt::Debug for Executor {
 impl Executor {
     /// Prepares one run of `program` under `config`.
     pub fn new(program: Arc<Program>, config: &RunConfig) -> Executor {
+        rca_obs::counter_inc!("executor.builds", 1);
         let fma = program
             .module_names
             .iter()
@@ -153,6 +154,7 @@ impl Executor {
     /// rows / written lengths / coverage bits are zeroed, and the pooled
     /// frames stay pooled. A reset run is bit-identical to a fresh one.
     pub fn reset(&mut self) {
+        rca_obs::counter_inc!("executor.resets", 1);
         let p = Arc::clone(&self.program);
         for (g, init) in self.globals.iter_mut().zip(p.globals.iter()) {
             g.clone_from(init);
@@ -198,6 +200,7 @@ impl Executor {
     /// against the executor's current state. Callers reusing an executor
     /// must [`Executor::reset`] / [`Executor::reset_with`] first.
     pub fn drive(&mut self, pert: f64) -> RunResult<()> {
+        rca_obs::counter_inc!("executor.runs", 1);
         self.call("cam_init", &[Value::Real(pert)])?;
         for step in 0..self.steps {
             self.set_step(step);

@@ -199,6 +199,8 @@ impl EnsembleRuns {
         config: &RunConfig,
         perts: &[f64],
     ) -> Result<EnsembleRuns, RuntimeError> {
+        rca_obs::counter_inc!("ensemble.fills", 1);
+        rca_obs::counter_inc!("ensemble.members", perts.len() as u64);
         let members = perts.len();
         let steps = config.steps as usize;
         let outputs = program.output_count();

@@ -240,6 +240,45 @@
 //!   ground truth. [`rca::RcaSession::analyze`] exposes the plane over
 //!   the session's own coverage-filtered source universe.
 //!
+//! ## The observability plane
+//!
+//! Every layer from parse to diagnosis is instrumented through the
+//! [`obs`] crate (`rca-obs`): structured spans, process-wide metrics,
+//! and per-stage phase profiles. Three rules govern it:
+//!
+//! - **Telemetry never leaks into deterministic artifacts.** Scorecard
+//!   JSON, lint JSON, and every fixed-seed export are byte-identical
+//!   with tracing enabled or disabled; wall times and allocation counts
+//!   travel only through the telemetry channel (trace JSONL, metrics
+//!   snapshots, [`rca::Diagnosis::profile`]). Trace files themselves are
+//!   deterministic modulo the explicitly-tagged `ts`/`dur` fields —
+//!   [`obs::strip_timing`] removes them so CI can diff traces.
+//! - **Span naming**: pipeline stages are `phase.<stage>` spans
+//!   (`phase.parse`, `phase.compile`, `phase.coverage`,
+//!   `phase.metagraph`, `phase.ensemble_fill`, `phase.ect_fit`,
+//!   `phase.statistics`, `phase.slice`, `phase.refine`,
+//!   `phase.analysis_build`, `phase.lint`); one diagnosis runs under a
+//!   `diagnose` span; progress points are dot-namespaced events
+//!   (`refine.iter`, `scenario`, `scenario.error`, `campaign.plan`,
+//!   `lint.report`). Counters and histograms use the same
+//!   `subsystem.noun` convention (`executor.runs`, `oracle.queries`,
+//!   `slice.nodes`).
+//! - **Sink contract**: instrumentation is always on; *sinks* are opt-in
+//!   ([`obs::with_sink`] thread-scoped, [`obs::install_global`]
+//!   process-wide). With no sink installed a span is one relaxed atomic
+//!   load and a branch — the `obs_overhead` bench holds the disabled
+//!   cost under 2% of an ensemble fill. Use a **span** for anything
+//!   with duration and structure, an **event** for a point-in-time
+//!   progress fact, and a **counter/histogram** for aggregates that
+//!   must be cheap enough for the hottest loops.
+//!
+//! The CLIs expose the plane as `--trace-out PATH` (JSONL trace,
+//! schema-checked by `rca-trace-check`) and `--metrics` (snapshot to
+//! stderr) on both `rca-campaign` and `rca-lint`;
+//! [`rca::Diagnosis::profile`] reports per-phase wall time, call
+//! counts, and (when a probe is installed) allocations for one
+//! diagnosis.
+//!
 //! ## Workspace layout
 //!
 //! One crate per subsystem, re-exported here:
@@ -259,6 +298,9 @@
 //! - [`analysis`] — the static analysis plane: IR dataflow framework,
 //!   the `rca-lint` detector catalog, and the independent dependence
 //!   slicer cross-checked against the metagraph.
+//! - [`obs`] — the observability plane: spans/events with pluggable
+//!   sinks (no-op, in-memory collector, JSONL writer), the metrics
+//!   registry, and phase profiling.
 //! - [`rca`] — the paper's pipeline behind [`rca::RcaSession`]: hybrid
 //!   slicing, community/centrality ranking, iterative refinement,
 //!   module-level AVX2 policies, and the per-session program cache.
@@ -269,12 +311,13 @@ pub use rca_fortran as fortran;
 pub use rca_graph as graph;
 pub use rca_metagraph as metagraph;
 pub use rca_model as model;
+pub use rca_obs as obs;
 pub use rca_sim as sim;
 pub use rca_stats as stats;
 
 /// Convenient glob-import: the crates under their short names plus the
 /// session-facade types.
 pub mod prelude {
-    pub use crate::{analysis, fortran, graph, metagraph, model, rca, sim, stats};
+    pub use crate::{analysis, fortran, graph, metagraph, model, obs, rca, sim, stats};
     pub use rca_core::{Diagnosis, ExperimentSetup, OracleKind, RcaError, RcaSession, SliceScope};
 }
