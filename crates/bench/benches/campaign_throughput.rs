@@ -47,6 +47,19 @@ fn main() {
     let b = serde_json::to_string(&parallel).unwrap();
     assert_eq!(a, b, "scorecard must be identical at any thread count");
 
+    // Chaos axis cost: the same campaign with seeded runtime faults
+    // (member retries, quarantine, quorum fitting) relative to the
+    // zero-fault run. The zero-fault path itself is guarded elsewhere
+    // (empty plans skip the fault machinery entirely and fixed-seed
+    // scorecards are byte-diffed in CI); this records what degradation
+    // handling costs when faults actually strike.
+    let chaos_opts = CampaignOptions {
+        runtime_faults: 0xFA17,
+        ..opts.clone()
+    };
+    let chaos = run_campaign(&model, &chaos_opts, &runner).expect("chaos campaign");
+    let fault_overhead = chaos.wall_seconds / parallel.wall_seconds.max(1e-9);
+
     let threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     let speedup = parallel.throughput() / sequential.throughput().max(1e-9);
     println!(
@@ -64,6 +77,12 @@ fn main() {
         parallel.throughput()
     );
     println!("speedup: {speedup:.2}x");
+    println!(
+        "chaos: {:.2} s (x{fault_overhead:.2} vs zero-fault, {} degraded, {} errors)",
+        chaos.wall_seconds,
+        chaos.summary().degraded,
+        chaos.summary().errors
+    );
 
     let record = Json::obj([
         ("bench", "campaign_throughput".to_json()),
@@ -85,6 +104,15 @@ fn main() {
             ]),
         ),
         ("speedup", speedup.to_json()),
+        (
+            "fault_overhead",
+            Json::obj([
+                ("wall_seconds", chaos.wall_seconds.to_json()),
+                ("ratio_vs_zero_fault", fault_overhead.to_json()),
+                ("degraded", chaos.summary().degraded.to_json()),
+                ("errors", chaos.summary().errors.to_json()),
+            ]),
+        ),
         (
             "localization_rate",
             sequential.summary().localization_rate.to_json(),

@@ -22,7 +22,19 @@
 //!    flagged / cleans passing), located + module-in-final-slice rates,
 //!    slice-size reduction, iterations, throughput; rendered as text and
 //!    exported as deterministic JSON (same seed ⇒ byte-identical
-//!    artifact).
+//!    artifact). Absorbed per-scenario failures carry the typed
+//!    [`AbsorbedError`] taxonomy (kind slug + retryability), and
+//!    scenarios diagnosed from a degraded ensemble quorum are flagged.
+//! 4. [`checkpoint`] — resumable campaigns: an append-only JSONL
+//!    checkpoint keyed by `(seed, plan digest, index)` streams results
+//!    as they complete; a restarted campaign skips what already ran and
+//!    its merged scorecard is byte-identical to an uninterrupted run's.
+//!
+//! A fourth axis, orthogonal to mutation: `CampaignOptions::runtime_faults`
+//! seeds a per-scenario [`rca_sim::FaultPlan`] (NaN/Inf poisoning, stuck
+//! values, member aborts) that the executor injects into experimental
+//! ensemble members mid-run — the chaos harness for the pipeline's
+//! graceful-degradation path (member retry, quarantine, quorum fitting).
 //!
 //! # Quickstart
 //!
@@ -50,13 +62,15 @@
 //! rca-campaign --scenarios 50 --seed 51966 --paper --json scorecard.json
 //! ```
 
+pub mod checkpoint;
 pub mod mutate;
 pub mod runner;
 pub mod scorecard;
 
+pub use checkpoint::{load_checkpoint, plan_digest, Checkpoint};
 pub use mutate::{
     campaign_sites, mutate_site, paper_scenario, plan_campaign, CampaignOptions, CampaignRng,
     CampaignScenario, MutationKind, ScenarioClass,
 };
 pub use runner::{run_campaign, run_scenario, RunnerOptions};
-pub use scorecard::{ScenarioResult, Scorecard, Summary};
+pub use scorecard::{AbsorbedError, ScenarioResult, Scorecard, Summary};

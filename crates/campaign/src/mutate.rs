@@ -175,6 +175,16 @@ pub struct CampaignOptions {
     /// baselines (the CI scorecard diff) stay byte-identical; enabling it
     /// re-rolls the plan for every seed.
     pub sign_flip: bool,
+    /// Runtime fault-injection seed (the chaos axis): `0` = off. When
+    /// nonzero, every planned scenario additionally carries a seeded
+    /// [`rca_sim::FaultPlan`] that the executor applies mid-run to its
+    /// experimental members (NaN/Inf poisoning, stuck values, member
+    /// aborts). The axis derives its plans from a **separate** splitmix
+    /// stream keyed by `(runtime_faults, index)`, so — like `sign_flip`
+    /// — enabling it never perturbs the legacy mutation plan for a seed:
+    /// scenario names, mutations, and configs are identical, only the
+    /// fault plans differ.
+    pub runtime_faults: u64,
 }
 
 impl Default for CampaignOptions {
@@ -186,6 +196,7 @@ impl Default for CampaignOptions {
             include_paper: false,
             fma_scale: 1.0,
             sign_flip: false,
+            runtime_faults: 0,
         }
     }
 }
@@ -391,6 +402,21 @@ pub fn plan_campaign(
     if opts.include_paper {
         for e in Experiment::ALL {
             out.push(paper_scenario(model, session.setup(), e));
+        }
+    }
+
+    // The chaos axis rides on top of the finished plan: each scenario's
+    // experimental members get a fault plan from its own derived seed.
+    // The control ensemble (shared, prewarmed, fault-free) and the
+    // mutation RNG streams above are untouched, so `runtime_faults: 0`
+    // vs nonzero differ only in `scenario.config.faults`.
+    if opts.runtime_faults != 0 {
+        let members = session.setup().n_experiment;
+        for (i, cs) in out.iter_mut().enumerate() {
+            let fault_seed =
+                opts.runtime_faults ^ (0x9E3779B97F4A7C15u64.wrapping_mul(i as u64 + 1));
+            cs.scenario.config.faults =
+                rca_sim::FaultPlan::seeded(fault_seed, members, cs.scenario.config.steps, 2);
         }
     }
     out
@@ -726,6 +752,62 @@ mod tests {
             assert!(!session.scenario_bug_nodes(&f.scenario).is_empty());
             // The mutation really flips one + to -.
             assert!(f.detail.contains("+ -> -"), "{}", f.detail);
+        }
+    }
+
+    #[test]
+    fn runtime_faults_are_a_separate_axis_over_the_same_plan() {
+        let (model, session) = fixture();
+        let base = CampaignOptions {
+            scenarios: 10,
+            seed: 7,
+            ..Default::default()
+        };
+        let plain = plan_campaign(model, session, &base);
+        let chaotic = plan_campaign(
+            model,
+            session,
+            &CampaignOptions {
+                runtime_faults: 0xFA17,
+                ..base.clone()
+            },
+        );
+        // The mutation plan is untouched: same names, same details, same
+        // ground truth — only the fault plans differ.
+        for (a, b) in plain.iter().zip(&chaotic) {
+            assert_eq!(a.scenario.name, b.scenario.name);
+            assert_eq!(a.detail, b.detail);
+            assert_eq!(a.scenario.bug_sites, b.scenario.bug_sites);
+            assert!(a.scenario.config.faults.is_empty());
+            assert!(!b.scenario.config.faults.is_empty());
+        }
+        // Deterministic: the same fault seed reproduces identical plans;
+        // a different one re-rolls them.
+        let again = plan_campaign(
+            model,
+            session,
+            &CampaignOptions {
+                runtime_faults: 0xFA17,
+                ..base.clone()
+            },
+        );
+        let other = plan_campaign(
+            model,
+            session,
+            &CampaignOptions {
+                runtime_faults: 0xFA18,
+                ..base
+            },
+        );
+        for ((b, c), d) in chaotic.iter().zip(&again).zip(&other) {
+            assert_eq!(
+                b.scenario.config.faults.digest(),
+                c.scenario.config.faults.digest()
+            );
+            assert_ne!(
+                b.scenario.config.faults.digest(),
+                d.scenario.config.faults.digest()
+            );
         }
     }
 

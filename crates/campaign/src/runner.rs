@@ -16,14 +16,23 @@
 //! Scenario results come back in plan order regardless of thread count,
 //! so campaign output is order-deterministic; `RAYON_NUM_THREADS=1`
 //! gives the sequential baseline the throughput bench compares against.
+//!
+//! Campaigns are also **resumable**: with [`RunnerOptions::checkpoint`]
+//! set, finished scenarios stream to an append-only JSONL file as they
+//! complete ([`crate::checkpoint`]), restored results are merged back in
+//! plan order on restart, and the merged scorecard is byte-identical to
+//! an uninterrupted run's.
 
+use crate::checkpoint::{load_checkpoint, plan_digest, Checkpoint};
 use crate::mutate::{plan_campaign, CampaignOptions, CampaignScenario};
-use crate::scorecard::{ScenarioResult, Scorecard};
+use crate::scorecard::{AbsorbedError, ScenarioResult, Scorecard};
 use rayon::prelude::*;
 use rca_core::{OracleKind, RcaError, RcaSession};
 use rca_model::ModelSource;
-use std::sync::Arc;
-use std::time::Instant;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Session-level knobs for a campaign run.
 #[derive(Debug, Clone)]
@@ -32,6 +41,21 @@ pub struct RunnerOptions {
     pub setup: rca_core::ExperimentSetup,
     /// Evidence source for refinement.
     pub oracle: OracleKind,
+    /// Append-only JSONL checkpoint path. When set, every finished
+    /// scenario is streamed to this file as it completes, and scenarios
+    /// already recorded there (for the same seed and plan digest) are
+    /// restored instead of re-run — an interrupted campaign resumes
+    /// where it stopped, and the merged scorecard is byte-identical to
+    /// an uninterrupted run's.
+    pub checkpoint: Option<PathBuf>,
+    /// Diagnose at most this many **new** scenarios (checkpoint-restored
+    /// ones don't count), then stop. The deterministic interruption
+    /// primitive: `--checkpoint c.jsonl --stop-after K` followed by a
+    /// plain `--checkpoint c.jsonl` rerun is exactly a kill-and-resume.
+    pub stop_after: Option<usize>,
+    /// Per-diagnosis wall-clock budget, enforced at stage boundaries
+    /// inside the session ([`rca_core::RcaError::Budget`], retryable).
+    pub wall_budget: Option<Duration>,
 }
 
 impl Default for RunnerOptions {
@@ -39,6 +63,9 @@ impl Default for RunnerOptions {
         RunnerOptions {
             setup: rca_core::ExperimentSetup::quick(),
             oracle: OracleKind::Reachability,
+            checkpoint: None,
+            stop_after: None,
+            wall_budget: None,
         }
     }
 }
@@ -49,30 +76,81 @@ pub fn run_campaign(
     opts: &CampaignOptions,
     runner: &RunnerOptions,
 ) -> Result<Scorecard, RcaError> {
-    let session = RcaSession::builder(model)
+    let mut builder = RcaSession::builder(model)
         .setup(runner.setup.clone())
-        .oracle(runner.oracle)
-        .build()?;
+        .oracle(runner.oracle);
+    if let Some(budget) = runner.wall_budget {
+        builder = builder.wall_budget(budget);
+    }
+    let session = builder.build()?;
     // Pay for the shared control ensemble before the fan-out.
     session.ensemble()?;
     let model_arc = Arc::new(model.clone());
     let plan = plan_campaign(&model_arc, &session, opts);
     rca_obs::counter_inc!("campaign.scenarios", plan.len() as u64);
     rca_obs::event("campaign.plan", &[("scenarios", plan.len().into())]);
+
+    // Checkpoint restore: results recorded under the identical (seed,
+    // plan digest) key are reused; everything else runs fresh.
+    let digest = plan_digest(opts, &plan);
+    let ckpt_io = |e: std::io::Error| RcaError::Config(format!("checkpoint unusable: {e}"));
+    let (mut completed, ckpt) = match &runner.checkpoint {
+        Some(path) => {
+            let completed = load_checkpoint(path, opts.seed, digest).map_err(ckpt_io)?;
+            let ckpt = Checkpoint::open(path, opts.seed, digest).map_err(ckpt_io)?;
+            (completed, Some(ckpt))
+        }
+        None => (HashMap::new(), None),
+    };
+    if !completed.is_empty() {
+        rca_obs::counter_inc!("campaign.resumed_scenarios", completed.len() as u64);
+        rca_obs::event("campaign.resume", &[("restored", completed.len().into())]);
+    }
+    let mut pending: Vec<usize> = (0..plan.len())
+        .filter(|i| !completed.contains_key(i))
+        .collect();
+    if let Some(cap) = runner.stop_after {
+        pending.truncate(cap);
+    }
+
     let started = Instant::now();
+    // A checkpoint-append failure means resumability is silently broken
+    // — collect the first one and fail the campaign loudly after the
+    // fan-out instead of pretending the file is sound.
+    let append_err: Mutex<Option<String>> = Mutex::new(None);
+    let run_one = |&i: &usize| {
+        let result = run_scenario(&session, &plan[i]);
+        if let Some(c) = &ckpt {
+            if let Err(e) = c.record(i, &result) {
+                let mut slot = append_err.lock().expect("append-error mutex poisoned");
+                slot.get_or_insert_with(|| e.to_string());
+            }
+        }
+        (i, result)
+    };
     // Trace sinks are thread-scoped, so a traced campaign runs its
     // scenarios sequentially on the installing thread — every phase of
     // every scenario lands in one deterministic trace. Results are
     // identical either way (scenario diagnoses are independent and
     // collected in plan order); the CI trace-smoke gate asserts the
     // scorecard bytes match the parallel no-trace run.
-    let results: Vec<ScenarioResult> = if rca_obs::tracing_active() {
-        plan.iter().map(|cs| run_scenario(&session, cs)).collect()
+    let mut fresh: HashMap<usize, ScenarioResult> = if rca_obs::tracing_active() {
+        pending.iter().map(run_one).collect()
     } else {
-        plan.par_iter()
-            .map(|cs| run_scenario(&session, cs))
-            .collect()
+        pending.par_iter().map(run_one).collect()
     };
+    if let Some(e) = append_err
+        .into_inner()
+        .expect("append-error mutex poisoned")
+    {
+        return Err(RcaError::Config(format!("checkpoint append failed: {e}")));
+    }
+    // Merge restored and fresh results in plan order. With `stop_after`
+    // the tail indices are simply absent — the scorecard covers what has
+    // run so far, and the next resume fills in the rest.
+    let results: Vec<ScenarioResult> = (0..plan.len())
+        .filter_map(|i| completed.remove(&i).or_else(|| fresh.remove(&i)))
+        .collect();
     Ok(Scorecard::new(results, started.elapsed().as_secs_f64()))
 }
 
@@ -94,6 +172,10 @@ pub fn run_scenario(session: &RcaSession<'_>, cs: &CampaignScenario) -> Scenario
                 .as_deref()
                 .and_then(|m| session.symbols().module_id(m))
                 .is_some_and(|m| d.suspects_module_id(m));
+            let degraded = d.degraded.is_some();
+            if degraded {
+                rca_obs::counter_inc!("campaign.degraded_scenarios", 1);
+            }
             if rca_obs::tracing_active() {
                 rca_obs::event(
                     "scenario",
@@ -121,6 +203,7 @@ pub fn run_scenario(session: &RcaSession<'_>, cs: &CampaignScenario) -> Scenario
                 final_suspects: d.suspects.len(),
                 iterations: d.iterations(),
                 stop: d.stop(),
+                degraded,
                 error: None,
                 wall_ms,
                 profile,
@@ -129,13 +212,17 @@ pub fn run_scenario(session: &RcaSession<'_>, cs: &CampaignScenario) -> Scenario
         Err(e) => {
             // Surface the absorbed failure as a structured event —
             // silently folding it into the scorecard denominator hides
-            // broken mutants from anyone watching the trace.
+            // broken mutants from anyone watching the trace. The typed
+            // payload carries the taxonomy (slug + retryability), so
+            // trace consumers never string-match messages either.
             rca_obs::counter_inc!("campaign.errors", 1);
             rca_obs::event(
                 "scenario.error",
                 &[
                     ("name", cs.scenario.name.as_str().into()),
                     ("kind", cs.class.slug().into()),
+                    ("error_kind", e.kind_slug().into()),
+                    ("retryable", e.is_retryable().into()),
                     ("error", e.to_string().into()),
                 ],
             );
@@ -152,7 +239,8 @@ pub fn run_scenario(session: &RcaSession<'_>, cs: &CampaignScenario) -> Scenario
                 final_suspects: 0,
                 iterations: 0,
                 stop: None,
-                error: Some(e.to_string()),
+                degraded: false,
+                error: Some(AbsorbedError::from_rca(&e)),
                 wall_ms,
                 profile: rca_obs::PhaseProfile::new(),
             }

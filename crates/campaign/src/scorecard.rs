@@ -11,10 +11,60 @@
 //!   thread count. CI diffs it; the throughput bench records timing
 //!   separately.
 
-use rca_core::StopReason;
+use rca_core::{RcaError, StopReason};
 use rca_stats::Verdict;
 use serde::{Json, Serialize};
+use std::fmt;
 use std::fmt::Write as _;
+
+/// A pipeline failure the campaign absorbed instead of aborting on —
+/// the typed form of `scenario.error`, sharing the [`RcaError`]
+/// taxonomy (kind slug + retryability) so consumers never string-match
+/// messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbsorbedError {
+    /// Stable failure-class slug ([`RcaError::kind_slug`]).
+    pub kind: String,
+    /// Whether retrying could plausibly succeed
+    /// ([`RcaError::is_retryable`]): budget exhaustion and injected
+    /// faults, never deterministic model/config failures.
+    pub retryable: bool,
+    /// Rendered failure message (carries member/step/stage context).
+    pub message: String,
+}
+
+impl AbsorbedError {
+    /// Captures a pipeline failure with its taxonomy metadata.
+    pub fn from_rca(e: &RcaError) -> AbsorbedError {
+        AbsorbedError {
+            kind: e.kind_slug().to_string(),
+            retryable: e.is_retryable(),
+            message: e.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for AbsorbedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}{}] {}",
+            self.kind,
+            if self.retryable { ", retryable" } else { "" },
+            self.message
+        )
+    }
+}
+
+impl Serialize for AbsorbedError {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("kind", self.kind.to_json()),
+            ("retryable", self.retryable.to_json()),
+            ("message", self.message.to_json()),
+        ])
+    }
+}
 
 /// Outcome of one campaign scenario.
 #[derive(Debug, Clone)]
@@ -46,8 +96,11 @@ pub struct ScenarioResult {
     pub iterations: usize,
     /// Why refinement stopped, if it ran.
     pub stop: Option<StopReason>,
+    /// Whether the diagnosis drew on a degraded ensemble (quarantined
+    /// members survived by quorum instead of erroring).
+    pub degraded: bool,
     /// Pipeline failure, if the scenario could not be diagnosed.
-    pub error: Option<String>,
+    pub error: Option<AbsorbedError>,
     /// Wall time of this diagnosis (excluded from JSON export).
     pub wall_ms: f64,
     /// Per-phase profile of this diagnosis (excluded from JSON export —
@@ -69,7 +122,7 @@ impl ScenarioResult {
 
 impl Serialize for ScenarioResult {
     fn to_json(&self) -> Json {
-        Json::obj([
+        let mut fields: Vec<(&str, Json)> = vec![
             ("name", self.name.to_json()),
             ("kind", self.kind.to_json()),
             ("injected_module", self.injected_module.to_json()),
@@ -85,8 +138,14 @@ impl Serialize for ScenarioResult {
             ("final_suspects", self.final_suspects.to_json()),
             ("iterations", self.iterations.to_json()),
             ("stop", self.stop.to_json()),
-            ("error", self.error.to_json()),
-        ])
+        ];
+        // Conditional key: absent on healthy runs, so zero-fault
+        // scorecards stay byte-identical to pre-fault-plane baselines.
+        if self.degraded {
+            fields.push(("degraded", self.degraded.to_json()));
+        }
+        fields.push(("error", self.error.to_json()));
+        Json::obj(fields)
     }
 }
 
@@ -101,6 +160,9 @@ pub struct Summary {
     pub cleans: usize,
     /// Scenarios that failed with a pipeline error.
     pub errors: usize,
+    /// Scenarios diagnosed from a degraded (quarantine-survived)
+    /// ensemble quorum.
+    pub degraded: usize,
     /// Mutants the ECT flagged (`Fail`).
     pub mutants_flagged: usize,
     /// Cleans the ECT passed.
@@ -123,7 +185,7 @@ pub struct Summary {
 
 impl Serialize for Summary {
     fn to_json(&self) -> Json {
-        Json::obj([
+        let mut fields: Vec<(&str, Json)> = vec![
             ("scenarios", self.scenarios.to_json()),
             ("mutants", self.mutants.to_json()),
             ("cleans", self.cleans.to_json()),
@@ -137,7 +199,13 @@ impl Serialize for Summary {
             ("module_in_final", self.module_in_final.to_json()),
             ("mean_slice_reduction", self.mean_slice_reduction.to_json()),
             ("mean_iterations", self.mean_iterations.to_json()),
-        ])
+        ];
+        // Conditional key, mirroring `ScenarioResult::degraded`: absent
+        // unless some scenario actually degraded.
+        if self.degraded > 0 {
+            fields.push(("degraded", self.degraded.to_json()));
+        }
+        Json::obj(fields)
     }
 }
 
@@ -178,6 +246,7 @@ impl Scorecard {
     pub fn summary(&self) -> Summary {
         let scenarios = self.results.len();
         let errors = self.results.iter().filter(|r| r.error.is_some()).count();
+        let degraded = self.results.iter().filter(|r| r.degraded).count();
         let mutants = self.results.iter().filter(|r| r.expect_fail).count();
         let cleans = scenarios - mutants;
         let mutants_flagged = self.results.iter().filter(|r| r.flagged_mutant()).count();
@@ -222,6 +291,7 @@ impl Scorecard {
             mutants,
             cleans,
             errors,
+            degraded,
             mutants_flagged,
             cleans_passed,
             flagged_rate: rate(mutants_flagged, mutants),
@@ -278,6 +348,13 @@ impl Scorecard {
             "scenarios: {} ({} mutants, {} cleans, {} errors)",
             s.scenarios, s.mutants, s.cleans, s.errors
         );
+        if s.degraded > 0 {
+            let _ = writeln!(
+                out,
+                "degraded: {} scenario(s) diagnosed from a reduced ensemble quorum",
+                s.degraded
+            );
+        }
         let _ = writeln!(
             out,
             "verdict accuracy: {}/{} mutants flagged ({:.0}%), {}/{} cleans passed ({:.0}%)",
@@ -314,12 +391,9 @@ impl Scorecard {
             let _ = writeln!(out);
             let _ = writeln!(out, "errors:");
             for r in errored {
-                let _ = writeln!(
-                    out,
-                    "  {}: {}",
-                    r.name,
-                    r.error.as_deref().unwrap_or_default()
-                );
+                if let Some(e) = &r.error {
+                    let _ = writeln!(out, "  {}: {e}", r.name);
+                }
             }
         }
         let rollup = self.profile_rollup();
@@ -361,6 +435,7 @@ mod tests {
             final_suspects: 20,
             iterations: 3,
             stop: Some(StopReason::SmallEnough),
+            degraded: false,
             error: None,
             wall_ms: 1.0,
             profile: rca_obs::PhaseProfile::new(),
@@ -422,6 +497,51 @@ mod tests {
         let v = serde_json::from_str(&a).unwrap();
         assert_eq!(v["summary"]["mutants_flagged"].as_u64(), Some(1));
         assert_eq!(v["results"][0]["name"].as_str(), Some("001-const"));
+    }
+
+    #[test]
+    fn degraded_and_error_keys_are_conditional_and_typed() {
+        // Healthy result: no `degraded` key anywhere, `error` is null —
+        // the exact byte shape of pre-fault-plane scorecards.
+        let healthy = Scorecard::new(vec![result("000-clean", false, Verdict::Pass, false)], 1.0);
+        let j = serde_json::to_string(&healthy).unwrap();
+        assert!(!j.contains("degraded"));
+        assert!(
+            j.contains("\"error\": null") || j.contains("\"error\":null"),
+            "{j}"
+        );
+
+        // Degraded result: the key appears on the scenario and the count
+        // lands in the summary.
+        let mut r = result("001-const", true, Verdict::Fail, true);
+        r.degraded = true;
+        let card = Scorecard::new(vec![r], 1.0);
+        assert_eq!(card.summary().degraded, 1);
+        let v = serde_json::from_str(&serde_json::to_string(&card).unwrap()).unwrap();
+        assert_eq!(v["summary"]["degraded"].as_u64(), Some(1));
+        assert!(matches!(
+            v["results"][0]["degraded"],
+            serde_json::Value::Bool(true)
+        ));
+
+        // Absorbed errors serialize as the typed taxonomy payload.
+        let mut e = result("002-const", true, Verdict::Fail, false);
+        e.verdict = None;
+        e.error = Some(AbsorbedError {
+            kind: "budget".to_string(),
+            retryable: true,
+            message: "run budget exhausted (fuel): ...".to_string(),
+        });
+        let card = Scorecard::new(vec![e], 1.0);
+        assert_eq!(card.summary().errors, 1);
+        let v = serde_json::from_str(&serde_json::to_string(&card).unwrap()).unwrap();
+        assert_eq!(v["results"][0]["error"]["kind"].as_str(), Some("budget"));
+        assert!(matches!(
+            v["results"][0]["error"]["retryable"],
+            serde_json::Value::Bool(true)
+        ));
+        let text = card.render();
+        assert!(text.contains("[budget, retryable]"), "{text}");
     }
 
     #[test]

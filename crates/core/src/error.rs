@@ -36,6 +36,64 @@ pub enum RcaError {
     EmptySlice(Vec<String>),
     /// Invalid builder/session configuration.
     Config(String),
+    /// A run budget was exhausted (statement fuel or session wall
+    /// clock): the run was killed, not hung. Always retryable — the
+    /// computation was cut short by the environment, not wrong.
+    Budget {
+        /// Which budget tripped.
+        kind: BudgetKind,
+        /// What was exhausted, where (step/member/stage context).
+        detail: String,
+    },
+}
+
+/// Which run budget was exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetKind {
+    /// Per-run statement fuel (`RunConfig::fuel`).
+    Fuel,
+    /// Session wall-clock budget (`RcaSessionBuilder::wall_budget`).
+    Wall,
+}
+
+impl fmt::Display for BudgetKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BudgetKind::Fuel => "fuel",
+            BudgetKind::Wall => "wall-clock",
+        })
+    }
+}
+
+impl RcaError {
+    /// Whether retrying the same work could plausibly succeed.
+    ///
+    /// Budget exhaustion and injected runtime faults (the
+    /// [`rca_sim::FAULT_CONTEXT`] marker) are environmental — a retry
+    /// with more budget or without the fault is meaningful. Parse,
+    /// statistics, and configuration failures are deterministic
+    /// properties of the input and retrying is wasted work.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            RcaError::Budget { .. } => true,
+            RcaError::Runtime(e) => e.context == rca_sim::FAULT_CONTEXT,
+            _ => false,
+        }
+    }
+
+    /// Stable kebab-case slug naming the variant — the `kind` field of
+    /// the typed scorecard error payload and of `scenario.error` events.
+    pub fn kind_slug(&self) -> &'static str {
+        match self {
+            RcaError::Parse { .. } => "parse",
+            RcaError::Runtime(_) => "runtime",
+            RcaError::Stats(_) => "stats",
+            RcaError::UnknownOutputs(_) => "unknown-outputs",
+            RcaError::EmptySlice(_) => "empty-slice",
+            RcaError::Config(_) => "config",
+            RcaError::Budget { .. } => "budget",
+        }
+    }
 }
 
 impl fmt::Display for RcaError {
@@ -57,6 +115,9 @@ impl fmt::Display for RcaError {
                  widen the slice scope or the output selection"
             ),
             RcaError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            RcaError::Budget { kind, detail } => {
+                write!(f, "run budget exhausted ({kind}): {detail}")
+            }
         }
     }
 }
@@ -72,7 +133,17 @@ impl std::error::Error for RcaError {
 
 impl From<RuntimeError> for RcaError {
     fn from(e: RuntimeError) -> Self {
-        RcaError::Runtime(e)
+        // Fuel exhaustion is tagged at the executor with a context
+        // marker; lift it into the typed budget taxonomy here so no
+        // caller ever string-matches the message.
+        if e.context == rca_sim::BUDGET_CONTEXT {
+            RcaError::Budget {
+                kind: BudgetKind::Fuel,
+                detail: e.message,
+            }
+        } else {
+            RcaError::Runtime(e)
+        }
     }
 }
 
@@ -129,5 +200,49 @@ mod tests {
         assert!(e.to_string().contains("made_up"));
         let e = RcaError::EmptySlice(vec!["flwds".into()]);
         assert!(e.to_string().contains("flwds"));
+    }
+
+    #[test]
+    fn budget_context_lifts_into_typed_taxonomy() {
+        let e = RcaError::from(RuntimeError {
+            message: "statement fuel budget of 100 exhausted at step 3 (member 7)".into(),
+            context: rca_sim::BUDGET_CONTEXT.into(),
+            line: 0,
+        });
+        assert!(matches!(
+            e,
+            RcaError::Budget {
+                kind: BudgetKind::Fuel,
+                ..
+            }
+        ));
+        assert!(e.is_retryable());
+        assert_eq!(e.kind_slug(), "budget");
+        assert!(e.to_string().contains("fuel"));
+        assert!(e.to_string().contains("member 7"));
+    }
+
+    #[test]
+    fn retryability_follows_the_failure_cause() {
+        let fault = RcaError::from(RuntimeError {
+            message: "injected member-abort fault at step 2 (member 1, attempt 0)".into(),
+            context: rca_sim::FAULT_CONTEXT.into(),
+            line: 0,
+        });
+        assert!(fault.is_retryable(), "injected faults are environmental");
+        assert_eq!(fault.kind_slug(), "runtime");
+        let wall = RcaError::Budget {
+            kind: BudgetKind::Wall,
+            detail: "session wall budget of 10ms exceeded".into(),
+        };
+        assert!(wall.is_retryable());
+        let genuine = RcaError::from(RuntimeError {
+            message: "division by zero".into(),
+            context: "micro_mg".into(),
+            line: 42,
+        });
+        assert!(!genuine.is_retryable(), "model errors are deterministic");
+        assert!(!RcaError::Stats("degenerate".into()).is_retryable());
+        assert!(!RcaError::Config("bad".into()).is_retryable());
     }
 }

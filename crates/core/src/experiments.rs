@@ -1,10 +1,9 @@
 //! High-level experiment harness: ensembles, ECT verdicts, variable
 //! selection — the statistical front end of every paper experiment.
 
+use crate::error::RcaError;
 use rca_model::{Experiment, ModelConfig, ModelSource};
-use rca_sim::{
-    perturbations, Avx2Policy, EnsembleRuns, PrngKind, Program, RunConfig, RuntimeError,
-};
+use rca_sim::{perturbations, Avx2Policy, EnsembleRuns, PrngKind, Program, RunConfig};
 use rca_stats::{fit_lasso_path, median_distance_selection, Ect, EctConfig, Matrix, Verdict};
 use std::sync::Arc;
 
@@ -27,6 +26,12 @@ pub struct ExperimentSetup {
     pub lasso_target: usize,
     /// Ensemble/experiment perturbation seeds.
     pub seed: u64,
+    /// Member retry/quarantine policy for run failures.
+    pub retry: RetryPolicy,
+    /// Per-run statement fuel budget (`None` = unlimited); applied to
+    /// every control, experimental, and scenario run derived from this
+    /// setup.
+    pub fuel: Option<u64>,
 }
 
 impl Default for ExperimentSetup {
@@ -40,7 +45,140 @@ impl Default for ExperimentSetup {
             ect: EctConfig::default(),
             lasso_target: 5,
             seed: 0xC1,
+            retry: RetryPolicy::default(),
+            fuel: None,
         }
+    }
+}
+
+/// Bounded retry and quarantine policy for failed ensemble members —
+/// the graceful-degradation contract of the fault-tolerance plane.
+///
+/// A member whose run fails is retried with a derived perturbation up to
+/// `max_retries` times, then quarantined; the ECT is fitted from the
+/// surviving quorum as long as it meets the configured minimum, with a
+/// `DegradedEnsemble` note recorded on the diagnosis. Below quorum the
+/// pipeline errors (structured, not a panic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retry attempts per failed member before quarantine.
+    pub max_retries: u32,
+    /// Minimum surviving control-ensemble members for an ECT fit;
+    /// `0` = automatic (half the ensemble, at least 3).
+    pub min_control_members: usize,
+    /// Minimum surviving experimental runs for a verdict;
+    /// `0` = automatic (a pyCECT run-set of 3, capped at the set size).
+    pub min_experiment_members: usize,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            min_control_members: 0,
+            min_experiment_members: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Effective control quorum for an ensemble of `total` members.
+    pub fn control_quorum(&self, total: usize) -> usize {
+        if self.min_control_members > 0 {
+            self.min_control_members
+        } else {
+            (total / 2).max(3).min(total.max(1))
+        }
+    }
+
+    /// Effective experimental quorum for a set of `total` runs.
+    pub fn experiment_quorum(&self, total: usize) -> usize {
+        if self.min_experiment_members > 0 {
+            self.min_experiment_members
+        } else {
+            3.min(total).max(1)
+        }
+    }
+}
+
+/// Fill-health summary of one ensemble (control or experimental side).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EnsembleHealth {
+    /// Members requested.
+    pub total: u32,
+    /// Members whose data entered the statistics.
+    pub surviving: u32,
+    /// Surviving members that needed at least one retry.
+    pub recovered: u32,
+    /// Members excluded after exhausting retries.
+    pub quarantined: u32,
+}
+
+impl EnsembleHealth {
+    fn of(store: &EnsembleRuns) -> EnsembleHealth {
+        EnsembleHealth {
+            total: store.members() as u32,
+            surviving: store.surviving_count() as u32,
+            recovered: store.recovered_count() as u32,
+            quarantined: store.quarantined_count() as u32,
+        }
+    }
+
+    /// Whether any member retried or was quarantined.
+    pub fn degraded(&self) -> bool {
+        self.recovered > 0 || self.quarantined > 0
+    }
+}
+
+/// Note recorded on a [`crate::Diagnosis`] when statistics were computed
+/// from a degraded ensemble (retried or quarantined members on either
+/// side) instead of erroring out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradedEnsemble {
+    /// Control-ensemble fill health.
+    pub control: EnsembleHealth,
+    /// Experimental-set fill health.
+    pub experimental: EnsembleHealth,
+}
+
+impl serde::Serialize for EnsembleHealth {
+    fn to_json(&self) -> serde::Json {
+        serde::Json::obj([
+            ("total", serde::Json::Uint(u64::from(self.total))),
+            ("surviving", serde::Json::Uint(u64::from(self.surviving))),
+            ("recovered", serde::Json::Uint(u64::from(self.recovered))),
+            (
+                "quarantined",
+                serde::Json::Uint(u64::from(self.quarantined)),
+            ),
+        ])
+    }
+}
+
+impl serde::Serialize for DegradedEnsemble {
+    fn to_json(&self) -> serde::Json {
+        serde::Json::obj([
+            ("control", self.control.to_json()),
+            ("experimental", self.experimental.to_json()),
+        ])
+    }
+}
+
+impl std::fmt::Display for DegradedEnsemble {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "control {}/{} surviving ({} recovered, {} quarantined); \
+             experimental {}/{} surviving ({} recovered, {} quarantined)",
+            self.control.surviving,
+            self.control.total,
+            self.control.recovered,
+            self.control.quarantined,
+            self.experimental.surviving,
+            self.experimental.total,
+            self.experimental.recovered,
+            self.experimental.quarantined,
+        )
     }
 }
 
@@ -67,6 +205,7 @@ impl ExperimentSetup {
 pub fn control_config(setup: &ExperimentSetup) -> RunConfig {
     RunConfig {
         steps: setup.steps,
+        fuel: setup.fuel,
         ..Default::default()
     }
 }
@@ -107,8 +246,10 @@ pub struct EnsembleStats {
     /// The base program's sorted output table (`OutputId` space).
     pub(crate) table: Arc<[Arc<str>]>,
     /// Kept column ids (indices into `table`): finite at the evaluation
-    /// step in every ensemble run.
+    /// step in every surviving ensemble run.
     pub(crate) kept: Vec<u32>,
+    /// Control-fill health (all-healthy on the zero-fault path).
+    pub health: EnsembleHealth,
 }
 
 /// Runs the control ensemble and fits the ECT — everything on the
@@ -121,11 +262,28 @@ pub(crate) fn collect_ensemble(
     base_program: &Arc<Program>,
     setup: &ExperimentSetup,
     profile: &mut rca_obs::PhaseProfile,
-) -> Result<EnsembleStats, RuntimeError> {
+) -> Result<EnsembleStats, RcaError> {
     let perts = perturbations(setup.n_ensemble, setup.ic_magnitude, setup.seed);
     let store = profile.time("phase.ensemble_fill", || {
-        EnsembleRuns::run(base_program, &control_config(setup), &perts)
-    })?;
+        EnsembleRuns::run_resilient(
+            base_program,
+            &control_config(setup),
+            &perts,
+            setup.retry.max_retries,
+        )
+    });
+    let health = EnsembleHealth::of(&store);
+    let quorum = setup.retry.control_quorum(setup.n_ensemble);
+    if (health.surviving as usize) < quorum {
+        let cause = store
+            .first_failure()
+            .map(|(m, e)| format!("; first failure: member {m}: {e}"))
+            .unwrap_or_default();
+        return Err(RcaError::Stats(format!(
+            "control ensemble below quorum: {} of {} members survived (minimum {quorum}){cause}",
+            health.surviving, setup.n_ensemble
+        )));
+    }
     let eval_step = setup.steps - 1;
     let kept = store.finite_outputs_at(eval_step);
     let table = Arc::clone(base_program.output_names());
@@ -141,6 +299,7 @@ pub(crate) fn collect_ensemble(
         ect,
         table,
         kept,
+        health,
     })
 }
 
@@ -162,6 +321,9 @@ pub struct ExperimentData {
     pub ensemble: Matrix,
     /// Experimental output matrix at the evaluation step.
     pub experimental: Matrix,
+    /// Set when either side's fill degraded (retries or quarantines);
+    /// `None` on the zero-fault path.
+    pub degraded: Option<DegradedEnsemble>,
 }
 
 /// Runs the experimental side of the statistical front end against a
@@ -177,9 +339,30 @@ pub(crate) fn evaluate_against_ensemble(
     exp_program: &Arc<Program>,
     exp_cfg: &RunConfig,
     setup: &ExperimentSetup,
-) -> Result<ExperimentData, RuntimeError> {
+) -> Result<ExperimentData, RcaError> {
     let exp_perts = perturbations(setup.n_experiment, setup.ic_magnitude, setup.seed ^ 0xDEAD);
-    let exp_store = EnsembleRuns::run(exp_program, exp_cfg, &exp_perts)?;
+    let exp_store =
+        EnsembleRuns::run_resilient(exp_program, exp_cfg, &exp_perts, setup.retry.max_retries);
+    let exp_health = EnsembleHealth::of(&exp_store);
+    let quorum = setup.retry.experiment_quorum(setup.n_experiment);
+    if (exp_health.surviving as usize) < quorum {
+        let cause = exp_store
+            .first_failure()
+            .map(|(m, e)| format!("; first failure: member {m}: {e}"))
+            .unwrap_or_default();
+        return Err(RcaError::Stats(format!(
+            "experimental runs below quorum: {} of {} survived (minimum {quorum}){cause}",
+            exp_health.surviving, setup.n_experiment
+        )));
+    }
+    let degraded = if ens.health.degraded() || exp_health.degraded() {
+        Some(DegradedEnsemble {
+            control: ens.health,
+            experimental: exp_health,
+        })
+    } else {
+        None
+    };
 
     let eval_step = setup.steps - 1;
     let kept_b = exp_store.finite_outputs_at(eval_step);
@@ -303,6 +486,7 @@ pub(crate) fn evaluate_against_ensemble(
         median_ranking,
         ensemble,
         experimental,
+        degraded,
     })
 }
 
@@ -314,7 +498,7 @@ pub(crate) fn collect_statistics(
     base_model: &ModelSource,
     experiment: Experiment,
     setup: &ExperimentSetup,
-) -> Result<ExperimentData, RuntimeError> {
+) -> Result<ExperimentData, RcaError> {
     let base_program = rca_sim::compile_model(base_model)?;
     let ens = collect_ensemble(&base_program, setup, &mut rca_obs::PhaseProfile::new())?;
     let exp_model = base_model.apply(experiment);
@@ -351,6 +535,32 @@ pub fn default_model() -> ModelSource {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn quorum_defaults_scale_with_set_size() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.control_quorum(36), 18);
+        assert_eq!(p.control_quorum(24), 12);
+        assert_eq!(p.control_quorum(4), 3, "floor of 3 control members");
+        assert_eq!(p.control_quorum(2), 2, "floor capped at the set size");
+        assert_eq!(p.experiment_quorum(12), 3, "one pyCECT run-set");
+        assert_eq!(p.experiment_quorum(2), 2);
+        let explicit = RetryPolicy {
+            min_control_members: 5,
+            min_experiment_members: 4,
+            ..Default::default()
+        };
+        assert_eq!(explicit.control_quorum(36), 5);
+        assert_eq!(explicit.experiment_quorum(12), 4);
+    }
+
+    #[test]
+    fn zero_fault_statistics_report_no_degradation() {
+        let model = default_model();
+        let data =
+            collect_statistics(&model, Experiment::Control, &ExperimentSetup::quick()).unwrap();
+        assert_eq!(data.degraded, None, "healthy fills must not be flagged");
+    }
 
     #[test]
     fn control_passes_ect() {

@@ -49,8 +49,11 @@ pub mod report;
 pub mod session;
 pub mod slice;
 
-pub use error::RcaError;
-pub use experiments::{experiment_configs, EnsembleStats, ExperimentData, ExperimentSetup};
+pub use error::{BudgetKind, RcaError};
+pub use experiments::{
+    experiment_configs, DegradedEnsemble, EnsembleHealth, EnsembleStats, ExperimentData,
+    ExperimentSetup, RetryPolicy,
+};
 pub use module_rank::{avx2_policy, DisablementPolicy, ModuleRanking};
 pub use oracle::{Oracle, ReachabilityOracle, RuntimeSampler};
 pub use pipeline::{PipelineOptions, RcaPipeline};

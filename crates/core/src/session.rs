@@ -42,8 +42,8 @@
 
 use crate::error::RcaError;
 use crate::experiments::{
-    collect_ensemble, evaluate_against_ensemble, experiment_configs, EnsembleStats, ExperimentData,
-    ExperimentSetup,
+    collect_ensemble, evaluate_against_ensemble, experiment_configs, DegradedEnsemble,
+    EnsembleStats, ExperimentData, ExperimentSetup,
 };
 use crate::oracle::{Oracle, ReachabilityOracle, RuntimeSampler};
 use crate::pipeline::{PipelineOptions, RcaPipeline};
@@ -60,6 +60,7 @@ use serde::Json;
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
 /// Which built-in evidence source Algorithm 5.4 consults.
 ///
@@ -149,6 +150,7 @@ pub struct RcaSessionBuilder<'m> {
     refine_opts: RefineOptions,
     max_outputs: usize,
     scope: SliceScope,
+    wall_budget: Option<Duration>,
 }
 
 impl<'m> RcaSessionBuilder<'m> {
@@ -189,6 +191,14 @@ impl<'m> RcaSessionBuilder<'m> {
         self
     }
 
+    /// Wall-clock budget per diagnosis (default: unlimited). Checked
+    /// between pipeline stages; exceeding it surfaces as the retryable
+    /// [`RcaError::Budget`] instead of an open-ended hang.
+    pub fn wall_budget(mut self, budget: Duration) -> Self {
+        self.wall_budget = Some(budget);
+        self
+    }
+
     /// Parses and compiles the model, runs the coverage calibration, and
     /// compiles the variable digraph — everything experiment-independent.
     /// The compiled base program is the first entry of the session's
@@ -223,6 +233,7 @@ impl<'m> RcaSessionBuilder<'m> {
             refine_opts: self.refine_opts,
             max_outputs: self.max_outputs,
             scope: self.scope,
+            wall_budget: self.wall_budget,
             ensemble: OnceLock::new(),
             analysis: OnceLock::new(),
             programs: Mutex::new(programs),
@@ -249,6 +260,8 @@ pub struct RcaSession<'m> {
     refine_opts: RefineOptions,
     max_outputs: usize,
     scope: SliceScope,
+    /// Per-diagnosis wall-clock budget (`None` = unlimited).
+    wall_budget: Option<Duration>,
     ensemble: OnceLock<Result<EnsembleStats, RcaError>>,
     /// Static analysis over the coverage-filtered sources, computed
     /// lazily on first use (dependence mirror, dataflow, lint catalog).
@@ -274,6 +287,7 @@ impl<'m> RcaSession<'m> {
             refine_opts: RefineOptions::default(),
             max_outputs: 10,
             scope: SliceScope::Cam,
+            wall_budget: None,
         }
     }
 
@@ -319,8 +333,7 @@ impl<'m> RcaSession<'m> {
             .get_or_init(|| {
                 let program = self.program_for(self.model)?;
                 let mut prof = rca_obs::PhaseProfile::new();
-                let res =
-                    collect_ensemble(&program, &self.setup, &mut prof).map_err(RcaError::from);
+                let res = collect_ensemble(&program, &self.setup, &mut prof);
                 self.profile.lock().expect("profile lock").merge(&prof);
                 res
             })
@@ -477,17 +490,19 @@ impl<'m> RcaSession<'m> {
             }),
             OracleKind::Runtime => {
                 let exp_model = self.exp_model_of(subject);
+                // Oracle queries run fault-free: evidence must reflect
+                // what the *program* computes, not the injected runtime
+                // environment of the scenario under diagnosis (budgets
+                // stay — a runaway variant should still be killed).
+                let exp_config = subject.exp_config.without_faults();
                 // Both programs come from the session cache: the control
                 // program is shared with the ensemble, the experimental
                 // one with this subject's statistics stage.
                 let mut sampler = match (self.program_for(self.model), self.program_for(&exp_model))
                 {
-                    (Ok(ctl), Ok(exp)) => RuntimeSampler::from_programs(
-                        ctl,
-                        exp,
-                        self.control_config(),
-                        subject.exp_config.clone(),
-                    ),
+                    (Ok(ctl), Ok(exp)) => {
+                        RuntimeSampler::from_programs(ctl, exp, self.control_config(), exp_config)
+                    }
                     // A variant that fails to compile still yields a
                     // best-effort sampler that reports the failure per
                     // query instead of panicking here.
@@ -495,7 +510,7 @@ impl<'m> RcaSession<'m> {
                         self.model.clone(),
                         (*exp_model).clone(),
                         self.control_config(),
-                        subject.exp_config.clone(),
+                        exp_config,
                     ),
                 };
                 // Sample as early as the discrepancy can be observed (the
@@ -526,12 +541,7 @@ impl<'m> RcaSession<'m> {
         let exp_model = self.exp_model_of(&subject);
         let data = profile.time("phase.statistics", || -> Result<_, RcaError> {
             let exp_program = self.program_for(&exp_model)?;
-            Ok(evaluate_against_ensemble(
-                ens,
-                &exp_program,
-                &subject.exp_config,
-                &self.setup,
-            )?)
+            evaluate_against_ensemble(ens, &exp_program, &subject.exp_config, &self.setup)
         })?;
         if data.output_names.is_empty() {
             return Err(RcaError::Stats(
@@ -566,7 +576,9 @@ impl<'m> RcaSession<'m> {
 
     fn diagnose_for(&self, subject: Subject) -> Result<Diagnosis, RcaError> {
         let _span = rca_obs::span_with("diagnose", &[("subject", subject.name.as_str().into())]);
+        let deadline = self.wall_budget.map(|b| Instant::now() + b);
         let stats = self.statistics_for(subject)?;
+        self.check_deadline(deadline, "statistics")?;
         if stats.data.verdict == Verdict::Pass {
             let subject = stats.subject;
             return Ok(Diagnosis {
@@ -585,11 +597,34 @@ impl<'m> RcaSession<'m> {
                 suspect_modules: Vec::new(),
                 suspect_module_ids: Vec::new(),
                 sampling_errors: Vec::new(),
+                degraded: stats.data.degraded,
                 trace: String::new(),
                 profile: stats.profile,
             });
         }
-        Ok(stats.slice()?.refine().into_diagnosis())
+        let sliced = stats.slice()?;
+        self.check_deadline(deadline, "slice")?;
+        Ok(sliced.refine().into_diagnosis())
+    }
+
+    /// Surfaces an exceeded per-diagnosis wall budget as the retryable
+    /// budget taxonomy. Checked between stages — a stage in flight is
+    /// never interrupted, so the overshoot is bounded by one stage.
+    fn check_deadline(&self, deadline: Option<Instant>, stage: &str) -> Result<(), RcaError> {
+        let Some(deadline) = deadline else {
+            return Ok(());
+        };
+        if Instant::now() <= deadline {
+            return Ok(());
+        }
+        rca_obs::counter_inc!("run.budget_exhausted", 1);
+        Err(RcaError::Budget {
+            kind: crate::error::BudgetKind::Wall,
+            detail: format!(
+                "session wall budget of {:?} exceeded after the {stage} stage",
+                self.wall_budget.unwrap_or_default()
+            ),
+        })
     }
 
     fn in_scope(&self, module: ModuleId) -> bool {
@@ -850,6 +885,7 @@ impl Refined<'_, '_> {
             suspect_modules,
             suspect_module_ids,
             sampling_errors: self.sampling_errors,
+            degraded: self.data.degraded,
             trace,
             profile: self.profile,
         }
@@ -895,6 +931,11 @@ pub struct Diagnosis {
     pub suspect_module_ids: Vec<ModuleId>,
     /// Runtime failures the oracle absorbed while sampling.
     pub sampling_errors: Vec<RuntimeError>,
+    /// Set when the statistics were computed from a degraded ensemble
+    /// (retried or quarantined members on either side) — the diagnosis
+    /// stands, but on fewer runs than configured. `None` on healthy
+    /// fills, and then absent from the serialized artifact too.
+    pub degraded: Option<DegradedEnsemble>,
     trace: String,
     /// Per-phase wall/alloc/count profile of this diagnosis (plus the
     /// session-level build phases it depended on). Telemetry channel
@@ -966,6 +1007,9 @@ impl Diagnosis {
             self.failure_rate * 100.0,
             self.oracle
         );
+        if let Some(d) = &self.degraded {
+            let _ = writeln!(out, "DEGRADED ensemble: {d}");
+        }
         if self.verdict == Verdict::Pass {
             let _ = writeln!(
                 out,
@@ -1021,7 +1065,7 @@ impl Diagnosis {
 // for campaign scorecards and external tooling (no `render()` scraping).
 impl serde::Serialize for Diagnosis {
     fn to_json(&self) -> Json {
-        Json::obj([
+        let mut fields: Vec<(&str, Json)> = vec![
             ("subject", self.subject.to_json()),
             (
                 "experiment",
@@ -1059,8 +1103,15 @@ impl serde::Serialize for Diagnosis {
                         .collect(),
                 ),
             ),
-            ("refinement", self.refinement.to_json()),
-        ])
+        ];
+        // Conditional key: a healthy (zero-fault) diagnosis serializes
+        // without it, keeping legacy artifacts byte-identical — "degrade,
+        // never diverge".
+        if let Some(d) = &self.degraded {
+            fields.push(("degraded", d.to_json()));
+        }
+        fields.push(("refinement", self.refinement.to_json()));
+        Json::obj(fields)
     }
 }
 

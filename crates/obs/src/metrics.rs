@@ -403,7 +403,11 @@ mod tests {
 
         let snap = metrics_snapshot();
         assert!(snap.counter("test.metrics.counter").unwrap() >= 5);
-        let names: Vec<&str> = snap.readings.iter().map(super::MetricReading::name).collect();
+        let names: Vec<&str> = snap
+            .readings
+            .iter()
+            .map(super::MetricReading::name)
+            .collect();
         let mut sorted = names.clone();
         sorted.sort_unstable();
         assert_eq!(names, sorted, "snapshot must be name-sorted");

@@ -21,6 +21,7 @@
 //! identical unless a subscript expression itself mutates the array it
 //! subscripts — a pattern the model generator never emits.
 
+use crate::fault::{Fault, FaultKind, FaultPlan, BUDGET_CONTEXT, FAULT_CONTEXT};
 use crate::interp::{RunConfig, RuntimeError};
 use crate::ops::{self, Flow, RunResult};
 use crate::prng::{make_prng, Prng, PrngKind};
@@ -95,6 +96,23 @@ pub struct Executor {
     /// locals — array-local initialization reuses them instead of
     /// allocating `vec![0.0; n]` per call.
     scratch_f64: Vec<Vec<f64>>,
+    /// The run's fault plan; faults are resolved into `active` /
+    /// `abort_at` per `(member, attempt)` by [`Executor::begin_member`].
+    plan: FaultPlan,
+    /// Output faults striking this member/attempt, output index already
+    /// resolved modulo the program's output count. Empty on the
+    /// zero-fault path — every hook guards on emptiness.
+    active: Vec<Fault>,
+    /// Earliest injected abort step for this member/attempt, if any.
+    abort_at: Option<u32>,
+    /// Ensemble member identity (0 for single runs) — error context only.
+    member: u32,
+    /// Retry attempt (0 = first run); transient faults strike only 0.
+    attempt: u32,
+    /// Configured statement budget (`u64::MAX` = unlimited).
+    fuel_limit: u64,
+    /// Remaining statements this run; 0 aborts with a budget error.
+    fuel: u64,
 }
 
 impl std::fmt::Debug for Executor {
@@ -118,7 +136,8 @@ impl Executor {
             .map(|m| config.avx2.enabled_for(m))
             .collect();
         let (module_plan, local_plan) = build_sample_plans(&program, config);
-        Executor {
+        let fuel_limit = config.fuel.unwrap_or(u64::MAX);
+        let mut ex = Executor {
             globals: program.globals.clone(),
             fma,
             fma_scale: config.fma_scale,
@@ -138,8 +157,17 @@ impl Executor {
             frame_pool: Vec::new(),
             arg_pool: Vec::new(),
             scratch_f64: Vec::new(),
+            plan: config.faults.clone(),
+            active: Vec::new(),
+            abort_at: None,
+            member: 0,
+            attempt: 0,
+            fuel_limit,
+            fuel: fuel_limit,
             program,
-        }
+        };
+        ex.resolve_faults();
+        ex
     }
 
     /// The program this executor runs.
@@ -165,9 +193,74 @@ impl Executor {
         self.history.clear();
         self.written.fill(0);
         self.covered.fill(false);
+        self.fuel = self.fuel_limit;
         for s in &mut self.samples {
             *s = None;
         }
+    }
+
+    /// Declares which ensemble member (and retry attempt) the next run
+    /// represents, re-resolving the fault plan for that coordinate.
+    /// Call between [`Executor::reset`] and [`Executor::drive`]; single
+    /// runs default to member 0, attempt 0.
+    pub fn begin_member(&mut self, member: u32, attempt: u32) {
+        self.member = member;
+        self.attempt = attempt;
+        self.resolve_faults();
+    }
+
+    /// Resolves `plan` into the `active` output-fault list and the
+    /// earliest `abort_at` step for the current `(member, attempt)`.
+    /// Output indices are reduced modulo the program's output count so
+    /// plans are model-independent.
+    fn resolve_faults(&mut self) {
+        self.active.clear();
+        self.abort_at = None;
+        if self.plan.is_empty() {
+            return;
+        }
+        let outputs = self.program.output_count() as u32;
+        let striking: Vec<Fault> = self
+            .plan
+            .active_for(self.member, self.attempt)
+            .cloned()
+            .collect();
+        for mut f in striking {
+            if f.kind == FaultKind::Abort {
+                self.abort_at = Some(self.abort_at.map_or(f.step, |s| s.min(f.step)));
+            } else {
+                if outputs > 0 {
+                    f.output %= outputs;
+                }
+                self.active.push(f);
+            }
+        }
+    }
+
+    /// Applies active output faults to an `outfld` mean: poisoning
+    /// substitutes a non-finite value, stuck freezes the output at its
+    /// last written value (the first write passes through, then sticks).
+    /// Only called when `active` is non-empty.
+    fn fault_adjusted(&self, out: u32, mean: f64) -> f64 {
+        for f in &self.active {
+            if f.output == out && self.step >= f.step {
+                return match f.kind {
+                    FaultKind::PoisonNan => f64::NAN,
+                    FaultKind::PoisonInf => f64::INFINITY,
+                    FaultKind::Stuck => {
+                        let w = self.written[out as usize] as usize;
+                        if w > 0 {
+                            self.history[(w - 1) * self.program.output_count() + out as usize]
+                        } else {
+                            mean
+                        }
+                    }
+                    // Aborts are resolved into `abort_at`, never `active`.
+                    FaultKind::Abort => mean,
+                };
+            }
+        }
+        mean
     }
 
     /// [`Executor::reset`] plus a configuration change: FMA policy, PRNG
@@ -192,6 +285,9 @@ impl Executor {
         self.local_plan = local_plan;
         self.samples.clear();
         self.samples.resize(config.samples.len(), None);
+        self.plan = config.faults.clone();
+        self.fuel_limit = config.fuel.unwrap_or(u64::MAX);
+        self.resolve_faults();
         self.reset();
     }
 
@@ -203,6 +299,17 @@ impl Executor {
         rca_obs::counter_inc!("executor.runs", 1);
         self.call("cam_init", &[Value::Real(pert)])?;
         for step in 0..self.steps {
+            if self.abort_at == Some(step) {
+                rca_obs::counter_inc!("executor.fault_aborts", 1);
+                return Err(RuntimeError::new(
+                    format!(
+                        "injected member-abort fault at step {step} (member {}, attempt {})",
+                        self.member, self.attempt
+                    ),
+                    FAULT_CONTEXT,
+                    0,
+                ));
+            }
             self.set_step(step);
             self.call("cam_run_step", &[])?;
             if self.sample_step == Some(step) {
@@ -468,6 +575,21 @@ impl Executor {
         locals: &mut Locals,
         stmt: &CStmt,
     ) -> RunResult<Flow> {
+        // Statement fuel: check-then-decrement so the configured limit is
+        // exact. The unlimited default (`u64::MAX`) never trips and costs
+        // one predictable branch (asserted by the fault_overhead bench).
+        if self.fuel == 0 {
+            rca_obs::counter_inc!("run.budget_exhausted", 1);
+            return Err(RuntimeError::new(
+                format!(
+                    "statement fuel budget of {} exhausted at step {} (member {})",
+                    self.fuel_limit, self.step, self.member
+                ),
+                BUDGET_CONTEXT,
+                0,
+            ));
+        }
+        self.fuel -= 1;
         match stmt {
             CStmt::Assign { place, value, line } => {
                 let v = self.eval(p, pr, locals, *value, *line)?;
@@ -502,6 +624,11 @@ impl Executor {
                             *line,
                         ))
                     }
+                };
+                let mean = if self.active.is_empty() {
+                    mean
+                } else {
+                    self.fault_adjusted(*out, mean)
                 };
                 let outputs = self.program.output_count();
                 let step = self.step as usize;

@@ -32,7 +32,7 @@ use std::fmt;
 use std::sync::Arc;
 
 /// A runtime failure with source context.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RuntimeError {
     /// Description.
     pub message: String,
@@ -137,6 +137,15 @@ pub struct RunConfig {
     pub sample_step: Option<u32>,
     /// Instrumented variables.
     pub samples: Vec<SampleSpec>,
+    /// Runtime fault injection plan (the chaos axis). **Executor-only**:
+    /// the tree-walking reference engine ignores it, and differential
+    /// suites only ever run zero-fault configurations. Empty by default,
+    /// and an empty plan leaves the hot path byte-identical.
+    pub faults: crate::fault::FaultPlan,
+    /// Statement-fuel budget per run. **Executor-only**, like `faults`.
+    /// `None` means unlimited; exhaustion aborts the run with a
+    /// retryable budget error instead of hanging.
+    pub fuel: Option<u64>,
 }
 
 impl Default for RunConfig {
@@ -149,7 +158,22 @@ impl Default for RunConfig {
             fma_scale: 1.0,
             sample_step: None,
             samples: Vec::new(),
+            faults: crate::fault::FaultPlan::default(),
+            fuel: None,
         }
+    }
+}
+
+impl RunConfig {
+    /// A copy with fault injection stripped (budgets retained).
+    ///
+    /// Oracle queries answer "what does the *program* compute", so
+    /// evidence gathering must run fault-free even when the scenario
+    /// under diagnosis carries a fault plan.
+    pub fn without_faults(&self) -> RunConfig {
+        let mut c = self.clone();
+        c.faults = crate::fault::FaultPlan::default();
+        c
     }
 }
 

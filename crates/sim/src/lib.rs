@@ -26,6 +26,10 @@
 //! retained as the reference engine: both are built on the same scalar
 //! kernel (`ops`) and the differential suite (`tests/differential.rs`)
 //! holds them bit-identical across histories, samples, and coverage.
+//! The runtime fault-injection axis ([`fault`]: seeded [`FaultPlan`]s,
+//! statement fuel) is **Executor-only** — the reference engine ignores
+//! it and the differential suites only ever run zero-fault
+//! configurations, so parity is unaffected.
 //!
 //! [`runner`] drives single runs and rayon-parallel ensembles;
 //! [`store`] holds whole ensembles as **one contiguous columnar block**
@@ -37,6 +41,7 @@
 
 pub mod compile;
 pub mod exec;
+pub mod fault;
 pub mod interp;
 pub mod kernel;
 mod ops;
@@ -48,6 +53,7 @@ pub mod value;
 
 pub use compile::compile_sources;
 pub use exec::Executor;
+pub use fault::{Fault, FaultKind, FaultPlan, BUDGET_CONTEXT, FAULT_CONTEXT};
 pub use interp::{Avx2Policy, History, Interpreter, RunConfig, RuntimeError, SampleSpec};
 pub use kernel::{
     compare_kernel, kernel_sample_specs, kernel_sample_specs_program, KernelComparison,
@@ -63,5 +69,5 @@ pub use runner::{
     compile_model, finite_outputs_at, outputs_matrix, perturbations, run_ensemble,
     run_ensemble_program, run_loaded, run_model, run_program, RunOutput,
 };
-pub use store::{EnsembleRuns, RunCoverage, RunView};
+pub use store::{EnsembleRuns, MemberHealth, RunCoverage, RunView};
 pub use value::Value;

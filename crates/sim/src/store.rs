@@ -186,6 +186,46 @@ pub struct EnsembleRuns {
     written: Vec<u32>,
     covered: Vec<bool>,
     samples: Vec<Vec<Option<Vec<f64>>>>,
+    /// Per-member outcome of the fill, in perturbation order. All
+    /// [`MemberHealth::Healthy`] on the zero-fault path.
+    health: Vec<MemberHealth>,
+}
+
+/// Outcome of one ensemble member's fill under the retry policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemberHealth {
+    /// First attempt succeeded.
+    Healthy,
+    /// A retry with a derived perturbation succeeded after `retries`
+    /// failed attempts.
+    Recovered {
+        /// Number of failed attempts before success.
+        retries: u32,
+    },
+    /// Every attempt failed; the member's store chunk is untouched
+    /// (NaN data, zero written lengths) and consumers must skip it.
+    Quarantined {
+        /// The final attempt's failure.
+        error: RuntimeError,
+    },
+}
+
+impl MemberHealth {
+    /// Whether the member is excluded from statistics.
+    pub fn is_quarantined(&self) -> bool {
+        matches!(self, MemberHealth::Quarantined { .. })
+    }
+}
+
+/// Derived perturbation for retry `attempt` (0 = the original): a
+/// relative nudge at the same magnitude scale, so a recovered member is
+/// still a valid draw from the perturbation distribution.
+fn retry_pert(pert: f64, attempt: u32) -> f64 {
+    if attempt == 0 {
+        pert
+    } else {
+        pert * (1.0 + f64::from(attempt) * 1e-3)
+    }
 }
 
 impl EnsembleRuns {
@@ -194,11 +234,35 @@ impl EnsembleRuns {
     /// executor ([`Executor::new`] once per worker, [`Executor::reset`]
     /// between members) so the steady-state fill allocates nothing beyond
     /// the store itself.
+    ///
+    /// Fail-fast compatibility wrapper over
+    /// [`EnsembleRuns::run_resilient`] with zero retries: the first
+    /// member failure (in member order) is returned as an error.
     pub fn run(
         program: &Arc<Program>,
         config: &RunConfig,
         perts: &[f64],
     ) -> Result<EnsembleRuns, RuntimeError> {
+        let store = Self::run_resilient(program, config, perts, 0);
+        match store.first_failure() {
+            Some((_, e)) => Err(e.clone()),
+            None => Ok(store),
+        }
+    }
+
+    /// Runs the ensemble with per-member retry and quarantine instead of
+    /// fail-fast: a member whose run errors is retried with a derived
+    /// perturbation up to `max_retries` times, then quarantined (chunk
+    /// left NaN / zero-written, [`MemberHealth::Quarantined`] recorded)
+    /// while the rest of the ensemble completes. Transient injected
+    /// faults vanish on retry ([`crate::FaultPlan`] semantics); genuine
+    /// model errors persist and quarantine the member.
+    pub fn run_resilient(
+        program: &Arc<Program>,
+        config: &RunConfig,
+        perts: &[f64],
+        max_retries: u32,
+    ) -> EnsembleRuns {
         rca_obs::counter_inc!("ensemble.fills", 1);
         rca_obs::counter_inc!("ensemble.members", perts.len() as u64);
         let members = perts.len();
@@ -215,6 +279,7 @@ impl EnsembleRuns {
         // (split explicitly so degenerate shapes — zero outputs, zero
         // steps — still produce one item per member).
         struct Slot<'a> {
+            member: u32,
             hist: &'a mut [f64],
             written: &'a mut [u32],
             covered: &'a mut [bool],
@@ -227,7 +292,7 @@ impl EnsembleRuns {
             let mut hist_rest: &mut [f64] = &mut data;
             let mut written_rest: &mut [u32] = &mut written;
             let mut covered_rest: &mut [bool] = &mut covered;
-            for (samples, &pert) in samples.iter_mut().zip(perts.iter()) {
+            for (member, (samples, &pert)) in samples.iter_mut().zip(perts.iter()).enumerate() {
                 let (hist, hr) = hist_rest.split_at_mut(chunk);
                 let (written, wr) = written_rest.split_at_mut(outputs);
                 let (covered, cr) = covered_rest.split_at_mut(procs);
@@ -235,6 +300,7 @@ impl EnsembleRuns {
                 written_rest = wr;
                 covered_rest = cr;
                 items.push(Slot {
+                    member: member as u32,
                     hist,
                     written,
                     covered,
@@ -243,27 +309,62 @@ impl EnsembleRuns {
                 });
             }
         }
-        let results: Result<Vec<()>, RuntimeError> = items
+        let health: Vec<MemberHealth> = items
             .into_par_iter()
             .map_init(
                 || Executor::new(Arc::clone(program), config),
                 |ex, slot| {
-                    ex.reset();
-                    ex.drive(slot.pert)?;
-                    // Publish: one memcpy for the rows the run actually
-                    // reached (the store is NaN-prefilled past them).
-                    let rows = ex.history.len().min(slot.hist.len());
-                    slot.hist[..rows].copy_from_slice(&ex.history[..rows]);
-                    slot.written.copy_from_slice(&ex.written);
-                    slot.covered.copy_from_slice(&ex.covered);
-                    *slot.samples = std::mem::take(&mut ex.samples);
-                    ex.samples.resize(config.samples.len(), None);
-                    Ok(())
+                    let mut attempt = 0u32;
+                    loop {
+                        ex.reset();
+                        ex.begin_member(slot.member, attempt);
+                        match ex.drive(retry_pert(slot.pert, attempt)) {
+                            Ok(()) => {
+                                // Publish: one memcpy for the rows the run
+                                // actually reached (the store is
+                                // NaN-prefilled past them).
+                                let rows = ex.history.len().min(slot.hist.len());
+                                slot.hist[..rows].copy_from_slice(&ex.history[..rows]);
+                                slot.written.copy_from_slice(&ex.written);
+                                slot.covered.copy_from_slice(&ex.covered);
+                                *slot.samples = std::mem::take(&mut ex.samples);
+                                ex.samples.resize(config.samples.len(), None);
+                                return if attempt == 0 {
+                                    MemberHealth::Healthy
+                                } else {
+                                    MemberHealth::Recovered { retries: attempt }
+                                };
+                            }
+                            Err(error) if attempt < max_retries => {
+                                rca_obs::counter_inc!("ensemble.member_retry", 1);
+                                rca_obs::event(
+                                    "ensemble.member_retry",
+                                    &[
+                                        ("member", u64::from(slot.member).into()),
+                                        ("attempt", u64::from(attempt).into()),
+                                        ("error", error.to_string().into()),
+                                    ],
+                                );
+                                attempt += 1;
+                            }
+                            Err(error) => {
+                                rca_obs::counter_inc!("ensemble.quarantined", 1);
+                                rca_obs::event(
+                                    "ensemble.quarantined",
+                                    &[
+                                        ("member", u64::from(slot.member).into()),
+                                        ("attempts", u64::from(attempt + 1).into()),
+                                        ("error", error.to_string().into()),
+                                    ],
+                                );
+                                return MemberHealth::Quarantined { error };
+                            }
+                        }
+                    }
                 },
             )
             .collect();
-        results?;
-        Ok(EnsembleRuns {
+        EnsembleRuns {
             program: Arc::clone(program),
             members,
             steps,
@@ -272,6 +373,45 @@ impl EnsembleRuns {
             written,
             covered,
             samples,
+            health,
+        }
+    }
+
+    /// Per-member fill outcomes, in perturbation order.
+    pub fn health(&self) -> &[MemberHealth] {
+        &self.health
+    }
+
+    /// Member indices that survived the fill (not quarantined), in order.
+    pub fn surviving(&self) -> Vec<usize> {
+        (0..self.members)
+            .filter(|&m| !self.health[m].is_quarantined())
+            .collect()
+    }
+
+    /// Number of surviving (non-quarantined) members.
+    pub fn surviving_count(&self) -> usize {
+        self.health.iter().filter(|h| !h.is_quarantined()).count()
+    }
+
+    /// Number of quarantined members.
+    pub fn quarantined_count(&self) -> usize {
+        self.members - self.surviving_count()
+    }
+
+    /// Number of members that recovered via retry.
+    pub fn recovered_count(&self) -> usize {
+        self.health
+            .iter()
+            .filter(|h| matches!(h, MemberHealth::Recovered { .. }))
+            .count()
+    }
+
+    /// The lowest-index quarantined member and its error, if any.
+    pub fn first_failure(&self) -> Option<(usize, &RuntimeError)> {
+        self.health.iter().enumerate().find_map(|(m, h)| match h {
+            MemberHealth::Quarantined { error } => Some((m, error)),
+            _ => None,
         })
     }
 
@@ -330,16 +470,21 @@ impl EnsembleRuns {
     }
 
     /// Dense output ids whose series are present and finite at `step` in
-    /// **every** member — the keep-set ensemble/ECT matrices are built
-    /// from. Pure contiguous-plane scanning, no hashing, no fallback: one
-    /// store always means one program and one output table.
+    /// **every surviving** member — the keep-set ensemble/ECT matrices
+    /// are built from. Quarantined members are skipped (their chunks are
+    /// all-NaN and would empty the keep-set); with zero survivors the
+    /// keep-set is empty. Pure contiguous-plane scanning, no hashing, no
+    /// fallback: one store always means one program and one output table.
     pub fn finite_outputs_at(&self, step: u32) -> Vec<u32> {
         let step = step as usize;
-        if step >= self.steps || self.members == 0 {
+        if step >= self.steps || self.surviving_count() == 0 {
             return Vec::new();
         }
         let mut keep: Vec<bool> = vec![true; self.outputs];
         for m in 0..self.members {
+            if self.health[m].is_quarantined() {
+                continue;
+            }
             let plane = self.step_plane(m, step);
             let written = self.written_of(m);
             for (i, k) in keep.iter_mut().enumerate() {
@@ -353,19 +498,22 @@ impl EnsembleRuns {
             .collect()
     }
 
-    /// Assembles the `members × kept` output matrix at `step` straight out
-    /// of the store: each matrix row memcpy-gathers from the member's
-    /// contiguous step plane, with the full-table case degenerating to a
-    /// straight row copy. `kept` holds dense output ids (e.g. from
-    /// [`EnsembleRuns::finite_outputs_at`]).
+    /// Assembles the `surviving × kept` output matrix at `step` straight
+    /// out of the store: each matrix row memcpy-gathers from a surviving
+    /// member's contiguous step plane, with the full-table case
+    /// degenerating to a straight row copy. `kept` holds dense output ids
+    /// (e.g. from [`EnsembleRuns::finite_outputs_at`]); quarantined
+    /// members contribute no row, so a zero-fault store yields exactly
+    /// the legacy `members × kept` matrix.
     pub fn matrix_at(&self, step: u32, kept: &[u32]) -> Matrix {
         let step = step as usize;
+        let rows = self.surviving();
         let identity =
             kept.len() == self.outputs && kept.iter().enumerate().all(|(i, &k)| i == k as usize);
         if identity {
-            Matrix::from_rows_with(self.members, self.outputs, |m| self.step_plane(m, step))
+            Matrix::from_rows_with(rows.len(), self.outputs, |r| self.step_plane(rows[r], step))
         } else {
-            Matrix::gather_rows_with(self.members, kept, |m| self.step_plane(m, step))
+            Matrix::gather_rows_with(rows.len(), kept, |r| self.step_plane(rows[r], step))
         }
     }
 
@@ -590,5 +738,113 @@ mod tests {
         assert_eq!(store.members(), 0);
         assert!(store.finite_outputs_at(0).is_empty());
         assert!(store.to_run_outputs().is_empty());
+    }
+
+    #[test]
+    fn resilient_fill_retries_transient_faults_and_quarantines_persistent_ones() {
+        use crate::fault::{Fault, FaultKind, FaultPlan};
+        let model = generate(&ModelConfig::test());
+        let program = compile_model(&model).expect("compile");
+        let perts = perturbations(4, 1e-14, 0x51);
+        let config = RunConfig {
+            faults: FaultPlan {
+                faults: vec![
+                    // Transient: aborts the first attempt only.
+                    Fault {
+                        member: 1,
+                        step: 1,
+                        output: 0,
+                        kind: FaultKind::Abort,
+                        persistent: false,
+                    },
+                    // Persistent: aborts every attempt.
+                    Fault {
+                        member: 2,
+                        step: 1,
+                        output: 0,
+                        kind: FaultKind::Abort,
+                        persistent: true,
+                    },
+                ],
+            },
+            ..cfg()
+        };
+        // Fail-fast entry point: the first failure surfaces as an error.
+        assert!(EnsembleRuns::run(&program, &config, &perts).is_err());
+        // Resilient entry point: retry what recovers, quarantine the rest.
+        let store = EnsembleRuns::run_resilient(&program, &config, &perts, 2);
+        assert_eq!(store.health()[0], MemberHealth::Healthy);
+        assert_eq!(store.health()[1], MemberHealth::Recovered { retries: 1 });
+        assert!(store.health()[2].is_quarantined());
+        assert_eq!(store.health()[3], MemberHealth::Healthy);
+        assert_eq!(store.surviving(), vec![0, 1, 3]);
+        assert_eq!(store.surviving_count(), 3);
+        assert_eq!(store.recovered_count(), 1);
+        assert_eq!(store.quarantined_count(), 1);
+        let (idx, err) = store.first_failure().expect("one quarantined member");
+        assert_eq!(idx, 2);
+        assert!(err.to_string().contains("member-abort"), "{err}");
+        // The keep set and matrix cover survivors only: a quarantined
+        // member's zeroed slot must never reach the ECT.
+        let kept = store.finite_outputs_at(2);
+        assert!(!kept.is_empty());
+        let m = store.matrix_at(2, &kept);
+        assert_eq!(m.rows(), 3, "one row per surviving member");
+        // With every member quarantined nothing survives: empty keep set
+        // instead of a panic or a poisoned matrix.
+        let all_fail = RunConfig {
+            faults: FaultPlan {
+                faults: (0..4)
+                    .map(|m| Fault {
+                        member: m,
+                        step: 1,
+                        output: 0,
+                        kind: FaultKind::Abort,
+                        persistent: true,
+                    })
+                    .collect(),
+            },
+            ..cfg()
+        };
+        let dead = EnsembleRuns::run_resilient(&program, &all_fail, &perts, 1);
+        assert_eq!(dead.surviving_count(), 0);
+        assert_eq!(dead.quarantined_count(), 4);
+        assert!(dead.finite_outputs_at(2).is_empty());
+    }
+
+    #[test]
+    fn poisoned_outputs_fall_out_of_the_keep_set() {
+        use crate::fault::{Fault, FaultKind, FaultPlan};
+        let model = generate(&ModelConfig::test());
+        let program = compile_model(&model).expect("compile");
+        let perts = perturbations(3, 1e-14, 0x52);
+        let clean = EnsembleRuns::run(&program, &cfg(), &perts).expect("store");
+        let kept_clean = clean.finite_outputs_at(2);
+        assert!(
+            kept_clean.contains(&0),
+            "output 0 must be finite when clean"
+        );
+        // NaN-poison output 0 on one member: the run completes (the
+        // member stays healthy — this is the heterogeneous-output path,
+        // not the quarantine path) but the poisoned column must drop out
+        // of the keep set for every member.
+        let config = RunConfig {
+            faults: FaultPlan {
+                faults: vec![Fault {
+                    member: 1,
+                    step: 1,
+                    output: 0,
+                    kind: FaultKind::PoisonNan,
+                    persistent: false,
+                }],
+            },
+            ..cfg()
+        };
+        let poisoned = EnsembleRuns::run(&program, &config, &perts).expect("poison is not fatal");
+        assert_eq!(poisoned.surviving_count(), 3, "poisoning kills no member");
+        let kept = poisoned.finite_outputs_at(2);
+        assert!(!kept.contains(&0), "poisoned output must be excluded");
+        assert!(kept.iter().all(|k| kept_clean.contains(k)));
+        assert!(kept.len() < kept_clean.len());
     }
 }

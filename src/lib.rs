@@ -240,6 +240,46 @@
 //!   ground truth. [`rca::RcaSession::analyze`] exposes the plane over
 //!   the session's own coverage-filtered source universe.
 //!
+//! ## The fault-tolerance plane
+//!
+//! Ensembles are dozens of independent runs, and the method's statistics
+//! only need a quorum of them — so the pipeline **degrades instead of
+//! diverging** when members fail:
+//!
+//! - **Runtime fault injection** ([`sim::FaultPlan`]): a seeded,
+//!   deterministic chaos axis the [`sim::Executor`] applies mid-run —
+//!   NaN/Inf poisoning and stuck values on chosen outputs, transient or
+//!   persistent member aborts. Executor-only by construction: the
+//!   reference tree-walker ignores it, differential suites run zero-fault
+//!   configurations, and an empty plan leaves the hot path byte-identical.
+//!   `rca-campaign --runtime-faults S` seeds one plan per scenario from a
+//!   stream independent of the mutation RNG, so the chaos axis never
+//!   perturbs a recorded mutation plan.
+//! - **Graceful degradation**: [`sim::EnsembleRuns::run_resilient`]
+//!   tracks per-member [`sim::MemberHealth`], retries failed members with
+//!   derived reseeds up to a bounded [`rca::RetryPolicy`], and
+//!   quarantines what never recovers; the statistics stages fit the ECT
+//!   from the surviving quorum (configurable minimums) and record a
+//!   [`rca::DegradedEnsemble`] note on the [`rca::Diagnosis`] instead of
+//!   erroring. Non-finite values that poison an output without killing
+//!   its member fall out of the keep set the ECT already intersects.
+//! - **Run budgets**: statement fuel per run (`RunConfig::fuel`) and a
+//!   per-diagnosis wall clock ([`rca::RcaSessionBuilder::wall_budget`])
+//!   turn runaway work into typed, **retryable**
+//!   [`rca::RcaError::Budget`] errors ([`rca::RcaError::is_retryable`])
+//!   instead of hangs.
+//! - **Resumable campaigns**: the batch runner streams each finished
+//!   scenario to an append-only JSONL checkpoint keyed by `(seed, plan
+//!   digest, index)`; a restarted campaign restores what already ran and
+//!   its merged scorecard is byte-identical to an uninterrupted run's.
+//!
+//! The standing invariant is *degrade, never diverge*: every
+//! fault-tolerance path is observable in telemetry
+//! (`ensemble.member_retry`, `ensemble.quarantined`,
+//! `run.budget_exhausted`) but invisible in deterministic artifacts —
+//! a zero-fault fixed-seed campaign produces byte-identical scorecards
+//! before and after the whole plane existed.
+//!
 //! ## The observability plane
 //!
 //! Every layer from parse to diagnosis is instrumented through the
