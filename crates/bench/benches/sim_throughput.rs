@@ -11,9 +11,10 @@ use rayon::prelude::*;
 use rca_bench::{bench_config, header};
 use rca_core::{PipelineOptions, RcaPipeline};
 use rca_metagraph::NodeKind;
+use rca_model::{Component, ModelFile, ModelSource};
 use rca_sim::{
     compile_model, perturbations, run_ensemble_program, run_loaded, run_program, EnsembleRuns,
-    Interpreter, RunConfig, SampleSpec,
+    ExecEngine, Interpreter, RunConfig, SampleSpec,
 };
 use serde::{Json, Serialize as _};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -81,12 +82,26 @@ fn main() {
     let program = compile_model(&model).expect("compile");
     let compile_s = t0.elapsed().as_secs_f64();
 
-    // Compiled single runs.
+    // Compiled single runs — bytecode VM (the default engine).
     let t0 = Instant::now();
     for i in 0..repeat {
         run_program(&program, &cfg, i as f64 * 1e-14).expect("compiled run");
     }
     let compiled_s = t0.elapsed().as_secs_f64() / repeat as f64;
+
+    // Slot-indexed tree executor on the same program: the engine tier
+    // the VM replaces as default. Same compile, same pooled frames —
+    // the delta is pure dispatch (flat instruction array vs host-stack
+    // recursion over the statement tree).
+    let tree_engine_cfg = RunConfig {
+        engine: ExecEngine::Tree,
+        ..cfg.clone()
+    };
+    let t0 = Instant::now();
+    for i in 0..repeat {
+        run_program(&program, &tree_engine_cfg, i as f64 * 1e-14).expect("tree-engine run");
+    }
+    let tree_engine_s = t0.elapsed().as_secs_f64() / repeat as f64;
 
     // Tree-walking reference: parse + load + run per run, exactly the
     // per-run cost `run_model` paid before the compile step existed.
@@ -173,9 +188,11 @@ fn main() {
 
     let steps_per_run = cfg.steps as f64;
     let compiled_sps = steps_per_run / compiled_s;
+    let tree_engine_sps = steps_per_run / tree_engine_s;
     let tree_sps = steps_per_run / tree_s;
     let ens_sps = steps_per_run * n_members as f64 / ens_s;
     let speedup = tree_s / compiled_s;
+    let vm_over_tree = tree_engine_s / compiled_s;
 
     println!("model scale: {scale} ({} files)", model.files.len());
     println!(
@@ -183,16 +200,147 @@ fn main() {
         compile_s * 1e3
     );
     println!(
-        "compiled single run: {:.1} ms ({compiled_sps:.0} steps/sec)",
+        "bytecode VM single run: {:.1} ms ({compiled_sps:.0} steps/sec)",
         compiled_s * 1e3
+    );
+    println!(
+        "tree executor single run: {:.1} ms ({tree_engine_sps:.0} steps/sec)",
+        tree_engine_s * 1e3
     );
     println!(
         "tree-walker single run: {:.1} ms ({tree_sps:.0} steps/sec)",
         tree_s * 1e3
     );
-    println!("speedup (tree-walker / compiled): {speedup:.2}x");
+    println!("speedup (tree executor / VM): {vm_over_tree:.2}x");
+    println!("speedup (tree-walker / VM): {speedup:.2}x");
     println!(
         "ensemble ({n_members} members, shared program): {ens_s:.2} s ({ens_sps:.0} steps/sec aggregate)"
+    );
+    // Perf floor, CI-enforced: the VM must never regress below the tree
+    // executor it replaced as the default engine.
+    assert!(
+        compiled_sps >= tree_engine_sps,
+        "vm_steps_per_sec ({compiled_sps:.0}) fell below tree_steps_per_sec ({tree_engine_sps:.0})"
+    );
+
+    // ----- step-kernel microbench: ns per element, VM vs tree -----------
+    //
+    // One elementwise loop over a 4096-wide column pair, isolated from
+    // the rest of the model: the compiled column step-kernel against the
+    // tree executor walking the same statements element-at-a-time. This
+    // is the per-element price of the innermost tier.
+    let kern_width = 4096usize;
+    let kern_steps = 32u32;
+    let kern_model = ModelSource {
+        files: vec![ModelFile {
+            name: "kernbench.F90".to_string(),
+            component: Component::Cam,
+            source: format!(
+                r#"
+module kernbench
+  implicit none
+  real :: a({kern_width})
+  real :: b({kern_width})
+contains
+  subroutine cam_init(pert)
+    real, intent(in) :: pert
+    integer :: i
+    do i = 1, {kern_width}
+      a(i) = 0.001 * i + pert
+      b(i) = 0.002 * i - 1.0
+    end do
+  end subroutine cam_init
+  subroutine cam_run_step()
+    integer :: i
+    do i = 1, {kern_width}
+      a(i) = a(i) + 0.25 * (tanh(b(i)) - a(i))
+      b(i) = b(i) * 0.999 + 0.001 * a(i)
+    end do
+    call outfld('KBA', a, {kern_width})
+  end subroutine cam_run_step
+end module kernbench
+"#
+            ),
+        }],
+        config: bench_config(),
+    };
+    let kern_program = compile_model(&kern_model).expect("kernbench compile");
+    assert_eq!(
+        kern_program.kernel_count(),
+        1,
+        "microbench loop must kernelize"
+    );
+    let kern_cfg = RunConfig {
+        steps: kern_steps,
+        ..Default::default()
+    };
+    let kern_tree_cfg = RunConfig {
+        engine: ExecEngine::Tree,
+        ..kern_cfg.clone()
+    };
+    let elems = f64::from(kern_steps) * kern_width as f64 * 2.0;
+    let time_engine = |cfg: &RunConfig| {
+        run_program(&kern_program, cfg, 0.0).expect("warm");
+        let reps = 5;
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            run_program(&kern_program, cfg, 0.0).expect("kernbench run");
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        best * 1e9 / elems
+    };
+    let kern_vm_ns = time_engine(&kern_cfg);
+    let kern_tree_ns = time_engine(&kern_tree_cfg);
+    println!(
+        "step kernel ({kern_width}-wide, 2 stmts): VM {kern_vm_ns:.1} ns/elem, \
+         tree {kern_tree_ns:.1} ns/elem ({:.2}x)",
+        kern_tree_ns / kern_vm_ns
+    );
+    println!(
+        "bytecode: {} instrs, {} column kernels",
+        program.instr_count(),
+        program.kernel_count()
+    );
+
+    // ----- column-kernel microbench: ns per outputs-wide plane op -------
+    //
+    // The chunked keep-refine and gather kernels run once per member per
+    // assembly; time them on a plane exactly as wide as this program's
+    // output table.
+    let outputs = program.output_count().max(1);
+    let plane: Vec<f64> = (0..outputs)
+        .map(|i| match i % 17 {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            _ => i as f64 * 0.5,
+        })
+        .collect();
+    let written: Vec<u32> = (0..outputs as u32).map(|i| 3 + i % 7).collect();
+    let kern_iters: u32 = if scale == "test" { 20_000 } else { 50_000 };
+    let mut keep = vec![true; outputs];
+    let t0 = Instant::now();
+    for _ in 0..kern_iters {
+        rca_stats::kernels::keep_refine(
+            std::hint::black_box(&mut keep),
+            &written,
+            &plane,
+            std::hint::black_box(4),
+        );
+    }
+    let refine_ns = t0.elapsed().as_secs_f64() * 1e9 / f64::from(kern_iters);
+    let ids = rca_stats::kernels::keep_to_ids(&keep);
+    let mut gathered: Vec<f64> = Vec::with_capacity(ids.len());
+    let t0 = Instant::now();
+    for _ in 0..kern_iters {
+        gathered.clear();
+        rca_stats::kernels::gather_into(std::hint::black_box(&mut gathered), &plane, &ids);
+    }
+    let gather_ns = t0.elapsed().as_secs_f64() * 1e9 / f64::from(kern_iters);
+    println!(
+        "column kernels ({outputs}-wide plane): keep-refine {refine_ns:.0} ns/plane, \
+         gather({}) {gather_ns:.0} ns/plane",
+        ids.len()
     );
 
     // ----- oracle-differs microbench: string-keyed vs id-keyed ----------
@@ -334,6 +482,39 @@ fn main() {
             ]),
         ),
         ("speedup", speedup.to_json()),
+        (
+            "engines",
+            Json::obj([
+                ("vm_steps_per_sec", compiled_sps.to_json()),
+                ("tree_steps_per_sec", tree_engine_sps.to_json()),
+                ("vm_over_tree", vm_over_tree.to_json()),
+            ]),
+        ),
+        (
+            "bytecode",
+            Json::obj([
+                ("instr_count", program.instr_count().to_json()),
+                ("kernel_count", program.kernel_count().to_json()),
+            ]),
+        ),
+        (
+            "step_kernel",
+            Json::obj([
+                ("width", kern_width.to_json()),
+                ("vm_ns_per_elem", kern_vm_ns.to_json()),
+                ("tree_ns_per_elem", kern_tree_ns.to_json()),
+                ("vm_over_tree", (kern_tree_ns / kern_vm_ns).to_json()),
+            ]),
+        ),
+        (
+            "kernels",
+            Json::obj([
+                ("plane_width", outputs.to_json()),
+                ("keep_refine_ns_per_plane", refine_ns.to_json()),
+                ("gather_ns_per_plane", gather_ns.to_json()),
+                ("gather_kept", ids.len().to_json()),
+            ]),
+        ),
         (
             "ensemble",
             Json::obj([

@@ -362,7 +362,7 @@ impl<'a> Compiler<'a> {
                         fields.insert(fent.name.clone(), v);
                     }
                 }
-                Ok(Value::Derived(fields))
+                Ok(Value::derived(fields))
             }
             _ => {
                 if let Some(shape) = shape {
@@ -667,7 +667,7 @@ impl<'a> Compiler<'a> {
                     }
                 }
             }
-            return LocalTemplate::Derived(Value::Derived(fields));
+            return LocalTemplate::Derived(Value::derived(fields));
         }
         if let Some(shape) = decl.shape_of(entity) {
             let extents: Vec<EId> = shape
@@ -1196,7 +1196,7 @@ impl<'a> Compiler<'a> {
         let output_names: Vec<Arc<str>> = (0..self.syms.output_count())
             .map(|i| self.syms.output_arc(rca_ident::OutputId(i as u32)))
             .collect();
-        Program {
+        let mut program = Program {
             exprs: self.exprs,
             procs: self.compiled,
             sites: self.sites,
@@ -1210,7 +1210,12 @@ impl<'a> Compiler<'a> {
             global_init_deps: self.global_init_deps,
             global_origins,
             syms: Arc::new(self.syms),
-        }
+            bc: crate::bytecode::Bytecode::default(),
+        };
+        // Lower to the bytecode tier once the tree IR is sealed; the
+        // register VM in `exec` runs this form.
+        program.bc = crate::bytecode::lower(&program);
+        program
     }
 }
 

@@ -21,6 +21,7 @@
 //! identical unless a subscript expression itself mutates the array it
 //! subscripts — a pattern the model generator never emits.
 
+use crate::bytecode::{Bytecode, Instr, KArr, KOp, KScalar, Kernel, Src, SrcKind, NO_REG};
 use crate::fault::{Fault, FaultKind, FaultPlan, BUDGET_CONTEXT, FAULT_CONTEXT};
 use crate::interp::{RunConfig, RuntimeError};
 use crate::ops::{self, Flow, RunResult};
@@ -49,6 +50,98 @@ type Locals = [Option<Value>];
 
 /// Per-proc local sampling plans: proc index → `(frame slot, sample idx)`.
 type LocalPlans = HashMap<u32, Vec<(u32, u32)>>;
+
+/// Which engine an [`Executor`] dispatches through. Both run the same
+/// compiled [`Program`] and are bit-identical by contract (the three-way
+/// differential suite enforces it against the reference interpreter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecEngine {
+    /// The bytecode register VM (default): flat instruction arrays, an
+    /// explicit frame stack, pooled typed slots.
+    #[default]
+    Vm,
+    /// The slot-indexed statement/expression tree walker — kept as the
+    /// middle differential tier and a fallback while the VM tier grows.
+    Tree,
+}
+
+/// One typed frame slot of a VM frame. `live` is the `Option` of the
+/// tree-walker's `Option<Value>` frames, split out so dead slots retain
+/// their last allocation (derived-type maps, array buffers) for the next
+/// run of the same subprogram to reuse.
+#[derive(Debug)]
+struct VmSlot {
+    live: bool,
+    val: Value,
+}
+
+/// A pooled VM call frame: locals (`slots`) plus the register file.
+#[derive(Debug, Default)]
+struct VmFrame {
+    slots: Vec<VmSlot>,
+    regs: Vec<Value>,
+}
+
+/// A call's saved continuation on the explicit VM stack.
+struct VmSuspend {
+    /// Caller proc index.
+    proc: u32,
+    /// Caller resume ip (the instruction after the `Call`).
+    ip: u32,
+    /// Caller register for the function result; `NO_REG` = subroutine.
+    dst: u32,
+    /// Park the finished frame on the copy-out stack instead of
+    /// recycling it (subroutine calls with a copy-out plan).
+    keep: bool,
+    /// The caller's suspended frame.
+    frame: VmFrame,
+}
+
+/// The VM's run-to-run state: frame pools and the explicit stacks.
+/// Pools persist across [`Executor::reset`] exactly like `frame_pool`.
+struct VmState {
+    /// Per-proc frame pools. A frame is only ever recycled into its own
+    /// proc's pool, so pooled shapes (slot/register counts) are exact.
+    pools: Vec<Vec<VmFrame>>,
+    /// The explicit call stack (empty between host calls).
+    stack: Vec<VmSuspend>,
+    /// Finished frames parked for copy-out, tagged with their proc.
+    returned: Vec<(u32, VmFrame)>,
+    /// `local_plan` as a dense per-proc table (positional sampling on
+    /// `Ret` without a hash lookup).
+    local_dense: Vec<Vec<(u32, u32)>>,
+    /// Pooled column-kernel RPN stack (`max_depth` columns of
+    /// [`KCHUNK`] lanes each).
+    kcols: Vec<[f64; KCHUNK]>,
+    /// Pooled column-kernel scalar broadcast values.
+    kscalars: Vec<f64>,
+}
+
+/// Column-kernel chunk width: long enough to amortize per-op dispatch
+/// and keep the element loops autovectorization-friendly, short enough
+/// that the RPN stack stays cache-resident.
+const KCHUNK: usize = 64;
+
+impl VmState {
+    fn new(n_procs: usize, plan: &LocalPlans) -> VmState {
+        VmState {
+            pools: (0..n_procs).map(|_| Vec::new()).collect(),
+            stack: Vec::new(),
+            returned: Vec::new(),
+            local_dense: dense_local_plans(n_procs, plan),
+            kcols: Vec::new(),
+            kscalars: Vec::new(),
+        }
+    }
+}
+
+fn dense_local_plans(n_procs: usize, plan: &LocalPlans) -> Vec<Vec<(u32, u32)>> {
+    let mut dense = vec![Vec::new(); n_procs];
+    for (&proc, entries) in plan {
+        dense[proc as usize] = entries.clone();
+    }
+    dense
+}
 
 /// Executes a compiled [`Program`]: load once (cheap — the program is
 /// shared), run one simulation — or, through the reset-and-reuse
@@ -113,6 +206,10 @@ pub struct Executor {
     fuel_limit: u64,
     /// Remaining statements this run; 0 aborts with a budget error.
     fuel: u64,
+    /// Engine the next [`Executor::call`] dispatches through.
+    engine: ExecEngine,
+    /// Bytecode-VM frame pools and stacks (idle under the tree engine).
+    vm: VmState,
 }
 
 impl std::fmt::Debug for Executor {
@@ -137,6 +234,7 @@ impl Executor {
             .collect();
         let (module_plan, local_plan) = build_sample_plans(&program, config);
         let fuel_limit = config.fuel.unwrap_or(u64::MAX);
+        let vm = VmState::new(program.procs.len(), &local_plan);
         let mut ex = Executor {
             globals: program.globals.clone(),
             fma,
@@ -164,6 +262,8 @@ impl Executor {
             attempt: 0,
             fuel_limit,
             fuel: fuel_limit,
+            engine: config.engine,
+            vm,
             program,
         };
         ex.resolve_faults();
@@ -281,6 +381,8 @@ impl Executor {
         self.steps = config.steps;
         self.sample_step = config.sample_step;
         let (module_plan, local_plan) = build_sample_plans(&p, config);
+        self.vm.local_dense = dense_local_plans(p.procs.len(), &local_plan);
+        self.engine = config.engine;
         self.module_plan = module_plan;
         self.local_plan = local_plan;
         self.samples.clear();
@@ -332,9 +434,14 @@ impl Executor {
                 0,
             ));
         };
-        let locals = self.invoke(&p, idx, args.to_vec())?;
-        self.recycle_frame(locals);
-        Ok(())
+        match self.engine {
+            ExecEngine::Vm => self.vm_entry(&p, idx, args),
+            ExecEngine::Tree => {
+                let locals = self.invoke(&p, idx, args.to_vec())?;
+                self.recycle_frame(locals);
+                Ok(())
+            }
+        }
     }
 
     /// Advances the time-step counter (affects history recording and
@@ -1137,10 +1244,7 @@ impl Executor {
                         } else {
                             z
                         };
-                        let scale = self.fma_scale;
-                        let base = x * y + z;
-                        let fused = x.mul_add(y, z);
-                        return Ok(Value::Real(base + (fused - base) * scale));
+                        return Ok(Value::Real(ops::fma_blend(x, y, z, self.fma_scale)));
                     }
                     // Non-numeric operand: fall through to the plain
                     // binary evaluation, re-evaluating the operands (the
@@ -1222,6 +1326,1573 @@ impl Executor {
             line,
         )
     }
+
+    // ----- bytecode VM ----------------------------------------------------
+
+    /// Leases a frame for `proc` from its pool (shapes are exact — a
+    /// frame only ever returns to its own proc's pool) or builds one.
+    fn vm_lease(&mut self, proc: usize, n_slots: usize, n_regs: usize) -> VmFrame {
+        if let Some(f) = self.vm.pools[proc].pop() {
+            debug_assert_eq!(f.slots.len(), n_slots);
+            debug_assert_eq!(f.regs.len(), n_regs);
+            return f;
+        }
+        VmFrame {
+            slots: (0..n_slots)
+                .map(|_| VmSlot {
+                    live: false,
+                    val: Value::Real(0.0),
+                })
+                .collect(),
+            regs: vec![Value::Real(0.0); n_regs],
+        }
+    }
+
+    /// Returns a finished frame to its proc's pool. Slot *values* stay —
+    /// a dead slot's last derived-type map or array buffer is reused by
+    /// the next `InitDerived`/`InitArray` of the same subprogram (the
+    /// typed-slot pooling the tree engine's scratch harvest approximates).
+    fn vm_recycle(&mut self, proc: usize, mut f: VmFrame) {
+        for s in &mut f.slots {
+            s.live = false;
+        }
+        self.vm.pools[proc].push(f);
+    }
+
+    /// Runs `entry` on the bytecode VM (the `ExecEngine::Vm` half of
+    /// [`Executor::call`]): dispatch, then error-path frame salvage and
+    /// the traced-only instruction counters.
+    fn vm_entry(&mut self, p: &Program, entry: u32, args: &[Value]) -> RunResult<()> {
+        let mut retired = 0u64;
+        let res = self.vm_loop(p, entry, args, &mut retired);
+        if res.is_err() {
+            // Unwind: every suspended/parked frame returns to its own
+            // proc's pool (the erroring frame itself was dropped).
+            while let Some(sus) = self.vm.stack.pop() {
+                self.vm_recycle(sus.proc as usize, sus.frame);
+            }
+            while let Some((pp, f)) = self.vm.returned.pop() {
+                self.vm_recycle(pp as usize, f);
+            }
+        }
+        debug_assert!(self.vm.stack.is_empty() && self.vm.returned.is_empty());
+        if rca_obs::tracing_active() {
+            rca_obs::counter_inc!("vm.instructions", retired);
+            rca_obs::counter_inc!("vm.dispatch", 1);
+        }
+        res
+    }
+
+    /// The dispatch loop. One host call = one entry frame; nested calls
+    /// suspend onto `vm.stack` instead of the host stack. Every arm
+    /// mirrors the tree-walker's semantics exactly — evaluation order,
+    /// coercions, error text, error timing (the differential suite
+    /// enforces bit-identity); comments call out the non-obvious cases.
+    fn vm_loop(
+        &mut self,
+        p: &Program,
+        entry: u32,
+        args: &[Value],
+        retired: &mut u64,
+    ) -> RunResult<()> {
+        let bc: &Bytecode = p.bytecode();
+        let mut proc = entry;
+        let mut prx = &p.procs[proc as usize];
+        let mut bp = &bc.procs[proc as usize];
+        let mut code: &[Instr] = &bp.code;
+        let mut lines: &[u32] = &bp.lines;
+        let mut ip = 0usize;
+
+        self.covered[proc as usize] = true;
+        let mut cur = self.vm_lease(proc as usize, bp.n_slots as usize, bp.n_regs as usize);
+        for (i, slot) in prx.arg_slots.iter().enumerate() {
+            // Host args are borrowed — clone, like the tree path's
+            // `args.to_vec()`.
+            let v = args.get(i).cloned().unwrap_or(Value::Real(0.0));
+            let sl = &mut cur.slots[*slot as usize];
+            sl.val = v;
+            sl.live = true;
+        }
+
+        loop {
+            *retired += 1;
+            let instr = code[ip];
+            #[cfg(feature = "vm-histogram")]
+            vm_histogram_count(&instr);
+            match instr {
+                Instr::Fuel => {
+                    // Check-then-decrement, exactly `exec_stmt`'s preamble.
+                    if self.fuel == 0 {
+                        rca_obs::counter_inc!("run.budget_exhausted", 1);
+                        return Err(RuntimeError::new(
+                            format!(
+                                "statement fuel budget of {} exhausted at step {} (member {})",
+                                self.fuel_limit, self.step, self.member
+                            ),
+                            BUDGET_CONTEXT,
+                            0,
+                        ));
+                    }
+                    self.fuel -= 1;
+                }
+                Instr::LoadConst { dst, k } => {
+                    cur.regs[dst as usize].clone_from(&bc.consts[k as usize]);
+                }
+                Instr::LoadLocal { dst, slot, name } => {
+                    let sl = &cur.slots[slot as usize];
+                    if !sl.live {
+                        return Err(RuntimeError::new(
+                            format!("undefined variable '{}'", bc.names[name as usize]),
+                            &prx.module,
+                            lines[ip],
+                        ));
+                    }
+                    cur.regs[dst as usize].clone_from(&cur.slots[slot as usize].val);
+                }
+                Instr::LoadLocalOr { dst, slot, global } => {
+                    if cur.slots[slot as usize].live {
+                        cur.regs[dst as usize].clone_from(&cur.slots[slot as usize].val);
+                    } else {
+                        cur.regs[dst as usize].clone_from(&self.globals[global as usize]);
+                    }
+                }
+                Instr::LoadGlobal { dst, global } => {
+                    cur.regs[dst as usize].clone_from(&self.globals[global as usize]);
+                }
+                Instr::Copy { dst, src } => {
+                    // Registers are single-use: move, don't clone.
+                    let v = std::mem::replace(&mut cur.regs[src as usize], Value::Real(0.0));
+                    cur.regs[dst as usize] = v;
+                }
+                Instr::ToNum { reg } => {
+                    match cur.regs[reg as usize].as_f64() {
+                        Some(x) => cur.regs[reg as usize] = Value::Real(x),
+                        None => {
+                            return Err(RuntimeError::new(
+                                format!(
+                                    "intrinsic argument must be numeric, got {}",
+                                    cur.regs[reg as usize].type_name()
+                                ),
+                                &prx.module,
+                                lines[ip],
+                            ))
+                        }
+                    };
+                }
+                Instr::ToInt { reg } => {
+                    let x = vm_int(&cur.regs[reg as usize], &prx.module, lines[ip])?;
+                    cur.regs[reg as usize] = Value::Int(x);
+                }
+                Instr::ToExtent { reg } => {
+                    // `local_value` Array: `as_i64` only, no truncation.
+                    let x = cur.regs[reg as usize].as_i64().ok_or_else(|| {
+                        RuntimeError::new("array extent not integer", &prx.module, lines[ip])
+                    })?;
+                    cur.regs[reg as usize] = Value::Int(x);
+                }
+                Instr::Unary { op, dst, src } => {
+                    let v = std::mem::replace(&mut cur.regs[src as usize], Value::Real(0.0));
+                    cur.regs[dst as usize] = ops::unary_op(op, v, &prx.module, lines[ip])?;
+                }
+                Instr::Binary { op, dst, l, r } => {
+                    // Fused operands resolve here, in operand order (an
+                    // unset fused local errors before `r` is touched).
+                    let lv = vm_src(
+                        l,
+                        &cur.regs,
+                        &cur.slots,
+                        &bc.consts,
+                        &prx.local_names,
+                        &prx.module,
+                        lines[ip],
+                    )?;
+                    let rv = vm_src(
+                        r,
+                        &cur.regs,
+                        &cur.slots,
+                        &bc.consts,
+                        &prx.local_names,
+                        &prx.module,
+                        lines[ip],
+                    )?;
+                    let v = ops::binary_op_ref(op, lv, rv, &prx.module, lines[ip])?;
+                    cur.regs[dst as usize] = v;
+                }
+                Instr::FmaTry {
+                    op,
+                    dst,
+                    a,
+                    b,
+                    c,
+                    plain,
+                } => {
+                    // All three operands resolve first, in order — an
+                    // unset fused local errors (like the tree-walker's
+                    // operand evaluation), it does not fall back.
+                    let rd = |s: Src| {
+                        vm_src(
+                            s,
+                            &cur.regs,
+                            &cur.slots,
+                            &bc.consts,
+                            &prx.local_names,
+                            &prx.module,
+                            lines[ip],
+                        )
+                        .map(Value::as_f64)
+                    };
+                    let (va, vb, vc) = (rd(a)?, rd(b)?, rd(c)?);
+                    if let (Some(x), Some(y), Some(z)) = (va, vb, vc) {
+                        let z = if op == rca_fortran::token::Op::Sub {
+                            -z
+                        } else {
+                            z
+                        };
+                        cur.regs[dst as usize] =
+                            Value::Real(ops::fma_blend(x, y, z, self.fma_scale));
+                    } else {
+                        // Non-numeric operand: jump to the unfused path,
+                        // which re-evaluates the plain operands (tree
+                        // fallthrough semantics).
+                        ip = plain as usize;
+                        continue;
+                    }
+                }
+                Instr::Intrinsic {
+                    which,
+                    n_args,
+                    dst,
+                    argv,
+                } => {
+                    let base = argv as usize;
+                    let k = n_args as usize;
+                    let line = lines[ip];
+                    let v = {
+                        // The window slice makes an out-of-range `arg(i)`
+                        // (e.g. `sign(x)` with one actual) panic exactly
+                        // like the tree's `args[i]` indexing.
+                        let window = &mut cur.regs[base..base + k];
+                        ops::intrinsic_op(
+                            which,
+                            k,
+                            &mut |i| Ok(std::mem::replace(&mut window[i], Value::Real(0.0))),
+                            &prx.module,
+                            line,
+                        )?
+                    };
+                    cur.regs[dst as usize] = v;
+                }
+                Instr::IndexLoad {
+                    dst,
+                    bind,
+                    sub,
+                    name,
+                } => {
+                    // Subscript resolution + coercion first, then base
+                    // resolution — `eval` Index order (a fused unset
+                    // local errors where its `LoadLocal` would have).
+                    let sv = vm_src(
+                        sub,
+                        &cur.regs,
+                        &cur.slots,
+                        &bc.consts,
+                        &prx.local_names,
+                        &prx.module,
+                        lines[ip],
+                    )?;
+                    let idx = vm_index(sv, &prx.module, lines[ip])?;
+                    let name = &bc.names[name as usize];
+                    let base: &Value = match bind {
+                        VarBind::Local(s) => {
+                            // BranchLocalSet guards this path: live.
+                            &cur.slots[s as usize].val
+                        }
+                        VarBind::LocalOrGlobal(s, g) => {
+                            if cur.slots[s as usize].live {
+                                &cur.slots[s as usize].val
+                            } else {
+                                &self.globals[g as usize]
+                            }
+                        }
+                        VarBind::Global(g) => &self.globals[g as usize],
+                    };
+                    let v = match base {
+                        Value::RealArray(v) => {
+                            v.get(idx).copied().map(Value::Real).ok_or_else(|| {
+                                RuntimeError::new(
+                                    format!(
+                                        "subscript {} out of bounds for {name} (len {})",
+                                        idx + 1,
+                                        v.len()
+                                    ),
+                                    &prx.module,
+                                    lines[ip],
+                                )
+                            })?
+                        }
+                        other => {
+                            return Err(RuntimeError::new(
+                                format!("cannot index {} '{name}'", other.type_name()),
+                                &prx.module,
+                                lines[ip],
+                            ))
+                        }
+                    };
+                    cur.regs[dst as usize] = v;
+                }
+                Instr::FieldCheck {
+                    bind,
+                    name,
+                    field,
+                    err,
+                } => {
+                    // The tree-walker's first pass over `base%field(sub)`
+                    // — checks only, the subscript runs next.
+                    vm_field_check(
+                        bind,
+                        &cur.slots,
+                        &self.globals,
+                        &bc.names[name as usize],
+                        &bc.names[field as usize],
+                        &bc.names[err as usize],
+                        &prx.module,
+                        lines[ip],
+                    )?;
+                }
+                Instr::LoadField {
+                    dst,
+                    bind,
+                    name,
+                    field,
+                    err,
+                } => {
+                    let fv = vm_field_check(
+                        bind,
+                        &cur.slots,
+                        &self.globals,
+                        &bc.names[name as usize],
+                        &bc.names[field as usize],
+                        &bc.names[err as usize],
+                        &prx.module,
+                        lines[ip],
+                    )?;
+                    let v = fv.clone();
+                    cur.regs[dst as usize] = v;
+                }
+                Instr::LoadFieldElem {
+                    dst,
+                    bind,
+                    sub,
+                    name,
+                    field,
+                    err,
+                } => {
+                    // Subscript coerced first, then the base re-acquired
+                    // (the subscript may have run user code) — the
+                    // tree-walker's second pass.
+                    let idx = vm_index(&cur.regs[sub as usize], &prx.module, lines[ip])?;
+                    let fv = vm_field_check(
+                        bind,
+                        &cur.slots,
+                        &self.globals,
+                        &bc.names[name as usize],
+                        &bc.names[field as usize],
+                        &bc.names[err as usize],
+                        &prx.module,
+                        lines[ip],
+                    )?;
+                    let v =
+                        index_in_place(fv, idx, &bc.names[field as usize], &prx.module, lines[ip])?;
+                    cur.regs[dst as usize] = v;
+                }
+                Instr::FieldOfValue {
+                    dst,
+                    src,
+                    field,
+                    err,
+                } => {
+                    let basev = std::mem::replace(&mut cur.regs[src as usize], Value::Real(0.0));
+                    let Value::Derived(fields) = basev else {
+                        return Err(RuntimeError::new(
+                            bc.names[err as usize].to_string(),
+                            &prx.module,
+                            lines[ip],
+                        ));
+                    };
+                    let field = &bc.names[field as usize];
+                    let fv = fields.get(&**field).cloned().ok_or_else(|| {
+                        RuntimeError::new(format!("no field {field}"), &prx.module, lines[ip])
+                    })?;
+                    cur.regs[dst as usize] = fv;
+                }
+                Instr::IndexValue {
+                    dst,
+                    src,
+                    sub,
+                    field,
+                } => {
+                    let idx = vm_index(&cur.regs[sub as usize], &prx.module, lines[ip])?;
+                    let v = index_in_place(
+                        &cur.regs[src as usize],
+                        idx,
+                        &bc.names[field as usize],
+                        &prx.module,
+                        lines[ip],
+                    )?;
+                    cur.regs[dst as usize] = v;
+                }
+                Instr::Jump { to } => {
+                    ip = to as usize;
+                    continue;
+                }
+                Instr::BranchIfFalse { cond, to, is_while } => {
+                    let c = cur.regs[cond as usize].as_bool().ok_or_else(|| {
+                        let what = if is_while {
+                            "do-while condition not logical"
+                        } else {
+                            "if condition not logical"
+                        };
+                        RuntimeError::new(what, &prx.module, lines[ip])
+                    })?;
+                    if !c {
+                        ip = to as usize;
+                        continue;
+                    }
+                }
+                Instr::BranchLocalSet { slot, to } => {
+                    if cur.slots[slot as usize].live {
+                        ip = to as usize;
+                        continue;
+                    }
+                }
+                Instr::BranchFmaOff { module, to } => {
+                    if !self.fma[module as usize] {
+                        ip = to as usize;
+                        continue;
+                    }
+                }
+                Instr::BranchDummyUnset { dummy, to } => {
+                    let set = self
+                        .vm
+                        .returned
+                        .last()
+                        .is_some_and(|(_, f)| f.slots[dummy as usize].live);
+                    if !set {
+                        // `exec_call` skips the whole copy-out (sub
+                        // included) when the callee left the dummy unset.
+                        ip = to as usize;
+                        continue;
+                    }
+                }
+                Instr::Kernel { k } => {
+                    // The matching `DoCheck` is always the next
+                    // instruction (emission invariant — the peephole
+                    // passes never separate the pair); its registers
+                    // carry the already-coerced loop bounds.
+                    let Instr::DoCheck {
+                        i,
+                        e,
+                        st,
+                        var,
+                        exit,
+                    } = code[ip + 1]
+                    else {
+                        unreachable!("Kernel not followed by its DoCheck")
+                    };
+                    if self.vm_kernel(&bp.kernels[k as usize], bc, &mut cur, i, e, st, var) {
+                        ip = exit as usize;
+                        continue;
+                    }
+                    // Some precondition failed: fall through to the
+                    // generic bytecode loop, which owns all error (and
+                    // degenerate-loop) semantics.
+                }
+                Instr::DoCheck {
+                    i,
+                    e,
+                    st,
+                    var,
+                    exit,
+                } => {
+                    let iv = vm_int_reg(&cur.regs[i as usize]);
+                    let ev = vm_int_reg(&cur.regs[e as usize]);
+                    let stv = vm_int_reg(&cur.regs[st as usize]);
+                    // Checked per iteration instead of once before the
+                    // loop; the step register never changes, so the first
+                    // check errors before any iteration — identical.
+                    if stv == 0 {
+                        return Err(RuntimeError::new("zero do-step", &prx.module, lines[ip]));
+                    }
+                    if (stv > 0 && iv > ev) || (stv < 0 && iv < ev) {
+                        ip = exit as usize;
+                        continue;
+                    }
+                    let sl = &mut cur.slots[var as usize];
+                    sl.val = Value::Int(iv);
+                    sl.live = true;
+                }
+                Instr::DoIncr { i, st, back } => {
+                    let stv = vm_int_reg(&cur.regs[st as usize]);
+                    let iv = vm_int_reg(&cur.regs[i as usize]);
+                    cur.regs[i as usize] = Value::Int(iv + stv);
+                    ip = back as usize;
+                    continue;
+                }
+                Instr::WhileGuard { g } => {
+                    let n = vm_int_reg(&cur.regs[g as usize]) + 1;
+                    if n > 10_000_000 {
+                        return Err(RuntimeError::new(
+                            "do-while iteration bound exceeded",
+                            &prx.module,
+                            lines[ip],
+                        ));
+                    }
+                    cur.regs[g as usize] = Value::Int(n);
+                }
+                Instr::Call {
+                    site,
+                    dst,
+                    argv,
+                    keep,
+                } => {
+                    let s = &p.sites[site as usize];
+                    let callee = s.proc;
+                    let callee_bp = &bc.procs[callee as usize];
+                    self.covered[callee as usize] = true;
+                    let mut f = self.vm_lease(
+                        callee as usize,
+                        callee_bp.n_slots as usize,
+                        callee_bp.n_regs as usize,
+                    );
+                    let n_actuals = s.args.len();
+                    for (i, slot) in p.procs[callee as usize].arg_slots.iter().enumerate() {
+                        // Move actuals out of the caller's arg window
+                        // (`invoke`'s per-arg `mem::replace`).
+                        let v = if i < n_actuals {
+                            std::mem::replace(&mut cur.regs[argv as usize + i], Value::Real(0.0))
+                        } else {
+                            Value::Real(0.0)
+                        };
+                        let sl = &mut f.slots[*slot as usize];
+                        sl.val = v;
+                        sl.live = true;
+                    }
+                    self.vm.stack.push(VmSuspend {
+                        proc,
+                        ip: (ip + 1) as u32,
+                        dst,
+                        keep,
+                        frame: std::mem::replace(&mut cur, f),
+                    });
+                    proc = callee;
+                    prx = &p.procs[proc as usize];
+                    bp = callee_bp;
+                    code = &bp.code;
+                    lines = &bp.lines;
+                    ip = 0;
+                    continue;
+                }
+                Instr::LoadDummy { dst, dummy } => {
+                    let (_, f) = self.vm.returned.last().expect("copy-out frame parked");
+                    cur.regs[dst as usize].clone_from(&f.slots[dummy as usize].val);
+                }
+                Instr::EndCall => {
+                    let (pp, f) = self.vm.returned.pop().expect("copy-out frame parked");
+                    self.vm_recycle(pp as usize, f);
+                }
+                Instr::Ret => {
+                    // Local sampling at the configured step (`invoke`'s
+                    // epilogue): live slots only, positional.
+                    if self.sample_step == Some(self.step) {
+                        for k in 0..self.vm.local_dense[proc as usize].len() {
+                            let (slot, idx) = self.vm.local_dense[proc as usize][k];
+                            let sl = &cur.slots[slot as usize];
+                            if sl.live {
+                                if let Some(flat) = sl.val.flatten() {
+                                    self.samples[idx as usize] = Some(flat);
+                                }
+                            }
+                        }
+                    }
+                    match self.vm.stack.pop() {
+                        None => {
+                            // Entry frame done: recycle and finish.
+                            let fin = std::mem::take(&mut cur);
+                            self.vm_recycle(proc as usize, fin);
+                            return Ok(());
+                        }
+                        Some(sus) => {
+                            let mut fin = std::mem::replace(&mut cur, sus.frame);
+                            let fin_proc = proc;
+                            proc = sus.proc;
+                            prx = &p.procs[proc as usize];
+                            bp = &bc.procs[proc as usize];
+                            code = &bp.code;
+                            lines = &bp.lines;
+                            ip = sus.ip as usize;
+                            if sus.dst != NO_REG {
+                                let rs = p.procs[fin_proc as usize]
+                                    .result_slot
+                                    .expect("function has result");
+                                let sl = &mut fin.slots[rs as usize];
+                                if sl.live {
+                                    let v = std::mem::replace(&mut sl.val, Value::Real(0.0));
+                                    cur.regs[sus.dst as usize] = v;
+                                    self.vm_recycle(fin_proc as usize, fin);
+                                } else {
+                                    // Caller context: `call_function`
+                                    // reports with the caller's module
+                                    // and the call statement's line.
+                                    let e = RuntimeError::new(
+                                        format!(
+                                            "function {} returned no value",
+                                            p.procs[fin_proc as usize].name
+                                        ),
+                                        &prx.module,
+                                        lines[ip - 1],
+                                    );
+                                    self.vm_recycle(fin_proc as usize, fin);
+                                    return Err(e);
+                                }
+                            } else if sus.keep {
+                                self.vm.returned.push((fin_proc, fin));
+                            } else {
+                                self.vm_recycle(fin_proc as usize, fin);
+                            }
+                            continue;
+                        }
+                    }
+                }
+                Instr::InitDerived { slot, k } => {
+                    // `clone_from` reuses a dead slot's previous map
+                    // allocation (typed-slot pooling); the value is the
+                    // prototype either way.
+                    let sl = &mut cur.slots[slot as usize];
+                    sl.val.clone_from(&bc.consts[k as usize]);
+                    sl.live = true;
+                }
+                Instr::InitArray { slot, argv, n_ext } => {
+                    let mut n = 1usize;
+                    for k in 0..n_ext {
+                        let x = vm_int_reg(&cur.regs[(argv + k) as usize]);
+                        n *= x.max(0) as usize;
+                    }
+                    // Prefer the slot's own previous buffer, then the
+                    // shared scratch pool, then a fresh allocation.
+                    let sl = &mut cur.slots[slot as usize];
+                    let mut buf = if let Value::RealArray(b) = &mut sl.val {
+                        std::mem::take(b)
+                    } else {
+                        self.scratch_f64.pop().unwrap_or_default()
+                    };
+                    buf.clear();
+                    buf.resize(n, 0.0);
+                    let sl = &mut cur.slots[slot as usize];
+                    sl.val = Value::RealArray(buf);
+                    sl.live = true;
+                }
+                Instr::InitInt { slot, src } => {
+                    let v = if src == NO_REG {
+                        0
+                    } else {
+                        cur.regs[src as usize].as_i64().unwrap_or(0)
+                    };
+                    let sl = &mut cur.slots[slot as usize];
+                    sl.val = Value::Int(v);
+                    sl.live = true;
+                }
+                Instr::InitLogic { slot, src } => {
+                    let v = if src == NO_REG {
+                        false
+                    } else {
+                        cur.regs[src as usize].as_bool().unwrap_or(false)
+                    };
+                    let sl = &mut cur.slots[slot as usize];
+                    sl.val = Value::Logical(v);
+                    sl.live = true;
+                }
+                Instr::InitChar { slot, src } => {
+                    let v = if src == NO_REG {
+                        Value::Str(String::new())
+                    } else {
+                        std::mem::replace(&mut cur.regs[src as usize], Value::Real(0.0))
+                    };
+                    let sl = &mut cur.slots[slot as usize];
+                    sl.val = v;
+                    sl.live = true;
+                }
+                Instr::InitReal { slot, src } => {
+                    let v = if src == NO_REG {
+                        0.0
+                    } else {
+                        cur.regs[src as usize].as_f64().unwrap_or(0.0)
+                    };
+                    let sl = &mut cur.slots[slot as usize];
+                    sl.val = Value::Real(v);
+                    sl.live = true;
+                }
+                Instr::InitResult { slot } => {
+                    let sl = &mut cur.slots[slot as usize];
+                    if !sl.live {
+                        sl.val = Value::Real(0.0);
+                        sl.live = true;
+                    }
+                }
+                Instr::StoreVar { bind, val } => {
+                    let value = std::mem::replace(&mut cur.regs[val as usize], Value::Real(0.0));
+                    match bind {
+                        VarBind::Local(s) => {
+                            let sl = &mut cur.slots[s as usize];
+                            if sl.live {
+                                ops::assign_into(&mut sl.val, value, &prx.module, lines[ip])?;
+                            } else {
+                                // Implicit local creation.
+                                sl.val = value;
+                                sl.live = true;
+                            }
+                        }
+                        VarBind::LocalOrGlobal(s, g) => {
+                            let sl = &mut cur.slots[s as usize];
+                            if sl.live {
+                                ops::assign_into(&mut sl.val, value, &prx.module, lines[ip])?;
+                            } else {
+                                ops::assign_into(
+                                    &mut self.globals[g as usize],
+                                    value,
+                                    &prx.module,
+                                    lines[ip],
+                                )?;
+                            }
+                        }
+                        VarBind::Global(g) => {
+                            ops::assign_into(
+                                &mut self.globals[g as usize],
+                                value,
+                                &prx.module,
+                                lines[ip],
+                            )?;
+                        }
+                    }
+                }
+                Instr::StoreElem {
+                    bind,
+                    sub,
+                    val,
+                    name,
+                } => {
+                    // `write_place` Elem order: the value resolves first
+                    // (a fused unset value local errors before the
+                    // subscript runs, like the RHS evaluation it
+                    // replaces), then the subscript coerces before base
+                    // resolution; value numeric-check inside
+                    // `write_elem`, then the bounds check.
+                    let value: Value = match val.kind() {
+                        SrcKind::Reg(r) => {
+                            std::mem::replace(&mut cur.regs[r as usize], Value::Real(0.0))
+                        }
+                        SrcKind::Const(k) => bc.consts[k as usize].clone(),
+                        SrcKind::Local(sl) => {
+                            let slot = &cur.slots[sl as usize];
+                            if !slot.live {
+                                return Err(RuntimeError::new(
+                                    format!(
+                                        "undefined variable '{}'",
+                                        prx.local_names[sl as usize]
+                                    ),
+                                    &prx.module,
+                                    lines[ip],
+                                ));
+                            }
+                            slot.val.clone()
+                        }
+                    };
+                    let sv = vm_src(
+                        sub,
+                        &cur.regs,
+                        &cur.slots,
+                        &bc.consts,
+                        &prx.local_names,
+                        &prx.module,
+                        lines[ip],
+                    )?;
+                    let idx = vm_index(sv, &prx.module, lines[ip])?;
+                    let arr: Option<&mut Vec<f64>> = match bind {
+                        VarBind::Local(s) => match &mut cur.slots[s as usize] {
+                            VmSlot {
+                                live: true,
+                                val: Value::RealArray(v),
+                            } => Some(v),
+                            _ => None,
+                        },
+                        VarBind::LocalOrGlobal(s, g) => {
+                            let local_is_array = matches!(
+                                &cur.slots[s as usize],
+                                VmSlot {
+                                    live: true,
+                                    val: Value::RealArray(_),
+                                }
+                            );
+                            if local_is_array {
+                                match &mut cur.slots[s as usize].val {
+                                    Value::RealArray(v) => Some(v),
+                                    _ => unreachable!(),
+                                }
+                            } else {
+                                match &mut self.globals[g as usize] {
+                                    Value::RealArray(v) => Some(v),
+                                    _ => None,
+                                }
+                            }
+                        }
+                        VarBind::Global(g) => match &mut self.globals[g as usize] {
+                            Value::RealArray(v) => Some(v),
+                            _ => None,
+                        },
+                    };
+                    match arr {
+                        Some(v) => ops::write_elem(v, idx, &value, &prx.module, lines[ip])?,
+                        None => {
+                            return Err(RuntimeError::new(
+                                format!("cannot index non-array {}", bc.names[name as usize]),
+                                &prx.module,
+                                lines[ip],
+                            ))
+                        }
+                    }
+                }
+                Instr::StoreField {
+                    bind,
+                    sub,
+                    val,
+                    name,
+                    field,
+                } => {
+                    let idx = if sub == NO_REG {
+                        None
+                    } else {
+                        Some(vm_index(&cur.regs[sub as usize], &prx.module, lines[ip])?)
+                    };
+                    let value = std::mem::replace(&mut cur.regs[val as usize], Value::Real(0.0));
+                    let name = &bc.names[name as usize];
+                    let target: &mut Value = match bind {
+                        VarBind::Local(s) => {
+                            let sl = &mut cur.slots[s as usize];
+                            if !sl.live {
+                                return Err(RuntimeError::new(
+                                    format!("undefined derived base {name}"),
+                                    &prx.module,
+                                    lines[ip],
+                                ));
+                            }
+                            &mut sl.val
+                        }
+                        VarBind::LocalOrGlobal(s, g) => {
+                            if cur.slots[s as usize].live {
+                                &mut cur.slots[s as usize].val
+                            } else {
+                                &mut self.globals[g as usize]
+                            }
+                        }
+                        VarBind::Global(g) => &mut self.globals[g as usize],
+                    };
+                    let Value::Derived(fields) = target else {
+                        return Err(RuntimeError::new(
+                            format!("{name} is not a derived type"),
+                            &prx.module,
+                            lines[ip],
+                        ));
+                    };
+                    let field = &bc.names[field as usize];
+                    let fv = fields.get_mut(&**field).ok_or_else(|| {
+                        RuntimeError::new(format!("no field {field}"), &prx.module, lines[ip])
+                    })?;
+                    match (idx, fv) {
+                        (Some(i), Value::RealArray(v)) => {
+                            ops::write_elem(v, i, &value, &prx.module, lines[ip])?;
+                        }
+                        (None, slot) => {
+                            ops::assign_into(slot, value, &prx.module, lines[ip])?;
+                        }
+                        (Some(_), other) => {
+                            return Err(RuntimeError::new(
+                                format!("cannot index field of type {}", other.type_name()),
+                                &prx.module,
+                                lines[ip],
+                            ))
+                        }
+                    }
+                }
+                Instr::Outfld { out, data, ncol } => {
+                    let data = std::mem::replace(&mut cur.regs[data as usize], Value::Real(0.0));
+                    let ncol = if ncol == NO_REG {
+                        usize::MAX
+                    } else {
+                        vm_int_reg(&cur.regs[ncol as usize]) as usize
+                    };
+                    let mean = match data {
+                        Value::RealArray(v) => {
+                            let n = v.len().min(ncol).max(1);
+                            let mean = v.iter().take(n).sum::<f64>() / n as f64;
+                            // Harvest the evaluated buffer (the tree path
+                            // drops it; values are unaffected).
+                            self.scratch_f64.push(v);
+                            mean
+                        }
+                        Value::Real(v) => v,
+                        other => {
+                            return Err(RuntimeError::new(
+                                format!("outfld argument must be real, got {}", other.type_name()),
+                                &prx.module,
+                                lines[ip],
+                            ))
+                        }
+                    };
+                    let mean = if self.active.is_empty() {
+                        mean
+                    } else {
+                        self.fault_adjusted(out, mean)
+                    };
+                    let outputs = self.program.output_count();
+                    let step = self.step as usize;
+                    let need = (step + 1) * outputs;
+                    if self.history.len() < need {
+                        self.history.resize(need, f64::NAN);
+                    }
+                    self.history[step * outputs + out as usize] = mean;
+                    let w = &mut self.written[out as usize];
+                    *w = (*w).max(self.step + 1);
+                }
+                Instr::RngFill { reg } => {
+                    match &mut cur.regs[reg as usize] {
+                        // Fill the evaluated current value in place —
+                        // every element is overwritten, same draws.
+                        Value::RealArray(v) => self.prng.fill(v),
+                        other => *other = Value::Real(self.prng.next_f64()),
+                    }
+                }
+                Instr::PbufStore { idx, data } => {
+                    let i = vm_int_reg(&cur.regs[idx as usize]);
+                    let data = std::mem::replace(&mut cur.regs[data as usize], Value::Real(0.0));
+                    let arr = match data {
+                        Value::RealArray(v) => v,
+                        Value::Real(v) => vec![v],
+                        other => {
+                            return Err(RuntimeError::new(
+                                format!(
+                                    "pbuf_set_field needs real data, got {}",
+                                    other.type_name()
+                                ),
+                                &prx.module,
+                                lines[ip],
+                            ))
+                        }
+                    };
+                    self.pbuf.insert(i, arr);
+                }
+                Instr::PbufLoad { dst, idx } => {
+                    // Snapshot before `current` runs (tree order).
+                    let i = vm_int_reg(&cur.regs[idx as usize]);
+                    let data = self.pbuf.get(&i).cloned().unwrap_or_default();
+                    cur.regs[dst as usize] = Value::RealArray(data);
+                }
+                Instr::PbufMerge { cur: rc, data } => {
+                    let Value::RealArray(d) =
+                        std::mem::replace(&mut cur.regs[data as usize], Value::Real(0.0))
+                    else {
+                        unreachable!("PbufLoad always parks an array");
+                    };
+                    match &mut cur.regs[rc as usize] {
+                        Value::RealArray(v) => {
+                            let n = v.len().min(d.len());
+                            v[..n].copy_from_slice(&d[..n]);
+                            v[n..].fill(0.0);
+                        }
+                        other => *other = Value::Real(d.first().copied().unwrap_or(0.0)),
+                    }
+                    self.scratch_f64.push(d);
+                }
+                Instr::Fail { msg } => {
+                    return Err(RuntimeError::new(
+                        bc.names[msg as usize].to_string(),
+                        &prx.module,
+                        lines[ip],
+                    ));
+                }
+            }
+            ip += 1;
+        }
+    }
+
+    /// One column step-kernel attempt (see [`Kernel`]): validates every
+    /// precondition the generic loop's semantics depend on, then either
+    /// executes the whole counted loop column-at-a-time — returning
+    /// `true` with all post-loop state (arrays, fuel, loop-variable
+    /// slot, induction register) exactly as the generic loop would leave
+    /// it — or touches nothing and returns `false`.
+    ///
+    /// `ri`/`re`/`rs`/`var` come from the matching [`Instr::DoCheck`].
+    #[allow(clippy::too_many_arguments)]
+    fn vm_kernel(
+        &mut self,
+        kern: &Kernel,
+        bc: &Bytecode,
+        cur: &mut VmFrame,
+        ri: u32,
+        re: u32,
+        rs: u32,
+        var: u32,
+    ) -> bool {
+        // Bounds: Int registers (`ToInt` guarantees it, but a fallback
+        // costs nothing), unit step, at least one iteration, subscripts
+        // starting at 1.
+        let (Value::Int(lo), Value::Int(hi)) = (&cur.regs[ri as usize], &cur.regs[re as usize])
+        else {
+            return false;
+        };
+        let (lo, hi) = (*lo, *hi);
+        if !matches!(cur.regs[rs as usize], Value::Int(1)) || hi < lo || lo < 1 {
+            return false;
+        }
+        let trip = (hi - lo + 1) as u64;
+        // Fuel: the generic loop burns one unit per body statement per
+        // iteration (`Instr::Fuel`). Anything short falls back so the
+        // budget error strikes at the exact statement it would have.
+        let Some(cost) = trip.checked_mul(kern.stmts.len() as u64) else {
+            return false;
+        };
+        if self.fuel < cost {
+            return false;
+        }
+        // Arrays: live real arrays covering every subscript in [lo, hi].
+        for a in &kern.arrays {
+            match karr_ref(a, &cur.slots, &self.globals, &bc.names) {
+                Some(arr) if arr.len() as u64 >= hi as u64 => {}
+                _ => return false,
+            }
+        }
+        // Scalars: loop-invariant reals, pre-read once (no body
+        // statement writes a scalar).
+        let mut svals = std::mem::take(&mut self.vm.kscalars);
+        svals.clear();
+        for s in &kern.scalars {
+            let v: &Value = match *s {
+                KScalar::Local(sl) => {
+                    let sl = &cur.slots[sl as usize];
+                    if !sl.live {
+                        self.vm.kscalars = svals;
+                        return false;
+                    }
+                    &sl.val
+                }
+                KScalar::LocalOr(sl, g) => {
+                    if cur.slots[sl as usize].live {
+                        &cur.slots[sl as usize].val
+                    } else {
+                        &self.globals[g as usize]
+                    }
+                }
+                KScalar::Global(g) => &self.globals[g as usize],
+            };
+            let Value::Real(x) = v else {
+                self.vm.kscalars = svals;
+                return false;
+            };
+            svals.push(*x);
+        }
+        // ---- validated: the kernel is now infallible — run it all ----
+        let on = self.fma[kern.module as usize];
+        let scale = self.fma_scale;
+        let mut cols = std::mem::take(&mut self.vm.kcols);
+        cols.resize(kern.max_depth as usize, [0.0; KCHUNK]);
+        let mut base = lo;
+        while base <= hi {
+            let n = ((hi - base + 1) as usize).min(KCHUNK);
+            let off = (base - 1) as usize;
+            for stmt in &kern.stmts {
+                let rpn = if on { &stmt.on } else { &stmt.off };
+                let mut sp = 0usize;
+                // Per-op dispatch is hoisted outside the element loops,
+                // which are plain `f64` slice traversals the compiler
+                // can unroll/vectorize.
+                macro_rules! bin {
+                    ($f:expr) => {{
+                        let (a, b) = cols.split_at_mut(sp - 1);
+                        let (x, y) = (&mut a[sp - 2], &b[0]);
+                        let f = $f;
+                        for j in 0..n {
+                            x[j] = f(x[j], y[j]);
+                        }
+                        sp -= 1;
+                    }};
+                }
+                for op in rpn {
+                    match *op {
+                        KOp::Arr(a) => {
+                            let src = karr_ref(
+                                &kern.arrays[a as usize],
+                                &cur.slots,
+                                &self.globals,
+                                &bc.names,
+                            )
+                            .expect("validated kernel array");
+                            cols[sp][..n].copy_from_slice(&src[off..off + n]);
+                            sp += 1;
+                        }
+                        KOp::Scalar(s) => {
+                            cols[sp][..n].fill(svals[s as usize]);
+                            sp += 1;
+                        }
+                        KOp::Const(v) => {
+                            cols[sp][..n].fill(v);
+                            sp += 1;
+                        }
+                        // Add/Mul go through `nan_left`: LLVM treats
+                        // `fadd`/`fmul` as commutative and which operand's
+                        // NaN survives is unspecified per code site, so the
+                        // column loop could disagree with the scalar
+                        // engines' single `binary_op_ref` site on the NaN's
+                        // sign (`0x7ff8…` vs `0xfff8…`). Sub/Div are not
+                        // commutable, so their operand order is fixed.
+                        KOp::Add => bin!(|x, y| nan_left(x, y, x + y)),
+                        KOp::Sub => bin!(|x, y| x - y),
+                        KOp::Mul => bin!(|x, y| nan_left(x, y, x * y)),
+                        KOp::Div => bin!(|x, y| x / y),
+                        KOp::Pow => bin!(f64::powf),
+                        KOp::Min2 => bin!(|x, y| f64::min(f64::min(f64::INFINITY, x), y)),
+                        KOp::Max2 => bin!(|x, y| f64::max(f64::max(f64::NEG_INFINITY, x), y)),
+                        KOp::Sign2 => bin!(|x: f64, y: f64| x.abs() * y.signum()),
+                        KOp::Neg => {
+                            let x = &mut cols[sp - 1];
+                            for v in &mut x[..n] {
+                                *v = -*v;
+                            }
+                        }
+                        KOp::Fma { sub } => {
+                            let (a, b) = cols.split_at_mut(sp - 2);
+                            let x = &mut a[sp - 3];
+                            let (y, z) = (&b[0], &b[1]);
+                            if sub {
+                                for j in 0..n {
+                                    x[j] = ops::fma_blend(x[j], y[j], -z[j], scale);
+                                }
+                            } else {
+                                for j in 0..n {
+                                    x[j] = ops::fma_blend(x[j], y[j], z[j], scale);
+                                }
+                            }
+                            sp -= 2;
+                        }
+                        KOp::Map(m) => {
+                            let x = &mut cols[sp - 1];
+                            match m {
+                                Intrin::Sqrt => {
+                                    for v in &mut x[..n] {
+                                        *v = v.sqrt();
+                                    }
+                                }
+                                Intrin::Exp => {
+                                    for v in &mut x[..n] {
+                                        *v = v.exp();
+                                    }
+                                }
+                                Intrin::Log => {
+                                    for v in &mut x[..n] {
+                                        *v = v.ln();
+                                    }
+                                }
+                                Intrin::Log10 => {
+                                    for v in &mut x[..n] {
+                                        *v = v.log10();
+                                    }
+                                }
+                                Intrin::Abs => {
+                                    for v in &mut x[..n] {
+                                        *v = v.abs();
+                                    }
+                                }
+                                Intrin::Tanh => {
+                                    for v in &mut x[..n] {
+                                        *v = v.tanh();
+                                    }
+                                }
+                                Intrin::Sin => {
+                                    for v in &mut x[..n] {
+                                        *v = v.sin();
+                                    }
+                                }
+                                Intrin::Cos => {
+                                    for v in &mut x[..n] {
+                                        *v = v.cos();
+                                    }
+                                }
+                                Intrin::Atan => {
+                                    for v in &mut x[..n] {
+                                        *v = v.atan();
+                                    }
+                                }
+                                other => unreachable!("non-map intrinsic {other:?} in kernel"),
+                            }
+                        }
+                    }
+                }
+                debug_assert_eq!(sp, 1, "kernel RPN must net one column");
+                let dst = karr_mut(
+                    &kern.arrays[stmt.dst as usize],
+                    &mut cur.slots,
+                    &mut self.globals,
+                    &bc.names,
+                )
+                .expect("validated kernel array");
+                dst[off..off + n].copy_from_slice(&cols[0][..n]);
+            }
+            base += KCHUNK as i64;
+        }
+        self.vm.kcols = cols;
+        self.vm.kscalars = svals;
+        self.fuel -= cost;
+        // Post-loop state: `DoCheck` writes `Int(i)` into the slot each
+        // iteration (last write: `hi`); `DoIncr` leaves the induction
+        // register one step past the bound.
+        let sl = &mut cur.slots[var as usize];
+        sl.val = Value::Int(hi);
+        sl.live = true;
+        cur.regs[ri as usize] = Value::Int(hi + 1);
+        true
+    }
+}
+
+/// Pins the commutative-op NaN choice to the scalar engines' behavior:
+/// the left operand's NaN propagates, else the right's, else the
+/// hardware result (`r`, which covers invalid ops like `inf - inf`).
+/// Exact for quiet NaNs — the only kind floating-point ops produce —
+/// and the selects if-convert to compare+blend, so the column loops
+/// still autovectorize.
+#[inline(always)]
+fn nan_left(x: f64, y: f64, r: f64) -> f64 {
+    if x.is_nan() {
+        x
+    } else if y.is_nan() {
+        y
+    } else {
+        r
+    }
+}
+
+/// Resolves one kernel array reference to its `f64` buffer, mirroring
+/// the generic instructions' base resolution (unset plain locals and
+/// non-array values resolve to `None` — the caller falls back). Field
+/// arrays re-resolve per access, so aliasing between entries is simply
+/// correct: reads always see the latest writes.
+fn karr_ref<'v>(
+    a: &KArr,
+    slots: &'v [VmSlot],
+    globals: &'v [Value],
+    names: &[Arc<str>],
+) -> Option<&'v Vec<f64>> {
+    let base: &Value = match a.bind {
+        VarBind::Local(s) => {
+            let sl = &slots[s as usize];
+            if !sl.live {
+                return None;
+            }
+            &sl.val
+        }
+        VarBind::LocalOrGlobal(s, g) => {
+            if slots[s as usize].live {
+                &slots[s as usize].val
+            } else {
+                &globals[g as usize]
+            }
+        }
+        VarBind::Global(g) => &globals[g as usize],
+    };
+    let v = match a.field {
+        None => base,
+        Some(f) => {
+            let Value::Derived(m) = base else {
+                return None;
+            };
+            m.get(&*names[f as usize])?
+        }
+    };
+    match v {
+        Value::RealArray(arr) => Some(arr),
+        _ => None,
+    }
+}
+
+/// Mutable twin of [`karr_ref`] for store targets.
+fn karr_mut<'v>(
+    a: &KArr,
+    slots: &'v mut [VmSlot],
+    globals: &'v mut [Value],
+    names: &[Arc<str>],
+) -> Option<&'v mut Vec<f64>> {
+    let base: &mut Value = match a.bind {
+        VarBind::Local(s) => {
+            let sl = &mut slots[s as usize];
+            if !sl.live {
+                return None;
+            }
+            &mut sl.val
+        }
+        VarBind::LocalOrGlobal(s, g) => {
+            if slots[s as usize].live {
+                &mut slots[s as usize].val
+            } else {
+                &mut globals[g as usize]
+            }
+        }
+        VarBind::Global(g) => &mut globals[g as usize],
+    };
+    let v = match a.field {
+        None => base,
+        Some(f) => {
+            let Value::Derived(m) = base else {
+                return None;
+            };
+            m.get_mut(&*names[f as usize])?
+        }
+    };
+    match v {
+        Value::RealArray(arr) => Some(arr),
+        _ => None,
+    }
+}
+
+/// Dynamic opcode histogram, measurement-only (`--features vm-histogram`).
+#[cfg(feature = "vm-histogram")]
+pub fn vm_histogram() -> Vec<(&'static str, u64)> {
+    use std::sync::atomic::Ordering;
+    let mut v: Vec<_> = VM_HIST
+        .iter()
+        .map(|(n, c)| (*n, c.load(Ordering::Relaxed)))
+        .filter(|&(_, c)| c > 0)
+        .collect();
+    v.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+    v
+}
+
+#[cfg(feature = "vm-histogram")]
+static VM_HIST: std::sync::LazyLock<Vec<(&'static str, std::sync::atomic::AtomicU64)>> =
+    std::sync::LazyLock::new(|| {
+        [
+            "Fuel",
+            "LoadConst",
+            "LoadLocal",
+            "LoadLocalOr",
+            "LoadGlobal",
+            "Copy",
+            "ToNum",
+            "ToInt",
+            "ToExtent",
+            "Unary",
+            "Binary",
+            "FmaTry",
+            "Intrinsic",
+            "IndexLoad",
+            "FieldCheck",
+            "LoadField",
+            "LoadFieldElem",
+            "FieldOfValue",
+            "IndexValue",
+            "Jump",
+            "BranchIfFalse",
+            "BranchLocalSet",
+            "BranchFmaOff",
+            "BranchDummyUnset",
+            "DoCheck",
+            "DoIncr",
+            "WhileGuard",
+            "Call",
+            "LoadDummy",
+            "EndCall",
+            "Ret",
+            "InitDerived",
+            "InitArray",
+            "InitInt",
+            "InitLogic",
+            "InitChar",
+            "InitReal",
+            "InitResult",
+            "StoreVar",
+            "StoreElem",
+            "StoreField",
+            "Outfld",
+            "RngFill",
+            "PbufStore",
+            "PbufLoad",
+            "PbufMerge",
+            "Fail",
+            "Kernel",
+        ]
+        .iter()
+        .map(|&n| (n, std::sync::atomic::AtomicU64::new(0)))
+        .collect()
+    });
+
+#[cfg(feature = "vm-histogram")]
+fn vm_histogram_count(i: &Instr) {
+    use std::sync::atomic::Ordering;
+    let ix = match i {
+        Instr::Fuel => 0,
+        Instr::LoadConst { .. } => 1,
+        Instr::LoadLocal { .. } => 2,
+        Instr::LoadLocalOr { .. } => 3,
+        Instr::LoadGlobal { .. } => 4,
+        Instr::Copy { .. } => 5,
+        Instr::ToNum { .. } => 6,
+        Instr::ToInt { .. } => 7,
+        Instr::ToExtent { .. } => 8,
+        Instr::Unary { .. } => 9,
+        Instr::Binary { .. } => 10,
+        Instr::FmaTry { .. } => 11,
+        Instr::Intrinsic { .. } => 12,
+        Instr::IndexLoad { .. } => 13,
+        Instr::FieldCheck { .. } => 14,
+        Instr::LoadField { .. } => 15,
+        Instr::LoadFieldElem { .. } => 16,
+        Instr::FieldOfValue { .. } => 17,
+        Instr::IndexValue { .. } => 18,
+        Instr::Jump { .. } => 19,
+        Instr::BranchIfFalse { .. } => 20,
+        Instr::BranchLocalSet { .. } => 21,
+        Instr::BranchFmaOff { .. } => 22,
+        Instr::BranchDummyUnset { .. } => 23,
+        Instr::DoCheck { .. } => 24,
+        Instr::DoIncr { .. } => 25,
+        Instr::WhileGuard { .. } => 26,
+        Instr::Call { .. } => 27,
+        Instr::LoadDummy { .. } => 28,
+        Instr::EndCall => 29,
+        Instr::Ret => 30,
+        Instr::InitDerived { .. } => 31,
+        Instr::InitArray { .. } => 32,
+        Instr::InitInt { .. } => 33,
+        Instr::InitLogic { .. } => 34,
+        Instr::InitChar { .. } => 35,
+        Instr::InitReal { .. } => 36,
+        Instr::InitResult { .. } => 37,
+        Instr::StoreVar { .. } => 38,
+        Instr::StoreElem { .. } => 39,
+        Instr::StoreField { .. } => 40,
+        Instr::Outfld { .. } => 41,
+        Instr::RngFill { .. } => 42,
+        Instr::PbufStore { .. } => 43,
+        Instr::PbufLoad { .. } => 44,
+        Instr::PbufMerge { .. } => 45,
+        Instr::Fail { .. } => 46,
+        Instr::Kernel { .. } => 47,
+    };
+    VM_HIST[ix].1.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Resolves a fused operand (see [`Src`]) to a value reference. Unset
+/// fused locals raise the tree-walker's `undefined variable` error —
+/// slot names come from the proc's `local_names` table, so the message
+/// matches the unfused `LoadLocal` byte for byte.
+#[inline(always)]
+fn vm_src<'a>(
+    s: Src,
+    regs: &'a [Value],
+    slots: &'a [VmSlot],
+    consts: &'a [Value],
+    local_names: &[std::sync::Arc<str>],
+    module: &str,
+    line: u32,
+) -> RunResult<&'a Value> {
+    match s.kind() {
+        SrcKind::Reg(r) => Ok(&regs[r as usize]),
+        SrcKind::Const(k) => Ok(&consts[k as usize]),
+        SrcKind::Local(sl) => {
+            let slot = &slots[sl as usize];
+            if !slot.live {
+                return Err(RuntimeError::new(
+                    format!("undefined variable '{}'", local_names[sl as usize]),
+                    module,
+                    line,
+                ));
+            }
+            Ok(&slot.val)
+        }
+    }
+}
+
+/// `eval_int` over a register value: integer, or real truncated.
+fn vm_int(v: &Value, module: &str, line: u32) -> RunResult<i64> {
+    v.as_i64()
+        .or_else(|| v.as_f64().map(|f| f as i64))
+        .ok_or_else(|| {
+            RuntimeError::new(
+                format!("expected integer, got {}", v.type_name()),
+                module,
+                line,
+            )
+        })
+}
+
+/// `eval_index` over a register value: coerce, lower-bound check, 0-base.
+fn vm_index(v: &Value, module: &str, line: u32) -> RunResult<usize> {
+    let x = vm_int(v, module, line)?;
+    if x < 1 {
+        return Err(RuntimeError::new(
+            format!("subscript {x} below lower bound 1"),
+            module,
+            line,
+        ));
+    }
+    Ok(x as usize - 1)
+}
+
+/// Reads a register that a `ToInt`/`ToExtent`/`LoadConst Int` guarantees
+/// holds an integer.
+fn vm_int_reg(v: &Value) -> i64 {
+    match v {
+        Value::Int(i) => *i,
+        other => unreachable!("register not coerced to Int: {other:?}"),
+    }
+}
+
+/// The tree-walker's `DerivedVar` structural pass: unset-local precheck,
+/// derived-base check, field lookup — returns the field value.
+#[allow(clippy::too_many_arguments)]
+fn vm_field_check<'v>(
+    bind: VarBind,
+    slots: &'v [VmSlot],
+    globals: &'v [Value],
+    name: &str,
+    field: &str,
+    err: &str,
+    module: &str,
+    line: u32,
+) -> RunResult<&'v Value> {
+    let base: &Value = match bind {
+        VarBind::Local(s) => {
+            let sl = &slots[s as usize];
+            if !sl.live {
+                return Err(RuntimeError::new(
+                    format!("undefined variable '{name}'"),
+                    module,
+                    line,
+                ));
+            }
+            &sl.val
+        }
+        VarBind::LocalOrGlobal(s, g) => {
+            if slots[s as usize].live {
+                &slots[s as usize].val
+            } else {
+                &globals[g as usize]
+            }
+        }
+        VarBind::Global(g) => &globals[g as usize],
+    };
+    let Value::Derived(fields) = base else {
+        return Err(RuntimeError::new(err.to_string(), module, line));
+    };
+    fields
+        .get(field)
+        .ok_or_else(|| RuntimeError::new(format!("no field {field}"), module, line))
 }
 
 /// Resolves `config.samples` into the executor's positional capture plans

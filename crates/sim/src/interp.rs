@@ -146,6 +146,11 @@ pub struct RunConfig {
     /// `None` means unlimited; exhaustion aborts the run with a
     /// retryable budget error instead of hanging.
     pub fuel: Option<u64>,
+    /// Which [`crate::Executor`] engine runs the program: the bytecode
+    /// [`crate::exec::ExecEngine::Vm`] (default) or the slot-indexed tree
+    /// walker kept for the three-way differential sweep. Bit-identical by
+    /// contract; the reference [`Interpreter`] ignores this.
+    pub engine: crate::exec::ExecEngine,
 }
 
 impl Default for RunConfig {
@@ -160,6 +165,7 @@ impl Default for RunConfig {
             samples: Vec::new(),
             faults: crate::fault::FaultPlan::default(),
             fuel: None,
+            engine: crate::exec::ExecEngine::default(),
         }
     }
 }
@@ -408,7 +414,7 @@ impl Interpreter {
                         fields.insert(fent.name.clone(), v);
                     }
                 }
-                Ok(Value::Derived(fields))
+                Ok(Value::derived(fields))
             }
             _ => {
                 if let Some(shape) = shape {
@@ -763,7 +769,7 @@ impl Interpreter {
                     fields.insert(fent.name.clone(), v);
                 }
             }
-            return Ok(Value::Derived(fields));
+            return Ok(Value::derived(fields));
         }
         let shape = decl.shape_of(entity).map(<[Expr]>::to_vec);
         if let Some(shape) = shape {
@@ -1321,11 +1327,7 @@ impl Interpreter {
         line: u32,
     ) -> RunResult<Option<Value>> {
         let scale = self.config.fma_scale;
-        let fuse = |a: f64, b: f64, c: f64| {
-            let base = a * b + c;
-            let fused = a.mul_add(b, c);
-            base + (fused - base) * scale
-        };
+        let fuse = |a: f64, b: f64, c: f64| crate::ops::fma_blend(a, b, c, scale);
         if let Expr::Binary {
             op: Op::Mul,
             lhs: ma,

@@ -287,8 +287,59 @@ pub(crate) fn unary_op(op: Op, v: Value, module: &str, line: u32) -> RunResult<V
     }
 }
 
+/// Blend of the fused and unfused forms of `x*y + z`, scaled by the
+/// run's FMA policy: `scale == 1.0` is full contraction, `0.0` is the
+/// plain product-then-add. Shared by the tree-walkers' `MaybeFma` and the
+/// VM's `FmaTry` so the contraction arithmetic exists exactly once.
+#[inline]
+pub(crate) fn fma_blend(x: f64, y: f64, z: f64, scale: f64) -> f64 {
+    let base = x * y + z;
+    let fused = x.mul_add(y, z);
+    base + (fused - base) * scale
+}
+
 pub(crate) fn binary_op(op: Op, a: Value, b: Value, module: &str, line: u32) -> RunResult<Value> {
+    binary_op_ref(op, &a, &b, module, line)
+}
+
+/// Reference form of [`binary_op`] — the VM's registers hand out `&Value`
+/// without moving, and the all-real case (the simulation's hot path)
+/// dispatches on one match arm instead of three type probes.
+pub(crate) fn binary_op_ref(
+    op: Op,
+    a: &Value,
+    b: &Value,
+    module: &str,
+    line: u32,
+) -> RunResult<Value> {
     use Value::*;
+    // Real/real fast path. Bit-identical to the `as_f64` fallback below:
+    // a `Real` right operand never takes the `powi` branch (`as_i64` is
+    // `Int`-only), and the unsupported-operator error renders the same.
+    if let (Real(x), Real(y)) = (a, b) {
+        let (x, y) = (*x, *y);
+        let v = match op {
+            Op::Add => Real(x + y),
+            Op::Sub => Real(x - y),
+            Op::Mul => Real(x * y),
+            Op::Div => Real(x / y),
+            Op::Pow => Real(x.powf(y)),
+            Op::Eq => Logical(x == y),
+            Op::Ne => Logical(x != y),
+            Op::Lt => Logical(x < y),
+            Op::Le => Logical(x <= y),
+            Op::Gt => Logical(x > y),
+            Op::Ge => Logical(x >= y),
+            _ => {
+                return Err(RuntimeError::new(
+                    format!("operator {op} on reals"),
+                    module,
+                    line,
+                ))
+            }
+        };
+        return Ok(v);
+    }
     // Integer arithmetic stays integral (Fortran semantics).
     if let (Int(x), Int(y)) = (&a, &b) {
         let (x, y) = (*x, *y);

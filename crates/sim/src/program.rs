@@ -441,6 +441,11 @@ pub struct Program {
     /// during compilation, as dense ids. Sessions seed the workspace-wide
     /// table from this (append-only extension keeps these ids valid).
     pub(crate) syms: Arc<SymbolTable>,
+    /// The lowered bytecode tier (one [`crate::bytecode::BProc`] per
+    /// entry of [`Program::procs`]), attached by `compile_sources` after
+    /// the tree IR is sealed. The register VM in [`crate::exec`] runs
+    /// this; the tree walkers ignore it.
+    pub(crate) bc: crate::bytecode::Bytecode,
 }
 
 impl Program {
@@ -450,6 +455,30 @@ impl Program {
     /// assigned here).
     pub fn symbols(&self) -> &Arc<SymbolTable> {
         &self.syms
+    }
+
+    /// The lowered bytecode (always present after `compile_sources`).
+    pub(crate) fn bytecode(&self) -> &crate::bytecode::Bytecode {
+        &self.bc
+    }
+
+    /// Renders the program's bytecode as one deterministic listing — the
+    /// VM tier's debugging surface (pinned by a golden snapshot test).
+    pub fn disassemble(&self) -> String {
+        crate::bytecode::disassemble(self)
+    }
+
+    /// Total bytecode instructions across all subprograms (bench and
+    /// telemetry surface; compile-time static count, not dynamic).
+    pub fn instr_count(&self) -> usize {
+        self.bc.instr_count()
+    }
+
+    /// Total column step-kernels the compiler extracted (the
+    /// `bytecode` module's loop vectorizer); zero means every loop runs
+    /// through the generic dispatch path.
+    pub fn kernel_count(&self) -> usize {
+        self.bc.kernel_count()
     }
 
     /// Sorted distinct history output names; `OutputId` indexes this

@@ -323,8 +323,7 @@ impl EnsembleRuns {
                                 // Publish: one memcpy for the rows the run
                                 // actually reached (the store is
                                 // NaN-prefilled past them).
-                                let rows = ex.history.len().min(slot.hist.len());
-                                slot.hist[..rows].copy_from_slice(&ex.history[..rows]);
+                                rca_stats::kernels::publish(slot.hist, &ex.history);
                                 slot.written.copy_from_slice(&ex.written);
                                 slot.covered.copy_from_slice(&ex.covered);
                                 *slot.samples = std::mem::take(&mut ex.samples);
@@ -485,17 +484,14 @@ impl EnsembleRuns {
             if self.health[m].is_quarantined() {
                 continue;
             }
-            let plane = self.step_plane(m, step);
-            let written = self.written_of(m);
-            for (i, k) in keep.iter_mut().enumerate() {
-                *k = *k && (step < written[i] as usize) && plane[i].is_finite();
-            }
+            rca_stats::kernels::keep_refine(
+                &mut keep,
+                self.written_of(m),
+                self.step_plane(m, step),
+                step as u32,
+            );
         }
-        keep.iter()
-            .enumerate()
-            .filter(|&(_, &k)| k)
-            .map(|(i, _)| i as u32)
-            .collect()
+        rca_stats::kernels::keep_to_ids(&keep)
     }
 
     /// Assembles the `surviving × kept` output matrix at `step` straight

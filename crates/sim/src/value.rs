@@ -16,8 +16,18 @@ pub enum Value {
     Str(String),
     /// 1-D `real(r8)` array (the model is a single-level column model).
     RealArray(Vec<f64>),
-    /// Derived-type instance: field name → value.
-    Derived(HashMap<String, Value>),
+    /// Derived-type instance: field name → value. Boxed so the hot
+    /// scalar/array variants move in 32 bytes instead of dragging an
+    /// inline `HashMap` to 56 — register files and frame slots copy
+    /// `Value`s constantly and derived types are rare.
+    Derived(Box<HashMap<String, Value>>),
+}
+
+impl Value {
+    /// Wraps a field map as a derived-type value (boxing in one place).
+    pub fn derived(fields: HashMap<String, Value>) -> Value {
+        Value::Derived(Box::new(fields))
+    }
 }
 
 impl Clone for Value {
@@ -135,7 +145,7 @@ mod tests {
         let mut fields = HashMap::new();
         fields.insert("a".to_string(), Value::RealArray(vec![1.0, 2.0, 3.0]));
         fields.insert("b".to_string(), Value::Real(7.0));
-        let source = Value::Derived(fields);
+        let source = Value::derived(fields);
         // Same-shape overwrite.
         let mut dst = source.clone();
         if let Value::Derived(m) = &mut dst {
@@ -161,6 +171,6 @@ mod tests {
             Value::RealArray(vec![1.0, 2.0]).flatten(),
             Some(vec![1.0, 2.0])
         );
-        assert_eq!(Value::Derived(HashMap::new()).flatten(), None);
+        assert_eq!(Value::derived(HashMap::new()).flatten(), None);
     }
 }

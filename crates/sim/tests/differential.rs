@@ -1,19 +1,22 @@
-//! Differential suite: the compiled engine must be **bit-identical** to
-//! the tree-walking interpreter.
+//! Differential suite: all three engine tiers must be **bit-identical**.
 //!
 //! This is the proof obligation of the parse → compile → execute
 //! pipeline: for every paper experiment (source patches, PRNG
 //! substitution, AVX2/FMA contraction) and for instrumented runs, the
-//! histories, captured samples, and coverage sets of
-//! [`rca_sim::run_program`] and the reference [`rca_sim::Interpreter`]
-//! must agree to the last bit. Any divergence — an evaluation-order slip,
-//! a missed FMA shape, a scoping difference — fails here before it can
-//! silently corrupt the statistical layer.
+//! histories, captured samples, and coverage sets of the tree-walking
+//! reference [`rca_sim::Interpreter`], the slot-indexed tree executor
+//! ([`ExecEngine::Tree`]), and the bytecode VM ([`ExecEngine::Vm`], the
+//! default behind [`rca_sim::run_program`]) must agree to the last bit.
+//! Any divergence — an evaluation-order slip, a missed FMA shape, a
+//! scoping difference, a mis-lowered instruction — fails here before it
+//! can silently corrupt the statistical layer. The runtime fault axis,
+//! which the reference interpreter does not implement, is held identical
+//! between the two compiled engines by a dedicated store-level test.
 
 use rca_model::{generate, Experiment, ModelConfig, ModelSource};
 use rca_sim::{
     compile_model, kernel_sample_specs, perturbations, run_loaded, run_program, Avx2Policy,
-    EnsembleRuns, Interpreter, PrngKind, RunConfig, RunOutput,
+    EnsembleRuns, ExecEngine, FaultPlan, Interpreter, PrngKind, RunConfig, RunOutput,
 };
 
 fn tree_walk(model: &ModelSource, config: &RunConfig, pert: f64) -> RunOutput {
@@ -23,9 +26,28 @@ fn tree_walk(model: &ModelSource, config: &RunConfig, pert: f64) -> RunOutput {
     run_loaded(&mut interp, config, pert).expect("tree-walk run")
 }
 
-fn compiled(model: &ModelSource, config: &RunConfig, pert: f64) -> RunOutput {
+fn compiled_as(
+    model: &ModelSource,
+    config: &RunConfig,
+    pert: f64,
+    engine: ExecEngine,
+) -> RunOutput {
+    let cfg = RunConfig {
+        engine,
+        ..config.clone()
+    };
     let program = compile_model(model).expect("compile");
-    run_program(&program, config, pert).expect("compiled run")
+    run_program(&program, &cfg, pert).expect("compiled run")
+}
+
+/// The three-way check: interpreter vs tree executor vs bytecode VM,
+/// pairwise bit-identical.
+fn assert_three_way(label: &str, model: &ModelSource, config: &RunConfig, pert: f64) {
+    let reference = tree_walk(model, config, pert);
+    let tree = compiled_as(model, config, pert, ExecEngine::Tree);
+    let vm = compiled_as(model, config, pert, ExecEngine::Vm);
+    assert_identical(&format!("{label}/interp-vs-tree"), &reference, &tree);
+    assert_identical(&format!("{label}/tree-vs-vm"), &tree, &vm);
 }
 
 /// Asserts bit-identical histories, samples, and coverage.
@@ -100,9 +122,7 @@ fn engines_agree_on_all_paper_experiments() {
             model.apply(e)
         };
         let cfg = experiment_config(e, 4);
-        let a = tree_walk(&variant, &cfg, 0.0);
-        let b = compiled(&variant, &cfg, 0.0);
-        assert_identical(e.name(), &a, &b);
+        assert_three_way(e.name(), &variant, &cfg, 0.0);
     }
 }
 
@@ -154,9 +174,7 @@ fn engines_agree_under_perturbation() {
         ..Default::default()
     };
     for pert in [0.0, 1e-14, -3e-14, 1e-10] {
-        let a = tree_walk(&model, &cfg, pert);
-        let b = compiled(&model, &cfg, pert);
-        assert_identical(&format!("pert={pert:e}"), &a, &b);
+        assert_three_way(&format!("pert={pert:e}"), &model, &cfg, pert);
     }
 }
 
@@ -174,9 +192,8 @@ fn engines_agree_with_full_kernel_instrumentation() {
         ..Default::default()
     };
     let a = tree_walk(&model, &cfg, 0.0);
-    let b = compiled(&model, &cfg, 0.0);
     assert!(!a.samples.is_empty(), "instrumentation captured nothing");
-    assert_identical("kernel-instrumented", &a, &b);
+    assert_three_way("kernel-instrumented", &model, &cfg, 0.0);
 }
 
 #[test]
@@ -190,9 +207,7 @@ fn engines_agree_under_per_module_fma() {
             fma_scale: 1.0,
             ..Default::default()
         };
-        let a = tree_walk(&model, &cfg, 0.0);
-        let b = compiled(&model, &cfg, 0.0);
-        assert_identical(&format!("fma-only-{module}"), &a, &b);
+        assert_three_way(&format!("fma-only-{module}"), &model, &cfg, 0.0);
     }
 }
 
@@ -204,9 +219,58 @@ fn engines_agree_at_medium_scale() {
         steps: 2,
         ..Default::default()
     };
-    let a = tree_walk(&model, &cfg, 1e-14);
-    let b = compiled(&model, &cfg, 1e-14);
-    assert_identical("medium", &a, &b);
+    assert_three_way("medium", &model, &cfg, 1e-14);
+}
+
+#[test]
+fn tree_and_vm_agree_under_seeded_faults() {
+    // The fault axis is compiled-engines-only (the reference interpreter
+    // ignores it), so parity under injected faults is a tree-vs-vm
+    // obligation: the same seeded FaultPlan — aborts, retries,
+    // quarantines, poisoned and stuck outputs — must leave both engines'
+    // resilient stores bit-identical in data, series lengths, coverage,
+    // and member health.
+    let model = generate(&ModelConfig::test());
+    let program = compile_model(&model).expect("compile");
+    let perts = perturbations(6, 1e-14, 0x5EED);
+    for fault_seed in [0xFA17u64, 0xDEAD_BEEF, 42] {
+        let base = RunConfig {
+            steps: 6,
+            faults: FaultPlan::seeded(fault_seed, perts.len(), 6, 8),
+            ..Default::default()
+        };
+        let run = |engine: ExecEngine| {
+            let cfg = RunConfig {
+                engine,
+                ..base.clone()
+            };
+            EnsembleRuns::run_resilient(&program, &cfg, &perts, 2)
+        };
+        let tree = run(ExecEngine::Tree);
+        let vm = run(ExecEngine::Vm);
+        assert_eq!(
+            format!("{:?}", tree.health()),
+            format!("{:?}", vm.health()),
+            "seed {fault_seed:#x}: member health differs"
+        );
+        for m in 0..perts.len() {
+            assert_eq!(
+                tree.written_of(m),
+                vm.written_of(m),
+                "seed {fault_seed:#x}/member {m}: written differs"
+            );
+            for step in 0..6 {
+                let a = tree.step_plane(m, step);
+                let b = vm.step_plane(m, step);
+                for (i, (x, y)) in a.iter().zip(b).enumerate() {
+                    assert!(
+                        x.to_bits() == y.to_bits() || (x.is_nan() && y.is_nan()),
+                        "seed {fault_seed:#x}/member {m}/step {step}[{i}]: {x:e} != {y:e}"
+                    );
+                }
+            }
+        }
+    }
 }
 
 #[test]

@@ -96,8 +96,7 @@ impl Matrix {
     ) -> Self {
         let mut data = Vec::with_capacity(rows * keep.len());
         for r in 0..rows {
-            let row = f(r);
-            data.extend(keep.iter().map(|&k| row[k as usize]));
+            crate::kernels::gather_into(&mut data, f(r), keep);
         }
         Matrix {
             rows,

@@ -42,6 +42,27 @@ fn run_both(mutant: &model::ModelSource) -> (sim::RunOutput, sim::RunOutput) {
     let tree = sim::run_loaded(&mut interp, &cfg, 0.0).expect("tree-walk");
     let program = sim::compile_model(mutant).expect("compile");
     let compiled = sim::run_program(&program, &cfg, 0.0).expect("compiled");
+
+    // Third engine tier: the slot-indexed tree executor must match the
+    // bytecode VM (the default above) on every mutant, bit for bit.
+    let tree_engine_cfg = sim::RunConfig {
+        engine: sim::ExecEngine::Tree,
+        ..cfg
+    };
+    let via_tree_engine =
+        sim::run_program(&program, &tree_engine_cfg, 0.0).expect("tree-engine run");
+    let bits = |h: &Vec<Vec<f64>>| -> Vec<Vec<u64>> {
+        h.iter()
+            .map(|s| s.iter().map(|x| x.to_bits()).collect())
+            .collect()
+    };
+    assert_eq!(
+        bits(&via_tree_engine.history),
+        bits(&compiled.history),
+        "tree executor vs VM histories differ on mutant"
+    );
+    assert_eq!(&via_tree_engine.coverage, &compiled.coverage);
+
     (tree, compiled)
 }
 
@@ -96,5 +117,47 @@ proptest! {
         };
         prop_assert_eq!(bits(&via_store.history), bits(&compiled.history));
         prop_assert_eq!(&via_store.coverage, &compiled.coverage);
+    }
+
+    /// Seeded fault plans never panic either compiled engine, and the
+    /// tree executor and bytecode VM stay bit-identical *under* the
+    /// faults (aborts, retries, quarantines, poisoned/stuck outputs) —
+    /// the fault axis is compiled-engines-only, so this pairing is its
+    /// differential obligation.
+    #[test]
+    fn seeded_fault_plans_run_bit_identical_across_engines(seed in 0u64..1_000_000) {
+        let (base, _) = fixture();
+        let program = sim::compile_model(base).expect("compile");
+        let perts = sim::perturbations(4, 1e-14, seed | 1);
+        let steps = 5u32;
+        let plan = sim::FaultPlan::seeded(seed, perts.len(), steps, 1 + (seed % 6) as usize);
+        let run = |engine: sim::ExecEngine| {
+            let cfg = sim::RunConfig {
+                steps,
+                engine,
+                faults: plan.clone(),
+                ..Default::default()
+            };
+            sim::EnsembleRuns::run_resilient(&program, &cfg, &perts, 2)
+        };
+        let tree = run(sim::ExecEngine::Tree);
+        let vm = run(sim::ExecEngine::Vm);
+        prop_assert_eq!(
+            format!("{:?}", tree.health()),
+            format!("{:?}", vm.health())
+        );
+        for m in 0..perts.len() {
+            prop_assert_eq!(tree.written_of(m), vm.written_of(m));
+            for step in 0..steps as usize {
+                let a = tree.step_plane(m, step);
+                let b = vm.step_plane(m, step);
+                for (i, (x, y)) in a.iter().zip(b).enumerate() {
+                    prop_assert!(
+                        x.to_bits() == y.to_bits() || (x.is_nan() && y.is_nan()),
+                        "member {}/step {}[{}]: {:e} != {:e}", m, step, i, x, y
+                    );
+                }
+            }
+        }
     }
 }
