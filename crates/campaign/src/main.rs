@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! rca-campaign [--scenarios N] [--seed S] [--scale test|medium|paper]
-//!              [--oracle reachability|runtime] [--clean-every K] [--paper]
+//!              [--oracle reachability|runtime] [--oracle-fastpath on|off]
+//!              [--clean-every K] [--paper]
 //!              [--signflip] [--fma-scale F] [--runtime-faults S]
 //!              [--checkpoint PATH] [--stop-after N] [--fuel N]
 //!              [--engine vm|tree] [--wall-budget-ms MS] [--threads N] [--json PATH]
@@ -22,6 +23,10 @@
 //! on the slot-indexed tree executor instead of the bytecode VM — the
 //! engines are bit-identical by contract, so the whole-campaign
 //! scorecards must match byte-for-byte (the CI engine cross-check).
+//! `--oracle-fastpath off` likewise disables the runtime oracle's
+//! slice-specialized fast path — fast paths never change evidence, so
+//! the on/off scorecards must also match byte-for-byte (the CI
+//! fastpath cross-check).
 //!
 //! `--checkpoint PATH` makes the campaign resumable: finished scenarios
 //! stream to an append-only JSONL file and a rerun with the same plan
@@ -64,7 +69,8 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: rca-campaign [--scenarios N] [--seed S] [--scale test|medium|paper]\n\
-         \x20                   [--oracle reachability|runtime] [--clean-every K] [--paper]\n\
+         \x20                   [--oracle reachability|runtime] [--oracle-fastpath on|off]\n\
+         \x20                   [--clean-every K] [--paper]\n\
          \x20                   [--signflip] [--fma-scale F] [--runtime-faults S]\n\
          \x20                   [--checkpoint PATH] [--stop-after N] [--fuel N]\n\
          \x20                   [--engine vm|tree] [--wall-budget-ms MS] [--threads N] [--json PATH]\n\
@@ -151,6 +157,16 @@ fn parse_args() -> Args {
                     }
                 }
             }
+            "--oracle-fastpath" => {
+                args.runner.oracle_fastpath = match value("--oracle-fastpath").as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => {
+                        eprintln!("unknown --oracle-fastpath value: {other}");
+                        usage()
+                    }
+                }
+            }
             "--threads" => {
                 // The rayon compat layer reads this per fan-out.
                 std::env::set_var("RAYON_NUM_THREADS", value("--threads"));
@@ -208,6 +224,7 @@ fn main() -> ExitCode {
             ..setup
         },
         oracle: args.runner.oracle,
+        oracle_fastpath: args.runner.oracle_fastpath,
         checkpoint: args.runner.checkpoint.clone(),
         stop_after: args.runner.stop_after,
         wall_budget: args.runner.wall_budget,

@@ -1,0 +1,90 @@
+//! Pruned-vs-full oracle equivalence over seeded campaign mutants.
+//!
+//! The core crate fences the fast path on the paper's seven experiments;
+//! this sweep fences it on the *adversarial* family — campaign-planned
+//! defect mutants whose injected statements land at arbitrary points in
+//! the dependence graph, including inside statements the specializer
+//! prunes. For every sampled (seed, experiment) pair the runtime-oracle
+//! session with `oracle_fastpath(true)` must produce byte-identical
+//! serialized diagnoses to the `oracle_fastpath(false)` session, both for
+//! the planned mutant scenarios and for the paper experiment applied on
+//! top of the same base model.
+
+use proptest::prelude::*;
+use rca_campaign::{plan_campaign, CampaignOptions};
+use rca_core::{ExperimentSetup, OracleKind, RcaSession};
+use rca_model::{generate, Experiment, ModelConfig, ModelSource};
+use std::sync::OnceLock;
+
+fn model() -> &'static ModelSource {
+    static MODEL: OnceLock<ModelSource> = OnceLock::new();
+    MODEL.get_or_init(|| generate(&ModelConfig::test()))
+}
+
+fn session(fastpath: bool) -> RcaSession<'static> {
+    RcaSession::builder(model())
+        .setup(ExperimentSetup::quick())
+        .oracle(OracleKind::Runtime)
+        .oracle_fastpath(fastpath)
+        .build()
+        .expect("session")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn fastpath_diagnoses_match_full_over_seeded_mutants(
+        seed in any::<u64>(),
+        exp in prop::sample::select(vec![
+            Experiment::WsubBug,
+            Experiment::RandMt,
+            Experiment::GoffGratch,
+            Experiment::Avx2,
+            Experiment::RandomBug,
+            Experiment::Dyn3Bug,
+        ]),
+    ) {
+        let on = session(true);
+        let off = session(false);
+
+        // The paper experiment itself, under this sampled pairing.
+        let d_on = on.diagnose(exp).expect("diagnose on");
+        let d_off = off.diagnose(exp).expect("diagnose off");
+        prop_assert_eq!(
+            serde_json::to_string_pretty(&d_on).expect("serialize"),
+            serde_json::to_string_pretty(&d_off).expect("serialize"),
+            "{}: fastpath changed the diagnosis artifact", exp.name()
+        );
+
+        // A seeded slice of the campaign's mutant family: every planned
+        // scenario (source mutants, config mutants, and clean controls
+        // alike) must diagnose identically with the fast path on and off.
+        let plan = plan_campaign(
+            &std::sync::Arc::new(model().clone()),
+            &on,
+            &CampaignOptions { scenarios: 4, seed, clean_every: 3, ..Default::default() },
+        );
+        prop_assert!(!plan.is_empty(), "seed {seed}: empty campaign plan");
+        for entry in &plan {
+            let r_on = on.diagnose_scenario(&entry.scenario);
+            let r_off = off.diagnose_scenario(&entry.scenario);
+            match (r_on, r_off) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(
+                    serde_json::to_string_pretty(&a).expect("serialize"),
+                    serde_json::to_string_pretty(&b).expect("serialize"),
+                    "{} ({}): fastpath diverged", entry.scenario.name, entry.detail
+                ),
+                (Err(a), Err(b)) => prop_assert_eq!(
+                    a.to_string(), b.to_string(),
+                    "{} ({}): fastpath changed the failure", entry.scenario.name, entry.detail
+                ),
+                (a, b) => prop_assert!(
+                    false,
+                    "{} ({}): one path failed: on={:?} off={:?}",
+                    entry.scenario.name, entry.detail, a.is_ok(), b.is_ok()
+                ),
+            }
+        }
+    }
+}

@@ -31,14 +31,56 @@
 //! **Picking an oracle:** use [`ReachabilityOracle`] when ground-truth bug
 //! sites are known (method evaluation, regression harnesses) — it is
 //! O(paths) fast and deterministic. Use [`RuntimeSampler`] when the bug is
-//! genuinely unknown: it pays two interpreter runs per refinement
+//! genuinely unknown: it pays two instrumented runs per refinement
 //! iteration but measures the real model.
+//!
+//! # The runtime-sampler fast path
+//!
+//! [`RuntimeSampler`] answers most queries far below the cost of two full
+//! model executions, through three stacked mechanisms behind the
+//! unchanged [`Oracle`] surface (see the workspace `rca` crate docs for
+//! the architecture picture):
+//!
+//! 1. **slice-specialized programs** — [`rca_sim::specialize_for_samples`]
+//!    prunes each compiled program down to the backward slice of the
+//!    query's capture set; the pruned bytecode runs on the stock VM and
+//!    is cached per spec-set key (the sampler holds exactly one
+//!    program pair, so the program content hash is implicit in the
+//!    cache's identity);
+//! 2. **per-node memoization** — configs and programs are fixed for the
+//!    sampler's lifetime and runs are deterministic, so each node's
+//!    verdict is computed once and replayed across refinement
+//!    iterations; a query executes only for cache-miss nodes;
+//! 3. **early exit** — specialized runs truncate at
+//!    [`RuntimeSampler::sample_step`] (captures snapshot right after
+//!    that step's `cam_run_step`), skipping the trailing steps the
+//!    query never observes.
+//!
+//! **Fast paths never change evidence**: specialized answers are
+//! bit-identical to full-program answers (the closed-set slice contract
+//! of [`rca_sim::specialize`]), and any specialized-run failure is
+//! discarded, the sampler permanently poisoned, and the query re-run
+//! through the generic full-program path — which owns all error
+//! semantics, mirroring the bytecode tier's kernel-fallback rule. The
+//! escape hatch (`RcaSessionBuilder::oracle_fastpath(false)`,
+//! `rca-campaign --oracle-fastpath off`) disables all three mechanisms;
+//! a fixed-seed campaign scorecard is byte-identical either way (CI
+//! gate). Mutating [`RuntimeSampler::tolerance`] or
+//! [`RuntimeSampler::sample_step`] after queries ran invalidates the
+//! memo — call [`RuntimeSampler::clear_memo`].
 
-use rca_graph::{reaches_any, NodeId};
+use rca_graph::{bfs_multi, BfsResult, Direction, NodeId};
 use rca_metagraph::{MetaGraph, NodeKind};
 use rca_model::ModelSource;
-use rca_sim::{compile_model, Executor, Program, RunConfig, RuntimeError, SampleSpec};
+use rca_sim::{
+    compile_model, specialize_with, Executor, Program, RunConfig, RuntimeError, SampleSpec,
+    SpecIndex,
+};
+use std::collections::HashMap;
 use std::sync::Arc;
+
+/// A compiled (control, experimental) program pair.
+type ProgramPair = (Arc<Program>, Arc<Program>);
 
 /// Decides which sampled nodes take different values between ensemble and
 /// experimental runs (Algorithm 5.4 step 7). See the module docs for the
@@ -63,13 +105,31 @@ pub trait Oracle {
 
 /// The paper's simulated sampling: a difference is detectable at node `n`
 /// iff a directed path exists from some bug source to `n`.
+///
+/// One multi-source forward BFS from the bug nodes is computed lazily on
+/// the first query and reused for every later one: membership in the
+/// reached mask answers each node in O(1) instead of a fresh traversal
+/// per (bug, node) pair.
 #[derive(Debug)]
 pub struct ReachabilityOracle {
     /// Metagraph ids of the ground-truth bug locations.
     pub bug_nodes: Vec<NodeId>,
+    /// Forward-reachable mask from `bug_nodes` (sources included, exactly
+    /// as per-pair `reaches_any` treats a node reaching itself); rebuilt
+    /// if queried against a graph of a different size.
+    reached: Option<BfsResult>,
 }
 
 impl ReachabilityOracle {
+    /// An oracle answering reachability from the given ground-truth
+    /// metagraph nodes.
+    pub fn new(bug_nodes: Vec<NodeId>) -> ReachabilityOracle {
+        ReachabilityOracle {
+            bug_nodes,
+            reached: None,
+        }
+    }
+
     /// Builds the oracle from ground-truth bug sites.
     pub fn from_sites(mg: &MetaGraph, sites: &[rca_model::BugSite]) -> ReachabilityOracle {
         let mut bug_nodes = Vec::new();
@@ -84,7 +144,7 @@ impl ReachabilityOracle {
         }
         bug_nodes.sort();
         bug_nodes.dedup();
-        ReachabilityOracle { bug_nodes }
+        ReachabilityOracle::new(bug_nodes)
     }
 }
 
@@ -94,14 +154,15 @@ impl Oracle for ReachabilityOracle {
     }
 
     fn differs(&mut self, mg: &MetaGraph, nodes: &[NodeId]) -> Vec<bool> {
-        nodes
-            .iter()
-            .map(|&n| {
-                self.bug_nodes
-                    .iter()
-                    .any(|&b| reaches_any(&mg.graph, b, &[n]))
-            })
-            .collect()
+        let stale = self
+            .reached
+            .as_ref()
+            .is_none_or(|m| m.dist.len() != mg.graph.node_count());
+        if stale {
+            self.reached = Some(bfs_multi(&mg.graph, &self.bug_nodes, Direction::Out));
+        }
+        let mask = self.reached.as_ref().expect("mask just built");
+        nodes.iter().map(|&n| mask.reached(n)).collect()
     }
 }
 
@@ -109,14 +170,19 @@ impl Oracle for ReachabilityOracle {
 /// node set instrumented and compare values.
 ///
 /// Both models are **compiled once** at construction, and the sampler
-/// holds one **pooled executor pair**: the first `differs` query builds
-/// the executors, every later query resets them in place
-/// ([`Executor::reset_with`] — arena restored by in-place copy, frames
-/// pooled, PRNG reseeded) with the fresh instrumentation list. A query
-/// thus pays two executions and materializes nothing: sample buffers are
-/// compared positionally straight off the executor state (views, not
-/// owned `RunOutput`s). Refinement loops issue one query per iteration,
-/// so this is the oracle's hot path.
+/// holds one **pooled executor pair** for the generic path: the first
+/// full-program query builds the executors, every later one resets them
+/// in place ([`Executor::reset_with`] — arena restored by in-place copy,
+/// frames pooled, PRNG reseeded) with the fresh instrumentation list.
+/// Sample buffers are compared positionally straight off the executor
+/// state (views, not owned `RunOutput`s).
+///
+/// With [`RuntimeSampler::fastpath`] on (the default), a query first
+/// consults the per-node memo, then runs only the cache-miss nodes
+/// through a slice-specialized program pair truncated at the sample step
+/// — see the module docs. The generic path remains the sole owner of
+/// error semantics: compile failures, unseparable spec sets, and any
+/// specialized-run failure all route through it.
 #[derive(Debug)]
 pub struct RuntimeSampler {
     /// Compiled control/experimental programs (or the compile failure,
@@ -136,6 +202,24 @@ pub struct RuntimeSampler {
     pub tolerance: f64,
     /// Runtime failures encountered (sampling proceeds best-effort).
     pub errors: Vec<RuntimeError>,
+    /// Enables the specialize + memoize + early-exit fast path (default
+    /// `true`). Off, every query is two full pooled executions — the
+    /// pre-fastpath behavior, bit for bit.
+    pub fastpath: bool,
+    /// Program-dependent specialization state (effect summaries, call
+    /// graph), built once on the first cache-miss query and reused for
+    /// every spec set after that.
+    spec_index: Option<(SpecIndex, SpecIndex)>,
+    /// Specialized (control, experimental) program pair per spec-set key;
+    /// `None` records a set the specializer proved unseparable, so those
+    /// queries go straight to the generic path.
+    spec_cache: HashMap<String, Option<ProgramPair>>,
+    /// Per-node verdicts from clean runs (configs are fixed and runs
+    /// deterministic, so a verdict never goes stale).
+    node_memo: HashMap<NodeId, bool>,
+    /// Set when a specialized run ever failed: the fast path stands down
+    /// permanently and the generic path owns everything from then on.
+    poisoned: bool,
 }
 
 impl RuntimeSampler {
@@ -178,7 +262,22 @@ impl RuntimeSampler {
             sample_step,
             tolerance: 1e-12,
             errors: Vec::new(),
+            fastpath: true,
+            spec_index: None,
+            spec_cache: HashMap::new(),
+            node_memo: HashMap::new(),
+            poisoned: false,
         }
+    }
+
+    /// Forgets all memoized per-node verdicts and specialized programs.
+    /// Call after mutating [`RuntimeSampler::tolerance`] or
+    /// [`RuntimeSampler::sample_step`] once queries have run (benchmarks
+    /// re-measuring cold queries want this too). The program-dependent
+    /// [`SpecIndex`] survives — the programs themselves cannot change.
+    pub fn clear_memo(&mut self) {
+        self.spec_cache.clear();
+        self.node_memo.clear();
     }
 
     fn spec_for(mg: &MetaGraph, node: NodeId) -> Option<SampleSpec> {
@@ -195,23 +294,35 @@ impl RuntimeSampler {
             name: syms.var_arc(meta.canonical),
         })
     }
-}
 
-impl Oracle for RuntimeSampler {
-    fn name(&self) -> &'static str {
-        "runtime"
+    /// Positional verdict for one spec's capture pair (the paper's
+    /// relative-tolerance comparison; missing buffers answer `false`,
+    /// shape changes answer `true`).
+    fn capture_differs(tolerance: f64, a: Option<&Vec<f64>>, b: Option<&Vec<f64>>) -> bool {
+        let (Some(a), Some(b)) = (a, b) else {
+            return false;
+        };
+        if a.len() != b.len() {
+            return true;
+        }
+        a.iter().zip(b).any(|(&x, &y)| {
+            let scale = x.abs().max(y.abs()).max(1e-300);
+            ((x - y).abs() / scale) > tolerance
+        })
     }
 
-    fn take_errors(&mut self) -> Vec<RuntimeError> {
-        std::mem::take(&mut self.errors)
-    }
-
-    fn differs(&mut self, mg: &MetaGraph, nodes: &[NodeId]) -> Vec<bool> {
+    /// The generic full-program query path — sole owner of all error
+    /// semantics (compile failures and run failures are recorded here and
+    /// answered `false`, exactly the pre-fastpath behavior). Returns the
+    /// per-node answers and whether the query completed cleanly (clean
+    /// answers are safe to memoize: configs are fixed and runs
+    /// deterministic, so a rerun would reproduce them).
+    fn differs_full(&mut self, mg: &MetaGraph, nodes: &[NodeId]) -> (Vec<bool>, bool) {
         let (ctl_program, exp_program) = match &self.programs {
             Ok((c, e)) => (Arc::clone(c), Arc::clone(e)),
             Err(e) => {
                 self.errors.push(e.clone());
-                return vec![false; nodes.len()];
+                return (vec![false; nodes.len()], false);
             }
         };
         let specs: Vec<Option<SampleSpec>> = nodes.iter().map(|&n| Self::spec_for(mg, n)).collect();
@@ -241,11 +352,11 @@ impl Oracle for RuntimeSampler {
         let (ctl_ex, exp_ex) = self.execs.as_mut().expect("executors just leased");
         if let Err(e) = ctl_ex.drive(0.0) {
             self.errors.push(e);
-            return vec![false; nodes.len()];
+            return (vec![false; nodes.len()], false);
         }
         if let Err(e) = exp_ex.drive(0.0) {
             self.errors.push(e);
-            return vec![false; nodes.len()];
+            return (vec![false; nodes.len()], false);
         }
 
         // Captures are positional over the instrumented spec list: the
@@ -254,7 +365,7 @@ impl Oracle for RuntimeSampler {
         // hashes nothing, and allocates no keys.
         let tolerance = self.tolerance;
         let mut live_idx = 0usize;
-        specs
+        let answers = specs
             .iter()
             .map(|spec| {
                 if spec.is_none() {
@@ -262,19 +373,139 @@ impl Oracle for RuntimeSampler {
                 }
                 let i = live_idx;
                 live_idx += 1;
-                let (Some(a), Some(b)) = (ctl_ex.samples[i].as_ref(), exp_ex.samples[i].as_ref())
-                else {
-                    return false;
-                };
-                if a.len() != b.len() {
-                    return true;
-                }
-                a.iter().zip(b).any(|(&x, &y)| {
-                    let scale = x.abs().max(y.abs()).max(1e-300);
-                    ((x - y).abs() / scale) > tolerance
-                })
+                Self::capture_differs(
+                    tolerance,
+                    ctl_ex.samples[i].as_ref(),
+                    exp_ex.samples[i].as_ref(),
+                )
             })
+            .collect();
+        (answers, true)
+    }
+
+    /// Reads a fully-memoized answer vector (unsampleable nodes answer
+    /// `false`, like the generic path).
+    fn assemble(&self, nodes: &[NodeId], specs: &[Option<SampleSpec>]) -> Vec<bool> {
+        nodes
+            .iter()
+            .zip(specs)
+            .map(|(&n, s)| s.is_some() && self.node_memo.get(&n).copied().unwrap_or(false))
             .collect()
+    }
+
+    /// Stores clean per-node verdicts for replay in later iterations.
+    fn memoize(&mut self, nodes: &[NodeId], specs: &[Option<SampleSpec>], answers: &[bool]) {
+        for ((&n, s), &a) in nodes.iter().zip(specs).zip(answers) {
+            if s.is_some() {
+                self.node_memo.insert(n, a);
+            }
+        }
+    }
+}
+
+impl Oracle for RuntimeSampler {
+    fn name(&self) -> &'static str {
+        "runtime"
+    }
+
+    fn take_errors(&mut self) -> Vec<RuntimeError> {
+        std::mem::take(&mut self.errors)
+    }
+
+    fn differs(&mut self, mg: &MetaGraph, nodes: &[NodeId]) -> Vec<bool> {
+        if !self.fastpath || self.poisoned || self.programs.is_err() {
+            return self.differs_full(mg, nodes).0;
+        }
+        let specs: Vec<Option<SampleSpec>> = nodes.iter().map(|&n| Self::spec_for(mg, n)).collect();
+
+        // Split memo hits from misses; only misses execute.
+        let mut miss_nodes: Vec<NodeId> = Vec::new();
+        let mut miss_specs: Vec<SampleSpec> = Vec::new();
+        for (&n, spec) in nodes.iter().zip(&specs) {
+            if let Some(sp) = spec {
+                if !self.node_memo.contains_key(&n) && !miss_nodes.contains(&n) {
+                    miss_nodes.push(n);
+                    miss_specs.push(sp.clone());
+                }
+            }
+        }
+        if miss_nodes.is_empty() {
+            rca_obs::counter_inc!("oracle.memo_answers", nodes.len() as u64);
+            return self.assemble(nodes, &specs);
+        }
+
+        // Specialized program pair for this miss set, from the spec-set
+        // cache (the sampler's program pair is fixed, so the program
+        // content hash is implicit in the cache identity).
+        let (ctl_program, exp_program) = match &self.programs {
+            Ok((c, e)) => (Arc::clone(c), Arc::clone(e)),
+            Err(_) => unreachable!("checked above"),
+        };
+        let mut key = String::new();
+        for s in &miss_specs {
+            key.push_str(&s.key());
+            key.push('\n');
+        }
+        let pair = match self.spec_cache.get(&key) {
+            Some(pair) => pair.clone(),
+            None => {
+                let (ctl_ix, exp_ix) = self.spec_index.get_or_insert_with(|| {
+                    (
+                        SpecIndex::build(&ctl_program),
+                        SpecIndex::build(&exp_program),
+                    )
+                });
+                let pair = (|| {
+                    let c = specialize_with(ctl_ix, &ctl_program, &miss_specs)?;
+                    let e = specialize_with(exp_ix, &exp_program, &miss_specs)?;
+                    Some((c.program, e.program))
+                })();
+                self.spec_cache.insert(key, pair.clone());
+                pair
+            }
+        };
+        let Some((ctl_sp, exp_sp)) = pair else {
+            // Unseparable spec set: the generic path answers the query.
+            rca_obs::counter_inc!("oracle.fastpath_fallbacks", 1);
+            let (answers, clean) = self.differs_full(mg, nodes);
+            if clean {
+                self.memoize(nodes, &specs, &answers);
+            }
+            return answers;
+        };
+
+        // Early exit: `drive` captures right after `cam_run_step` at the
+        // sample step, so the trailing steps cannot affect the query.
+        let horizon = self.sample_step.saturating_add(1);
+        let mut ctl = self.control_config.clone();
+        ctl.sample_step = Some(self.sample_step);
+        ctl.samples = miss_specs.clone();
+        ctl.steps = ctl.steps.min(horizon);
+        let mut exp = self.experiment_config.clone();
+        exp.sample_step = Some(self.sample_step);
+        exp.samples = miss_specs;
+        exp.steps = exp.steps.min(horizon);
+
+        let mut ctl_ex = Executor::new(ctl_sp, &ctl);
+        let mut exp_ex = Executor::new(exp_sp, &exp);
+        if ctl_ex.drive(0.0).is_err() || exp_ex.drive(0.0).is_err() {
+            // The generic path owns all error semantics: discard the
+            // specialized failure, stand down permanently, re-run.
+            self.poisoned = true;
+            rca_obs::counter_inc!("oracle.fastpath_poisoned", 1);
+            return self.differs_full(mg, nodes).0;
+        }
+        rca_obs::counter_inc!("oracle.specialized_queries", 1);
+        let tolerance = self.tolerance;
+        for (i, &n) in miss_nodes.iter().enumerate() {
+            let verdict = Self::capture_differs(
+                tolerance,
+                ctl_ex.samples[i].as_ref(),
+                exp_ex.samples[i].as_ref(),
+            );
+            self.node_memo.insert(n, verdict);
+        }
+        self.assemble(nodes, &specs)
     }
 }
 

@@ -107,21 +107,31 @@ pub struct RefinementReport {
     pub iterations: Vec<IterationReport>,
     /// Why the loop stopped.
     pub stop: StopReason,
-    /// Metagraph nodes of the final subgraph.
+    /// Metagraph nodes of the final subgraph, ascending (subgraph
+    /// induction preserves metagraph node order).
     pub final_nodes: Vec<NodeId>,
-    /// Every node instrumented across all iterations.
+    /// Every node instrumented across all iterations, sorted + deduped.
     pub all_sampled: Vec<NodeId>,
 }
 
 impl RefinementReport {
     /// Whether any ground-truth bug node was instrumented at some point.
+    /// Both node lists are sorted (see field docs), so membership is a
+    /// binary search — campaign scorecards call this per scenario with
+    /// paper-scale slices.
     pub fn instrumented(&self, bug_nodes: &[NodeId]) -> bool {
-        bug_nodes.iter().any(|b| self.all_sampled.contains(b))
+        debug_assert!(self.all_sampled.is_sorted());
+        bug_nodes
+            .iter()
+            .any(|b| self.all_sampled.binary_search(b).is_ok())
     }
 
     /// Whether any bug node is inside the final subgraph.
     pub fn localized(&self, bug_nodes: &[NodeId]) -> bool {
-        bug_nodes.iter().any(|b| self.final_nodes.contains(b))
+        debug_assert!(self.final_nodes.is_sorted());
+        bug_nodes
+            .iter()
+            .any(|b| self.final_nodes.binary_search(b).is_ok())
     }
 }
 
@@ -386,9 +396,7 @@ mod tests {
             "slice too small: {}",
             slice.graph.node_count()
         );
-        let mut oracle = ReachabilityOracle {
-            bug_nodes: bugs.clone(),
-        };
+        let mut oracle = ReachabilityOracle::new(bugs.clone());
         let report = refine(&mg, &slice, &mut oracle, &bugs, &RefineOptions::default());
         // The paper's GOFFGRATCH run itself ends when "the induced
         // subgraph equals the community subgraph" — a stall with the bug
@@ -411,9 +419,7 @@ mod tests {
             "wsub slice must be tiny (paper: 14), got {}",
             slice.graph.node_count()
         );
-        let mut oracle = ReachabilityOracle {
-            bug_nodes: bugs.clone(),
-        };
+        let mut oracle = ReachabilityOracle::new(bugs.clone());
         let report = refine(&mg, &slice, &mut oracle, &bugs, &RefineOptions::default());
         assert_eq!(report.stop, StopReason::SmallEnough);
         assert!(report.localized(&bugs));
@@ -423,9 +429,7 @@ mod tests {
     fn randmt_not_detected_first_iteration() {
         let (mg, slice, bugs) = setup(Experiment::RandMt);
         assert!(!bugs.is_empty(), "PRNG-tainted nodes must exist");
-        let mut oracle = ReachabilityOracle {
-            bug_nodes: bugs.clone(),
-        };
+        let mut oracle = ReachabilityOracle::new(bugs.clone());
         let opts = RefineOptions {
             manual_threshold: 10,
             ..Default::default()
@@ -448,9 +452,7 @@ mod tests {
     #[test]
     fn refinement_shrinks_monotonically() {
         let (mg, slice, bugs) = setup(Experiment::GoffGratch);
-        let mut oracle = ReachabilityOracle {
-            bug_nodes: bugs.clone(),
-        };
+        let mut oracle = ReachabilityOracle::new(bugs.clone());
         let report = refine(&mg, &slice, &mut oracle, &bugs, &RefineOptions::default());
         for w in report.iterations.windows(2) {
             assert!(
@@ -465,7 +467,7 @@ mod tests {
     #[test]
     fn unknown_bug_runs_without_ground_truth() {
         let (mg, slice, bugs) = setup(Experiment::Dyn3Bug);
-        let mut oracle = ReachabilityOracle { bug_nodes: bugs };
+        let mut oracle = ReachabilityOracle::new(bugs);
         // Empty ground truth: loop must still terminate.
         let report = refine(&mg, &slice, &mut oracle, &[], &RefineOptions::default());
         assert!(

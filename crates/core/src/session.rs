@@ -146,6 +146,7 @@ pub struct RcaSessionBuilder<'m> {
     model: &'m ModelSource,
     setup: ExperimentSetup,
     oracle: OracleKind,
+    oracle_fastpath: bool,
     pipeline_opts: PipelineOptions,
     refine_opts: RefineOptions,
     max_outputs: usize,
@@ -163,6 +164,16 @@ impl<'m> RcaSessionBuilder<'m> {
     /// Evidence source for refinement (default: reachability).
     pub fn oracle(mut self, oracle: OracleKind) -> Self {
         self.oracle = oracle;
+        self
+    }
+
+    /// Escape hatch for the runtime-oracle fast path (default: on).
+    /// With `false`, every [`OracleKind::Runtime`] query executes the
+    /// full program pair — the pre-specialization behavior. Evidence is
+    /// identical either way ("fast paths never change evidence"); the
+    /// switch exists so that property can be audited end to end.
+    pub fn oracle_fastpath(mut self, on: bool) -> Self {
+        self.oracle_fastpath = on;
         self
     }
 
@@ -230,6 +241,7 @@ impl<'m> RcaSessionBuilder<'m> {
             pipeline,
             setup: self.setup,
             oracle: self.oracle,
+            oracle_fastpath: self.oracle_fastpath,
             refine_opts: self.refine_opts,
             max_outputs: self.max_outputs,
             scope: self.scope,
@@ -257,6 +269,9 @@ pub struct RcaSession<'m> {
     pipeline: RcaPipeline,
     setup: ExperimentSetup,
     oracle: OracleKind,
+    /// Whether runtime-oracle queries may take the slice-specialized
+    /// fast path (see [`crate::oracle`] module docs).
+    oracle_fastpath: bool,
     refine_opts: RefineOptions,
     max_outputs: usize,
     scope: SliceScope,
@@ -283,6 +298,7 @@ impl<'m> RcaSession<'m> {
             model,
             setup: ExperimentSetup::default(),
             oracle: OracleKind::Reachability,
+            oracle_fastpath: true,
             pipeline_opts: PipelineOptions::default(),
             refine_opts: RefineOptions::default(),
             max_outputs: 10,
@@ -485,9 +501,9 @@ impl<'m> RcaSession<'m> {
 
     fn make_oracle_for(&self, subject: &Subject) -> Box<dyn Oracle> {
         match self.oracle {
-            OracleKind::Reachability => Box::new(ReachabilityOracle {
-                bug_nodes: self.bug_nodes_for(subject),
-            }),
+            OracleKind::Reachability => {
+                Box::new(ReachabilityOracle::new(self.bug_nodes_for(subject)))
+            }
             OracleKind::Runtime => {
                 let exp_model = self.exp_model_of(subject);
                 // Oracle queries run fault-free: evidence must reflect
@@ -516,6 +532,7 @@ impl<'m> RcaSession<'m> {
                 // Sample as early as the discrepancy can be observed (the
                 // paper instruments early steps); stay within the run.
                 sampler.sample_step = self.setup.steps.saturating_sub(1).min(2);
+                sampler.fastpath = self.oracle_fastpath;
                 Box::new(sampler)
             }
         }

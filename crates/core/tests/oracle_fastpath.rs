@@ -1,0 +1,140 @@
+//! Fastpath-vs-full equivalence fences for the runtime oracle.
+//!
+//! The slice-specialized fast path (specialize + memoize + early exit,
+//! `rca_sim::specialize` + `RuntimeSampler`) carries one contract:
+//! **fast paths never change evidence**. These tests pit a fastpath-on
+//! session against a fastpath-off session over the paper's experiments
+//! and assert the oracle answers — and whole serialized diagnoses — are
+//! identical, including the per-node memo replay on repeated queries and
+//! scenarios whose run configs carry runtime fault plans (oracle runs
+//! strip faults either way; a fault plan must not reintroduce
+//! divergence).
+
+use rca_core::{ExperimentSetup, OracleKind, RcaSession, Scenario};
+use rca_model::{generate, Experiment, ModelConfig, ModelSource};
+use rca_sim::FaultPlan;
+use std::sync::Arc;
+
+fn session(model: &ModelSource, fastpath: bool) -> RcaSession<'_> {
+    RcaSession::builder(model)
+        .setup(ExperimentSetup::quick())
+        .oracle(OracleKind::Runtime)
+        .oracle_fastpath(fastpath)
+        .build()
+        .expect("session")
+}
+
+/// Every paper experiment, every metagraph node, three query shapes:
+/// specialized answers must equal full-program answers node for node.
+/// Error-class experiments (RANDOMBUG's out-of-bounds write) are
+/// included deliberately — when the full path absorbs a runtime error,
+/// the fast path must converge to the same verdicts through its
+/// poison-and-rerun fallback or by pruning the erroring statement out of
+/// a slice it provably cannot influence.
+#[test]
+fn fastpath_verdicts_match_full_on_paper_experiments() {
+    let model = generate(&ModelConfig::test());
+    let on = session(&model, true);
+    let off = session(&model, false);
+    let mg = on.metagraph();
+    let nodes: Vec<_> = mg.graph.nodes().collect();
+    assert!(nodes.len() > 60, "metagraph too small: {}", nodes.len());
+
+    for exp in [
+        Experiment::WsubBug,
+        Experiment::RandMt,
+        Experiment::GoffGratch,
+        Experiment::Avx2,
+        Experiment::RandomBug,
+        Experiment::Dyn3Bug,
+    ] {
+        let mut o_on = on.make_oracle(exp);
+        let mut o_off = off.make_oracle(exp);
+        // Three disjoint batches (refinement queries ~30 nodes a turn),
+        // then a batch overlapping the first two (memo hits + misses).
+        let batches = [
+            &nodes[0..30],
+            &nodes[30..60],
+            &nodes[nodes.len() - 30..],
+            &nodes[15..45],
+        ];
+        for (i, batch) in batches.iter().enumerate() {
+            let a = o_on.differs(mg, batch);
+            let b = o_off.differs(mg, batch);
+            assert_eq!(a, b, "{} batch {i}: fastpath diverged", exp.name());
+        }
+        // Full replay of batch 0: all-hit memo path must reproduce the
+        // executed answers exactly.
+        assert_eq!(
+            o_on.differs(mg, batches[0]),
+            o_off.differs(mg, batches[0]),
+            "{}: memo replay diverged",
+            exp.name()
+        );
+    }
+}
+
+/// Whole-diagnosis equivalence: the serialized artifact (verdict,
+/// refinement trace, suspects, sampling errors — everything but the
+/// telemetry profile) is identical with the fast path on and off.
+#[test]
+fn diagnosis_artifacts_identical_on_and_off() {
+    let model = generate(&ModelConfig::test());
+    let on = session(&model, true);
+    let off = session(&model, false);
+    for exp in [
+        Experiment::WsubBug,
+        Experiment::GoffGratch,
+        Experiment::RandMt,
+    ] {
+        let d_on = on.diagnose(exp).expect("diagnose on");
+        let d_off = off.diagnose(exp).expect("diagnose off");
+        let j_on = serde_json::to_string_pretty(&d_on).expect("serialize");
+        let j_off = serde_json::to_string_pretty(&d_off).expect("serialize");
+        assert_eq!(j_on, j_off, "{}: diagnosis artifact diverged", exp.name());
+    }
+}
+
+/// Scenario fault plans must not leak into oracle evidence: the session
+/// strips faults from oracle run configs (`without_faults`), so a
+/// heavily faulted scenario diagnoses to the same artifact with the
+/// fast path on and off — and to the same refinement evidence as the
+/// fault-free scenario of the same mutant.
+#[test]
+fn fault_plans_never_reach_oracle_evidence() {
+    let model = generate(&ModelConfig::test());
+    let on = session(&model, true);
+    let off = session(&model, false);
+
+    let base = Arc::new(model.apply(Experiment::GoffGratch));
+    let config = on.control_config();
+    let mut faulted_config = config.clone();
+    faulted_config.faults = FaultPlan::seeded(0xFA17, on.setup().n_experiment, config.steps, 2);
+    assert!(!faulted_config.faults.is_empty(), "fault plan must be live");
+
+    let faulted = Scenario::new("goffgratch-faulted", Arc::clone(&base), faulted_config);
+    let clean = Scenario::new("goffgratch-faulted", base, config);
+
+    let d_on = on.diagnose_scenario(&faulted).expect("diagnose on");
+    let d_off = off.diagnose_scenario(&faulted).expect("diagnose off");
+    assert_eq!(
+        serde_json::to_string_pretty(&d_on).expect("serialize"),
+        serde_json::to_string_pretty(&d_off).expect("serialize"),
+        "faulted scenario: fastpath changed the artifact"
+    );
+
+    // The oracle's evidence (refinement + sampling errors) must match
+    // the fault-free run of the same mutant — the statistics stage may
+    // legitimately differ (experimental ensembles do run the faults),
+    // so compare the oracle-owned pieces, not the whole artifact.
+    let d_clean = on.diagnose_scenario(&clean).expect("diagnose clean");
+    assert_eq!(
+        d_on.sampling_errors.len(),
+        d_clean.sampling_errors.len(),
+        "fault plan leaked into sampling errors"
+    );
+    if let (Some(a), Some(b)) = (&d_on.refinement, &d_clean.refinement) {
+        assert_eq!(a.final_nodes, b.final_nodes, "fault plan changed evidence");
+        assert_eq!(a.all_sampled, b.all_sampled, "fault plan changed sampling");
+    }
+}

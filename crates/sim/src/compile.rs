@@ -1197,18 +1197,18 @@ impl<'a> Compiler<'a> {
             .map(|i| self.syms.output_arc(rca_ident::OutputId(i as u32)))
             .collect();
         let mut program = Program {
-            exprs: self.exprs,
+            exprs: Arc::new(self.exprs),
             procs: self.compiled,
-            sites: self.sites,
-            globals: self.globals,
-            globals_by_module,
-            module_names,
-            entry_procs,
-            procs_by_module,
-            module_vars,
+            sites: Arc::new(self.sites),
+            globals: Arc::new(self.globals),
+            globals_by_module: Arc::new(globals_by_module),
+            module_names: Arc::new(module_names),
+            entry_procs: Arc::new(entry_procs),
+            procs_by_module: Arc::new(procs_by_module),
+            module_vars: Arc::new(module_vars),
             output_names: output_names.into(),
-            global_init_deps: self.global_init_deps,
-            global_origins,
+            global_init_deps: Arc::new(self.global_init_deps),
+            global_origins: Arc::new(global_origins),
             syms: Arc::new(self.syms),
             bc: crate::bytecode::Bytecode::default(),
         };

@@ -236,7 +236,7 @@ impl Executor {
         let fuel_limit = config.fuel.unwrap_or(u64::MAX);
         let vm = VmState::new(program.procs.len(), &local_plan);
         let mut ex = Executor {
-            globals: program.globals.clone(),
+            globals: program.globals.as_ref().clone(),
             fma,
             fma_scale: config.fma_scale,
             prng: make_prng(config.prng, config.prng_seed),

@@ -71,6 +71,7 @@ mod ops;
 pub mod prng;
 pub mod program;
 pub mod runner;
+pub mod specialize;
 pub mod store;
 pub mod value;
 
@@ -92,5 +93,6 @@ pub use runner::{
     compile_model, finite_outputs_at, outputs_matrix, perturbations, run_ensemble,
     run_ensemble_program, run_loaded, run_model, run_program, RunOutput,
 };
+pub use specialize::{specialize_for_samples, specialize_with, SpecIndex, Specialized};
 pub use store::{EnsembleRuns, MemberHealth, RunCoverage, RunView};
 pub use value::Value;

@@ -408,25 +408,28 @@ pub struct CProc {
 /// from already-parsed files) and execute it with
 /// [`crate::Executor`] / [`crate::run_program`].
 pub struct Program {
-    /// Expression arena (shared by all procedures).
-    pub(crate) exprs: Vec<CExpr>,
+    /// Expression arena (shared by all procedures). The big read-only
+    /// arenas are `Arc`-shared so derived programs (the slice-specialized
+    /// variants in [`crate::specialize`]) differ only in `procs` + `bc`
+    /// and cost refcount bumps, not deep clones.
+    pub(crate) exprs: Arc<Vec<CExpr>>,
     /// All subprograms.
     pub(crate) procs: Vec<CProc>,
     /// Resolved call sites.
-    pub(crate) sites: Vec<CallSite>,
+    pub(crate) sites: Arc<Vec<CallSite>>,
     /// Initial module-global values (cloned per executor).
-    pub(crate) globals: Vec<Value>,
+    pub(crate) globals: Arc<Vec<Value>>,
     /// Host lookup: module → variable → global slot (nested so `&str`
     /// queries never allocate key tuples).
-    pub(crate) globals_by_module: HashMap<String, HashMap<String, u32>>,
+    pub(crate) globals_by_module: Arc<HashMap<String, HashMap<String, u32>>>,
     /// Module names by id.
-    pub(crate) module_names: Vec<Arc<str>>,
+    pub(crate) module_names: Arc<Vec<Arc<str>>>,
     /// Host entry lookup: subprogram name → first-candidate proc index.
-    pub(crate) entry_procs: HashMap<String, u32>,
+    pub(crate) entry_procs: Arc<HashMap<String, u32>>,
     /// Host lookup: module → subprogram → proc index.
-    pub(crate) procs_by_module: HashMap<String, HashMap<String, u32>>,
+    pub(crate) procs_by_module: Arc<HashMap<String, HashMap<String, u32>>>,
     /// Declared module variables per module, in declaration order.
-    pub(crate) module_vars: HashMap<String, Vec<String>>,
+    pub(crate) module_vars: Arc<HashMap<String, Vec<String>>>,
     /// Sorted distinct history output names; [`rca_ident::OutputId`]
     /// values index this table (and every run's dense history buffer).
     pub(crate) output_names: Arc<[Arc<str>]>,
@@ -434,9 +437,9 @@ pub struct Program {
     /// `dst`'s declaration initializer reads global slot `src`. The values
     /// themselves are const-folded into [`Program::globals`] at compile
     /// time; this side table preserves the dataflow the folding erases.
-    pub(crate) global_init_deps: Vec<(u32, u32)>,
+    pub(crate) global_init_deps: Arc<Vec<(u32, u32)>>,
     /// Slot-indexed origin of every module global: `(module id, name)`.
-    pub(crate) global_origins: Vec<(u32, Arc<str>)>,
+    pub(crate) global_origins: Arc<Vec<(u32, Arc<str>)>>,
     /// The program's interner: every module/variable/output name resolved
     /// during compilation, as dense ids. Sessions seed the workspace-wide
     /// table from this (append-only extension keeps these ids valid).

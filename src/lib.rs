@@ -73,6 +73,42 @@
 //! [`Sliced::refine_with`](rca::session::Sliced::refine_with) or the
 //! low-level [`rca::refine()`].
 //!
+//! ## The oracle fast path
+//!
+//! Runtime-oracle refinement is the dominant cost of a campaign: every
+//! iteration of Algorithm 5.4 asks `differs` about ~an iteration's worth
+//! of candidate nodes, and the naive answer is two *complete* model runs.
+//! The sampler instead makes that cost proportional to the backward slice
+//! of what it captures, through three stacked mechanisms that live
+//! entirely behind the unchanged [`rca::Oracle`] surface:
+//!
+//! - **Slice specialization** ([`sim::specialize_with`] over a cached
+//!   [`sim::SpecIndex`]): the query's capture set is backward-sliced at
+//!   the statement level and the program is re-materialized with every
+//!   statement outside the slice pruned (control flow, PRNG draw
+//!   positions, and capture-procedure invocation counts preserved), then
+//!   re-lowered to bytecode. Specialized programs share the base
+//!   program's interned arenas (`Arc`) and are cached per spec-set key.
+//! - **Per-node memoization**: verdicts are keyed by metagraph `NodeId`;
+//!   refinement re-queries overlapping node sets every iteration, and a
+//!   memo hit answers without any run at all.
+//! - **Early stopping**: sampling happens at one configured step, so
+//!   specialized runs truncate at `sample_step + 1` instead of the full
+//!   horizon.
+//!
+//! The contract is **fast paths never change evidence**: specialization
+//! falls back to the full program whenever a capture set is not provably
+//! separable, any specialized-run error permanently poisons the fast
+//! path and re-runs the full pair (the generic path owns all error
+//! semantics, exactly like the VM's kernel fallback), and oracle runs
+//! are always fault-free (`RunConfig::without_faults`) so a scenario's
+//! [`sim::FaultPlan`] can never shift verdicts. CI enforces the contract
+//! end to end: a fixed-seed `--oracle runtime` campaign with
+//! `--oracle-fastpath off` ([`rca::RcaSessionBuilder::oracle_fastpath`])
+//! must produce a byte-identical scorecard to the default fastpath-on
+//! run, and `sim_throughput`'s `oracle_fastpath` entry asserts the
+//! specialized query pair stays ≥2× faster than the full pair.
+//!
 //! ## Migrating from the 0.1 free functions
 //!
 //! The 0.1 loose functions (`run_statistics`, `affected_outputs`,
